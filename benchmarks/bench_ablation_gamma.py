@@ -1,0 +1,24 @@
+"""E6 — gamma trade-off ablation (Sec. III-D).
+
+gamma = 0 reduces ZK-GanDef to plain mixture training; the sweep shows how
+the discriminator term trades clean accuracy for source-invariance.
+"""
+
+import pytest
+
+from repro.experiments import run_gamma_ablation
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_gamma_ablation(benchmark, preset):
+    results = run_once(benchmark, run_gamma_ablation, "digits",
+                       preset=preset, gammas=(0.0, 3.0))
+    for r in results:
+        row = "  ".join(f"{k}={v * 100:.1f}%" for k, v in r.accuracy.items())
+        print(f"\n[ablation] {r.defense:20s} {row}")
+    by_gamma = {r.defense: r.accuracy for r in results}
+    # Both settings must train a usable classifier.
+    assert by_gamma["zk-gandef(g=0.0)"]["original"] > 0.7
+    assert by_gamma["zk-gandef(g=3.0)"]["original"] > 0.7

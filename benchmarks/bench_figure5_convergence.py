@@ -1,0 +1,28 @@
+"""E4 — regenerate Figure 5 (right): CLS loss convergence study.
+
+Four (sigma, lambda) settings on the complex dataset.  The paper's
+pattern: the three strong settings overlap on a flat top curve; only
+(sigma=0.1, lambda=0.01) converges — and that one degenerates to Vanilla.
+"""
+
+import pytest
+
+from repro.experiments import run_cls_convergence
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="figure5-convergence")
+def test_cls_convergence(benchmark, preset):
+    curves = run_once(benchmark, run_cls_convergence, "objects",
+                      preset=preset, epochs=8)
+    for curve in curves:
+        trace = " ".join(f"{v:.2f}" for v in curve.losses)
+        print(f"\n[figure5] {curve.label:24s} converged="
+              f"{curve.converged()}  {trace}")
+    by_setting = {(c.sigma, c.lam): c for c in curves}
+    # Strong settings stall on the flat top curve.
+    assert not by_setting[(1.0, 0.4)].converged()
+    assert not by_setting[(0.1, 0.4)].converged()
+    # The weakest setting is the only clearly converging one.
+    assert by_setting[(0.1, 0.01)].converged()

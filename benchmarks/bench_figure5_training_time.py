@@ -1,0 +1,30 @@
+"""E3 — regenerate Figure 5 (left, middle): training seconds per epoch.
+
+The paper's claim: ZK-GanDef trains at FGSM-Adv-like cost, far below
+PGD-Adv and PGD-GanDef (92.11% reduction vs PGD-Adv on MNIST, 51.53% on
+CIFAR10), because it never generates iterative adversarial examples.
+"""
+
+import pytest
+
+from repro.experiments import run_training_time
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="figure5-time")
+@pytest.mark.parametrize("dataset", ["digits", "objects"])
+def test_training_time(benchmark, preset, dataset):
+    timings = run_once(benchmark, run_training_time, dataset,
+                       preset=preset, epochs=2)
+    print(f"\n[figure5:{dataset}] " + "  ".join(
+        f"{k}={v:.2f}s/ep" for k, v in timings.items()))
+    # Headline orderings of the left/middle sub-figures.
+    assert timings["zk-gandef"] < timings["pgd-adv"]
+    assert timings["zk-gandef"] < timings["pgd-gandef"]
+    assert timings["fgsm-adv"] < timings["pgd-adv"]
+    # The paper reports a >50% training-time reduction vs PGD-Adv with
+    # 20-40 PGD iterations; the reduced presets train PGD examples with
+    # only ~5 iterations, which shrinks the gap proportionally — assert
+    # a >=25% saving here (the FULL preset recovers the paper's margin).
+    assert timings["zk-gandef"] < 0.75 * timings["pgd-adv"]

@@ -1,0 +1,71 @@
+"""Microbenchmarks of the substrate hot paths.
+
+Not a paper artifact, but the knobs that determine how far the FULL preset
+is from feasible: conv2d forward/backward, a full LeNet training step, and
+per-image attack cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import FGSM, PGD
+from repro.models import LeNet
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    return LeNet(width=8, rng=derive_rng(0, "bench"))
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = derive_rng(1, "bench")
+    x = rng.standard_normal((32, 1, 28, 28)).astype(np.float32)
+    y = np.arange(32) % 10
+    return x, y
+
+
+@pytest.mark.benchmark(group="micro")
+def test_conv2d_forward(benchmark):
+    rng = derive_rng(2, "bench")
+    x = nn.Tensor(rng.standard_normal((32, 8, 14, 14)).astype(np.float32))
+    w = nn.Tensor(rng.standard_normal((16, 8, 5, 5)).astype(np.float32))
+    benchmark(lambda: nn.conv2d(x, w, padding=2))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lenet_forward(benchmark, lenet, batch):
+    x, _ = batch
+    lenet.eval()
+    with nn.no_grad():
+        benchmark(lambda: lenet(nn.Tensor(x)))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lenet_train_step(benchmark, lenet, batch):
+    x, y = batch
+    optimizer = nn.Adam(lenet.parameters())
+
+    def step():
+        optimizer.zero_grad()
+        loss = nn.softmax_cross_entropy(lenet(nn.Tensor(x)), y)
+        loss.backward()
+        optimizer.step()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_fgsm_generation(benchmark, lenet, batch):
+    x, y = batch
+    attack = FGSM(eps=0.3)
+    benchmark(lambda: attack(lenet, x, y))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_pgd_generation(benchmark, lenet, batch):
+    x, y = batch
+    attack = PGD(eps=0.3, step=0.1, iterations=5, seed=0)
+    benchmark(lambda: attack(lenet, x, y))

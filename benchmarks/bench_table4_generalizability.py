@@ -1,0 +1,23 @@
+"""E2 — regenerate Table IV (ZK-GanDef vs DeepFool and CW examples)."""
+
+import pytest
+
+from repro.experiments import run_table4
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("dataset", ["digits", "fashion", "objects"])
+def test_table4(benchmark, preset, dataset):
+    result = run_once(benchmark, run_table4, dataset, preset=preset)
+    row = "  ".join(f"{k}={v * 100:.2f}%" for k, v in
+                    result.accuracy.items())
+    print(f"\n[table4:{dataset}] zk-gandef  {row}")
+    # Shape that survives the substrate change: ZK-GanDef keeps usable
+    # clean accuracy and is not reduced to zero by CW examples it never
+    # trained against.  (The paper's DeepFool-is-easier ordering does NOT
+    # reproduce here — our exact-gradient DeepFool converges fully; see
+    # EXPERIMENTS.md E2 for the analysis.)
+    assert result.accuracy["original"] > 0.5
+    assert result.accuracy["cw"] > 0.15

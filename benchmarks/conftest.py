@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artifact exactly once
+(``benchmark.pedantic`` with one round — the workloads are full training
+runs, not microseconds).  The preset defaults to ``bench`` (identical code
+paths to ``fast`` at reduced scale) and can be overridden:
+
+    REPRO_BENCH_PRESET=fast pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+PRESET = os.environ.get("REPRO_BENCH_PRESET", "bench")
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return PRESET
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-experiment benchmark exactly once and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

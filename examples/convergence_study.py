@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Reproduce Figure 5 (right): why CLP/CLS fail on the complex dataset.
+
+Trains CLS under the paper's four (sigma, lambda) settings on the
+CIFAR10 stand-in and prints the training-loss curves as text sparklines.
+Three settings stall on the flat top curve; the weakest converges — and
+that one is the setting under which CLS degenerates to a Vanilla
+classifier.
+
+Run:  python examples/convergence_study.py
+"""
+
+from repro.experiments import run_cls_convergence
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values) -> str:
+    finite = [v for v in values if v == v]
+    if not finite:
+        return "(all nan)"
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    return "".join(
+        _SPARKS[int((v - lo) / span * (len(_SPARKS) - 1))] if v == v else "x"
+        for v in values)
+
+
+def main() -> None:
+    print("Training CLS on the objects dataset under four settings ...")
+    curves = run_cls_convergence("objects", preset="fast", epochs=8)
+    print(f"\n{'setting':28s}{'loss curve':20s}{'epoch losses'}")
+    for curve in curves:
+        trail = " ".join(f"{v:.2f}" for v in curve.losses)
+        tag = "converges" if curve.converged() else "STALLS"
+        print(f"{curve.label:28s}{sparkline(curve.losses):12s} {tag:10s}"
+              f" {trail}")
+    print("\nThe paper's Sec. V-D conclusion: the penalty design of CLS is")
+    print("too rigid for complex data — only the weakest setting trains,")
+    print("and that setting is no longer a defense.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate the paper's tables from the command line.
+
+Usage:
+    python examples/paper_tables.py [dataset] [preset]
+
+``dataset`` defaults to ``digits`` (choices: digits, fashion, objects —
+stand-ins for MNIST, Fashion-MNIST and CIFAR10), ``preset`` to ``fast``.
+Prints the Table III block for the dataset, the Table IV row, and the
+Figure 5 per-epoch training times.
+"""
+
+import sys
+
+from repro.eval import format_timing_table
+from repro.experiments import render_table3, run_table3, run_table4
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "digits"
+    preset = sys.argv[2] if len(sys.argv) > 2 else "fast"
+
+    print(f"=== Table III block for {dataset} ({preset} preset) ===")
+    results = run_table3(dataset, preset=preset, verbose=True)
+    print()
+    print(render_table3(results))
+
+    print(f"\n=== Figure 5 training time ({dataset}) ===")
+    print(format_timing_table(results))
+
+    print(f"\n=== Table IV row for {dataset} ===")
+    result = run_table4(dataset, preset=preset)
+    for kind, value in result.accuracy.items():
+        print(f"  {kind:10s} {value * 100:6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: train ZK-GanDef and watch it resist an attack.
+
+Trains two classifiers on the synthetic digits dataset — an undefended
+Vanilla model and a ZK-GanDef model (which never sees an adversarial
+example during training) — then attacks both with FGSM and PGD and prints
+the Sec. IV-E test accuracies side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attacks import FGSM, PGD
+from repro.data import load_split
+from repro.defenses import VanillaTrainer, ZKGanDefTrainer
+from repro.eval import test_accuracy
+from repro.models import build_classifier
+
+
+def main() -> None:
+    print("Preprocessing: generating + separating the digits dataset ...")
+    split = load_split("digits", train_size=1024, test_size=256, seed=0)
+    x, y = split.test.images[:128], split.test.labels[:128]
+
+    print("Training the Vanilla baseline ...")
+    vanilla = build_classifier("digits", width=8, seed=0)
+    VanillaTrainer(vanilla, epochs=6, batch_size=64).fit(split.train)
+
+    print("Training ZK-GanDef (no adversarial examples involved) ...")
+    defended = build_classifier("digits", width=8, seed=0)
+    trainer = ZKGanDefTrainer(defended, gamma=3.0, disc_steps=2,
+                              warmup_epochs=4, epochs=16, batch_size=64)
+    history = trainer.fit(split.train)
+    print(f"  final classifier loss {history.losses[-1]:.3f}, "
+          f"{history.mean_epoch_seconds:.2f}s per epoch")
+
+    attacks = {
+        "fgsm": FGSM(eps=0.6),
+        "pgd": PGD(eps=0.6, step=0.1, iterations=8, seed=0),
+    }
+    header = f"{'model':12s}{'original':>10s}" + "".join(
+        f"{name:>10s}" for name in attacks)
+    print("\n" + header)
+    print("-" * len(header))
+    for name, model in [("vanilla", vanilla), ("zk-gandef", defended)]:
+        cells = [test_accuracy(model, x, y)]
+        for attack in attacks.values():
+            cells.append(test_accuracy(model, attack(model, x, y), y))
+        print(f"{name:12s}" + "".join(f"{c * 100:9.2f}%" for c in cells))
+
+    print("\nZK-GanDef holds up under attacks it never trained against —")
+    print("that is the paper's zero-knowledge claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` goes through this file instead.
+"""
+
+from setuptools import setup
+
+setup()

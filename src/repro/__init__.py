@@ -1,0 +1,20 @@
+"""Reproduction of *ZK-GanDef: A GAN based Zero Knowledge Adversarial
+Training Defense for Neural Networks* (Liu, Khalil, Khreishah — DSN 2019).
+
+Top-level layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.nn` — numpy autodiff neural-network substrate,
+* :mod:`repro.data` — synthetic dataset substrate + preprocessing module,
+* :mod:`repro.attacks` — FGSM / BIM / PGD / DeepFool / CW / MIM attacks,
+* :mod:`repro.defenses` — Vanilla, CLP, CLS, ZK-GanDef, FGSM-Adv, PGD-Adv,
+  PGD-GanDef trainers,
+* :mod:`repro.models` — LeNet / allCNN classifier families,
+* :mod:`repro.eval` — the Figure 3 evaluation framework, metrics and the
+  black-box transfer extension,
+* :mod:`repro.experiments` — one runner per paper table / figure,
+* :mod:`repro.cli` — ``python -m repro <artifact>``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

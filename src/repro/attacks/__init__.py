@@ -1,0 +1,28 @@
+"""``repro.attacks`` — the Fig. 3 Attack module.
+
+White-box adversarial-example generators re-implemented from scratch on the
+``repro.nn`` autodiff (the paper used CleverHans): FGSM, BIM, PGD for the
+main evaluation grid, DeepFool and Carlini&Wagner for the Table IV
+generalizability study.
+"""
+
+from .base import Attack, input_gradient, logits_and_input_grad, project_linf
+from .bim import BIM
+from .cw import CarliniWagner
+from .deepfool import DeepFool
+from .fgsm import FGSM
+from .mim import MIM
+from .pgd import PGD
+
+__all__ = [
+    "Attack",
+    "input_gradient",
+    "logits_and_input_grad",
+    "project_linf",
+    "FGSM",
+    "BIM",
+    "MIM",
+    "PGD",
+    "DeepFool",
+    "CarliniWagner",
+]

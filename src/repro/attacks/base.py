@@ -1,0 +1,86 @@
+"""Attack abstractions shared by every generator in the Attack module.
+
+All the paper's attacks are white-box: they differentiate the victim's loss
+with respect to the *input* image.  The common plumbing here computes those
+input gradients through the ``repro.nn`` tape, projects iterates back onto
+the l-infinity ball around the original image, and applies the paper's
+regulation function ``F`` (clip onto ``[-1, 1]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.preprocessing import BOX_HIGH, BOX_LOW
+
+__all__ = ["Attack", "input_gradient", "project_linf", "logits_and_input_grad"]
+
+
+def input_gradient(model: nn.Module, images: np.ndarray,
+                   labels: np.ndarray) -> np.ndarray:
+    """Gradient of the softmax cross-entropy w.r.t. the input pixels."""
+    x = nn.Tensor(images, requires_grad=True)
+    logits = model(x)
+    loss = nn.softmax_cross_entropy(logits, labels)
+    loss.backward()
+    assert x.grad is not None
+    return x.grad
+
+
+def logits_and_input_grad(model: nn.Module, images: np.ndarray,
+                          labels: np.ndarray):
+    """Forward logits plus the input gradient (for attacks that need both)."""
+    x = nn.Tensor(images, requires_grad=True)
+    logits = model(x)
+    loss = nn.softmax_cross_entropy(logits, labels)
+    loss.backward()
+    return logits.data, x.grad
+
+
+def project_linf(adv: np.ndarray, original: np.ndarray,
+                 eps: float) -> np.ndarray:
+    """Project onto the l-inf ball of radius ``eps`` around ``original``,
+    then onto the valid image box via ``F``."""
+    adv = np.clip(adv, original - eps, original + eps)
+    return np.clip(adv, BOX_LOW, BOX_HIGH).astype(np.float32)
+
+
+@dataclass
+class Attack:
+    """Base class: every attack maps (model, images, labels) -> adversarial
+    images of the same shape, inside the eps-ball and the image box.
+
+    Attacks run the victim in ``eval()`` mode (dropout off) — gradients must
+    describe the deployed model, not a stochastic one — and restore the
+    previous mode afterwards.
+    """
+
+    eps: float
+
+    name: str = "attack"
+
+    def generate(self, model: nn.Module, images: np.ndarray,
+                 labels: np.ndarray) -> np.ndarray:
+        if self.eps < 0:
+            raise ValueError(f"eps must be non-negative, got {self.eps}")
+        was_training = model.training
+        model.eval()
+        try:
+            adv = self._generate(model, np.asarray(images, dtype=np.float32),
+                                 np.asarray(labels))
+        finally:
+            if was_training:
+                model.train()
+        return project_linf(adv, np.asarray(images, dtype=np.float32), self.eps)
+
+    def _generate(self, model: nn.Module, images: np.ndarray,
+                  labels: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, model: nn.Module, images: np.ndarray,
+                 labels: np.ndarray) -> np.ndarray:
+        return self.generate(model, images, labels)

@@ -1,0 +1,83 @@
+"""Carlini & Wagner attack (Table IV generalizability study).
+
+The classic CW formulation optimizes, with Adam, over a change-of-variables
+``x = tanh(w)`` that keeps iterates inside the image box, minimizing
+
+    ||x - x0||_2^2 + c * f(x),   f(x) = max(Z_t - max_{i != t} Z_i, -kappa)
+
+i.e. a margin loss on the pre-softmax logits ``Z``.  Per the paper the CW
+examples "utilize the same hyper-parameter setting as PGD adversarial
+examples", so the final perturbation is projected onto the same l-inf
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..data.preprocessing import BOX_HIGH, BOX_LOW
+from .base import Attack, project_linf
+
+__all__ = ["CarliniWagner"]
+
+
+@dataclass
+class CarliniWagner(Attack):
+    """CW-l2 with tanh box reparameterization, projected to the eps budget."""
+
+    iterations: int = 30
+    confidence: float = 0.0
+    c: float = 1.0
+    lr: float = 0.05
+
+    name: str = "cw"
+
+    def _generate(self, model: nn.Module, images: np.ndarray,
+                  labels: np.ndarray) -> np.ndarray:
+        # Map images into tanh space.  Shrink slightly to keep atanh finite.
+        scaled = np.clip(images, BOX_LOW + 1e-4, BOX_HIGH - 1e-4)
+        w0 = np.arctanh(scaled).astype(np.float32)
+        w = nn.Parameter(w0.copy(), name="cw.w")
+        optimizer = nn.Adam([w], lr=self.lr)
+        x0 = nn.Tensor(images)
+        labels = np.asarray(labels)
+        onehot = nn.functional.one_hot(labels, self._num_classes(model, images))
+        onehot_t = nn.Tensor(onehot)
+
+        best_adv = images.copy()
+        best_obj = np.full(len(images), np.inf, dtype=np.float64)
+
+        for _ in range(self.iterations):
+            optimizer.zero_grad()
+            x = nn.functional.tanh(w)
+            logits = model(x)
+            # margin loss f(x): true-class logit minus best other logit
+            true_logit = (logits * onehot_t).sum(axis=1)
+            other = logits + onehot_t * (-1e4)
+            other_best = other.max(axis=1)
+            margin = nn.functional.maximum(
+                true_logit - other_best, -self.confidence)
+            dist = ((x - x0) * (x - x0)).flatten_batch().sum(axis=1)
+            loss = (dist + self.c * margin).sum()
+            loss.backward()
+            optimizer.step()
+
+            # Track the best (lowest objective among successful) iterate.
+            with nn.no_grad():
+                x_np = np.tanh(w.data)
+                cur_logits = model(nn.Tensor(x_np)).data
+            fooled = cur_logits.argmax(axis=1) != labels
+            obj = dist.data + (~fooled) * 1e9
+            better = obj < best_obj
+            best_adv[better] = x_np[better]
+            best_obj[better] = obj[better]
+
+        return project_linf(best_adv, images, self.eps)
+
+    @staticmethod
+    def _num_classes(model: nn.Module, images: np.ndarray) -> int:
+        with nn.no_grad():
+            return model(nn.Tensor(images[:1])).shape[1]

@@ -1,0 +1,29 @@
+"""Fast Gradient Sign Method (Goodfellow et al., Sec. II-A).
+
+Single gradient-ascent step on the victim's loss: each pixel moves by
+``eps`` along the sign of the input gradient, then the result is regulated
+back into the image box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from .base import Attack, input_gradient
+
+__all__ = ["FGSM"]
+
+
+@dataclass
+class FGSM(Attack):
+    """One signed-gradient step of size ``eps``."""
+
+    name: str = "fgsm"
+
+    def _generate(self, model: nn.Module, images: np.ndarray,
+                  labels: np.ndarray) -> np.ndarray:
+        grad = input_gradient(model, images, labels)
+        return images + self.eps * np.sign(grad)

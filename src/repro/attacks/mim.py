@@ -1,0 +1,45 @@
+"""Momentum Iterative Method (Dong et al.) — extension attack.
+
+Not part of the paper's grid, but the natural "stronger future attack" its
+adaptability discussion (Sec. V-A) anticipates: BIM with an accumulated,
+l1-normalized gradient momentum, which stabilizes update directions and
+transfers better between models.  Included so the adaptability claim can be
+stress-tested against an attack none of the defenses saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from .base import Attack, input_gradient, project_linf
+
+__all__ = ["MIM"]
+
+
+@dataclass
+class MIM(Attack):
+    """Iterative signed ascent on a momentum-accumulated gradient."""
+
+    step: float = 0.1
+    iterations: int = 10
+    decay: float = 1.0
+
+    name: str = "mim"
+
+    def _generate(self, model: nn.Module, images: np.ndarray,
+                  labels: np.ndarray) -> np.ndarray:
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {self.iterations}")
+        adv = images.copy()
+        velocity = np.zeros_like(images)
+        for _ in range(self.iterations):
+            grad = input_gradient(model, adv, labels)
+            flat = np.abs(grad).reshape(len(grad), -1).sum(axis=1)
+            flat = np.maximum(flat, 1e-12).reshape(-1, *([1] * (grad.ndim - 1)))
+            velocity = self.decay * velocity + grad / flat
+            adv = adv + self.step * np.sign(velocity)
+            adv = project_linf(adv, images, self.eps)
+        return adv

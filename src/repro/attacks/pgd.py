@@ -1,0 +1,64 @@
+"""Projected Gradient Descent (Madry et al., Sec. II-A).
+
+Like BIM but starting from a *random* point inside the eps-ball, optionally
+restarted several times keeping the strongest example per image.  The paper
+runs PGD with 40 iterations x 0.02 step on MNIST/Fashion-MNIST and
+20 x 0.016 on CIFAR10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..utils.rng import derive_rng
+from .base import Attack, input_gradient, project_linf
+
+__all__ = ["PGD"]
+
+
+@dataclass
+class PGD(Attack):
+    """Randomly initialized iterative signed-gradient ascent with restarts."""
+
+    step: float = 0.02
+    iterations: int = 40
+    restarts: int = 1
+    seed: int = 0
+
+    name: str = "pgd"
+
+    def _generate(self, model: nn.Module, images: np.ndarray,
+                  labels: np.ndarray) -> np.ndarray:
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {self.iterations}")
+        if self.restarts <= 0:
+            raise ValueError(f"restarts must be positive, got {self.restarts}")
+        rng = derive_rng(self.seed, "pgd-init")
+        best_adv = images.copy()
+        best_loss = np.full(len(images), -np.inf, dtype=np.float64)
+        for _ in range(self.restarts):
+            start = images + rng.uniform(
+                -self.eps, self.eps, size=images.shape).astype(np.float32)
+            adv = project_linf(start, images, self.eps)
+            for _ in range(self.iterations):
+                grad = input_gradient(model, adv, labels)
+                adv = adv + self.step * np.sign(grad)
+                adv = project_linf(adv, images, self.eps)
+            losses = self._per_example_loss(model, adv, labels)
+            improved = losses > best_loss
+            best_adv[improved] = adv[improved]
+            best_loss[improved] = losses[improved]
+        return best_adv
+
+    @staticmethod
+    def _per_example_loss(model: nn.Module, images: np.ndarray,
+                          labels: np.ndarray) -> np.ndarray:
+        with nn.no_grad():
+            logits = model(nn.Tensor(images)).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        return -log_probs[np.arange(len(labels)), labels]

@@ -1,0 +1,43 @@
+"""``repro.data`` — dataset substrate and the Fig. 3 Preprocessing module.
+
+Synthetic stand-ins for MNIST / Fashion-MNIST / CIFAR10 (see
+:mod:`repro.data.synthetic` for the substitution rationale), Separation into
+train/test splits, Gaussian Augmentation, and batch iterators.
+"""
+
+from .batching import iterate_batches, iterate_pairs, num_batches
+from .datasets import NUM_CLASSES, DataSplit, Dataset, load_split
+from .preprocessing import (
+    BOX_HIGH,
+    BOX_LOW,
+    GaussianAugmenter,
+    gaussian_perturb,
+    project_box,
+)
+from .synthetic import (
+    DATASETS,
+    SyntheticDigits,
+    SyntheticFashion,
+    SyntheticObjects,
+    make_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "DataSplit",
+    "load_split",
+    "NUM_CLASSES",
+    "iterate_batches",
+    "iterate_pairs",
+    "num_batches",
+    "project_box",
+    "gaussian_perturb",
+    "GaussianAugmenter",
+    "BOX_LOW",
+    "BOX_HIGH",
+    "SyntheticDigits",
+    "SyntheticFashion",
+    "SyntheticObjects",
+    "DATASETS",
+    "make_dataset",
+]

@@ -1,0 +1,59 @@
+"""Seeded mini-batch iterators.
+
+Two iteration patterns are needed by the trainers:
+
+* plain shuffled batches (Vanilla, CLS, adversarial training),
+* *paired* batches for CLP, whose loss couples two independently sampled
+  perturbed examples per step (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .datasets import Dataset
+
+__all__ = ["iterate_batches", "iterate_pairs", "num_batches"]
+
+
+def num_batches(n: int, batch_size: int, drop_last: bool = False) -> int:
+    """Number of batches an epoch will yield."""
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
+    full, rem = divmod(n, batch_size)
+    return full if (drop_last or rem == 0) else full + 1
+
+
+def iterate_batches(
+    dataset: Dataset,
+    batch_size: int,
+    rng: np.random.Generator,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield shuffled ``(images, labels)`` batches covering one epoch."""
+    order = rng.permutation(len(dataset))
+    for start in range(0, len(dataset), batch_size):
+        idx = order[start:start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        yield dataset.images[idx], dataset.labels[idx]
+
+
+def iterate_pairs(
+    dataset: Dataset,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield two independently shuffled batches per step for the CLP loss.
+
+    Each epoch still touches every sample exactly once per stream.
+    """
+    order_a = rng.permutation(len(dataset))
+    order_b = rng.permutation(len(dataset))
+    for start in range(0, len(dataset), batch_size):
+        ia = order_a[start:start + batch_size]
+        ib = order_b[start:start + batch_size]
+        yield (dataset.images[ia], dataset.labels[ia],
+               dataset.images[ib], dataset.labels[ib])

@@ -1,0 +1,86 @@
+"""Dataset containers and the paper's Separation step.
+
+The Preprocessing module of the evaluation framework (Fig. 3) performs
+Scaling, Separation and Augmentation.  Scaling to ``[-1, 1]`` is done by the
+synthetic generators; :func:`load_split` performs Separation into
+train/test; Augmentation lives in :mod:`repro.data.preprocessing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from .synthetic import NUM_CLASSES, make_dataset
+
+__all__ = ["Dataset", "DataSplit", "load_split", "NUM_CLASSES"]
+
+
+@dataclass
+class Dataset:
+    """A labeled image set in NCHW layout, pixels in ``[-1, 1]``."""
+
+    images: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {self.images.shape}")
+        if self.labels.ndim != 1 or len(self.labels) != len(self.images):
+            raise ValueError("labels must be a vector aligned with images")
+        if self.images.dtype != np.float32:
+            self.images = self.images.astype(np.float32)
+        lo, hi = float(self.images.min(initial=0.0)), float(self.images.max(initial=0.0))
+        if lo < -1.0001 or hi > 1.0001:
+            raise ValueError(f"pixels outside [-1, 1]: min={lo}, max={hi}")
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return tuple(self.images.shape[1:])
+
+    def subset(self, n: int) -> "Dataset":
+        """First ``n`` items (class balance is preserved by generation order
+        being shuffled)."""
+        if n > len(self):
+            raise ValueError(f"requested {n} items from a {len(self)}-item set")
+        return Dataset(self.images[:n], self.labels[:n], name=self.name)
+
+    def class_counts(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=NUM_CLASSES)
+
+
+@dataclass
+class DataSplit:
+    """A train/test Separation of one dataset."""
+
+    train: Dataset
+    test: Dataset
+    name: str = "split"
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return self.train.image_shape
+
+
+def load_split(
+    name: str,
+    train_size: int,
+    test_size: int,
+    seed: int = 0,
+) -> DataSplit:
+    """Generate and separate a synthetic dataset.
+
+    Mirrors the paper's plans (60K/10K for MNIST-class sets, 50K/10K for
+    CIFAR10) at configurable scale; the FAST preset shrinks both numbers.
+    """
+    generator = make_dataset(name, seed=seed)
+    images, labels = generator.generate(train_size + test_size)
+    train = Dataset(images[:train_size], labels[:train_size], name=f"{name}-train")
+    test = Dataset(images[train_size:], labels[train_size:], name=f"{name}-test")
+    return DataSplit(train=train, test=test, name=name)

@@ -1,0 +1,55 @@
+"""Augmentation — the third Preprocessing operation of Fig. 3.
+
+The zero-knowledge defenses train on examples perturbed with Gaussian noise
+``N(mu=0, sigma=1)`` (Sec. IV-B, confirmed with the CLP/CLS authors), the
+same sigma reused by ZK-GanDef.  Perturbed pixels are projected back onto
+the valid image box ``[-1, 1]`` by the regulation function ``F``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["project_box", "gaussian_perturb", "GaussianAugmenter"]
+
+BOX_LOW = -1.0
+BOX_HIGH = 1.0
+
+
+def project_box(images: np.ndarray,
+                low: float = BOX_LOW, high: float = BOX_HIGH) -> np.ndarray:
+    """The paper's regulation function ``F``: clip pixels into the valid
+    image range."""
+    return np.clip(images, low, high).astype(np.float32)
+
+
+def gaussian_perturb(
+    images: np.ndarray,
+    rng: np.random.Generator,
+    sigma: float = 1.0,
+    mu: float = 0.0,
+) -> np.ndarray:
+    """Add Gaussian noise and re-project onto the image box.
+
+    This is the zero-knowledge stand-in for adversarial examples: CLP, CLS
+    and ZK-GanDef all train against these instead of attack outputs.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    noise = rng.normal(mu, sigma, size=images.shape).astype(np.float32)
+    return project_box(images + noise)
+
+
+class GaussianAugmenter:
+    """Stateful augmenter bound to one RNG stream (one per trainer)."""
+
+    def __init__(self, rng: np.random.Generator,
+                 sigma: float = 1.0, mu: float = 0.0) -> None:
+        self.rng = rng
+        self.sigma = sigma
+        self.mu = mu
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return gaussian_perturb(images, self.rng, sigma=self.sigma, mu=self.mu)

@@ -1,0 +1,40 @@
+"""``repro.defenses`` — the Fig. 3 Defense module.
+
+All seven classifiers of the paper's evaluation grid:
+
+========== ==================================== =====================
+knowledge  trainer                              class
+========== ==================================== =====================
+none       Vanilla                              :class:`VanillaTrainer`
+zero       Clean Logit Pairing                  :class:`CLPTrainer`
+zero       Clean Logit Squeezing                :class:`CLSTrainer`
+zero       **ZK-GanDef** (the contribution)     :class:`ZKGanDefTrainer`
+full       FGSM adversarial training            :class:`FGSMAdvTrainer`
+full       PGD adversarial training             :class:`PGDAdvTrainer`
+full       PGD GanDef                           :class:`PGDGanDefTrainer`
+========== ==================================== =====================
+"""
+
+from .adversarial import AdversarialTrainer, FGSMAdvTrainer, PGDAdvTrainer
+from .base import Trainer, TrainingHistory
+from .clp import CLPTrainer
+from .cls import CLSTrainer
+from .discriminator import DISCRIMINATOR_LR, Discriminator
+from .gandef import GanDefTrainer, PGDGanDefTrainer, ZKGanDefTrainer
+from .vanilla import VanillaTrainer
+
+__all__ = [
+    "Trainer",
+    "TrainingHistory",
+    "VanillaTrainer",
+    "CLPTrainer",
+    "CLSTrainer",
+    "Discriminator",
+    "DISCRIMINATOR_LR",
+    "GanDefTrainer",
+    "ZKGanDefTrainer",
+    "PGDGanDefTrainer",
+    "AdversarialTrainer",
+    "FGSMAdvTrainer",
+    "PGDAdvTrainer",
+]

@@ -1,0 +1,67 @@
+"""Full-knowledge adversarial training (Sec. IV-D3).
+
+* **FGSM-Adv** — retrain with original plus FGSM examples.  Cheap (one
+  extra forward/backward per batch) but overfits single-step perturbations:
+  the paper's Table III shows its accuracy collapsing on BIM/PGD examples —
+  the *gradient masking* effect.
+* **PGD-Adv** — retrain with original plus PGD examples (Madry et al.); the
+  state-of-the-art full-knowledge defense the paper compares against.  Cost
+  scales with the PGD iteration count, which is why its training time
+  dominates Figure 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..attacks.base import Attack
+from ..attacks.fgsm import FGSM
+from ..attacks.pgd import PGD
+from .base import Trainer
+
+__all__ = ["AdversarialTrainer", "FGSMAdvTrainer", "PGDAdvTrainer"]
+
+
+class AdversarialTrainer(Trainer):
+    """Retrain on a 50/50 mix of original and attack-generated examples."""
+
+    name = "adv"
+
+    def __init__(self, model: nn.Module, attack: Attack, **kwargs) -> None:
+        super().__init__(model, **kwargs)
+        self.attack = attack
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
+        half = max(1, len(images) // 2)
+        adv = self.attack(self.model, images[half:], labels[half:]) \
+            if len(images) > half else np.empty((0, *images.shape[1:]),
+                                                dtype=np.float32)
+        x = np.concatenate([images[:half], adv], axis=0)
+        logits = self.model(nn.Tensor(x))
+        loss = nn.softmax_cross_entropy(logits, labels)
+        return self._step_classifier(loss)
+
+
+class FGSMAdvTrainer(AdversarialTrainer):
+    """Adversarial training with single-step FGSM examples."""
+
+    name = "fgsm-adv"
+
+    def __init__(self, model: nn.Module, eps: float = 0.3, **kwargs) -> None:
+        super().__init__(model, FGSM(eps=eps), **kwargs)
+
+
+class PGDAdvTrainer(AdversarialTrainer):
+    """Adversarial training with iterative PGD examples (Madry et al.)."""
+
+    name = "pgd-adv"
+
+    def __init__(self, model: nn.Module, eps: float = 0.3, step: float = 0.05,
+                 iterations: int = 5, **kwargs) -> None:
+        super().__init__(
+            model,
+            PGD(eps=eps, step=step, iterations=iterations,
+                seed=kwargs.get("seed", 0)),
+            **kwargs,
+        )

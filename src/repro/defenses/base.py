@@ -1,0 +1,132 @@
+"""Trainer abstraction shared by every defense.
+
+A trainer owns a classifier, runs an epoch loop over a training
+:class:`~repro.data.datasets.Dataset`, and records a
+:class:`TrainingHistory`: per-epoch mean loss (Figure 5 right plots these
+for CLS) and per-epoch wall-clock seconds (Figure 5 left/middle compares
+them across defenses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.batching import iterate_batches
+from ..data.datasets import Dataset
+from ..utils.rng import derive_rng
+from ..utils.timing import Stopwatch
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records produced by a training run."""
+
+    losses: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    extra: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.losses)
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        if not self.epoch_seconds:
+            return 0.0
+        return float(np.mean(self.epoch_seconds))
+
+    def record_extra(self, key: str, value: float) -> None:
+        self.extra.setdefault(key, []).append(float(value))
+
+    def diverged(self) -> bool:
+        """True when the loss went to NaN/inf — the CLP failure mode the
+        paper reports on CIFAR10 (Sec. V-D)."""
+        return any(not np.isfinite(v) for v in self.losses)
+
+
+class Trainer:
+    """Base epoch loop; subclasses implement :meth:`train_step`.
+
+    Parameters
+    ----------
+    model:
+        The classifier being defended (pre-softmax logits output).
+    optimizer:
+        ``"adam"`` (default; the discriminator side of the paper uses Adam
+        and the classifiers converge far faster with it on CPU budgets) or
+        ``"sgd"`` (momentum SGD).
+    lr, momentum:
+        Classifier optimizer settings (momentum only applies to SGD).
+    batch_size, epochs:
+        Loop geometry.
+    seed:
+        Root seed; batch order and any augmentation derive streams from it.
+    """
+
+    name = "trainer"
+
+    def __init__(
+        self,
+        model: nn.Module,
+        optimizer: str = "adam",
+        lr: float = 1e-3,
+        momentum: float = 0.9,
+        batch_size: int = 64,
+        epochs: int = 5,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.seed = seed
+        self.optimizer = self._build_optimizer(optimizer, lr, momentum)
+        self.history = TrainingHistory()
+
+    def _build_optimizer(self, kind: str, lr: float,
+                         momentum: float) -> nn.Optimizer:
+        kind = kind.lower()
+        if kind == "adam":
+            return nn.Adam(self.model.parameters(), lr=lr)
+        if kind == "sgd":
+            return nn.SGD(self.model.parameters(), lr=lr, momentum=momentum)
+        raise ValueError(f"unknown optimizer {kind!r}; use 'adam' or 'sgd'")
+
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: Dataset) -> TrainingHistory:
+        """Run the full epoch loop; returns (and stores) the history."""
+        batch_rng = derive_rng(self.seed, f"{self.name}-batches")
+        watch = Stopwatch().start()
+        for epoch in range(self.epochs):
+            losses = []
+            self.model.train()
+            for images, labels in iterate_batches(
+                    dataset, self.batch_size, batch_rng):
+                losses.append(self.train_step(images, labels))
+            epoch_loss = float(np.mean(losses)) if losses else float("nan")
+            self.history.losses.append(epoch_loss)
+            self.history.epoch_seconds.append(watch.lap())
+            self.on_epoch_end(epoch, epoch_loss)
+        self.model.eval()
+        return self.history
+
+    def train_step(self, images: np.ndarray,
+                   labels: np.ndarray) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_epoch_end(self, epoch: int, loss: float) -> None:
+        """Hook for subclasses (checkpointing, schedules); default no-op."""
+
+    # ------------------------------------------------------------------ #
+    def _step_classifier(self, loss: nn.Tensor) -> float:
+        """Backprop ``loss`` and apply one optimizer step; returns the
+        scalar loss value."""
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.item())

@@ -1,0 +1,45 @@
+"""The GanDef discriminator (Table II of the paper).
+
+A small dense network reading the classifier's pre-softmax logits and
+predicting the source bit ``s`` (original vs. perturbed input).  Table II
+fixes its structure across all datasets:
+
+    Dense 32 (ReLU) -> Dense 64 (ReLU) -> Dense 32 (ReLU) -> Dense 1 (Sigmoid)
+
+and the paper trains it with Adam at learning rate 0.001.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["Discriminator", "DISCRIMINATOR_LR"]
+
+DISCRIMINATOR_LR = 0.001
+
+
+class Discriminator(nn.Module):
+    """Table II source-bit discriminator over pre-softmax logits."""
+
+    def __init__(self, num_logits: int = 10,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.net = nn.Sequential(
+            nn.Dense(num_logits, 32, rng=rng),
+            nn.ReLU(),
+            nn.Dense(32, 64, rng=rng),
+            nn.ReLU(),
+            nn.Dense(64, 32, rng=rng),
+            nn.ReLU(),
+            nn.Dense(32, 1, rng=rng),
+            nn.Sigmoid(),
+        )
+
+    def forward(self, logits: nn.Tensor) -> nn.Tensor:
+        """Probability that each logit row came from a *perturbed* input."""
+        return self.net(logits).reshape(-1)

@@ -1,0 +1,21 @@
+"""Vanilla (undefended) training — the paper's baseline classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .base import Trainer
+
+__all__ = ["VanillaTrainer"]
+
+
+class VanillaTrainer(Trainer):
+    """Plain softmax cross-entropy on clean images only."""
+
+    name = "vanilla"
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
+        logits = self.model(nn.Tensor(images))
+        loss = nn.softmax_cross_entropy(logits, labels)
+        return self._step_classifier(loss)

@@ -1,0 +1,19 @@
+"""``repro.eval`` — the Figure 3 evaluation framework and Sec. IV-E metrics."""
+
+from .framework import EvaluationFramework, EvaluationResult
+from .metrics import AccuracyReport, predict_labels, test_accuracy
+from .reporting import format_accuracy_table, format_series, format_timing_table
+from .transfer import TransferResult, transfer_attack_accuracy
+
+__all__ = [
+    "EvaluationFramework",
+    "EvaluationResult",
+    "AccuracyReport",
+    "predict_labels",
+    "test_accuracy",
+    "format_accuracy_table",
+    "format_timing_table",
+    "format_series",
+    "TransferResult",
+    "transfer_attack_accuracy",
+]

@@ -1,0 +1,96 @@
+"""The evaluation framework of Figure 3.
+
+Wires the three modules together: **Preprocessing** (scaled, separated,
+optionally augmented data), **Defense** (a trainer that produces a
+classifier), **Attack** (generators producing adversarial counterparts of
+the test set), then computes the Sec. IV-E metrics.  Different attacks and
+defenses plug in to form test scenarios, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..attacks.base import Attack
+from ..data.datasets import DataSplit
+from ..defenses.base import Trainer, TrainingHistory
+from .metrics import test_accuracy
+
+__all__ = ["EvaluationResult", "EvaluationFramework"]
+
+
+@dataclass
+class EvaluationResult:
+    """Everything measured for one defense on one dataset."""
+
+    defense: str
+    dataset: str
+    accuracy: Dict[str, float] = field(default_factory=dict)
+    history: Optional[TrainingHistory] = None
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        return self.history.mean_epoch_seconds if self.history else 0.0
+
+
+class EvaluationFramework:
+    """Run (defense trainer) x (attack suite) on one preprocessed split.
+
+    Parameters
+    ----------
+    split:
+        Output of the Preprocessing module (scaled + separated).
+    attacks:
+        Named attack instances; each original test image gets its own
+        adversarial counterpart per attack, as in Sec. IV-C.
+    eval_size:
+        Number of test examples used for accuracy (attacks are expensive;
+        the FAST preset evaluates on a subset).
+    """
+
+    def __init__(self, split: DataSplit, attacks: Dict[str, Attack],
+                 eval_size: Optional[int] = None) -> None:
+        self.split = split
+        self.attacks = dict(attacks)
+        n = len(split.test) if eval_size is None else min(eval_size,
+                                                          len(split.test))
+        if n <= 0:
+            raise ValueError("evaluation needs at least one test example")
+        self._test_x = split.test.images[:n]
+        self._test_y = split.test.labels[:n]
+
+    def evaluate(self, trainer: Trainer,
+                 defense_name: Optional[str] = None) -> EvaluationResult:
+        """Train the defense, attack the trained classifier, measure
+        accuracy on original and every adversarial example type."""
+        name = defense_name or trainer.name
+        history = trainer.fit(self.split.train)
+        result = EvaluationResult(defense=name, dataset=self.split.name,
+                                  history=history)
+        model = trainer.model
+        result.accuracy["original"] = test_accuracy(
+            model, self._test_x, self._test_y)
+        for attack_name, attack in self.attacks.items():
+            adv = attack(model, self._test_x, self._test_y)
+            result.accuracy[attack_name] = test_accuracy(
+                model, adv, self._test_y)
+        return result
+
+    def evaluate_pretrained(self, model: nn.Module, defense_name: str,
+                            history: Optional[TrainingHistory] = None
+                            ) -> EvaluationResult:
+        """Measure an already-trained classifier (used when one training run
+        feeds several analyses)."""
+        result = EvaluationResult(defense=defense_name,
+                                  dataset=self.split.name, history=history)
+        result.accuracy["original"] = test_accuracy(
+            model, self._test_x, self._test_y)
+        for attack_name, attack in self.attacks.items():
+            adv = attack(model, self._test_x, self._test_y)
+            result.accuracy[attack_name] = test_accuracy(
+                model, adv, self._test_y)
+        return result

@@ -1,0 +1,60 @@
+"""Evaluation metrics (Sec. IV-E).
+
+The paper's test-accuracy metric counts, over a tested example set, the
+fraction of non-failed tests, where a failure is a misclassified or rejected
+original example, or an accepted-but-misclassified adversarial example.
+None of the evaluated classifiers reject inputs, so both cases reduce to
+argmax-vs-ground-truth — but computed *separately* for original and
+adversarial examples, as the paper reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["test_accuracy", "predict_labels", "AccuracyReport"]
+
+
+def predict_labels(model: nn.Module, images: np.ndarray,
+                   batch_size: int = 256) -> np.ndarray:
+    """Argmax predictions in eval mode, batched to bound memory."""
+    was_training = model.training
+    model.eval()
+    try:
+        out = []
+        for start in range(0, len(images), batch_size):
+            with nn.no_grad():
+                logits = model(nn.Tensor(images[start:start + batch_size])).data
+            out.append(logits.argmax(axis=1))
+    finally:
+        if was_training:
+            model.train()
+    return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+
+def test_accuracy(model: nn.Module, images: np.ndarray,
+                  labels: np.ndarray) -> float:
+    """Fraction of examples classified correctly (the Sec. IV-E metric for
+    a non-rejecting classifier)."""
+    if len(images) == 0:
+        raise ValueError("cannot compute accuracy on an empty set")
+    preds = predict_labels(model, images)
+    return float((preds == np.asarray(labels)).mean())
+
+
+@dataclass
+class AccuracyReport:
+    """Accuracy of one classifier on one example type."""
+
+    defense: str
+    example_type: str
+    accuracy: float
+
+    def __str__(self) -> str:
+        return f"{self.defense:12s} {self.example_type:10s} " \
+               f"{self.accuracy * 100.0:6.2f}%"

@@ -1,0 +1,45 @@
+"""Text reports in the layout of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .framework import EvaluationResult
+
+__all__ = ["format_accuracy_table", "format_timing_table", "format_series"]
+
+
+def format_accuracy_table(results: Sequence[EvaluationResult],
+                          example_types: Sequence[str]) -> str:
+    """Render results as a Table III-style grid (rows = defenses,
+    columns = example types, cells = percent accuracy)."""
+    header = f"{'defense':14s}" + "".join(f"{t:>10s}" for t in example_types)
+    lines = [header, "-" * len(header)]
+    for r in results:
+        cells = "".join(
+            f"{r.accuracy.get(t, float('nan')) * 100.0:9.2f}%"
+            for t in example_types
+        )
+        lines.append(f"{r.defense:14s}{cells}")
+    return "\n".join(lines)
+
+
+def format_timing_table(results: Sequence[EvaluationResult]) -> str:
+    """Render per-epoch training time, Figure 5-style."""
+    header = f"{'defense':14s}{'sec/epoch':>12s}"
+    lines = [header, "-" * len(header)]
+    for r in results:
+        lines.append(f"{r.defense:14s}{r.mean_epoch_seconds:12.3f}")
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Dict[str, List[float]]) -> str:
+    """Render named numeric series (loss curves) as aligned columns."""
+    lines = [title]
+    for name, values in series.items():
+        rendered = " ".join(
+            f"{v:8.3f}" if v == v and abs(v) != float("inf") else "     nan"
+            for v in values
+        )
+        lines.append(f"  {name:28s} {rendered}")
+    return "\n".join(lines)

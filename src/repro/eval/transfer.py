@@ -1,0 +1,63 @@
+"""Black-box transfer evaluation — extension of the Fig. 3 framework.
+
+The paper's background (Sec. II-A) distinguishes white-box from black-box
+attacks, but its grid evaluates only white-box.  This module adds the
+standard black-box proxy: craft adversarial examples against a *surrogate*
+classifier and measure how well they transfer to the defended victim.  A
+defense whose white-box robustness comes purely from gradient masking tends
+to look *worse* under transfer than under direct attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .. import nn
+from ..attacks.base import Attack
+from .metrics import test_accuracy
+
+__all__ = ["TransferResult", "transfer_attack_accuracy"]
+
+
+@dataclass
+class TransferResult:
+    """Accuracy of a victim under surrogate-crafted examples."""
+
+    attack: str
+    white_box_accuracy: float
+    transfer_accuracy: float
+
+    @property
+    def transfer_gap(self) -> float:
+        """Positive when the direct white-box attack is stronger than the
+        transferred one — the expected situation for a real defense."""
+        return self.transfer_accuracy - self.white_box_accuracy
+
+
+def transfer_attack_accuracy(
+    victim: nn.Module,
+    surrogate: nn.Module,
+    attacks: Dict[str, Attack],
+    images: np.ndarray,
+    labels: np.ndarray,
+) -> Dict[str, TransferResult]:
+    """Measure white-box vs transferred accuracy for each attack.
+
+    ``surrogate`` plays the adversary's substitute model: examples are
+    generated against it and replayed on ``victim``.
+    """
+    if len(images) == 0:
+        raise ValueError("transfer evaluation needs at least one example")
+    results: Dict[str, TransferResult] = {}
+    for name, attack in attacks.items():
+        direct = attack(victim, images, labels)
+        transferred = attack(surrogate, images, labels)
+        results[name] = TransferResult(
+            attack=name,
+            white_box_accuracy=test_accuracy(victim, direct, labels),
+            transfer_accuracy=test_accuracy(victim, transferred, labels),
+        )
+    return results

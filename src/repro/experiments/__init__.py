@@ -1,0 +1,53 @@
+"""``repro.experiments`` — one runner per paper table / figure.
+
+See DESIGN.md section 4 for the experiment index; the registry in
+:mod:`repro.experiments.registry` maps artifact ids to runners.
+"""
+
+from .ablation import DEFAULT_GAMMAS, run_gamma_ablation
+from .config import (
+    DEFENSE_NAMES,
+    FAST,
+    FULL,
+    AttackBudget,
+    DatasetConfig,
+    ExperimentConfig,
+    get_config,
+)
+from .figure5 import (
+    CLS_SETTINGS,
+    TIMED_DEFENSES,
+    ConvergenceCurve,
+    run_cls_convergence,
+    run_training_time,
+)
+from .registry import REGISTRY, Experiment, get_experiment
+from .runners import build_trainer, load_config_split
+from .table3 import EXAMPLE_TYPES, render_table3, run_table3
+from .table4 import run_table4
+
+__all__ = [
+    "AttackBudget",
+    "DatasetConfig",
+    "ExperimentConfig",
+    "get_config",
+    "FAST",
+    "FULL",
+    "DEFENSE_NAMES",
+    "EXAMPLE_TYPES",
+    "run_table3",
+    "render_table3",
+    "run_table4",
+    "run_training_time",
+    "run_cls_convergence",
+    "CLS_SETTINGS",
+    "TIMED_DEFENSES",
+    "ConvergenceCurve",
+    "run_gamma_ablation",
+    "DEFAULT_GAMMAS",
+    "REGISTRY",
+    "Experiment",
+    "get_experiment",
+    "build_trainer",
+    "load_config_split",
+]

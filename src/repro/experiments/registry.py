@@ -1,0 +1,63 @@
+"""Experiment registry: maps paper artifact ids to runner callables.
+
+Gives the benchmark harness and the examples one place to discover every
+reproducible artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .ablation import run_gamma_ablation
+from .figure5 import run_cls_convergence, run_training_time
+from .table3 import run_table3
+from .table4 import run_table4
+
+__all__ = ["Experiment", "REGISTRY", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    artifact: str
+    description: str
+    runner: Callable
+
+
+REGISTRY: Dict[str, Experiment] = {
+    "table3": Experiment(
+        artifact="Table III / Figure 4",
+        description="test accuracy of 7 defenses x 4 example types per dataset",
+        runner=run_table3,
+    ),
+    "table4": Experiment(
+        artifact="Table IV",
+        description="ZK-GanDef accuracy on DeepFool and CW examples",
+        runner=run_table4,
+    ),
+    "figure5-time": Experiment(
+        artifact="Figure 5 (left, middle)",
+        description="training seconds per epoch across defenses",
+        runner=run_training_time,
+    ),
+    "figure5-convergence": Experiment(
+        artifact="Figure 5 (right)",
+        description="CLS loss convergence under four (sigma, lambda) settings",
+        runner=run_cls_convergence,
+    ),
+    "ablation-gamma": Experiment(
+        artifact="Sec. III-D gamma trade-off",
+        description="ZK-GanDef accuracy across gamma values",
+        runner=run_gamma_ablation,
+    ),
+}
+
+
+def get_experiment(key: str) -> Experiment:
+    """Look up one reproducible artifact by id (e.g. ``table3``)."""
+    if key not in REGISTRY:
+        raise KeyError(f"unknown experiment {key!r}; choose from "
+                       f"{sorted(REGISTRY)}")
+    return REGISTRY[key]

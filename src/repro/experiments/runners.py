@@ -1,0 +1,60 @@
+"""Shared plumbing for the per-table / per-figure experiment runners."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..data.datasets import DataSplit, load_split
+from ..defenses import (
+    CLPTrainer,
+    CLSTrainer,
+    FGSMAdvTrainer,
+    PGDAdvTrainer,
+    PGDGanDefTrainer,
+    Trainer,
+    VanillaTrainer,
+    ZKGanDefTrainer,
+)
+from ..models import build_classifier
+from .config import DatasetConfig
+
+__all__ = ["build_trainer", "load_config_split"]
+
+
+def load_config_split(cfg: DatasetConfig, seed: int = 0) -> DataSplit:
+    """Preprocessing module: generate + separate the configured dataset."""
+    return load_split(cfg.name, cfg.train_size, cfg.test_size, seed=seed)
+
+
+def build_trainer(defense: str, cfg: DatasetConfig, seed: int = 0) -> Trainer:
+    """Instantiate one of the paper's seven classifiers for ``cfg``.
+
+    The classifier architecture is shared across defenses for a given
+    dataset (Sec. IV-D); only the training procedure differs.
+    """
+    model = build_classifier(cfg.name, width=cfg.model_width, seed=seed)
+    common = dict(optimizer=cfg.optimizer, lr=cfg.lr,
+                  batch_size=cfg.batch_size, epochs=cfg.epochs, seed=seed)
+    gan = dict(gamma=cfg.gamma, disc_steps=cfg.disc_steps,
+               warmup_epochs=cfg.warmup_epochs)
+    budget = cfg.budget
+    train_iters = cfg.train_attack_iterations
+    train_step = max(budget.pgd_step, budget.eps / train_iters)
+    defense = defense.lower()
+    if defense == "vanilla":
+        return VanillaTrainer(model, **common)
+    if defense == "clp":
+        return CLPTrainer(model, lam=cfg.clp_lambda, sigma=cfg.sigma, **common)
+    if defense == "cls":
+        return CLSTrainer(model, lam=cfg.cls_lambda, sigma=cfg.sigma, **common)
+    if defense == "zk-gandef":
+        return ZKGanDefTrainer(model, sigma=cfg.sigma, **gan, **common)
+    if defense == "fgsm-adv":
+        return FGSMAdvTrainer(model, eps=budget.eps, **common)
+    if defense == "pgd-adv":
+        return PGDAdvTrainer(model, eps=budget.eps, step=train_step,
+                             iterations=train_iters, **common)
+    if defense == "pgd-gandef":
+        return PGDGanDefTrainer(model, eps=budget.eps, step=train_step,
+                                iterations=train_iters, **gan, **common)
+    raise KeyError(f"unknown defense {defense!r}")

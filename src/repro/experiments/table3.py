@@ -1,0 +1,57 @@
+"""E1 — Table III / Figure 4: the main accuracy grid.
+
+For one dataset, train all seven classifiers (Vanilla, CLP, CLS, ZK-GanDef,
+FGSM-Adv, PGD-Adv, PGD-GanDef) and measure test accuracy on original, FGSM,
+BIM and PGD examples.  Figure 4 plots the same numbers Table III tabulates,
+so one runner serves both artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..eval.framework import EvaluationFramework, EvaluationResult
+from ..eval.reporting import format_accuracy_table
+from .config import DEFENSE_NAMES, DatasetConfig, ExperimentConfig, get_config
+from .runners import build_trainer, load_config_split
+
+__all__ = ["run_table3", "EXAMPLE_TYPES"]
+
+EXAMPLE_TYPES = ("original", "fgsm", "bim", "pgd")
+
+
+def run_table3(
+    dataset: str,
+    preset: str = "fast",
+    defenses: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    verbose: bool = False,
+) -> List[EvaluationResult]:
+    """Regenerate one dataset column-block of Table III.
+
+    Returns one :class:`EvaluationResult` per defense, each carrying the
+    accuracy for every example type plus the training history (which the
+    Figure 5 runner reuses).
+    """
+    cfg = get_config(preset).dataset(dataset)
+    fast = get_config(preset).fast
+    split = load_config_split(cfg, seed=seed)
+    attacks = cfg.budget.build(fast=fast, seed=seed)
+    framework = EvaluationFramework(split, attacks, eval_size=cfg.eval_size)
+
+    results = []
+    for defense in (defenses or DEFENSE_NAMES):
+        trainer = build_trainer(defense, cfg, seed=seed)
+        result = framework.evaluate(trainer)
+        results.append(result)
+        if verbose:
+            row = " ".join(
+                f"{t}={result.accuracy.get(t, float('nan')) * 100:.1f}%"
+                for t in EXAMPLE_TYPES)
+            print(f"[table3:{dataset}] {defense:12s} {row}")
+    return results
+
+
+def render_table3(results: Sequence[EvaluationResult]) -> str:
+    """Text rendering in the paper's layout."""
+    return format_accuracy_table(results, EXAMPLE_TYPES)

@@ -1,0 +1,7 @@
+"""``repro.models`` — the paper's classifier architectures."""
+
+from .allcnn import AllCNN
+from .lenet import LeNet
+from .zoo import build_classifier, classifier_family
+
+__all__ = ["LeNet", "AllCNN", "build_classifier", "classifier_family"]

@@ -1,0 +1,64 @@
+"""allCNN classifier for the 32x32 RGB dataset.
+
+The paper's CIFAR10 classifier is the all-convolutional network of
+Springenberg et al. (Sec. IV-D1).  Two properties matter for reproducing the
+evaluation:
+
+* it is **all-convolutional** — pooling is replaced by strided convolutions,
+  ending in global average pooling over class feature maps,
+* it applies **input dropout**, which the paper credits (via Tramer et al.)
+  for inhibiting the FGSM-Adv gradient-masking overfit on CIFAR10.
+
+``width`` scales channel counts for CPU-sized presets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["AllCNN"]
+
+
+class AllCNN(nn.Module):
+    """Input dropout -> 3 strided conv blocks -> 1x1 convs -> global avg pool."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        width: int = 32,
+        input_dropout: float = 0.2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        c1, c2 = width, width * 2
+        self.input_dropout = nn.Dropout(input_dropout, rng=rng) \
+            if input_dropout > 0 else None
+        self.body = nn.Sequential(
+            nn.Conv2D(in_channels, c1, kernel_size=3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2D(c1, c1, kernel_size=3, stride=2, padding=1, rng=rng),  # 32->16
+            nn.ReLU(),
+            nn.Conv2D(c1, c2, kernel_size=3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2D(c2, c2, kernel_size=3, stride=2, padding=1, rng=rng),  # 16->8
+            nn.ReLU(),
+            nn.Conv2D(c2, c2, kernel_size=3, stride=2, padding=1, rng=rng),  # 8->4
+            nn.ReLU(),
+        )
+        self.head = nn.Sequential(
+            nn.Conv2D(c2, c2, kernel_size=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2D(c2, num_classes, kernel_size=1, rng=rng),
+            nn.GlobalAvgPool2D(),
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        if self.input_dropout is not None:
+            x = self.input_dropout(x)
+        return self.head(self.body(x))

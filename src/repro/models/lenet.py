@@ -1,0 +1,53 @@
+"""LeNet-family classifier for the 28x28 gray datasets.
+
+The paper uses the LeNet structure of Madry et al. for MNIST and
+Fashion-MNIST (Sec. IV-D1): two conv+pool stages followed by two dense
+layers, emitting **pre-softmax logits** (the quantity every defense in the
+paper operates on).  A ``width`` knob scales the channel counts so the FAST
+preset can train on CPU while the FULL preset matches the original size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["LeNet"]
+
+
+class LeNet(nn.Module):
+    """Conv(5x5)-Pool-Conv(5x5)-Pool-Dense-Dense -> 10 logits."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        num_classes: int = 10,
+        width: int = 32,
+        image_size: int = 28,
+        dense_units: int = 128,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        c1, c2 = width, width * 2
+        self.features = nn.Sequential(
+            nn.Conv2D(in_channels, c1, kernel_size=5, padding=2, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2D(2),
+            nn.Conv2D(c1, c2, kernel_size=5, padding=2, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2D(2),
+            nn.Flatten(),
+        )
+        spatial = image_size // 4
+        self.classifier = nn.Sequential(
+            nn.Dense(c2 * spatial * spatial, dense_units, rng=rng),
+            nn.ReLU(),
+            nn.Dense(dense_units, num_classes, rng=rng),
+        )
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.classifier(self.features(x))

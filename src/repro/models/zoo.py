@@ -1,0 +1,52 @@
+"""Per-dataset classifier factory.
+
+The paper ties one Vanilla architecture to each dataset (Sec. IV-D1):
+LeNet for MNIST/Fashion-MNIST, allCNN for CIFAR10.  Every defense for a
+given dataset shares that architecture, which this factory enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..utils.rng import derive_rng
+from .allcnn import AllCNN
+from .lenet import LeNet
+
+__all__ = ["build_classifier", "classifier_family"]
+
+_FAMILIES = {
+    "digits": "lenet",
+    "fashion": "lenet",
+    "objects": "allcnn",
+}
+
+
+def classifier_family(dataset: str) -> str:
+    """Architecture family the paper assigns to ``dataset``."""
+    key = dataset.lower()
+    if key not in _FAMILIES:
+        raise KeyError(f"unknown dataset {dataset!r}; choose from {sorted(_FAMILIES)}")
+    return _FAMILIES[key]
+
+
+def build_classifier(
+    dataset: str,
+    width: int = 16,
+    seed: int = 0,
+    input_dropout: Optional[float] = None,
+) -> nn.Module:
+    """Build the paper's classifier for ``dataset`` with seeded init.
+
+    ``input_dropout`` overrides the allCNN default (pass ``0.0`` for the
+    gradient-masking ablation; ignored for LeNet).
+    """
+    rng = derive_rng(seed, f"model-{dataset}")
+    family = classifier_family(dataset)
+    if family == "lenet":
+        return LeNet(in_channels=1, width=width, image_size=28, rng=rng)
+    dropout = 0.2 if input_dropout is None else input_dropout
+    return AllCNN(in_channels=3, width=width, input_dropout=dropout, rng=rng)

@@ -1,0 +1,84 @@
+"""``repro.nn`` — a from-scratch numpy neural-network substrate.
+
+The paper trains its classifiers in TensorFlow on a GPU; this environment has
+neither, so the substrate is rebuilt here: reverse-mode autodiff
+(:mod:`repro.nn.tensor`), conv/pool kernels (:mod:`repro.nn.conv`), layers
+(:mod:`repro.nn.modules`), losses matching the paper's formulations
+(:mod:`repro.nn.losses`) and optimizers (:mod:`repro.nn.optim`).
+
+The white-box attacks in :mod:`repro.attacks` differentiate through the same
+graphs the trainers build, so the threat model is identical to the paper's.
+"""
+
+from . import functional
+from .conv import avg_pool2d, conv2d, max_pool2d
+from .gradcheck import check_gradient, numeric_gradient
+from .losses import (
+    bce_on_probs,
+    bce_with_logits,
+    clp_loss,
+    cls_loss,
+    l2_penalty,
+    mse,
+    softmax_cross_entropy,
+)
+from .modules import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import SGD, Adam, Optimizer
+from .serialization import load_state, save_state
+from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "stack",
+    "concat",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "Module",
+    "Parameter",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "softmax_cross_entropy",
+    "bce_with_logits",
+    "bce_on_probs",
+    "l2_penalty",
+    "clp_loss",
+    "cls_loss",
+    "mse",
+    "check_gradient",
+    "numeric_gradient",
+    "save_state",
+    "load_state",
+]

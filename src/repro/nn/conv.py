@@ -1,0 +1,170 @@
+"""Differentiable 2-D convolution and pooling via im2col.
+
+All spatial ops use NCHW layout.  ``im2col``/``col2im`` turn convolution into
+one big matmul, which is the only way to get acceptable CPU throughput from a
+pure-numpy substrate — important because the benchmark harness trains many
+classifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["conv2d", "max_pool2d", "avg_pool2d", "im2col", "col2im", "conv_output_size"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(v: IntPair) -> Tuple[int, int]:
+    if isinstance(v, int):
+        return (v, v)
+    return (int(v[0]), int(v[1]))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces empty output (size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride_h: int, stride_w: int,
+    pad_h: int, pad_w: int,
+) -> np.ndarray:
+    """Unfold patches of an NCHW array into columns.
+
+    Returns an array of shape ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride_h, pad_h)
+    out_w = conv_output_size(w, kw, stride_w, pad_w)
+    if pad_h or pad_w:
+        x = np.pad(x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+    # Strided view of all patches: (N, C, kh, kw, out_h, out_w)
+    s = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(s[0], s[1], s[2], s[3], s[2] * stride_h, s[3] * stride_w),
+        writeable=False,
+    )
+    return view.reshape(n, c * kh * kw, out_h * out_w).copy()
+
+
+def col2im(
+    cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+    kh: int, kw: int, stride_h: int, stride_w: int, pad_h: int, pad_w: int,
+) -> np.ndarray:
+    """Fold columns back into an NCHW array, accumulating overlaps
+    (the adjoint of :func:`im2col`)."""
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kh, stride_h, pad_h)
+    out_w = conv_output_size(w, kw, stride_w, pad_w)
+    padded = np.zeros((n, c, h + 2 * pad_h, w + 2 * pad_w), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_end = i + stride_h * out_h
+        for j in range(kw):
+            j_end = j + stride_w * out_w
+            padded[:, :, i:i_end:stride_h, j:j_end:stride_w] += cols[:, :, i, j]
+    if pad_h or pad_w:
+        return padded[:, :, pad_h:pad_h + h, pad_w:pad_w + w]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D convolution: ``x`` is NCHW, ``weight`` is (out_c, in_c, kh, kw)."""
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_c, in_c, kh, kw = weight.shape
+    n, c, h, w = x.shape
+    if c != in_c:
+        raise ValueError(f"channel mismatch: input has {c}, weight expects {in_c}")
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    cols = im2col(x.data, kh, kw, sh, sw, ph, pw)  # (N, C*kh*kw, L)
+    w_mat = weight.data.reshape(out_c, -1)         # (out_c, C*kh*kw)
+    out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True)
+    out = out.reshape(n, out_c, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, out_c, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(n, out_c, -1)  # (N, out_c, L)
+        if weight.requires_grad:
+            gw = np.einsum("nol,nkl->ok", g, cols, optimize=True)
+            weight._accumulate(gw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gcols = np.einsum("ok,nol->nkl", w_mat, g, optimize=True)
+            x._accumulate(col2im(gcols, x.shape, kh, kw, sh, sw, ph, pw))
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor:
+    """Max pooling over NCHW spatial dims."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, sh, 0)
+    out_w = conv_output_size(w, kw, sw, 0)
+
+    cols = im2col(x.data, kh, kw, sh, sw, 0, 0)          # (N, C*kh*kw, L)
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    arg = cols.argmax(axis=2)                             # (N, C, L)
+    out = np.take_along_axis(cols, arg[:, :, None, :], axis=2)[:, :, 0, :]
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(n, c, 1, -1)
+        gcols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=np.float32)
+        np.put_along_axis(gcols, arg[:, :, None, :], g, axis=2)
+        gcols = gcols.reshape(n, c * kh * kw, out_h * out_w)
+        x._accumulate(col2im(gcols, x.shape, kh, kw, sh, sw, 0, 0))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor:
+    """Average pooling over NCHW spatial dims."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, sh, 0)
+    out_w = conv_output_size(w, kw, sw, 0)
+    area = float(kh * kw)
+
+    cols = im2col(x.data, kh, kw, sh, sw, 0, 0).reshape(n, c, kh * kw, -1)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.repeat(grad.reshape(n, c, 1, -1) / area, kh * kw, axis=2)
+        g = g.reshape(n, c * kh * kw, out_h * out_w)
+        x._accumulate(col2im(g, x.shape, kh, kw, sh, sw, 0, 0))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling: NCHW -> NC."""
+    return x.mean(axis=(2, 3))

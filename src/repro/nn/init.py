@@ -1,0 +1,42 @@
+"""Weight initializers.
+
+Seeded initializers so every experiment is exactly reproducible.  Glorot
+(Xavier) is the default for dense layers, He for convolutions followed by
+ReLU — the usual pairing in the architectures the paper trains.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "fan_in_and_out"]
+
+
+def fan_in_and_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense or conv weight shapes."""
+    if len(shape) == 2:  # dense: (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # conv: (out_c, in_c, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = fan_in_and_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialization for ReLU networks."""
+    fan_in, _ = fan_in_and_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)

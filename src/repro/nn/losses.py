@@ -1,0 +1,116 @@
+"""Loss functions used by the paper's trainers.
+
+Includes the plain classification loss (softmax cross-entropy on
+pre-softmax logits, Sec. II-A), the binary cross-entropy the GanDef
+discriminator maximizes, and the CLP / CLS penalty terms of Kannan et al.
+exactly as written in Sec. III-A:
+
+* ``L_CLP = L(z1,t1) + L(z2,t2) + lambda * l2(z1 - z2)``
+* ``L_CLS = L(z,t) + lambda * l2(z)``
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "softmax_cross_entropy",
+    "bce_with_logits",
+    "bce_on_probs",
+    "l2_penalty",
+    "clp_loss",
+    "cls_loss",
+    "mse",
+]
+
+
+def _as_labels(t, num_classes: int) -> np.ndarray:
+    """Accept integer labels or one-hot rows; return integer labels."""
+    arr = t.data if isinstance(t, Tensor) else np.asarray(t)
+    if arr.ndim == 2:
+        if arr.shape[1] != num_classes:
+            raise ValueError(
+                f"one-hot width {arr.shape[1]} does not match {num_classes} classes"
+            )
+        return arr.argmax(axis=1)
+    return arr.astype(np.int64)
+
+
+def softmax_cross_entropy(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Cross-entropy between softmax(logits) and integer/one-hot targets.
+
+    This is the paper's ``L(z, t)`` — the difference between ground truth
+    and the softmax transformation of the pre-softmax logits.
+    """
+    labels = _as_labels(targets, logits.shape[-1])
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("batch size mismatch between logits and targets")
+    log_probs = F.log_softmax(logits, axis=-1)
+    rows = np.arange(labels.shape[0])
+    picked = log_probs[rows, labels]
+    loss = -picked
+    return _reduce(loss, reduction)
+
+
+def bce_with_logits(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses ``max(z,0) - z*t + log(1 + exp(-|z|))``.
+    """
+    t = as_tensor(targets)
+    z = logits
+    zero = Tensor(np.zeros_like(z.data))
+    loss = F.maximum(z, zero) - z * t + F.log(F.exp(-F.abs(z)) + 1.0)
+    return _reduce(loss, reduction)
+
+
+def bce_on_probs(probs: Tensor, targets, eps: float = 1e-7,
+                 reduction: str = "mean") -> Tensor:
+    """Binary cross-entropy on probabilities already through a sigmoid.
+
+    The Table II discriminator ends in a Sigmoid layer, so the GanDef
+    trainers use this form of ``-log q_D(s|z)``.
+    """
+    t = as_tensor(targets)
+    p = F.clip(probs, eps, 1.0 - eps)
+    loss = -(t * F.log(p) + (1.0 - t) * F.log(1.0 - p))
+    return _reduce(loss, reduction)
+
+
+def l2_penalty(x: Tensor) -> Tensor:
+    """Mean squared l2 norm over the batch: ``mean_i ||x_i||_2^2``."""
+    return (x * x).sum(axis=-1).mean()
+
+
+def clp_loss(logits_a: Tensor, targets_a, logits_b: Tensor, targets_b,
+             lam: float) -> Tensor:
+    """Clean Logit Pairing total loss (Sec. III-A)."""
+    ce = softmax_cross_entropy(logits_a, targets_a) \
+        + softmax_cross_entropy(logits_b, targets_b)
+    return ce + lam * l2_penalty(logits_a - logits_b)
+
+
+def cls_loss(logits: Tensor, targets, lam: float) -> Tensor:
+    """Clean Logit Squeezing total loss (Sec. III-A)."""
+    return softmax_cross_entropy(logits, targets) + lam * l2_penalty(logits)
+
+
+def mse(a: Tensor, b, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    diff = a - as_tensor(b)
+    return _reduce(diff * diff, reduction)
+
+
+def _reduce(loss: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")

@@ -1,0 +1,117 @@
+"""Gradient-descent optimizers.
+
+Each optimizer owns a fixed list of parameters.  The GanDef trainers emulate
+Algorithm 1's "fix Omega_C / fix Omega_D" steps by holding **two** optimizers
+over disjoint parameter sets and stepping only one of them at a time — the
+non-stepped network's weights are therefore frozen exactly as the paper
+prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .modules import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class: holds parameters, performs ``step`` / ``zero_grad``."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.steps = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.steps += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            self._update(i, p)
+
+    def _update(self, index: int, p: Parameter) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional Nesterov-free momentum and
+    weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def _update(self, index: int, p: Parameter) -> None:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        if self.momentum:
+            v = self._velocity[index]
+            if v is None:
+                v = np.zeros_like(p.data)
+            v = self.momentum * v + grad
+            self._velocity[index] = v
+            grad = v
+        p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — the paper trains the Table II discriminator with
+    Adam at learning rate 0.001, which is this class's default."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def _update(self, index: int, p: Parameter) -> None:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        m = self._m[index]
+        v = self._v[index]
+        if m is None:
+            m = np.zeros_like(p.data)
+            v = np.zeros_like(p.data)
+        m = self.b1 * m + (1.0 - self.b1) * grad
+        v = self.b2 * v + (1.0 - self.b2) * grad * grad
+        self._m[index] = m
+        self._v[index] = v
+        m_hat = m / (1.0 - self.b1 ** self.steps)
+        v_hat = v / (1.0 - self.b2 ** self.steps)
+        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

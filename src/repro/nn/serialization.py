@@ -1,0 +1,33 @@
+"""Save / load module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(module: Module, path: Union[str, os.PathLike]) -> None:
+    """Write the module's state dict to ``path`` (``.npz`` appended if
+    missing)."""
+    state = module.state_dict()
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    # np.savez forbids "/" in keys on some versions; escape dots are fine.
+    np.savez(path, **{k.replace("/", "_"): v for k, v in state.items()})
+
+
+def load_state(module: Module, path: Union[str, os.PathLike]) -> None:
+    """Load weights saved by :func:`save_state` into ``module`` in place."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,7 @@
+"""Shared utilities: seeded RNG streams, timers, ASCII rendering."""
+
+from .rng import derive_rng, spawn_rngs
+from .timing import Stopwatch
+from .render import ascii_image
+
+__all__ = ["derive_rng", "spawn_rngs", "Stopwatch", "ascii_image"]

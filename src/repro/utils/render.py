@@ -1,0 +1,29 @@
+"""Tiny ASCII renderer so the examples can show images in a terminal."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_image"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray, width: int = 28) -> str:
+    """Render a CHW or HW image in ``[-1, 1]`` as ASCII art.
+
+    Color images are converted to luminance first.
+    """
+    arr = np.asarray(image, dtype=np.float32)
+    if arr.ndim == 3:  # CHW -> HW luminance
+        arr = arr.mean(axis=0)
+    if arr.ndim != 2:
+        raise ValueError(f"expected HW or CHW image, got shape {arr.shape}")
+    # Map [-1, 1] -> [0, 1]
+    arr = np.clip((arr + 1.0) / 2.0, 0.0, 1.0)
+    if arr.shape[1] != width:
+        step = max(1, arr.shape[1] // width)
+        arr = arr[::step, ::step]
+    idx = (arr * (len(_RAMP) - 1)).astype(int)
+    rows = ["".join(_RAMP[i] for i in row) for row in idx]
+    return "\n".join(rows)

@@ -1,0 +1,35 @@
+"""Wall-clock measurement used for the Figure 5 training-time experiment."""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulates lap times (one lap per training epoch in the trainers)."""
+
+    def __init__(self) -> None:
+        self.laps: List[float] = []
+        self._start: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def lap(self) -> float:
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self.laps.append(elapsed)
+        self._start = now
+        return elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.laps) if self.laps else 0.0

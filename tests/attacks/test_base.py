@@ -1,0 +1,96 @@
+"""Attack plumbing: projections, gradients, mode handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import nn
+from repro.attacks.base import Attack, input_gradient, project_linf
+from tests.conftest import TinyNet
+
+
+class TestProjectLinf:
+    def test_inside_untouched(self):
+        orig = np.zeros((2, 2), dtype=np.float32)
+        adv = np.full((2, 2), 0.05, dtype=np.float32)
+        np.testing.assert_array_equal(project_linf(adv, orig, 0.1), adv)
+
+    def test_clips_to_ball(self):
+        orig = np.zeros(3, dtype=np.float32)
+        adv = np.array([0.5, -0.5, 0.05], dtype=np.float32)
+        out = project_linf(adv, orig, 0.1)
+        np.testing.assert_allclose(out, [0.1, -0.1, 0.05])
+
+    def test_clips_to_image_box(self):
+        orig = np.array([0.95], dtype=np.float32)
+        adv = np.array([1.5], dtype=np.float32)
+        out = project_linf(adv, orig, 1.0)
+        assert out[0] == pytest.approx(1.0)
+
+    @given(
+        arrays(np.float32, (6,),
+               elements=st.floats(-1, 1, allow_nan=False, width=32)),
+        arrays(np.float32, (6,),
+               elements=st.floats(-3, 3, allow_nan=False, width=32)),
+        st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_projection_properties(self, orig, adv, eps):
+        out = project_linf(adv, orig, eps)
+        assert np.all(np.abs(out - orig) <= eps + 1e-6)
+        assert np.all(out >= -1.0 - 1e-6)
+        assert np.all(out <= 1.0 + 1e-6)
+
+
+class TestInputGradient:
+    def test_shape_matches_input(self, tiny_net):
+        x = np.random.randn(3, 1, 8, 8).astype(np.float32)
+        g = input_gradient(tiny_net, x, np.array([0, 1, 2]))
+        assert g.shape == x.shape
+
+    def test_nonzero_for_untrained_model(self, tiny_net):
+        x = np.random.randn(2, 1, 8, 8).astype(np.float32)
+        g = input_gradient(tiny_net, x, np.array([0, 1]))
+        assert np.any(g != 0)
+
+
+class _RecordingAttack(Attack):
+    """Captures the model's training flag as seen inside _generate."""
+
+    def _generate(self, model, images, labels):
+        self.seen_training = model.training
+        return images
+
+
+class TestAttackBase:
+    def test_runs_model_in_eval_mode(self, tiny_net):
+        tiny_net.train()
+        attack = _RecordingAttack(eps=0.1)
+        x = np.zeros((1, 1, 8, 8), dtype=np.float32)
+        attack(tiny_net, x, np.array([0]))
+        assert attack.seen_training is False
+        assert tiny_net.training is True  # restored
+
+    def test_eval_model_stays_eval(self, tiny_net):
+        tiny_net.eval()
+        attack = _RecordingAttack(eps=0.1)
+        attack(tiny_net, np.zeros((1, 1, 8, 8), dtype=np.float32),
+               np.array([0]))
+        assert tiny_net.training is False
+
+    def test_negative_eps_rejected(self, tiny_net):
+        with pytest.raises(ValueError):
+            _RecordingAttack(eps=-0.1)(tiny_net,
+                                       np.zeros((1, 1, 8, 8), np.float32),
+                                       np.array([0]))
+
+    def test_output_always_projected(self, tiny_net):
+        class Wild(Attack):
+            def _generate(self, model, images, labels):
+                return images + 100.0
+
+        out = Wild(eps=0.3)(tiny_net, np.zeros((1, 1, 8, 8), np.float32),
+                            np.array([0]))
+        assert np.all(out <= 0.3 + 1e-6)

@@ -1,0 +1,95 @@
+"""FGSM / BIM / PGD: budgets, monotonicity, effectiveness."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks import BIM, FGSM, PGD
+from repro.defenses import VanillaTrainer
+from repro.eval.metrics import test_accuracy as measure_accuracy
+from repro.models import build_classifier
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A vanilla classifier trained well enough to attack meaningfully."""
+    from repro.data import load_split
+    split = load_split("digits", 256, 64, seed=11)
+    model = build_classifier("digits", width=4, seed=1)
+    VanillaTrainer(model, epochs=4, batch_size=32).fit(split.train)
+    x, y = split.test.images[:48], split.test.labels[:48]
+    assert measure_accuracy(model, x, y) > 0.8
+    return model, x, y
+
+
+ATTACKS = [
+    FGSM(eps=0.4),
+    BIM(eps=0.4, step=0.1, iterations=4),
+    PGD(eps=0.4, step=0.1, iterations=4, seed=0),
+]
+
+
+@pytest.mark.parametrize("attack", ATTACKS, ids=lambda a: a.name)
+class TestBudgets:
+    def test_linf_bound(self, trained_setup, attack):
+        model, x, y = trained_setup
+        adv = attack(model, x, y)
+        assert np.abs(adv - x).max() <= attack.eps + 1e-5
+
+    def test_image_box(self, trained_setup, attack):
+        model, x, y = trained_setup
+        adv = attack(model, x, y)
+        assert adv.min() >= -1.0 and adv.max() <= 1.0
+
+    def test_shape_and_dtype(self, trained_setup, attack):
+        model, x, y = trained_setup
+        adv = attack(model, x, y)
+        assert adv.shape == x.shape
+        assert adv.dtype == np.float32
+
+    def test_reduces_accuracy(self, trained_setup, attack):
+        model, x, y = trained_setup
+        clean = measure_accuracy(model, x, y)
+        attacked = measure_accuracy(model, attack(model, x, y), y)
+        assert attacked < clean
+
+
+class TestRelativeStrength:
+    def test_iterative_beats_single_step(self, trained_setup):
+        """BIM approximates the landscape better than FGSM (Sec. II-A) —
+        accuracy under BIM must not exceed accuracy under FGSM by much."""
+        model, x, y = trained_setup
+        acc_fgsm = measure_accuracy(model, FGSM(eps=0.4)(model, x, y), y)
+        acc_bim = measure_accuracy(
+            model, BIM(eps=0.4, step=0.1, iterations=6)(model, x, y), y)
+        assert acc_bim <= acc_fgsm + 0.05
+
+    def test_zero_eps_is_noop_fgsm(self, trained_setup):
+        model, x, y = trained_setup
+        np.testing.assert_allclose(FGSM(eps=0.0)(model, x, y), x, atol=1e-6)
+
+    def test_pgd_restarts_not_weaker(self, trained_setup):
+        model, x, y = trained_setup
+        one = PGD(eps=0.4, step=0.1, iterations=3, restarts=1, seed=0)
+        three = PGD(eps=0.4, step=0.1, iterations=3, restarts=3, seed=0)
+        acc_one = measure_accuracy(model, one(model, x, y), y)
+        acc_three = measure_accuracy(model, three(model, x, y), y)
+        assert acc_three <= acc_one + 0.05
+
+
+class TestValidation:
+    def test_bim_requires_positive_iterations(self, trained_setup):
+        model, x, y = trained_setup
+        with pytest.raises(ValueError):
+            BIM(eps=0.1, iterations=0)(model, x, y)
+
+    def test_pgd_requires_positive_restarts(self, trained_setup):
+        model, x, y = trained_setup
+        with pytest.raises(ValueError):
+            PGD(eps=0.1, restarts=0)(model, x, y)
+
+    def test_pgd_deterministic_given_seed(self, trained_setup):
+        model, x, y = trained_setup
+        a = PGD(eps=0.3, step=0.1, iterations=2, seed=5)(model, x, y)
+        b = PGD(eps=0.3, step=0.1, iterations=2, seed=5)(model, x, y)
+        np.testing.assert_array_equal(a, b)

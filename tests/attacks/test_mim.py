@@ -1,0 +1,43 @@
+"""MIM extension attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import MIM
+from repro.defenses import VanillaTrainer
+from repro.eval.metrics import test_accuracy as measure_accuracy
+from repro.models import build_classifier
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    from repro.data import load_split
+    split = load_split("digits", 256, 64, seed=19)
+    model = build_classifier("digits", width=4, seed=4)
+    VanillaTrainer(model, epochs=4, batch_size=32).fit(split.train)
+    return model, split.test.images[:32], split.test.labels[:32]
+
+
+class TestMIM:
+    def test_budget_and_box(self, trained_setup):
+        model, x, y = trained_setup
+        adv = MIM(eps=0.4, step=0.1, iterations=4)(model, x, y)
+        assert np.abs(adv - x).max() <= 0.4 + 1e-5
+        assert adv.min() >= -1.0 and adv.max() <= 1.0
+
+    def test_reduces_accuracy(self, trained_setup):
+        model, x, y = trained_setup
+        adv = MIM(eps=0.4, step=0.1, iterations=6)(model, x, y)
+        assert measure_accuracy(model, adv, y) < measure_accuracy(model, x, y)
+
+    def test_zero_decay_reduces_to_bim_like(self, trained_setup):
+        """With decay=0 the momentum buffer holds only the current
+        (normalized) gradient, so steps follow the instantaneous sign."""
+        model, x, y = trained_setup
+        adv = MIM(eps=0.4, step=0.1, iterations=3, decay=0.0)(model, x, y)
+        assert np.abs(adv - x).max() <= 0.4 + 1e-5
+
+    def test_invalid_iterations(self, trained_setup):
+        model, x, y = trained_setup
+        with pytest.raises(ValueError):
+            MIM(eps=0.4, iterations=0)(model, x, y)

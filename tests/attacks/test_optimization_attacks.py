@@ -1,0 +1,73 @@
+"""DeepFool and Carlini&Wagner (the Table IV generalizability attacks)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CarliniWagner, DeepFool
+from repro.defenses import VanillaTrainer
+from repro.eval import predict_labels
+from repro.eval.metrics import test_accuracy as measure_accuracy
+from repro.models import build_classifier
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    from repro.data import load_split
+    split = load_split("digits", 256, 64, seed=13)
+    model = build_classifier("digits", width=4, seed=2)
+    VanillaTrainer(model, epochs=4, batch_size=32).fit(split.train)
+    x, y = split.test.images[:32], split.test.labels[:32]
+    assert measure_accuracy(model, x, y) > 0.8
+    return model, x, y
+
+
+class TestDeepFool:
+    def test_budget_and_box(self, trained_setup):
+        model, x, y = trained_setup
+        adv = DeepFool(eps=0.4, iterations=4)(model, x, y)
+        assert np.abs(adv - x).max() <= 0.4 + 1e-5
+        assert adv.min() >= -1.0 and adv.max() <= 1.0
+
+    def test_reduces_accuracy(self, trained_setup):
+        model, x, y = trained_setup
+        adv = DeepFool(eps=0.4, iterations=6)(model, x, y)
+        assert measure_accuracy(model, adv, y) < measure_accuracy(model, x, y)
+
+    def test_skips_already_misclassified(self, trained_setup):
+        model, x, y = trained_setup
+        wrong = (predict_labels(model, x) + 1) % 10  # all "misclassified"
+        adv = DeepFool(eps=0.4, iterations=3)(model, x, wrong)
+        np.testing.assert_allclose(adv, x, atol=1e-6)
+
+    def test_perturbation_smaller_than_full_budget(self, trained_setup):
+        """DeepFool searches for *minimal* perturbations — the mean used
+        budget must be well below the FGSM-style full-eps jump."""
+        model, x, y = trained_setup
+        adv = DeepFool(eps=0.4, iterations=6)(model, x, y)
+        fooled = predict_labels(model, adv) != y
+        if fooled.any():
+            mean_pert = np.abs(adv[fooled] - x[fooled]).mean()
+            assert mean_pert < 0.4 * 0.8
+
+
+class TestCarliniWagner:
+    def test_budget_and_box(self, trained_setup):
+        model, x, y = trained_setup
+        adv = CarliniWagner(eps=0.4, iterations=8)(model, x, y)
+        assert np.abs(adv - x).max() <= 0.4 + 1e-5
+        assert adv.min() >= -1.0 and adv.max() <= 1.0
+
+    def test_reduces_accuracy(self, trained_setup):
+        model, x, y = trained_setup
+        adv = CarliniWagner(eps=0.4, iterations=15, c=5.0)(model, x, y)
+        assert measure_accuracy(model, adv, y) < measure_accuracy(model, x, y)
+
+    def test_unsuccessful_images_left_close_to_original(self, trained_setup):
+        """Images CW never fooled keep the original pixels (best-so-far
+        tracking falls back to the input)."""
+        model, x, y = trained_setup
+        adv = CarliniWagner(eps=0.4, iterations=2, c=1e-6)(model, x, y)
+        still_correct = predict_labels(model, adv) == y
+        if still_correct.any():
+            diff = np.abs(adv[still_correct] - x[still_correct]).max()
+            assert diff <= 0.4 + 1e-5

@@ -1,0 +1,77 @@
+"""Shared fixtures: tiny models and datasets sized for fast unit tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import Dataset, load_split
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_split():
+    """64 train / 32 test digit images."""
+    return load_split("digits", 64, 32, seed=7)
+
+
+@pytest.fixture
+def tiny_objects_split():
+    return load_split("objects", 64, 32, seed=7)
+
+
+class TinyNet(nn.Module):
+    """Minimal conv classifier used when LeNet would be too slow."""
+
+    def __init__(self, in_channels=1, num_classes=10, seed=0):
+        super().__init__()
+        r = derive_rng(seed, "tinynet")
+        self.net = nn.Sequential(
+            nn.Conv2D(in_channels, 4, kernel_size=3, stride=2, padding=1,
+                      rng=r),
+            nn.ReLU(),
+            nn.Flatten(),
+        )
+        self.head = None
+        self._num_classes = num_classes
+        self._rng = r
+
+    def forward(self, x):
+        h = self.net(x)
+        if self.head is None:
+            self.head = nn.Dense(h.shape[1], self._num_classes, rng=self._rng)
+        return self.head(h)
+
+
+@pytest.fixture
+def tiny_net():
+    return TinyNet(seed=0)
+
+
+@pytest.fixture
+def tiny_rgb_net():
+    return TinyNet(in_channels=3, seed=0)
+
+
+def make_blobs_dataset(n=64, side=8, channels=1, num_classes=4, seed=0):
+    """A separable toy dataset: class k lights up quadrant k."""
+    r = np.random.default_rng(seed)
+    labels = np.arange(n) % num_classes
+    r.shuffle(labels)
+    images = r.normal(-0.8, 0.1, size=(n, channels, side, side)).astype("float32")
+    half = side // 2
+    quads = [(0, 0), (0, half), (half, 0), (half, half)]
+    for i, k in enumerate(labels):
+        y0, x0 = quads[k % 4]
+        images[i, :, y0:y0 + half, x0:x0 + half] += 1.5
+    images = np.clip(images, -1, 1)
+    return Dataset(images, labels.astype(np.int64), name="blobs")
+
+
+@pytest.fixture
+def blobs():
+    return make_blobs_dataset()

@@ -1,0 +1,86 @@
+"""Batch iterators: epoch coverage, pairing, sizing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset, iterate_batches, iterate_pairs, num_batches
+from repro.utils.rng import derive_rng
+
+
+def make_dataset(n):
+    images = np.zeros((n, 1, 2, 2), dtype=np.float32)
+    images[:, 0, 0, 0] = np.linspace(-1, 1, n)  # unique marker per item
+    return Dataset(images, np.arange(n) % 3)
+
+
+class TestNumBatches:
+    def test_exact_division(self):
+        assert num_batches(10, 5) == 2
+
+    def test_remainder_kept(self):
+        assert num_batches(11, 5) == 3
+
+    def test_remainder_dropped(self):
+        assert num_batches(11, 5, drop_last=True) == 2
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            num_batches(10, 0)
+
+    @given(st.integers(1, 200), st.integers(1, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_iteration(self, n, bs):
+        ds = make_dataset(n)
+        count = sum(1 for _ in iterate_batches(ds, bs, derive_rng(0, "t")))
+        assert count == num_batches(n, bs)
+
+
+class TestIterateBatches:
+    def test_covers_every_item_once(self):
+        ds = make_dataset(23)
+        seen = []
+        for x, _ in iterate_batches(ds, 5, derive_rng(0, "t")):
+            seen.extend(x[:, 0, 0, 0].tolist())
+        assert sorted(seen) == sorted(ds.images[:, 0, 0, 0].tolist())
+
+    def test_labels_follow_images(self):
+        ds = make_dataset(12)
+        marker_to_label = dict(zip(ds.images[:, 0, 0, 0].tolist(),
+                                   ds.labels.tolist()))
+        for x, y in iterate_batches(ds, 4, derive_rng(1, "t")):
+            for marker, label in zip(x[:, 0, 0, 0].tolist(), y.tolist()):
+                assert marker_to_label[marker] == label
+
+    def test_drop_last(self):
+        ds = make_dataset(10)
+        batches = list(iterate_batches(ds, 3, derive_rng(0, "t"),
+                                       drop_last=True))
+        assert all(len(x) == 3 for x, _ in batches)
+        assert len(batches) == 3
+
+    def test_shuffling_differs_between_epochs(self):
+        ds = make_dataset(32)
+        rng = derive_rng(0, "t")
+        first = next(iterate_batches(ds, 32, rng))[0]
+        second = next(iterate_batches(ds, 32, rng))[0]
+        assert not np.array_equal(first, second)
+
+
+class TestIteratePairs:
+    def test_two_independent_streams(self):
+        ds = make_dataset(16)
+        for xa, ta, xb, tb in iterate_pairs(ds, 4, derive_rng(0, "t")):
+            assert xa.shape == xb.shape
+            assert len(ta) == len(tb) == len(xa)
+
+    def test_each_stream_covers_epoch(self):
+        ds = make_dataset(12)
+        seen_a, seen_b = [], []
+        for xa, _, xb, _ in iterate_pairs(ds, 5, derive_rng(0, "t")):
+            seen_a.extend(xa[:, 0, 0, 0].tolist())
+            seen_b.extend(xb[:, 0, 0, 0].tolist())
+        expected = sorted(ds.images[:, 0, 0, 0].tolist())
+        assert sorted(seen_a) == expected
+        assert sorted(seen_b) == expected

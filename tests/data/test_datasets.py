@@ -1,0 +1,70 @@
+"""Dataset container and the Separation step."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, load_split
+
+
+def make_images(n=10, value=0.5):
+    return np.full((n, 1, 4, 4), value, dtype=np.float32)
+
+
+class TestDataset:
+    def test_basic(self):
+        ds = Dataset(make_images(), np.arange(10) % 3)
+        assert len(ds) == 10
+        assert ds.image_shape == (1, 4, 4)
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((10, 16), dtype=np.float32), np.zeros(10, int))
+
+    def test_rejects_misaligned_labels(self):
+        with pytest.raises(ValueError):
+            Dataset(make_images(10), np.zeros(5, int))
+
+    def test_rejects_out_of_range_pixels(self):
+        with pytest.raises(ValueError):
+            Dataset(make_images(value=2.0), np.zeros(10, int))
+
+    def test_casts_dtype(self):
+        ds = Dataset(make_images().astype(np.float64), np.zeros(10, int))
+        assert ds.images.dtype == np.float32
+
+    def test_subset(self):
+        ds = Dataset(make_images(10), np.arange(10))
+        sub = ds.subset(4)
+        assert len(sub) == 4
+
+    def test_subset_too_large(self):
+        ds = Dataset(make_images(10), np.arange(10))
+        with pytest.raises(ValueError):
+            ds.subset(11)
+
+    def test_class_counts(self):
+        ds = Dataset(make_images(10), np.arange(10) % 2)
+        counts = ds.class_counts()
+        assert counts[0] == 5 and counts[1] == 5
+
+
+class TestLoadSplit:
+    def test_sizes(self):
+        split = load_split("digits", 50, 20, seed=0)
+        assert len(split.train) == 50
+        assert len(split.test) == 20
+
+    def test_no_overlap_between_train_and_test(self):
+        split = load_split("digits", 30, 30, seed=0)
+        # Different images (generation is a single stream split in two).
+        assert not np.array_equal(split.train.images[:30],
+                                  split.test.images[:30])
+
+    def test_image_shape_property(self):
+        split = load_split("objects", 10, 10, seed=0)
+        assert split.image_shape == (3, 32, 32)
+
+    def test_deterministic(self):
+        a = load_split("fashion", 20, 10, seed=3)
+        b = load_split("fashion", 20, 10, seed=3)
+        np.testing.assert_array_equal(a.train.images, b.train.images)

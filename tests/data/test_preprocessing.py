@@ -1,0 +1,85 @@
+"""Augmentation / projection: the regulation function F and Gaussian noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.preprocessing import (
+    BOX_HIGH,
+    BOX_LOW,
+    GaussianAugmenter,
+    gaussian_perturb,
+    project_box,
+)
+from repro.utils.rng import derive_rng
+
+
+class TestProjectBox:
+    def test_inside_untouched(self):
+        x = np.array([0.0, -0.5, 0.5], dtype=np.float32)
+        np.testing.assert_array_equal(project_box(x), x)
+
+    def test_outside_clipped(self):
+        out = project_box(np.array([-3.0, 3.0]))
+        np.testing.assert_array_equal(out, [-1.0, 1.0])
+
+    def test_returns_float32(self):
+        assert project_box(np.zeros(3, dtype=np.float64)).dtype == np.float32
+
+    @given(arrays(np.float32, (8,),
+                  elements=st.floats(-100, 100, allow_nan=False, width=32)))
+    @settings(max_examples=30, deadline=None)
+    def test_always_inside_box(self, x):
+        out = project_box(x)
+        assert np.all(out >= BOX_LOW)
+        assert np.all(out <= BOX_HIGH)
+
+
+class TestGaussianPerturb:
+    def test_sigma_zero_is_projection_only(self):
+        x = np.zeros((4, 1, 2, 2), dtype=np.float32)
+        out = gaussian_perturb(x, derive_rng(0, "t"), sigma=0.0)
+        np.testing.assert_array_equal(out, x)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_perturb(np.zeros((1, 1, 2, 2), dtype=np.float32),
+                             derive_rng(0, "t"), sigma=-1.0)
+
+    def test_output_in_box(self):
+        x = np.zeros((16, 1, 8, 8), dtype=np.float32)
+        out = gaussian_perturb(x, derive_rng(0, "t"), sigma=5.0)
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    def test_noise_statistics(self):
+        # With a wide box the raw noise std should be ~sigma.
+        x = np.zeros((64, 1, 16, 16), dtype=np.float32)
+        out = gaussian_perturb(x, derive_rng(0, "t"), sigma=0.1)
+        noise = out - x
+        assert abs(noise.std() - 0.1) < 0.01
+        assert abs(noise.mean()) < 0.01
+
+    def test_mu_shifts(self):
+        x = np.zeros((64, 1, 16, 16), dtype=np.float32)
+        out = gaussian_perturb(x, derive_rng(0, "t"), sigma=0.01, mu=0.5)
+        assert abs((out - x).mean() - 0.5) < 0.01
+
+    def test_deterministic_per_stream(self):
+        x = np.zeros((4, 1, 4, 4), dtype=np.float32)
+        a = gaussian_perturb(x, derive_rng(9, "s"), sigma=1.0)
+        b = gaussian_perturb(x, derive_rng(9, "s"), sigma=1.0)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAugmenter:
+    def test_stateful_stream_advances(self):
+        aug = GaussianAugmenter(derive_rng(0, "t"), sigma=1.0)
+        x = np.zeros((4, 1, 4, 4), dtype=np.float32)
+        assert not np.array_equal(aug(x), aug(x))
+
+    def test_default_paper_sigma(self):
+        aug = GaussianAugmenter(derive_rng(0, "t"))
+        assert aug.sigma == 1.0
+        assert aug.mu == 0.0

@@ -1,0 +1,70 @@
+"""Trainer base: epoch loop mechanics, history, optimizer wiring."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.defenses import VanillaTrainer
+from repro.defenses.base import TrainingHistory
+from tests.conftest import TinyNet, make_blobs_dataset
+
+
+class TestTrainingHistory:
+    def test_empty(self):
+        h = TrainingHistory()
+        assert h.epochs == 0
+        assert h.mean_epoch_seconds == 0.0
+
+    def test_mean_epoch_seconds(self):
+        h = TrainingHistory(losses=[1, 2], epoch_seconds=[2.0, 4.0])
+        assert h.mean_epoch_seconds == pytest.approx(3.0)
+
+    def test_diverged_detects_nan(self):
+        assert TrainingHistory(losses=[1.0, float("nan")]).diverged()
+        assert TrainingHistory(losses=[1.0, float("inf")]).diverged()
+        assert not TrainingHistory(losses=[1.0, 0.5]).diverged()
+
+    def test_record_extra(self):
+        h = TrainingHistory()
+        h.record_extra("disc_loss", 0.5)
+        h.record_extra("disc_loss", 0.4)
+        assert h.extra["disc_loss"] == [0.5, 0.4]
+
+
+class TestTrainerLoop:
+    def test_history_lengths_match_epochs(self, blobs):
+        trainer = VanillaTrainer(TinyNet(num_classes=4), epochs=3,
+                                 batch_size=16)
+        h = trainer.fit(blobs)
+        assert h.epochs == 3
+        assert len(h.epoch_seconds) == 3
+
+    def test_loss_decreases_on_separable_data(self, blobs):
+        trainer = VanillaTrainer(TinyNet(num_classes=4), epochs=5,
+                                 batch_size=16)
+        h = trainer.fit(blobs)
+        assert h.losses[-1] < h.losses[0]
+
+    def test_model_left_in_eval_mode(self, blobs):
+        trainer = VanillaTrainer(TinyNet(num_classes=4), epochs=1,
+                                 batch_size=16)
+        trainer.fit(blobs)
+        assert trainer.model.training is False
+
+    def test_sgd_option(self, blobs):
+        trainer = VanillaTrainer(TinyNet(num_classes=4), optimizer="sgd",
+                                 lr=0.05, epochs=1, batch_size=16)
+        assert isinstance(trainer.optimizer, nn.SGD)
+        trainer.fit(blobs)
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            VanillaTrainer(TinyNet(), optimizer="rmsprop")
+
+    def test_deterministic_given_seed(self, blobs):
+        def run():
+            trainer = VanillaTrainer(TinyNet(num_classes=4, seed=3),
+                                     epochs=2, batch_size=16, seed=42)
+            return trainer.fit(blobs).losses
+
+        assert run() == run()

@@ -1,0 +1,97 @@
+"""CLP / CLS zero-knowledge baselines."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.defenses import CLPTrainer, CLSTrainer
+from repro.eval.metrics import test_accuracy as measure_accuracy
+from tests.conftest import TinyNet, make_blobs_dataset
+
+
+@pytest.fixture
+def blobs4():
+    return make_blobs_dataset(n=64, num_classes=4)
+
+
+class TestCLS:
+    def test_learns_under_mild_noise(self, blobs4):
+        model = TinyNet(num_classes=4)
+        trainer = CLSTrainer(model, lam=0.05, sigma=0.1, lr=0.01, epochs=6,
+                             batch_size=16)
+        trainer.fit(blobs4)
+        assert measure_accuracy(model, blobs4.images, blobs4.labels) > 0.5
+
+    def test_squeezes_logits(self, blobs4):
+        """Higher lambda must yield smaller logit norms — the penalty's
+        purpose per Sec. III-A."""
+        def logit_norm(lam):
+            model = TinyNet(num_classes=4, seed=1)
+            CLSTrainer(model, lam=lam, sigma=0.1, lr=0.01, epochs=5,
+                       batch_size=16).fit(blobs4)
+            with nn.no_grad():
+                z = model(nn.Tensor(blobs4.images)).data
+            return float(np.linalg.norm(z, axis=1).mean())
+
+        assert logit_norm(2.0) < logit_norm(0.0)
+
+    def test_trains_only_on_perturbed_inputs(self, blobs4, monkeypatch):
+        model = TinyNet(num_classes=4)
+        trainer = CLSTrainer(model, sigma=1.0, epochs=1, batch_size=16)
+        calls = []
+        original = trainer.augment
+
+        def spy(images):
+            calls.append(len(images))
+            return original(images)
+
+        trainer.augment = spy
+        trainer.fit(blobs4)
+        assert sum(calls) == len(blobs4)  # every training image perturbed
+
+    def test_non_finite_loss_skips_step(self, blobs4):
+        model = TinyNet(num_classes=4)
+        trainer = CLSTrainer(model, lam=0.1, sigma=0.1, epochs=1,
+                             batch_size=16)
+        before = [p.data.copy() for p in model.parameters()]
+        # Poison the model so the loss is nan, then run one step.
+        model(blobs4.images[:1])  # materialize lazy head
+        before = [p.data.copy() for p in model.parameters()]
+        for p in model.parameters():
+            p.data[...] = np.nan
+        trainer.fit(blobs4)
+        assert trainer.history.diverged()
+
+
+class TestCLP:
+    def test_learns_under_mild_noise(self, blobs4):
+        model = TinyNet(num_classes=4)
+        trainer = CLPTrainer(model, lam=0.05, sigma=0.1, lr=0.01, epochs=10,
+                             batch_size=16)
+        trainer.fit(blobs4)
+        assert measure_accuracy(model, blobs4.images, blobs4.labels) > 0.5
+
+    def test_pairs_logits(self, blobs4):
+        """Higher lambda shrinks the pairwise logit distance."""
+        def pair_distance(lam):
+            model = TinyNet(num_classes=4, seed=1)
+            CLPTrainer(model, lam=lam, sigma=0.1, lr=0.01, epochs=5,
+                       batch_size=16).fit(blobs4)
+            with nn.no_grad():
+                z = model(nn.Tensor(blobs4.images)).data
+            half = len(z) // 2
+            return float(np.linalg.norm(z[:half] - z[half:2 * half],
+                                        axis=1).mean())
+
+        assert pair_distance(2.0) < pair_distance(0.0) * 1.5
+
+    def test_history_epochs(self, blobs4):
+        model = TinyNet(num_classes=4)
+        trainer = CLPTrainer(model, epochs=2, batch_size=16)
+        h = trainer.fit(blobs4)
+        assert h.epochs == 2
+
+    def test_train_step_not_supported(self, blobs4):
+        trainer = CLPTrainer(TinyNet(num_classes=4))
+        with pytest.raises(NotImplementedError):
+            trainer.train_step(blobs4.images[:4], blobs4.labels[:4])

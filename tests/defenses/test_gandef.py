@@ -1,0 +1,177 @@
+"""GanDef minimax trainer: Algorithm 1 bookkeeping and game mechanics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.defenses import Discriminator, PGDGanDefTrainer, ZKGanDefTrainer
+from repro.eval.metrics import test_accuracy as measure_accuracy
+from repro.utils.rng import derive_rng
+from tests.conftest import TinyNet, make_blobs_dataset
+
+
+@pytest.fixture
+def blobs4():
+    return make_blobs_dataset(n=64, num_classes=4)
+
+
+def make_trainer(blobs4, **kwargs):
+    model = TinyNet(num_classes=4)
+    model(blobs4.images[:1])  # materialize lazy head before optimizer build
+    defaults = dict(num_logits=4, sigma=0.3, epochs=2, batch_size=16,
+                    warmup_epochs=0, lr=0.01)
+    defaults.update(kwargs)
+    return ZKGanDefTrainer(model, **defaults)
+
+
+class TestDiscriminator:
+    def test_table2_structure(self):
+        d = Discriminator(num_logits=10)
+        dims = [layer.weight.shape for layer in d.net
+                if isinstance(layer, nn.Dense)]
+        assert dims == [(10, 32), (32, 64), (64, 32), (32, 1)]
+
+    def test_output_is_probability_vector(self):
+        d = Discriminator(num_logits=10)
+        out = d(nn.Tensor(np.random.randn(5, 10).astype(np.float32)))
+        assert out.shape == (5,)
+        assert np.all((out.data >= 0) & (out.data <= 1))
+
+
+class TestValidation:
+    def test_negative_gamma(self, blobs4):
+        with pytest.raises(ValueError):
+            make_trainer(blobs4, gamma=-1.0)
+
+    def test_zero_disc_steps(self, blobs4):
+        with pytest.raises(ValueError):
+            make_trainer(blobs4, disc_steps=0)
+
+    def test_negative_warmup(self, blobs4):
+        with pytest.raises(ValueError):
+            make_trainer(blobs4, warmup_epochs=-1)
+
+
+class TestMixedBatch:
+    def test_even_split_and_source_bits(self, blobs4):
+        trainer = make_trainer(blobs4)
+        rng = derive_rng(0, "t")
+        images, labels = blobs4.images[:16], blobs4.labels[:16]
+        x, t, s = trainer._mixed_batch(images, labels, rng)
+        assert len(x) == len(t) == len(s) == 16
+        assert int(s.sum()) == 8  # half perturbed
+
+    def test_clean_half_unmodified(self, blobs4):
+        trainer = make_trainer(blobs4)
+        rng = derive_rng(0, "t")
+        images, labels = blobs4.images[:16], blobs4.labels[:16]
+        x, _, s = trainer._mixed_batch(images, labels, rng)
+        clean_rows = x[s == 0]
+        # every clean row must literally be one of the originals
+        for row in clean_rows:
+            assert any(np.array_equal(row, img) for img in images)
+
+    def test_perturbed_half_modified(self, blobs4):
+        trainer = make_trainer(blobs4, sigma=1.0)
+        rng = derive_rng(0, "t")
+        images, labels = blobs4.images[:16], blobs4.labels[:16]
+        x, _, s = trainer._mixed_batch(images, labels, rng)
+        pert_rows = x[s == 1]
+        originals = images[8:]
+        assert not np.array_equal(pert_rows, originals)
+
+
+class TestParameterFreezing:
+    def test_discriminator_step_never_touches_classifier(self, blobs4):
+        trainer = make_trainer(blobs4)
+        before = [p.data.copy() for p in trainer.model.parameters()]
+        x, _, s = trainer._mixed_batch(blobs4.images[:16],
+                                       blobs4.labels[:16],
+                                       derive_rng(0, "t"))
+        trainer._discriminator_step(x, s)
+        for old, p in zip(before, trainer.model.parameters()):
+            np.testing.assert_array_equal(old, p.data)
+
+    def test_classifier_step_never_touches_discriminator(self, blobs4):
+        trainer = make_trainer(blobs4, gamma=1.0)
+        before = [p.data.copy() for p in trainer.discriminator.parameters()]
+        x, t, s = trainer._mixed_batch(blobs4.images[:16],
+                                       blobs4.labels[:16],
+                                       derive_rng(0, "t"))
+        trainer._classifier_step(x, t, s)
+        for old, p in zip(before, trainer.discriminator.parameters()):
+            np.testing.assert_array_equal(old, p.data)
+
+    def test_classifier_step_updates_classifier(self, blobs4):
+        trainer = make_trainer(blobs4, gamma=1.0)
+        before = [p.data.copy() for p in trainer.model.parameters()]
+        x, t, s = trainer._mixed_batch(blobs4.images[:16],
+                                       blobs4.labels[:16],
+                                       derive_rng(0, "t"))
+        trainer._classifier_step(x, t, s)
+        changed = any(not np.array_equal(old, p.data)
+                      for old, p in zip(before, trainer.model.parameters()))
+        assert changed
+
+    def test_discriminator_grads_cleared_after_classifier_step(self, blobs4):
+        trainer = make_trainer(blobs4, gamma=1.0)
+        x, t, s = trainer._mixed_batch(blobs4.images[:16],
+                                       blobs4.labels[:16],
+                                       derive_rng(0, "t"))
+        trainer._classifier_step(x, t, s)
+        assert all(p.grad is None for p in trainer.discriminator.parameters())
+
+
+class TestTraining:
+    def test_learns_classification(self, blobs4):
+        trainer = make_trainer(blobs4, epochs=6, gamma=0.3)
+        trainer.fit(blobs4)
+        assert measure_accuracy(trainer.model, blobs4.images,
+                             blobs4.labels) > 0.5
+
+    def test_history_records_disc_loss(self, blobs4):
+        trainer = make_trainer(blobs4, epochs=2)
+        h = trainer.fit(blobs4)
+        assert "disc_loss" in h.extra
+        assert len(h.extra["disc_loss"]) == 2
+
+    def test_warmup_disables_gan_term(self, blobs4, monkeypatch):
+        trainer = make_trainer(blobs4, epochs=2, warmup_epochs=1, gamma=5.0)
+        gammas_seen = []
+        original = trainer._classifier_step
+
+        def spy(x, t, s, gamma=None):
+            gammas_seen.append(gamma)
+            return original(x, t, s, gamma)
+
+        monkeypatch.setattr(trainer, "_classifier_step", spy)
+        trainer.fit(blobs4)
+        n = len(gammas_seen) // 2
+        assert all(g == 0.0 for g in gammas_seen[:n])
+        assert all(g == 5.0 for g in gammas_seen[n:])
+
+    def test_gamma_zero_equals_mixture_training(self, blobs4):
+        """With gamma=0 and no warmup the classifier loss must be pure CE on
+        the mixed batch — the Sec. III-D degenerate case."""
+        trainer = make_trainer(blobs4, gamma=0.0, epochs=3)
+        h = trainer.fit(blobs4)
+        assert h.losses[-1] < h.losses[0]
+
+
+class TestPGDVariant:
+    def test_pgd_gandef_trains(self, blobs4):
+        model = TinyNet(num_classes=4)
+        model(blobs4.images[:1])
+        trainer = PGDGanDefTrainer(model, eps=0.2, step=0.1, iterations=2,
+                                   num_logits=4, epochs=2, batch_size=16,
+                                   warmup_epochs=0, lr=0.01)
+        h = trainer.fit(blobs4)
+        assert h.epochs == 2
+
+    def test_perturb_uses_attack_budget(self, blobs4):
+        model = TinyNet(num_classes=4)
+        model(blobs4.images[:1])
+        trainer = PGDGanDefTrainer(model, eps=0.15, step=0.1, iterations=2,
+                                   num_logits=4, epochs=1, batch_size=16)
+        adv = trainer.perturb(blobs4.images[:8], blobs4.labels[:8])
+        assert np.abs(adv - blobs4.images[:8]).max() <= 0.15 + 1e-5

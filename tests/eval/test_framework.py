@@ -1,0 +1,60 @@
+"""The Figure 3 evaluation framework wiring."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM
+from repro.defenses import VanillaTrainer
+from repro.eval import EvaluationFramework
+from repro.models import build_classifier
+
+
+@pytest.fixture
+def framework(tiny_split):
+    return EvaluationFramework(tiny_split, {"fgsm": FGSM(eps=0.4)},
+                               eval_size=16)
+
+
+class TestEvaluate:
+    def test_result_structure(self, framework, tiny_split):
+        model = build_classifier("digits", width=2, seed=0)
+        trainer = VanillaTrainer(model, epochs=1, batch_size=16)
+        result = framework.evaluate(trainer)
+        assert result.defense == "vanilla"
+        assert result.dataset == tiny_split.name
+        assert set(result.accuracy) == {"original", "fgsm"}
+        assert result.history is not None
+        assert result.mean_epoch_seconds > 0
+
+    def test_defense_name_override(self, framework):
+        model = build_classifier("digits", width=2, seed=0)
+        trainer = VanillaTrainer(model, epochs=1, batch_size=16)
+        result = framework.evaluate(trainer, defense_name="custom")
+        assert result.defense == "custom"
+
+    def test_accuracies_are_fractions(self, framework):
+        model = build_classifier("digits", width=2, seed=0)
+        result = framework.evaluate(VanillaTrainer(model, epochs=1,
+                                                   batch_size=16))
+        for value in result.accuracy.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_evaluate_pretrained_skips_training(self, framework, tiny_split):
+        model = build_classifier("digits", width=2, seed=0)
+        VanillaTrainer(model, epochs=1, batch_size=16).fit(tiny_split.train)
+        before = [p.data.copy() for p in model.parameters()]
+        result = framework.evaluate_pretrained(model, "frozen")
+        for old, p in zip(before, model.parameters()):
+            np.testing.assert_array_equal(old, p.data)
+        assert result.defense == "frozen"
+        assert result.mean_epoch_seconds == 0.0
+
+
+class TestValidation:
+    def test_eval_size_clamped_to_test_set(self, tiny_split):
+        fw = EvaluationFramework(tiny_split, {}, eval_size=10_000)
+        assert len(fw._test_x) == len(tiny_split.test)
+
+    def test_zero_eval_size_rejected(self, tiny_split):
+        with pytest.raises(ValueError):
+            EvaluationFramework(tiny_split, {}, eval_size=0)

@@ -1,0 +1,69 @@
+"""Sec. IV-E metrics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.eval import predict_labels
+from repro.eval.metrics import AccuracyReport
+from repro.eval.metrics import test_accuracy as measure_accuracy
+
+
+class ConstantModel(nn.Module):
+    """Always predicts class 0 — makes accuracy arithmetic explicit."""
+
+    def forward(self, x):
+        n = x.shape[0]
+        logits = np.zeros((n, 10), dtype=np.float32)
+        logits[:, 0] = 1.0
+        return nn.Tensor(logits)
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        model = ConstantModel()
+        x = np.zeros((4, 1, 2, 2), dtype=np.float32)
+        assert measure_accuracy(model, x, np.zeros(4, int)) == 1.0
+
+    def test_all_wrong(self):
+        model = ConstantModel()
+        x = np.zeros((4, 1, 2, 2), dtype=np.float32)
+        assert measure_accuracy(model, x, np.ones(4, int)) == 0.0
+
+    def test_fraction(self):
+        model = ConstantModel()
+        x = np.zeros((4, 1, 2, 2), dtype=np.float32)
+        labels = np.array([0, 0, 1, 2])
+        assert measure_accuracy(model, x, labels) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            measure_accuracy(ConstantModel(),
+                             np.zeros((0, 1, 2, 2), np.float32),
+                             np.zeros(0, int))
+
+
+class TestPredictLabels:
+    def test_batched_equals_unbatched(self, tiny_net):
+        x = np.random.randn(20, 1, 8, 8).astype(np.float32)
+        a = predict_labels(tiny_net, x, batch_size=7)
+        b = predict_labels(tiny_net, x, batch_size=64)
+        np.testing.assert_array_equal(a, b)
+
+    def test_restores_training_mode(self, tiny_net):
+        tiny_net(np.zeros((1, 1, 8, 8), np.float32))
+        tiny_net.train()
+        predict_labels(tiny_net, np.zeros((2, 1, 8, 8), np.float32))
+        assert tiny_net.training is True
+
+    def test_empty_input(self, tiny_net):
+        tiny_net(np.zeros((1, 1, 8, 8), np.float32))
+        out = predict_labels(tiny_net, np.zeros((0, 1, 8, 8), np.float32))
+        assert out.shape == (0,)
+
+
+def test_accuracy_report_format():
+    report = AccuracyReport(defense="zk-gandef", example_type="pgd",
+                            accuracy=0.4217)
+    assert "zk-gandef" in str(report)
+    assert "42.17%" in str(report)

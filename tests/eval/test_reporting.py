@@ -1,0 +1,43 @@
+"""Text table renderers."""
+
+from repro.eval import (
+    EvaluationResult,
+    format_accuracy_table,
+    format_series,
+    format_timing_table,
+)
+from repro.defenses.base import TrainingHistory
+
+
+def make_result(name, acc):
+    history = TrainingHistory(losses=[1.0], epoch_seconds=[2.5])
+    return EvaluationResult(defense=name, dataset="digits", accuracy=acc,
+                            history=history)
+
+
+def test_accuracy_table_layout():
+    results = [make_result("vanilla", {"original": 0.99, "fgsm": 0.08}),
+               make_result("zk-gandef", {"original": 0.98, "fgsm": 0.53})]
+    text = format_accuracy_table(results, ["original", "fgsm"])
+    lines = text.splitlines()
+    assert "original" in lines[0] and "fgsm" in lines[0]
+    assert "vanilla" in text and "zk-gandef" in text
+    assert "99.00%" in text and "53.00%" in text
+
+
+def test_accuracy_table_missing_cell_is_nan():
+    text = format_accuracy_table([make_result("x", {"original": 1.0})],
+                                 ["original", "pgd"])
+    assert "nan" in text.lower()
+
+
+def test_timing_table():
+    text = format_timing_table([make_result("pgd-adv", {})])
+    assert "pgd-adv" in text
+    assert "2.500" in text
+
+
+def test_series_formatting_handles_nan():
+    text = format_series("loss curves", {"normal": [2.0, float("nan")]})
+    assert "loss curves" in text
+    assert "nan" in text

@@ -1,0 +1,55 @@
+"""Black-box transfer evaluation extension."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM
+from repro.data import load_split
+from repro.defenses import VanillaTrainer
+from repro.eval import transfer_attack_accuracy
+from repro.models import build_classifier
+
+
+@pytest.fixture(scope="module")
+def pair():
+    split = load_split("digits", 256, 64, seed=23)
+    victim = build_classifier("digits", width=4, seed=0)
+    surrogate = build_classifier("digits", width=4, seed=99)
+    VanillaTrainer(victim, epochs=4, batch_size=32).fit(split.train)
+    VanillaTrainer(surrogate, epochs=4, batch_size=32,
+                   seed=99).fit(split.train)
+    return victim, surrogate, split.test.images[:32], split.test.labels[:32]
+
+
+class TestTransfer:
+    def test_result_structure(self, pair):
+        victim, surrogate, x, y = pair
+        results = transfer_attack_accuracy(
+            victim, surrogate, {"fgsm": FGSM(eps=0.4)}, x, y)
+        assert set(results) == {"fgsm"}
+        r = results["fgsm"]
+        assert 0.0 <= r.white_box_accuracy <= 1.0
+        assert 0.0 <= r.transfer_accuracy <= 1.0
+
+    def test_white_box_at_least_as_strong_as_transfer(self, pair):
+        """Direct gradients beat surrogate gradients (standard threat
+        ordering) — allow slack for the small eval set."""
+        victim, surrogate, x, y = pair
+        r = transfer_attack_accuracy(
+            victim, surrogate, {"fgsm": FGSM(eps=0.4)}, x, y)["fgsm"]
+        assert r.white_box_accuracy <= r.transfer_accuracy + 0.15
+        assert r.transfer_gap >= -0.15
+
+    def test_empty_input_rejected(self, pair):
+        victim, surrogate, _, _ = pair
+        with pytest.raises(ValueError):
+            transfer_attack_accuracy(
+                victim, surrogate, {},
+                np.zeros((0, 1, 28, 28), np.float32), np.zeros(0, int))
+
+    def test_self_transfer_equals_white_box(self, pair):
+        """Using the victim itself as surrogate makes both numbers equal."""
+        victim, _, x, y = pair
+        r = transfer_attack_accuracy(
+            victim, victim, {"fgsm": FGSM(eps=0.4)}, x, y)["fgsm"]
+        assert r.white_box_accuracy == pytest.approx(r.transfer_accuracy)

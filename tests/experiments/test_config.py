@@ -1,0 +1,82 @@
+"""Experiment presets: paper parameters must be encoded exactly."""
+
+import pytest
+
+from repro.experiments import DEFENSE_NAMES, FAST, FULL, get_config
+
+
+class TestPaperBudgets:
+    """Sec. IV-C attack hyper-parameters."""
+
+    @pytest.mark.parametrize("ds", ["digits", "fashion"])
+    def test_gray_dataset_budget(self, ds):
+        budget = FULL.dataset(ds).budget
+        assert budget.eps == 0.6
+        assert budget.bim_step == 0.1
+        assert budget.pgd_step == 0.02
+        assert budget.pgd_iterations == 40
+
+    def test_rgb_dataset_budget(self):
+        budget = FULL.dataset("objects").budget
+        assert budget.eps == 0.06
+        assert budget.bim_step == 0.016
+        assert budget.pgd_step == 0.016
+        assert budget.pgd_iterations == 20
+
+    def test_fast_preserves_eps(self):
+        """FAST may trim iterations but never weakens the threat radius."""
+        for ds in ("digits", "fashion", "objects"):
+            assert FAST.dataset(ds).budget.eps == FULL.dataset(ds).budget.eps
+
+    def test_paper_separation_sizes(self):
+        assert FULL.dataset("digits").train_size == 60_000
+        assert FULL.dataset("digits").test_size == 10_000
+        assert FULL.dataset("objects").train_size == 50_000
+
+    def test_paper_epochs(self):
+        assert FULL.dataset("digits").epochs == 80
+        assert FULL.dataset("objects").epochs == 300
+
+    def test_sigma_is_one_everywhere(self):
+        for preset in (FAST, FULL):
+            for ds in preset.datasets.values():
+                assert ds.sigma == 1.0
+
+    def test_cls_lambda_is_paper_value(self):
+        assert FAST.dataset("digits").cls_lambda == 0.4
+
+
+class TestBuild:
+    def test_main_grid_attacks(self):
+        attacks = FAST.dataset("digits").budget.build(fast=True)
+        assert set(attacks) == {"fgsm", "bim", "pgd"}
+        for attack in attacks.values():
+            assert attack.eps == 0.6
+
+    def test_generalizability_attacks(self):
+        attacks = FAST.dataset("digits").budget.build_generalizability(
+            fast=True)
+        assert set(attacks) == {"deepfool", "cw"}
+
+    def test_full_build_uses_paper_iterations(self):
+        attacks = FULL.dataset("digits").budget.build(fast=False)
+        assert attacks["pgd"].iterations == 40
+        assert attacks["pgd"].step == 0.02
+
+
+class TestLookups:
+    def test_get_config(self):
+        assert get_config("fast") is FAST
+        assert get_config("FULL") is FULL
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_config("medium")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            FAST.dataset("imagenet")
+
+    def test_seven_defenses(self):
+        assert len(DEFENSE_NAMES) == 7
+        assert "zk-gandef" in DEFENSE_NAMES

@@ -1,0 +1,73 @@
+"""Trainer factory and registry."""
+
+import pytest
+
+from repro.defenses import (
+    CLPTrainer,
+    CLSTrainer,
+    FGSMAdvTrainer,
+    PGDAdvTrainer,
+    PGDGanDefTrainer,
+    VanillaTrainer,
+    ZKGanDefTrainer,
+)
+from repro.experiments import (
+    DEFENSE_NAMES,
+    REGISTRY,
+    FAST,
+    build_trainer,
+    get_experiment,
+)
+
+EXPECTED_TYPES = {
+    "vanilla": VanillaTrainer,
+    "clp": CLPTrainer,
+    "cls": CLSTrainer,
+    "zk-gandef": ZKGanDefTrainer,
+    "fgsm-adv": FGSMAdvTrainer,
+    "pgd-adv": PGDAdvTrainer,
+    "pgd-gandef": PGDGanDefTrainer,
+}
+
+
+@pytest.mark.parametrize("defense", DEFENSE_NAMES)
+def test_factory_builds_every_defense(defense):
+    cfg = FAST.dataset("digits")
+    trainer = build_trainer(defense, cfg, seed=0)
+    assert isinstance(trainer, EXPECTED_TYPES[defense])
+    assert trainer.epochs == cfg.epochs
+    assert trainer.batch_size == cfg.batch_size
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(KeyError):
+        build_trainer("magnet", FAST.dataset("digits"))
+
+
+def test_adversarial_trainers_use_dataset_budget():
+    cfg = FAST.dataset("objects")
+    trainer = build_trainer("pgd-adv", cfg, seed=0)
+    assert trainer.attack.eps == cfg.budget.eps
+
+
+def test_gandef_trainer_uses_config_gamma():
+    cfg = FAST.dataset("digits")
+    trainer = build_trainer("zk-gandef", cfg, seed=0)
+    assert trainer.gamma == cfg.gamma
+    assert trainer.disc_steps == cfg.disc_steps
+    assert trainer.warmup_epochs == cfg.warmup_epochs
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        assert {"table3", "table4", "figure5-time",
+                "figure5-convergence", "ablation-gamma"} <= set(REGISTRY)
+
+    def test_get_experiment(self):
+        exp = get_experiment("table3")
+        assert "Table III" in exp.artifact
+        assert callable(exp.runner)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("table9")

@@ -1,0 +1,65 @@
+"""E4/E5 — the CLS convergence failure on the complex dataset (Sec. V-D).
+
+Reproduces Figure 5 (right) at test scale: under the paper's strong
+settings the CLS loss stays on the flat top curve; under the weakest
+setting it converges — and that setting degenerates toward Vanilla.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_split
+from repro.defenses import CLSTrainer
+from repro.experiments.figure5 import CLS_SETTINGS, ConvergenceCurve
+from repro.models import build_classifier
+
+
+@pytest.fixture(scope="module")
+def objects_split():
+    return load_split("objects", 512, 64, seed=17)
+
+
+def train_cls(objects_split, sigma, lam, epochs=4):
+    model = build_classifier("objects", width=4, seed=0)
+    trainer = CLSTrainer(model, lam=lam, sigma=sigma, optimizer="sgd",
+                         lr=0.05, epochs=epochs, batch_size=64)
+    return trainer.fit(objects_split.train)
+
+
+class TestConvergenceContrast:
+    # At test scale (512 images) the contrast is a ~1.5% drop for the
+    # strong setting vs ~14% for the weak one, so the threshold is 10%;
+    # the benchmark harness reproduces the full-size contrast at the
+    # FAST preset with the default 20% threshold.
+    def test_strong_setting_stalls(self, objects_split):
+        history = train_cls(objects_split, sigma=1.0, lam=0.4)
+        curve = ConvergenceCurve(1.0, 0.4, history.losses)
+        assert not curve.converged(drop_fraction=0.1)
+
+    def test_weak_setting_converges(self, objects_split):
+        history = train_cls(objects_split, sigma=0.1, lam=0.01, epochs=10)
+        curve = ConvergenceCurve(0.1, 0.01, history.losses)
+        assert curve.converged(drop_fraction=0.1)
+
+    def test_stalled_loss_is_near_chance_level(self, objects_split):
+        """A stalled 10-class CE hovers near log(10) ~ 2.30 — the 'random
+        guessing' the paper reports for CLP/CLS on CIFAR10."""
+        history = train_cls(objects_split, sigma=1.0, lam=0.4)
+        ce_part = history.losses[-1]
+        assert ce_part > 1.8
+
+
+class TestConvergenceCurveHelper:
+    def test_nan_counts_as_divergence(self):
+        curve = ConvergenceCurve(1.0, 0.4, [2.3, float("nan"), 2.3])
+        assert not curve.converged()
+
+    def test_flat_curve_not_converged(self):
+        assert not ConvergenceCurve(1.0, 0.4, [2.3, 2.29, 2.28]).converged()
+
+    def test_dropping_curve_converged(self):
+        assert ConvergenceCurve(0.1, 0.01, [2.3, 1.5, 0.8]).converged()
+
+    def test_settings_match_paper(self):
+        assert set(CLS_SETTINGS) == {(1.0, 0.4), (1.0, 0.01),
+                                     (0.1, 0.4), (0.1, 0.01)}

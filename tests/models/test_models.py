@@ -1,0 +1,86 @@
+"""Model zoo: architectures, shapes, factory policy."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import AllCNN, LeNet, build_classifier, classifier_family
+from repro.utils.rng import derive_rng
+
+
+class TestLeNet:
+    def test_output_shape(self):
+        model = LeNet(width=4, rng=derive_rng(0, "m"))
+        out = model(np.zeros((2, 1, 28, 28), dtype=np.float32))
+        assert out.shape == (2, 10)
+
+    def test_custom_image_size(self):
+        model = LeNet(width=2, image_size=8, dense_units=16,
+                      rng=derive_rng(0, "m"))
+        out = model(np.zeros((1, 1, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 10)
+
+    def test_width_scales_parameters(self):
+        small = LeNet(width=4, rng=derive_rng(0, "m")).num_parameters()
+        large = LeNet(width=8, rng=derive_rng(0, "m")).num_parameters()
+        assert large > small
+
+
+class TestAllCNN:
+    def test_output_shape(self):
+        model = AllCNN(width=4, rng=derive_rng(0, "m"))
+        out = model(np.zeros((2, 3, 32, 32), dtype=np.float32))
+        assert out.shape == (2, 10)
+
+    def test_input_dropout_present_by_default(self):
+        model = AllCNN(width=2, rng=derive_rng(0, "m"))
+        assert model.input_dropout is not None
+        assert model.input_dropout.rate == pytest.approx(0.2)
+
+    def test_input_dropout_disabled(self):
+        model = AllCNN(width=2, input_dropout=0.0, rng=derive_rng(0, "m"))
+        assert model.input_dropout is None
+
+    def test_all_convolutional(self):
+        model = AllCNN(width=2, rng=derive_rng(0, "m"))
+        kinds = {type(m).__name__ for m in model.modules()}
+        assert "Dense" not in kinds
+        assert "MaxPool2D" not in kinds
+
+    def test_stochastic_in_train_deterministic_in_eval(self):
+        model = AllCNN(width=2, rng=derive_rng(0, "m"))
+        x = np.random.randn(2, 3, 32, 32).astype(np.float32)
+        model.train()
+        a = model(x).data
+        b = model(x).data
+        assert not np.array_equal(a, b)
+        model.eval()
+        c = model(x).data
+        d = model(x).data
+        np.testing.assert_array_equal(c, d)
+
+
+class TestFactory:
+    def test_family_policy_matches_paper(self):
+        assert classifier_family("digits") == "lenet"
+        assert classifier_family("fashion") == "lenet"
+        assert classifier_family("objects") == "allcnn"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            classifier_family("svhn")
+
+    def test_build_returns_correct_types(self):
+        assert isinstance(build_classifier("digits", width=2), LeNet)
+        assert isinstance(build_classifier("objects", width=2), AllCNN)
+
+    def test_build_deterministic(self):
+        a = build_classifier("digits", width=2, seed=4)
+        b = build_classifier("digits", width=2, seed=4)
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_input_dropout_override(self):
+        model = build_classifier("objects", width=2, input_dropout=0.0)
+        assert model.input_dropout is None

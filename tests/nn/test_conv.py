@@ -1,0 +1,138 @@
+"""Convolution / pooling: forward vs naive reference, gradients, geometry."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import (
+    avg_pool2d,
+    col2im,
+    conv2d,
+    conv_output_size,
+    im2col,
+    max_pool2d,
+)
+from repro.nn.gradcheck import check_gradient
+from repro.nn.tensor import Tensor
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    """Loop reference implementation."""
+    n, c, h, wdt = x.shape
+    oc, ic, kh, kw = w.shape
+    x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (wdt + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, oc, out_h, out_w), dtype=np.float64)
+    for i in range(n):
+        for o in range(oc):
+            for y in range(out_h):
+                for xx in range(out_w):
+                    patch = x[i, :, y * stride:y * stride + kh,
+                              xx * stride:xx * stride + kw]
+                    out[i, o, y, xx] = (patch * w[o]).sum()
+            if b is not None:
+                out[i, o] += b[o]
+    return out
+
+
+class TestGeometry:
+    def test_output_size(self):
+        assert conv_output_size(28, 5, 1, 2) == 28
+        assert conv_output_size(32, 3, 2, 1) == 16
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_channel_mismatch_rejected(self):
+        x = Tensor(np.zeros((1, 2, 8, 8)))
+        w = Tensor(np.zeros((4, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+
+class TestIm2Col:
+    def test_roundtrip_adjointness(self):
+        # <im2col(x), c> == <x, col2im(c)> for random x, c (adjoint test)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        cols_shape = im2col(x, 3, 3, 2, 2, 1, 1).shape
+        c = rng.standard_normal(cols_shape).astype(np.float32)
+        lhs = (im2col(x, 3, 3, 2, 2, 1, 1) * c).sum()
+        rhs = (x * col2im(c, x.shape, 3, 3, 2, 2, 1, 1)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+class TestConvForward:
+    def test_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal((2, 3, 7, 7)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b),
+                     stride=stride, padding=padding)
+        ref = naive_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-4)
+
+
+class TestConvBackward:
+    def test_grad_wrt_input(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((2, 1, 3, 3)) * 0.5
+        check_gradient(
+            lambda x: conv2d(x, Tensor(w.astype(np.float32)), stride=1,
+                             padding=1),
+            [rng.standard_normal((1, 1, 5, 5))],
+        )
+
+    def test_grad_wrt_weight(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 1, 5, 5))
+        check_gradient(
+            lambda w: conv2d(Tensor(x.astype(np.float32)), w, stride=2,
+                             padding=1),
+            [rng.standard_normal((2, 1, 3, 3)) * 0.5],
+        )
+
+    def test_grad_wrt_bias(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((2, 1, 4, 4)).astype(np.float32))
+        w = Tensor(rng.standard_normal((3, 1, 3, 3)).astype(np.float32) * 0.5)
+        check_gradient(lambda b: conv2d(x, w, b, padding=1),
+                       [rng.standard_normal(3)])
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_goes_to_argmax(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4),
+                   requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_max_pool_gradcheck(self):
+        # Use distinct values to avoid tie ambiguity in numeric diff.
+        rng = np.random.default_rng(3)
+        x = rng.permutation(36).reshape(1, 1, 6, 6).astype(np.float64)
+        check_gradient(lambda t: max_pool2d(t, 2), [x * 0.1])
+
+    def test_avg_pool_forward(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradcheck(self):
+        rng = np.random.default_rng(4)
+        check_gradient(lambda t: avg_pool2d(t, 2),
+                       [rng.standard_normal((1, 2, 4, 4))])
+
+    def test_pool_with_stride(self):
+        x = Tensor(np.random.randn(1, 1, 6, 6).astype(np.float32))
+        assert max_pool2d(x, 2, stride=1).shape == (1, 1, 5, 5)

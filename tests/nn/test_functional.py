@@ -1,0 +1,184 @@
+"""Activation / normalization functions: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_gradient
+from repro.nn.tensor import Tensor
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        check_gradient(F.relu, [np.array([-1.0, 0.5, 2.0])])
+
+    def test_leaky_relu_forward(self):
+        out = F.leaky_relu(Tensor([-2.0, 2.0]), 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 2.0], rtol=1e-6)
+
+    def test_leaky_relu_grad(self):
+        check_gradient(lambda x: F.leaky_relu(x, 0.1),
+                       [np.array([-1.0, 0.5, 2.0])])
+
+    def test_sigmoid_range_and_stability(self):
+        out = F.sigmoid(Tensor([-1000.0, 0.0, 1000.0]))
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-6)
+
+    def test_sigmoid_grad(self):
+        check_gradient(F.sigmoid, [np.random.randn(5)])
+
+    def test_tanh_grad(self):
+        check_gradient(F.tanh, [np.random.randn(5)])
+
+    def test_exp_log_roundtrip(self):
+        x = np.random.rand(4) + 0.5
+        out = F.log(F.exp(Tensor(x)))
+        np.testing.assert_allclose(out.data, x, rtol=1e-5)
+
+    def test_log_grad(self):
+        check_gradient(lambda t: F.log(t), [np.random.rand(4) + 0.5])
+
+    def test_log_eps_clamps(self):
+        out = F.log(Tensor([0.0]), eps=1e-6)
+        assert np.isfinite(out.data).all()
+
+    def test_sqrt_grad(self):
+        check_gradient(F.sqrt, [np.random.rand(4) + 0.5])
+
+    def test_abs_grad(self):
+        check_gradient(F.abs, [np.array([-2.0, 3.0, -0.5])])
+
+
+class TestClipWhereMinMax:
+    def test_clip_forward(self):
+        out = F.clip(Tensor([-2.0, 0.5, 2.0]), -1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+
+    def test_clip_grad_masks_outside(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        F.clip(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_where_forward(self):
+        out = F.where(np.array([True, False]), Tensor([1.0, 1.0]),
+                      Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_where_grad_routes(self):
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        F.where(np.array([True, False]), a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+    def test_maximum_forward(self):
+        out = F.maximum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [3.0, 5.0])
+
+    def test_maximum_grad(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        F.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+    def test_maximum_tie_splits(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        F.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+
+    def test_minimum(self):
+        out = F.minimum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        out = F.softmax(Tensor(np.random.randn(4, 10)))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4),
+                                   rtol=1e-5)
+
+    def test_softmax_stable_for_large_logits(self):
+        out = F.softmax(Tensor([[1000.0, 0.0]]))
+        assert np.isfinite(out.data).all()
+
+    def test_softmax_grad(self):
+        weights = np.random.rand(3, 5)
+        check_gradient(lambda x: F.softmax(x) * weights,
+                       [np.random.randn(3, 5)])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        z = np.random.randn(4, 6).astype(np.float32)
+        a = F.log_softmax(Tensor(z)).data
+        b = np.log(F.softmax(Tensor(z)).data)
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_log_softmax_grad(self):
+        weights = np.random.rand(3, 5)
+        check_gradient(lambda x: F.log_softmax(x) * weights,
+                       [np.random.randn(3, 5)])
+
+    def test_log_softmax_stable(self):
+        out = F.log_softmax(Tensor([[1e4, -1e4]]))
+        assert np.isfinite(out.data).all()
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        x = Tensor(np.ones((8, 8)))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_identity_at_zero_rate(self):
+        x = Tensor(np.ones((8, 8)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(4)), 1.0, training=True)
+
+    def test_scaling_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.4, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_grad_uses_same_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((5, 5)), requires_grad=True)
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        out.sum().backward()
+        # gradient must be zero exactly where output is zero
+        np.testing.assert_array_equal(x.grad == 0.0, out.data == 0.0)
+
+
+class TestPadOneHot:
+    def test_pad2d_shape(self):
+        out = F.pad2d(Tensor(np.ones((1, 1, 4, 4))), 2)
+        assert out.shape == (1, 1, 8, 8)
+
+    def test_pad2d_zero_is_identity(self):
+        x = Tensor(np.ones((1, 1, 4, 4)))
+        assert F.pad2d(x, 0) is x
+
+    def test_pad2d_grad(self):
+        check_gradient(lambda x: F.pad2d(x, 1) * 3.0,
+                       [np.random.randn(1, 1, 3, 3)])
+
+    def test_one_hot_values(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([5]), 3)
+
+    def test_one_hot_requires_vector(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)

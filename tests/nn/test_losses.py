@@ -1,0 +1,129 @@
+"""Loss functions: values against manual references, gradients, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gradcheck import check_gradient
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmaxCrossEntropy:
+    def test_matches_manual(self):
+        z = np.array([[2.0, 1.0, 0.0]], dtype=np.float32)
+        t = np.array([0])
+        expected = -np.log(np.exp(2.0) / np.exp([2.0, 1.0, 0.0]).sum())
+        loss = nn.softmax_cross_entropy(Tensor(z), t)
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_accepts_one_hot(self):
+        z = np.random.randn(4, 3).astype(np.float32)
+        labels = np.array([0, 1, 2, 1])
+        onehot = np.eye(3, dtype=np.float32)[labels]
+        a = nn.softmax_cross_entropy(Tensor(z), labels).item()
+        b = nn.softmax_cross_entropy(Tensor(z), onehot).item()
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_wrong_one_hot_width(self):
+        with pytest.raises(ValueError):
+            nn.softmax_cross_entropy(Tensor(np.zeros((2, 3))),
+                                     np.zeros((2, 4), dtype=np.float32))
+
+    def test_batch_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.softmax_cross_entropy(Tensor(np.zeros((2, 3))),
+                                     np.array([0, 1, 2]))
+
+    def test_gradcheck(self):
+        labels = np.array([0, 2, 1])
+        check_gradient(
+            lambda z: nn.softmax_cross_entropy(z, labels, reduction="sum"),
+            [np.random.randn(3, 4)],
+        )
+
+    def test_reduction_modes(self):
+        z = Tensor(np.random.randn(4, 3).astype(np.float32))
+        t = np.array([0, 1, 2, 0])
+        total = nn.softmax_cross_entropy(z, t, reduction="sum").item()
+        mean = nn.softmax_cross_entropy(z, t, reduction="mean").item()
+        assert total == pytest.approx(mean * 4, rel=1e-5)
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            nn.softmax_cross_entropy(Tensor(np.zeros((1, 2))),
+                                     np.array([0]), reduction="bogus")
+
+    def test_non_negative(self):
+        z = Tensor(np.random.randn(8, 10).astype(np.float32) * 5)
+        t = np.random.randint(0, 10, size=8)
+        assert nn.softmax_cross_entropy(z, t).item() >= 0.0
+
+
+class TestBCE:
+    def test_with_logits_matches_manual(self):
+        z = np.array([0.5, -1.0], dtype=np.float32)
+        t = np.array([1.0, 0.0], dtype=np.float32)
+        p = 1.0 / (1.0 + np.exp(-z))
+        expected = -(t * np.log(p) + (1 - t) * np.log(1 - p)).mean()
+        loss = nn.bce_with_logits(Tensor(z), t)
+        assert loss.item() == pytest.approx(expected, rel=1e-4)
+
+    def test_with_logits_stable_extremes(self):
+        loss = nn.bce_with_logits(Tensor([1000.0, -1000.0]),
+                                  np.array([1.0, 0.0], dtype=np.float32))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-3
+
+    def test_with_logits_gradcheck(self):
+        t = np.array([1.0, 0.0, 1.0], dtype=np.float32)
+        check_gradient(lambda z: nn.bce_with_logits(z, t, reduction="sum"),
+                       [np.random.randn(3)])
+
+    def test_on_probs_clamps(self):
+        loss = nn.bce_on_probs(Tensor([0.0, 1.0]),
+                               np.array([1.0, 0.0], dtype=np.float32))
+        assert np.isfinite(loss.item())
+
+    def test_on_probs_gradcheck(self):
+        t = np.array([1.0, 0.0], dtype=np.float32)
+        check_gradient(lambda p: nn.bce_on_probs(p, t, reduction="sum"),
+                       [np.array([0.3, 0.7])])
+
+
+class TestPenaltiesAndPaperLosses:
+    def test_l2_penalty_value(self):
+        x = Tensor(np.array([[3.0, 4.0], [0.0, 0.0]], dtype=np.float32))
+        # mean over batch of squared l2 norms: (25 + 0) / 2
+        assert nn.l2_penalty(x).item() == pytest.approx(12.5)
+
+    def test_cls_loss_decomposition(self):
+        z = Tensor(np.random.randn(4, 3).astype(np.float32))
+        t = np.array([0, 1, 2, 0])
+        lam = 0.4
+        combined = nn.cls_loss(z, t, lam).item()
+        manual = nn.softmax_cross_entropy(z, t).item() \
+            + lam * nn.l2_penalty(z).item()
+        assert combined == pytest.approx(manual, rel=1e-5)
+
+    def test_clp_loss_decomposition(self):
+        za = Tensor(np.random.randn(4, 3).astype(np.float32))
+        zb = Tensor(np.random.randn(4, 3).astype(np.float32))
+        ta = np.array([0, 1, 2, 0])
+        tb = np.array([1, 1, 0, 2])
+        lam = 0.5
+        combined = nn.clp_loss(za, ta, zb, tb, lam).item()
+        manual = nn.softmax_cross_entropy(za, ta).item() \
+            + nn.softmax_cross_entropy(zb, tb).item() \
+            + lam * nn.l2_penalty(za - zb).item()
+        assert combined == pytest.approx(manual, rel=1e-5)
+
+    def test_cls_lambda_zero_is_plain_ce(self):
+        z = Tensor(np.random.randn(4, 3).astype(np.float32))
+        t = np.array([0, 1, 2, 0])
+        assert nn.cls_loss(z, t, 0.0).item() == pytest.approx(
+            nn.softmax_cross_entropy(z, t).item(), rel=1e-6)
+
+    def test_mse(self):
+        a = Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        assert nn.mse(a, np.array([0.0, 0.0], dtype=np.float32)).item() == \
+            pytest.approx(2.5)

@@ -1,0 +1,162 @@
+"""Module system: layers, discovery, modes, serialization dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.utils.rng import derive_rng
+
+
+def make_mlp(seed=0):
+    r = derive_rng(seed, "mlp")
+    return nn.Sequential(
+        nn.Dense(4, 8, rng=r), nn.ReLU(), nn.Dropout(0.5, rng=r),
+        nn.Dense(8, 3, rng=r),
+    )
+
+
+class TestDense:
+    def test_shapes(self):
+        layer = nn.Dense(4, 8)
+        out = layer(np.zeros((2, 4), dtype=np.float32))
+        assert out.shape == (2, 8)
+
+    def test_no_bias(self):
+        layer = nn.Dense(4, 8, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_deterministic_init(self):
+        a = nn.Dense(4, 8, rng=derive_rng(0, "x"))
+        b = nn.Dense(4, 8, rng=derive_rng(0, "x"))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestConv2DLayer:
+    def test_shapes(self):
+        layer = nn.Conv2D(3, 8, kernel_size=3, stride=2, padding=1)
+        out = layer(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_param_count(self):
+        layer = nn.Conv2D(3, 8, kernel_size=3)
+        assert layer.num_parameters() == 8 * 3 * 3 * 3 + 8
+
+
+class TestDiscovery:
+    def test_parameters_unique(self):
+        mlp = make_mlp()
+        params = mlp.parameters()
+        assert len(params) == 4  # two weights + two biases
+        assert len({id(p) for p in params}) == 4
+
+    def test_named_parameters_paths(self):
+        mlp = make_mlp()
+        names = [n for n, _ in mlp.named_parameters()]
+        assert any("layers.0" in n for n in names)
+        assert any("layers.3" in n for n in names)
+
+    def test_modules_walk(self):
+        mlp = make_mlp()
+        kinds = [type(m).__name__ for m in mlp.modules()]
+        assert "Dropout" in kinds and "Sequential" in kinds
+
+    def test_zero_grad(self):
+        mlp = make_mlp()
+        out = mlp(np.ones((2, 4), dtype=np.float32))
+        out.sum().backward()
+        assert all(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        mlp = make_mlp()
+        mlp.eval()
+        assert all(not m.training for m in mlp.modules())
+        mlp.train()
+        assert all(m.training for m in mlp.modules())
+
+    def test_dropout_active_only_in_train(self):
+        mlp = make_mlp()
+        x = np.ones((4, 4), dtype=np.float32)
+        mlp.eval()
+        a = mlp(x).data
+        b = mlp(x).data
+        np.testing.assert_array_equal(a, b)  # deterministic in eval
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = make_mlp(seed=1)
+        b = make_mlp(seed=2)
+        b.load_state_dict(a.state_dict())
+        x = np.random.randn(2, 4).astype(np.float32)
+        a.eval(); b.eval()
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_missing_key_rejected(self):
+        a = make_mlp()
+        state = a.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        a = make_mlp()
+        state = a.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        a = make_mlp()
+        state = a.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_state_dict_is_copy(self):
+        a = make_mlp()
+        state = a.state_dict()
+        key = next(iter(state))
+        state[key][...] = 123.0
+        assert not np.any(dict(a.named_parameters())[key].data == 123.0)
+
+
+class TestSequential:
+    def test_list_constructor(self):
+        seq = nn.Sequential([nn.ReLU(), nn.ReLU()])
+        assert len(seq) == 2
+
+    def test_append(self):
+        seq = nn.Sequential(nn.ReLU())
+        seq.append(nn.Tanh())
+        assert len(seq) == 2
+
+    def test_iteration(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Sigmoid())
+        assert [type(m).__name__ for m in seq] == ["ReLU", "Sigmoid"]
+
+
+class TestActivationsAndPoolModules:
+    def test_activation_modules(self):
+        x = np.array([[-1.0, 1.0]], dtype=np.float32)
+        assert nn.ReLU()(x).data[0, 0] == 0.0
+        assert nn.LeakyReLU(0.1)(x).data[0, 0] == pytest.approx(-0.1)
+        assert 0.0 < nn.Sigmoid()(x).data[0, 0] < 0.5
+        assert nn.Tanh()(x).data[0, 0] == pytest.approx(np.tanh(-1.0),
+                                                        rel=1e-5)
+
+    def test_pool_modules(self):
+        x = np.random.randn(1, 2, 4, 4).astype(np.float32)
+        assert nn.MaxPool2D(2)(x).shape == (1, 2, 2, 2)
+        assert nn.AvgPool2D(2)(x).shape == (1, 2, 2, 2)
+        assert nn.GlobalAvgPool2D()(x).shape == (1, 2)
+        assert nn.Flatten()(x).shape == (1, 32)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)

@@ -1,0 +1,121 @@
+"""Optimizers: update math and convergence behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.modules import Parameter
+
+
+def quadratic_problem():
+    """Minimize ||w - target||^2."""
+    w = Parameter(np.zeros(3, dtype=np.float32))
+    target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+    return w, target
+
+
+def loss_and_grad(w, target):
+    diff = w - nn.Tensor(target)
+    loss = (diff * diff).sum()
+    loss.backward()
+    return loss
+
+
+class TestSGD:
+    def test_plain_step_math(self):
+        w = Parameter(np.array([1.0], dtype=np.float32))
+        w.grad = np.array([0.5], dtype=np.float32)
+        nn.SGD([w], lr=0.1).step()
+        np.testing.assert_allclose(w.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        w = Parameter(np.array([0.0], dtype=np.float32))
+        opt = nn.SGD([w], lr=1.0, momentum=0.5)
+        w.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1, w=-1
+        w.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v=1.5, w=-2.5
+        np.testing.assert_allclose(w.data, [-2.5])
+
+    def test_weight_decay(self):
+        w = Parameter(np.array([2.0], dtype=np.float32))
+        w.grad = np.array([0.0], dtype=np.float32)
+        nn.SGD([w], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(w.data, [1.9])
+
+    def test_skips_params_without_grad(self):
+        w = Parameter(np.array([1.0], dtype=np.float32))
+        nn.SGD([w], lr=0.1).step()
+        np.testing.assert_allclose(w.data, [1.0])
+
+    def test_converges_on_quadratic(self):
+        w, target = quadratic_problem()
+        opt = nn.SGD([w], lr=0.1, momentum=0.9)
+        for _ in range(100):
+            opt.zero_grad()
+            loss_and_grad(w, target)
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-2)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        # With bias correction, the first Adam step is ~lr * sign(grad).
+        w = Parameter(np.array([0.0], dtype=np.float32))
+        opt = nn.Adam([w], lr=0.01)
+        w.grad = np.array([3.0], dtype=np.float32)
+        opt.step()
+        assert w.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_converges_on_quadratic(self):
+        w, target = quadratic_problem()
+        opt = nn.Adam([w], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_and_grad(w, target)
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-2)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            nn.Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_weight_decay_applied(self):
+        w = Parameter(np.array([1.0], dtype=np.float32))
+        opt = nn.Adam([w], lr=0.1, weight_decay=1.0)
+        w.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        assert w.data[0] < 1.0
+
+    def test_default_lr_matches_paper_discriminator(self):
+        opt = nn.Adam([Parameter(np.zeros(1))])
+        assert opt.lr == pytest.approx(0.001)
+
+
+class TestOptimizerBase:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_non_positive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_zero_grad_clears(self):
+        w = Parameter(np.zeros(2))
+        w.grad = np.ones(2, dtype=np.float32)
+        opt = nn.SGD([w], lr=0.1)
+        opt.zero_grad()
+        assert w.grad is None
+
+    def test_step_counter(self):
+        w = Parameter(np.zeros(1))
+        opt = nn.Adam([w])
+        w.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        opt.step()
+        assert opt.steps == 2

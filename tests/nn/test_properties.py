@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) on the autodiff core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False, width=32)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(np.float32,
+                  array_shapes(min_dims=1, max_dims=max_dims,
+                               max_side=max_side),
+                  elements=finite_floats)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_softmax_rows_are_distributions(a):
+    out = F.softmax(Tensor(a), axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1),
+                               np.ones(out.shape[:-1]), rtol=1e-3)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_log_softmax_never_positive(a):
+    out = F.log_softmax(Tensor(a), axis=-1).data
+    assert np.all(out <= 1e-5)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_relu_idempotent(a):
+    once = F.relu(Tensor(a)).data
+    twice = F.relu(Tensor(once)).data
+    np.testing.assert_array_equal(once, twice)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_add_backward_shape_matches_input(a):
+    x = Tensor(a, requires_grad=True)
+    (x + 1.0).sum().backward()
+    assert x.grad.shape == a.shape
+
+
+@given(small_arrays(max_dims=2), small_arrays(max_dims=2))
+@settings(max_examples=40, deadline=None)
+def test_broadcast_grad_always_matches_parent_shape(a, b):
+    # Whatever the broadcast, the gradient lands in the parent's shape.
+    try:
+        np.broadcast_shapes(a.shape, b.shape)
+    except ValueError:
+        return  # incompatible shapes — nothing to test
+    x = Tensor(a, requires_grad=True)
+    y = Tensor(b, requires_grad=True)
+    (x * y).sum().backward()
+    assert x.grad.shape == a.shape
+    assert y.grad.shape == b.shape
+
+
+@given(small_arrays(), st.floats(min_value=-1.0, max_value=0.0),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_clip_output_inside_box(a, low, high):
+    out = F.clip(Tensor(a), low, high).data
+    assert np.all(out >= low - 1e-6)
+    assert np.all(out <= high + 1e-6)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_sigmoid_bounded(a):
+    out = F.sigmoid(Tensor(a)).data
+    assert np.all((out >= 0) & (out <= 1))
+
+
+@given(small_arrays(max_dims=2))
+@settings(max_examples=40, deadline=None)
+def test_sum_then_backward_gives_ones(a):
+    x = Tensor(a, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_array_equal(x.grad, np.ones_like(a))
+
+
+@given(small_arrays(max_dims=2), small_arrays(max_dims=2))
+@settings(max_examples=40, deadline=None)
+def test_maximum_at_least_both(a, b):
+    if a.shape != b.shape:
+        return
+    out = F.maximum(Tensor(a), Tensor(b)).data
+    assert np.all(out >= a - 1e-6)
+    assert np.all(out >= b - 1e-6)

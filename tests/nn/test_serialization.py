@@ -1,0 +1,43 @@
+"""Weight persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialization import load_state, save_state
+from repro.utils.rng import derive_rng
+
+
+def small_model(seed):
+    r = derive_rng(seed, "ser")
+    return nn.Sequential(nn.Dense(3, 5, rng=r), nn.ReLU(),
+                         nn.Dense(5, 2, rng=r))
+
+
+def test_roundtrip(tmp_path):
+    a = small_model(0)
+    b = small_model(1)
+    path = tmp_path / "weights"
+    save_state(a, path)
+    load_state(b, path)
+    x = np.random.randn(2, 3).astype(np.float32)
+    np.testing.assert_array_equal(a(x).data, b(x).data)
+
+
+def test_extension_appended(tmp_path):
+    a = small_model(0)
+    save_state(a, tmp_path / "w")
+    assert (tmp_path / "w.npz").exists()
+
+
+def test_load_into_wrong_architecture_fails(tmp_path):
+    a = small_model(0)
+    save_state(a, tmp_path / "w")
+    wrong = nn.Sequential(nn.Dense(4, 4))
+    with pytest.raises(KeyError):
+        load_state(wrong, tmp_path / "w")
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_state(small_model(0), tmp_path / "nope")

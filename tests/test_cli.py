@@ -1,0 +1,32 @@
+"""CLI dispatch (fast paths only — heavy experiments run in benchmarks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.dataset == "digits"
+        assert args.preset == "fast"
+        assert args.seed == 0
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table3", "--dataset", "imagenet"])
+
+    def test_preset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table3", "--preset", "huge"])
+
+
+class TestDispatch:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "figure5-convergence" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["table9"]) == 2

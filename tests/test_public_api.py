@@ -1,0 +1,56 @@
+"""Public-API integrity: every __all__ entry resolves and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.nn",
+    "repro.nn.tensor",
+    "repro.nn.functional",
+    "repro.nn.conv",
+    "repro.nn.modules",
+    "repro.nn.losses",
+    "repro.nn.optim",
+    "repro.nn.init",
+    "repro.nn.gradcheck",
+    "repro.nn.serialization",
+    "repro.data",
+    "repro.data.synthetic",
+    "repro.data.datasets",
+    "repro.data.preprocessing",
+    "repro.data.batching",
+    "repro.attacks",
+    "repro.defenses",
+    "repro.models",
+    "repro.eval",
+    "repro.eval.transfer",
+    "repro.experiments",
+    "repro.cli",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_imports_and_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} is missing a module docstring"
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+@pytest.mark.parametrize("name", ["repro.attacks", "repro.defenses",
+                                  "repro.eval", "repro.experiments"])
+def test_public_callables_are_documented(name):
+    module = importlib.import_module(name)
+    for symbol in module.__all__:
+        obj = getattr(module, symbol)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{name}.{symbol} is missing a docstring"

@@ -1,0 +1,64 @@
+"""Utility modules: RNG streams, stopwatch, ASCII rendering."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Stopwatch, ascii_image, derive_rng, spawn_rngs
+
+
+class TestRNG:
+    def test_same_seed_tag_same_stream(self):
+        a = derive_rng(1, "x").random(5)
+        b = derive_rng(1, "x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tags_differ(self):
+        a = derive_rng(1, "x").random(5)
+        b = derive_rng(1, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1, "x").random(5)
+        b = derive_rng(2, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_rngs(self):
+        streams = spawn_rngs(0, "a", "b", "c")
+        assert len(streams) == 3
+        values = [r.random() for r in streams]
+        assert len(set(values)) == 3
+
+
+class TestStopwatch:
+    def test_laps_accumulate(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        first = watch.lap()
+        time.sleep(0.01)
+        second = watch.lap()
+        assert first > 0 and second > 0
+        assert watch.total == pytest.approx(first + second)
+        assert watch.mean == pytest.approx((first + second) / 2)
+
+    def test_empty_mean_is_zero(self):
+        assert Stopwatch().mean == 0.0
+
+
+class TestAsciiImage:
+    def test_renders_hw(self):
+        art = ascii_image(np.zeros((4, 4)))
+        assert len(art.splitlines()) == 4
+
+    def test_renders_chw_color(self):
+        art = ascii_image(np.ones((3, 4, 4)))
+        assert "@" in art  # bright pixels map to the dense end of the ramp
+
+    def test_dark_image_uses_sparse_chars(self):
+        art = ascii_image(np.full((4, 4), -1.0))
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ascii_image(np.zeros((2, 3, 4, 4)))
