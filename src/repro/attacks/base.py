@@ -17,7 +17,8 @@ import numpy as np
 from .. import nn
 from ..data.preprocessing import BOX_HIGH, BOX_LOW
 
-__all__ = ["Attack", "input_gradient", "project_linf", "logits_and_input_grad"]
+__all__ = ["Attack", "input_gradient", "project_linf", "logits_and_input_grad",
+           "still_correct", "masked_signed_ascent"]
 
 
 def input_gradient(model: nn.Module, images: np.ndarray,
@@ -49,6 +50,47 @@ def project_linf(adv: np.ndarray, original: np.ndarray,
     return np.clip(adv, BOX_LOW, BOX_HIGH).astype(np.float32)
 
 
+def still_correct(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Boolean mask of examples the victim still classifies correctly.
+
+    The early-stopping contract of every iterative attack: an example whose
+    prediction already disagrees with its label has been fooled, so further
+    gradient steps on it are wasted work — it leaves the active set frozen
+    at its current iterate.
+    """
+    return logits.argmax(axis=1) == np.asarray(labels)
+
+
+def masked_signed_ascent(model: nn.Module, adv: np.ndarray,
+                         images: np.ndarray, labels: np.ndarray,
+                         step: float, iterations: int, eps: float,
+                         direction=None) -> np.ndarray:
+    """The shared active-mask loop of the signed-gradient family.
+
+    Each step starts with the forward pass the gradient needs anyway;
+    examples it reveals as already fooled leave the active set frozen at
+    their current iterate, and only the survivors are stepped and
+    re-projected.  ``adv`` is updated in place and returned.
+
+    ``direction(active, grad)`` maps the surviving examples' gradient batch
+    to a step direction (default: ``sign(grad)``); MIM passes a closure
+    that folds the gradient into its per-example momentum state.
+    """
+    active = np.arange(len(images))
+    for _ in range(iterations):
+        logits, grad = logits_and_input_grad(model, adv[active],
+                                             labels[active])
+        keep = still_correct(logits, labels[active])
+        active = active[keep]
+        if active.size == 0:
+            break
+        grad = grad[keep]
+        d = np.sign(grad) if direction is None else direction(active, grad)
+        adv[active] = project_linf(adv[active] + step * d,
+                                   images[active], eps)
+    return adv
+
+
 @dataclass
 class Attack:
     """Base class: every attack maps (model, images, labels) -> adversarial
@@ -57,11 +99,21 @@ class Attack:
     Attacks run the victim in ``eval()`` mode (dropout off) — gradients must
     describe the deployed model, not a stochastic one — and restore the
     previous mode afterwards.
+
+    ``early_stop`` opts iterative subclasses into per-example early
+    stopping: each step begins with the forward pass the gradient needs
+    anyway, so already-fooled examples are detected for free and drop out of
+    the working batch.  Still-active examples follow the exact trajectory of
+    the naive full-iteration path (per-example gradients are independent —
+    the substrate has no batch-coupled layers and attacks run in eval mode);
+    fooled examples are frozen at the first fooling iterate instead of being
+    pushed further.  Single-step attacks ignore the flag.
     """
 
     eps: float
 
     name: str = "attack"
+    early_stop: bool = False
 
     def generate(self, model: nn.Module, images: np.ndarray,
                  labels: np.ndarray) -> np.ndarray:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import nn
-from .base import Attack, input_gradient, project_linf
+from .base import Attack, input_gradient, masked_signed_ascent, project_linf
 
 __all__ = ["BIM"]
 
@@ -31,9 +31,13 @@ class BIM(Attack):
                   labels: np.ndarray) -> np.ndarray:
         if self.iterations <= 0:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
+        labels = np.asarray(labels)
         adv = images.copy()
-        for _ in range(self.iterations):
-            grad = input_gradient(model, adv, labels)
-            adv = adv + self.step * np.sign(grad)
-            adv = project_linf(adv, images, self.eps)
-        return adv
+        if not self.early_stop:
+            for _ in range(self.iterations):
+                grad = input_gradient(model, adv, labels)
+                adv = adv + self.step * np.sign(grad)
+                adv = project_linf(adv, images, self.eps)
+            return adv
+        return masked_signed_ascent(model, adv, images, labels,
+                                    self.step, self.iterations, self.eps)

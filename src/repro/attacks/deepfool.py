@@ -37,6 +37,10 @@ class DeepFool(Attack):
     num_candidate_classes: int = 10
 
     name: str = "deepfool"
+    # DeepFool stops per example by definition — it seeks the *nearest*
+    # boundary crossing, so an example leaves the active set the moment it
+    # is fooled.  The flag is permanently on; there is no naive variant.
+    early_stop: bool = True
 
     def _generate(self, model: nn.Module, images: np.ndarray,
                   labels: np.ndarray) -> np.ndarray:

@@ -14,9 +14,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import nn
-from .base import Attack, input_gradient, project_linf
+from .base import Attack, input_gradient, masked_signed_ascent, project_linf
 
 __all__ = ["MIM"]
+
+
+def _l1_normalized(grad: np.ndarray) -> np.ndarray:
+    """Per-example l1 normalization of an input gradient batch."""
+    flat = np.abs(grad).reshape(len(grad), -1).sum(axis=1)
+    flat = np.maximum(flat, 1e-12).reshape(-1, *([1] * (grad.ndim - 1)))
+    return grad / flat
 
 
 @dataclass
@@ -33,13 +40,21 @@ class MIM(Attack):
                   labels: np.ndarray) -> np.ndarray:
         if self.iterations <= 0:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
+        labels = np.asarray(labels)
         adv = images.copy()
         velocity = np.zeros_like(images)
-        for _ in range(self.iterations):
-            grad = input_gradient(model, adv, labels)
-            flat = np.abs(grad).reshape(len(grad), -1).sum(axis=1)
-            flat = np.maximum(flat, 1e-12).reshape(-1, *([1] * (grad.ndim - 1)))
-            velocity = self.decay * velocity + grad / flat
-            adv = adv + self.step * np.sign(velocity)
-            adv = project_linf(adv, images, self.eps)
-        return adv
+        if not self.early_stop:
+            for _ in range(self.iterations):
+                grad = input_gradient(model, adv, labels)
+                velocity = self.decay * velocity + _l1_normalized(grad)
+                adv = adv + self.step * np.sign(velocity)
+                adv = project_linf(adv, images, self.eps)
+            return adv
+        def momentum_direction(active, grad):
+            velocity[active] = self.decay * velocity[active] \
+                + _l1_normalized(grad)
+            return np.sign(velocity[active])
+
+        return masked_signed_ascent(model, adv, images, labels,
+                                    self.step, self.iterations, self.eps,
+                                    direction=momentum_direction)

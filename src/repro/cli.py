@@ -9,6 +9,8 @@ without writing code:
     python -m repro figure5-time --dataset digits
     python -m repro figure5-convergence
     python -m repro ablation-gamma --dataset digits
+    python -m repro eval-suite --dataset digits --defense pgd-adv \
+        --attacks fgsm,pgd,mim --cache-dir .adv-cache
 """
 
 from __future__ import annotations
@@ -18,6 +20,8 @@ from typing import List, Optional
 
 from .eval.reporting import format_accuracy_table, format_series
 from .experiments import REGISTRY, get_experiment
+from .experiments.config import DEFENSE_NAMES
+from .experiments.eval_suite import ATTACK_POOL_NAMES
 from .experiments.table3 import EXAMPLE_TYPES, render_table3
 
 __all__ = ["main", "build_parser"]
@@ -39,6 +43,27 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["fast", "bench", "full"],
                         help="experiment scale")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache crafted adversarial batches under DIR "
+                             "keyed by (weights, attack config, data); "
+                             "repeated runs replay them bit-for-bit "
+                             "(table3, table4, eval-suite)")
+    suite = parser.add_argument_group(
+        "eval-suite options",
+        "evaluate one defense against the attack grid through the batched "
+        "engine (per-example early stopping + shared clean forward pass)")
+    suite.add_argument("--defense", default="vanilla",
+                       choices=list(DEFENSE_NAMES),
+                       help="defense to train and attack")
+    suite.add_argument("--attacks", default=",".join(ATTACK_POOL_NAMES),
+                       metavar="A,B,...",
+                       help="comma-separated subset of "
+                            f"{{{','.join(ATTACK_POOL_NAMES)}}}")
+    suite.add_argument("--no-early-stop", action="store_true",
+                       help="run iterative attacks to their full iteration "
+                            "budget even on already-fooled examples "
+                            "(the pre-engine behavior; slower, same "
+                            "accuracies)")
     return parser
 
 
@@ -59,15 +84,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     key = args.experiment
+    if key != "eval-suite":
+        ignored = []
+        if args.defense != "vanilla":
+            ignored.append("--defense")
+        if args.attacks != ",".join(ATTACK_POOL_NAMES):
+            ignored.append("--attacks")
+        if args.no_early_stop:
+            ignored.append("--no-early-stop")
+        if ignored:
+            print(f"note: {', '.join(ignored)} only applies to eval-suite "
+                  f"and is ignored by {key}")
     if key == "table3":
         results = experiment.runner(args.dataset, preset=args.preset,
-                                    seed=args.seed, verbose=True)
+                                    seed=args.seed, verbose=True,
+                                    cache_dir=args.cache_dir)
         print(render_table3(results))
     elif key == "table4":
         result = experiment.runner(args.dataset, preset=args.preset,
-                                   seed=args.seed, verbose=True)
+                                   seed=args.seed, verbose=True,
+                                   cache_dir=args.cache_dir)
         for kind, value in result.accuracy.items():
             print(f"  {kind:10s} {value * 100:6.2f}%")
+    elif key == "eval-suite":
+        attack_names = [a for a in args.attacks.split(",") if a]
+        try:
+            suite_result = experiment.runner(
+                args.dataset, preset=args.preset, defense=args.defense,
+                attack_names=attack_names, seed=args.seed,
+                cache_dir=args.cache_dir,
+                early_stop=not args.no_early_stop, verbose=True)
+        except KeyError as error:
+            print(error)
+            return 2
+        from .experiments.eval_suite import suite_to_evaluation_result
+        print(format_accuracy_table(
+            [suite_to_evaluation_result(suite_result)],
+            ["original"] + [r.attack for r in suite_result.records]))
+        print(f"  generation: {suite_result.generation_seconds:.2f}s "
+              f"({sum(r.from_cache for r in suite_result.records)} of "
+              f"{len(suite_result.records)} attacks from cache)")
     elif key == "figure5-time":
         timings = experiment.runner(args.dataset, preset=args.preset,
                                     seed=args.seed)

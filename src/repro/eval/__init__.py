@@ -1,11 +1,22 @@
 """``repro.eval`` — the Figure 3 evaluation framework and Sec. IV-E metrics."""
 
+from .cache import AdversarialCache, cache_key, fingerprint_attack, \
+    fingerprint_data, fingerprint_model
+from .engine import AttackRecord, AttackSuite, SuiteResult
 from .framework import EvaluationFramework, EvaluationResult
 from .metrics import AccuracyReport, predict_labels, test_accuracy
 from .reporting import format_accuracy_table, format_series, format_timing_table
 from .transfer import TransferResult, transfer_attack_accuracy
 
 __all__ = [
+    "AdversarialCache",
+    "cache_key",
+    "fingerprint_attack",
+    "fingerprint_data",
+    "fingerprint_model",
+    "AttackRecord",
+    "AttackSuite",
+    "SuiteResult",
     "EvaluationFramework",
     "EvaluationResult",
     "AccuracyReport",

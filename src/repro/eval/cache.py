@@ -1,0 +1,175 @@
+"""On-disk cache for adversarial example batches.
+
+Crafting adversarial examples is the dominant cost of every repeated
+experiment run: table3, table4 and the transfer study all regenerate the
+same (model, attack, data) triples whenever a table is re-rendered or a
+downstream analysis re-uses a trained classifier.  This module memoizes the
+finished batches on disk, keyed by everything the output depends on:
+
+* a SHA-256 over the model's state dict (names, shapes, dtypes, raw bytes),
+* the attack's full configuration (class, name and every dataclass field),
+* a fingerprint of the input images and labels.
+
+Any weight update, hyper-parameter change or data change therefore produces
+a different key and a cache miss; a hit replays the stored ``.npz`` batch
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .. import nn
+from ..attacks.base import Attack
+
+__all__ = ["AdversarialCache", "fingerprint_model", "fingerprint_attack",
+           "fingerprint_data", "cache_key"]
+
+
+def _hash_array(h: "hashlib._Hash", array: np.ndarray) -> None:
+    array = np.ascontiguousarray(array)
+    h.update(str(array.dtype).encode())
+    h.update(str(array.shape).encode())
+    h.update(array.tobytes())
+
+
+def fingerprint_model(model: nn.Module) -> str:
+    """SHA-256 over the model's weights — any training step changes it."""
+    h = hashlib.sha256()
+    state = model.state_dict()
+    for key in sorted(state):
+        h.update(key.encode())
+        _hash_array(h, state[key])
+    return h.hexdigest()
+
+
+def fingerprint_attack(attack: Attack) -> str:
+    """SHA-256 over the attack's class and full dataclass configuration."""
+    config = {k: repr(v) for k, v in
+              sorted(dataclasses.asdict(attack).items())}
+    payload = json.dumps([type(attack).__module__,
+                          type(attack).__qualname__, config])
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def fingerprint_data(images: np.ndarray, labels: np.ndarray) -> str:
+    """SHA-256 over the exact input batch bytes."""
+    h = hashlib.sha256()
+    _hash_array(h, np.asarray(images))
+    _hash_array(h, np.asarray(labels))
+    return h.hexdigest()
+
+
+def cache_key(model: nn.Module, attack: Attack, images: np.ndarray,
+              labels: np.ndarray,
+              model_fingerprint: Optional[str] = None,
+              data_fingerprint: Optional[str] = None) -> str:
+    """Combined key: (weight hash, attack config, data fingerprint).
+
+    ``model_fingerprint`` / ``data_fingerprint`` let callers that run many
+    attacks against one fixed model and test batch (the suite) hash each
+    once instead of per attack.
+    """
+    h = hashlib.sha256()
+    h.update((model_fingerprint or fingerprint_model(model)).encode())
+    h.update(fingerprint_attack(attack).encode())
+    h.update((data_fingerprint or fingerprint_data(images, labels)).encode())
+    return h.hexdigest()
+
+
+class AdversarialCache:
+    """Directory-backed store of finished adversarial batches.
+
+    Parameters
+    ----------
+    root:
+        Directory for the ``.npz`` entries (created on first store).
+    keep_in_memory:
+        Also keep loaded/stored batches in a process-local dict so repeated
+        hits within one run skip the disk round-trip.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike],
+                 keep_in_memory: bool = True) -> None:
+        self.root = os.fspath(root)
+        self.keep_in_memory = keep_in_memory
+        self._memory: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.npz")
+
+    def load(self, key: str) -> Optional[np.ndarray]:
+        """Return the stored batch for ``key``, or ``None`` on a miss.
+
+        An unreadable entry (torn by a crash outside the write-then-rename
+        window, or hand-edited) is dropped and treated as a miss rather
+        than poisoning every later run.
+        """
+        if key in self._memory:
+            return self._memory[key].copy()
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as archive:
+                adv = archive["adv"]
+        except Exception:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        if self.keep_in_memory:
+            self._memory[key] = adv.copy()
+        return adv
+
+    def store(self, key: str, adv: np.ndarray) -> None:
+        """Persist a finished batch under ``key``."""
+        os.makedirs(self.root, exist_ok=True)
+        # Write-then-rename so a crashed run never leaves a torn entry.
+        # The temp name is per-process so concurrent runs sharing a cache
+        # directory cannot interleave writes into one file; the .npz suffix
+        # keeps np.savez from renaming it.
+        path = self._path(key)
+        tmp = f"{path}.{os.getpid()}.tmp.npz"
+        np.savez(tmp, adv=adv)
+        os.replace(tmp, path)
+        if self.keep_in_memory:
+            self._memory[key] = np.array(adv, copy=True)
+
+    def get_or_generate(self, attack: Attack, model: nn.Module,
+                        images: np.ndarray, labels: np.ndarray,
+                        model_fingerprint: Optional[str] = None,
+                        data_fingerprint: Optional[str] = None
+                        ) -> Tuple[np.ndarray, bool]:
+        """Replay a cached batch, or run the attack and cache its output.
+
+        Returns ``(adversarial_batch, was_hit)``.  Pass precomputed
+        fingerprints when calling repeatedly against unchanged weights or
+        an unchanged test batch.
+        """
+        key = cache_key(model, attack, images, labels,
+                        model_fingerprint=model_fingerprint,
+                        data_fingerprint=data_fingerprint)
+        cached = self.load(key)
+        if cached is not None:
+            self.hits += 1
+            return cached, True
+        self.misses += 1
+        adv = attack(model, images, labels)
+        self.store(key, adv)
+        return adv, False
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(1 for f in os.listdir(self.root)
+                   if f.endswith(".npz") and not f.endswith(".tmp.npz"))

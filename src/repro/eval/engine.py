@@ -1,0 +1,170 @@
+"""Batched robustness-evaluation engine.
+
+Every headline artifact (Table III/IV accuracy grids, the transfer study)
+reduces to the same inner loop: craft adversarial counterparts of one test
+batch per attack, classify them, tabulate per-attack accuracy.  The
+:class:`AttackSuite` runner owns that loop and makes it cheap:
+
+* **one shared clean forward pass** — the clean logits are computed once and
+  reused for the ``original`` accuracy and the per-attack flip counts,
+  instead of once per metric;
+* **per-example early stopping** — every iterative attack is switched to its
+  active-mask path (see :mod:`repro.attacks.base`), so the working batch
+  shrinks as examples are fooled and PGD/BIM/MIM/CW only spend gradient
+  steps on still-correct examples;
+* **adversarial caching** — with an :class:`~repro.eval.cache.AdversarialCache`
+  attached, finished batches are replayed bit-for-bit across runs keyed by
+  (model weights, attack config, data).
+
+Results stream into the existing :class:`~repro.eval.framework.EvaluationResult`
+/ :mod:`repro.eval.reporting` types, so all table renderers keep working.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..attacks.base import Attack
+from .cache import AdversarialCache, fingerprint_data, fingerprint_model
+from .metrics import predict_labels
+
+__all__ = ["AttackRecord", "SuiteResult", "AttackSuite"]
+
+
+@dataclass
+class AttackRecord:
+    """Per-attack telemetry from one :class:`AttackSuite` run.
+
+    ``seconds`` covers generation only (attack run or cache replay);
+    scoring the result against the victim is excluded.
+    """
+
+    attack: str
+    accuracy: float
+    seconds: float
+    from_cache: bool = False
+    flipped: int = 0          # correctly-classified examples the attack broke
+    evaluated: int = 0
+
+    def __str__(self) -> str:
+        source = "cache" if self.from_cache else "fresh"
+        return (f"{self.attack:10s} acc={self.accuracy * 100:6.2f}%  "
+                f"flipped={self.flipped:d}/{self.evaluated:d}  "
+                f"{self.seconds:7.3f}s  [{source}]")
+
+
+@dataclass
+class SuiteResult:
+    """Everything one suite run measured for one model."""
+
+    model_name: str
+    dataset: str
+    clean_accuracy: float
+    records: List[AttackRecord] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> Dict[str, float]:
+        """Accuracy dict in the shape ``EvaluationResult`` expects."""
+        out = {"original": self.clean_accuracy}
+        for record in self.records:
+            out[record.attack] = record.accuracy
+        return out
+
+    @property
+    def generation_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+
+class AttackSuite:
+    """Evaluate one or more models against a named attack grid.
+
+    Parameters
+    ----------
+    attacks:
+        Named attack instances (the grid columns).
+    cache:
+        Optional :class:`AdversarialCache`; hits replay stored batches.
+    early_stop:
+        ``True``/``False`` forces every attack on/off its per-example
+        early-stopping path; the default ``None`` respects each attack's
+        own flag (experiment configs build their attacks with early
+        stopping on, so the engine path is the default where it matters).
+    batch_size:
+        Forward-pass batch size for the accuracy measurements.
+    """
+
+    def __init__(self, attacks: Dict[str, Attack],
+                 cache: Optional[AdversarialCache] = None,
+                 early_stop: Optional[bool] = None,
+                 batch_size: int = 256) -> None:
+        # An empty grid is allowed: the suite then measures clean accuracy
+        # only (the framework supports attack-free scenarios).
+        self.attacks: Dict[str, Attack] = {}
+        for name, attack in attacks.items():
+            if early_stop is not None and hasattr(attack, "early_stop"):
+                attack = dataclasses.replace(attack, early_stop=early_stop)
+            self.attacks[name] = attack
+        self.cache = cache
+        self.batch_size = batch_size
+
+    def run(self, model: nn.Module, images: np.ndarray, labels: np.ndarray,
+            model_name: str = "model", dataset: str = "dataset",
+            on_record: Optional[Callable[[AttackRecord], None]] = None
+            ) -> SuiteResult:
+        """Craft + score every attack against ``model`` on one test batch.
+
+        ``on_record`` is called after each attack finishes, so callers can
+        stream rows (the CLI uses it for progress output).
+        """
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels)
+        if len(images) == 0:
+            raise ValueError("evaluation needs at least one test example")
+        # The one shared clean forward pass.
+        clean_preds = predict_labels(model, images, self.batch_size)
+        clean_correct = clean_preds == labels
+        result = SuiteResult(model_name=model_name, dataset=dataset,
+                             clean_accuracy=float(clean_correct.mean()))
+        # Weights and the test batch are fixed for the whole grid: hash
+        # them once, not per attack.
+        model_fp = data_fp = None
+        if self.cache is not None:
+            model_fp = fingerprint_model(model)
+            data_fp = fingerprint_data(images, labels)
+        for name, attack in self.attacks.items():
+            start = time.perf_counter()
+            if self.cache is not None:
+                adv, hit = self.cache.get_or_generate(
+                    attack, model, images, labels,
+                    model_fingerprint=model_fp, data_fingerprint=data_fp)
+            else:
+                adv, hit = attack(model, images, labels), False
+            generation_seconds = time.perf_counter() - start
+            adv_preds = predict_labels(model, adv, self.batch_size)
+            adv_correct = adv_preds == labels
+            record = AttackRecord(
+                attack=name,
+                accuracy=float(adv_correct.mean()),
+                seconds=generation_seconds,
+                from_cache=hit,
+                flipped=int((clean_correct & ~adv_correct).sum()),
+                evaluated=len(images),
+            )
+            result.records.append(record)
+            if on_record is not None:
+                on_record(record)
+        return result
+
+    def run_grid(self, models: Dict[str, nn.Module], images: np.ndarray,
+                 labels: np.ndarray, dataset: str = "dataset"
+                 ) -> List[SuiteResult]:
+        """Evaluate a model x attack grid (one suite run per model)."""
+        return [self.run(model, images, labels, model_name=name,
+                         dataset=dataset)
+                for name, model in models.items()]

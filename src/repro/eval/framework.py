@@ -18,7 +18,8 @@ from .. import nn
 from ..attacks.base import Attack
 from ..data.datasets import DataSplit
 from ..defenses.base import Trainer, TrainingHistory
-from .metrics import test_accuracy
+from .cache import AdversarialCache
+from .engine import AttackSuite, SuiteResult
 
 __all__ = ["EvaluationResult", "EvaluationFramework"]
 
@@ -50,10 +51,14 @@ class EvaluationFramework:
     eval_size:
         Number of test examples used for accuracy (attacks are expensive;
         the FAST preset evaluates on a subset).
+    cache:
+        Optional adversarial-example cache — repeated runs against the same
+        trained weights replay stored batches instead of regenerating them.
     """
 
     def __init__(self, split: DataSplit, attacks: Dict[str, Attack],
-                 eval_size: Optional[int] = None) -> None:
+                 eval_size: Optional[int] = None,
+                 cache: Optional[AdversarialCache] = None) -> None:
         self.split = split
         self.attacks = dict(attacks)
         n = len(split.test) if eval_size is None else min(eval_size,
@@ -62,6 +67,10 @@ class EvaluationFramework:
             raise ValueError("evaluation needs at least one test example")
         self._test_x = split.test.images[:n]
         self._test_y = split.test.labels[:n]
+        # early_stop=None: each attack keeps the flag its config chose, so
+        # the framework never silently changes attack semantics.
+        self.suite = AttackSuite(self.attacks, cache=cache, early_stop=None)
+        self.last_suite_result: Optional[SuiteResult] = None
 
     def evaluate(self, trainer: Trainer,
                  defense_name: Optional[str] = None) -> EvaluationResult:
@@ -69,28 +78,18 @@ class EvaluationFramework:
         accuracy on original and every adversarial example type."""
         name = defense_name or trainer.name
         history = trainer.fit(self.split.train)
-        result = EvaluationResult(defense=name, dataset=self.split.name,
-                                  history=history)
-        model = trainer.model
-        result.accuracy["original"] = test_accuracy(
-            model, self._test_x, self._test_y)
-        for attack_name, attack in self.attacks.items():
-            adv = attack(model, self._test_x, self._test_y)
-            result.accuracy[attack_name] = test_accuracy(
-                model, adv, self._test_y)
-        return result
+        return self.evaluate_pretrained(trainer.model, name, history=history)
 
     def evaluate_pretrained(self, model: nn.Module, defense_name: str,
                             history: Optional[TrainingHistory] = None
                             ) -> EvaluationResult:
         """Measure an already-trained classifier (used when one training run
         feeds several analyses)."""
+        suite_result = self.suite.run(model, self._test_x, self._test_y,
+                                      model_name=defense_name,
+                                      dataset=self.split.name)
+        self.last_suite_result = suite_result
         result = EvaluationResult(defense=defense_name,
                                   dataset=self.split.name, history=history)
-        result.accuracy["original"] = test_accuracy(
-            model, self._test_x, self._test_y)
-        for attack_name, attack in self.attacks.items():
-            adv = attack(model, self._test_x, self._test_y)
-            result.accuracy[attack_name] = test_accuracy(
-                model, adv, self._test_y)
+        result.accuracy.update(suite_result.accuracy)
         return result

@@ -11,12 +11,13 @@ to look *worse* under transfer than under direct attack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from .. import nn
 from ..attacks.base import Attack
+from .cache import AdversarialCache
 from .metrics import test_accuracy
 
 __all__ = ["TransferResult", "transfer_attack_accuracy"]
@@ -43,18 +44,28 @@ def transfer_attack_accuracy(
     attacks: Dict[str, Attack],
     images: np.ndarray,
     labels: np.ndarray,
+    cache: Optional[AdversarialCache] = None,
 ) -> Dict[str, TransferResult]:
     """Measure white-box vs transferred accuracy for each attack.
 
     ``surrogate`` plays the adversary's substitute model: examples are
-    generated against it and replayed on ``victim``.
+    generated against it and replayed on ``victim``.  With a ``cache``, the
+    surrogate-crafted batches (and the direct white-box ones) are replayed
+    from disk on repeated runs — useful because the same surrogate examples
+    are typically measured against several victims.
     """
     if len(images) == 0:
         raise ValueError("transfer evaluation needs at least one example")
+
+    def craft(attack: Attack, model: nn.Module) -> np.ndarray:
+        if cache is not None:
+            return cache.get_or_generate(attack, model, images, labels)[0]
+        return attack(model, images, labels)
+
     results: Dict[str, TransferResult] = {}
     for name, attack in attacks.items():
-        direct = attack(victim, images, labels)
-        transferred = attack(surrogate, images, labels)
+        direct = craft(attack, victim)
+        transferred = craft(attack, surrogate)
         results[name] = TransferResult(
             attack=name,
             white_box_accuracy=test_accuracy(victim, direct, labels),

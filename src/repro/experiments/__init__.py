@@ -21,8 +21,9 @@ from .figure5 import (
     run_cls_convergence,
     run_training_time,
 )
+from .eval_suite import ATTACK_POOL_NAMES, build_attack_pool, run_eval_suite
 from .registry import REGISTRY, Experiment, get_experiment
-from .runners import build_trainer, load_config_split
+from .runners import build_cache, build_trainer, load_config_split
 from .table3 import EXAMPLE_TYPES, render_table3, run_table3
 from .table4 import run_table4
 
@@ -50,4 +51,8 @@ __all__ = [
     "get_experiment",
     "build_trainer",
     "load_config_split",
+    "build_cache",
+    "run_eval_suite",
+    "build_attack_pool",
+    "ATTACK_POOL_NAMES",
 ]

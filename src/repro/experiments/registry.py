@@ -10,6 +10,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from .ablation import run_gamma_ablation
+from .eval_suite import run_eval_suite
 from .figure5 import run_cls_convergence, run_training_time
 from .table3 import run_table3
 from .table4 import run_table4
@@ -51,6 +52,12 @@ REGISTRY: Dict[str, Experiment] = {
         artifact="Sec. III-D gamma trade-off",
         description="ZK-GanDef accuracy across gamma values",
         runner=run_gamma_ablation,
+    ),
+    "eval-suite": Experiment(
+        artifact="evaluation engine",
+        description="one defense vs the full attack grid, with per-attack "
+                    "timing and adversarial caching",
+        runner=run_eval_suite,
     ),
 }
 

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import os
+from typing import Dict, Optional, Union
 
 from ..data.datasets import DataSplit, load_split
 from ..defenses import (
@@ -15,15 +16,22 @@ from ..defenses import (
     VanillaTrainer,
     ZKGanDefTrainer,
 )
+from ..eval.cache import AdversarialCache
 from ..models import build_classifier
 from .config import DatasetConfig
 
-__all__ = ["build_trainer", "load_config_split"]
+__all__ = ["build_trainer", "load_config_split", "build_cache"]
 
 
 def load_config_split(cfg: DatasetConfig, seed: int = 0) -> DataSplit:
     """Preprocessing module: generate + separate the configured dataset."""
     return load_split(cfg.name, cfg.train_size, cfg.test_size, seed=seed)
+
+
+def build_cache(cache_dir: Optional[Union[str, os.PathLike]]
+                ) -> Optional[AdversarialCache]:
+    """Adversarial-example cache for an experiment run (``None`` disables)."""
+    return AdversarialCache(cache_dir) if cache_dir else None
 
 
 def build_trainer(defense: str, cfg: DatasetConfig, seed: int = 0) -> Trainer:

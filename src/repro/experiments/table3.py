@@ -8,12 +8,13 @@ so one runner serves both artifacts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import os
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..eval.framework import EvaluationFramework, EvaluationResult
 from ..eval.reporting import format_accuracy_table
 from .config import DEFENSE_NAMES, DatasetConfig, ExperimentConfig, get_config
-from .runners import build_trainer, load_config_split
+from .runners import build_cache, build_trainer, load_config_split
 
 __all__ = ["run_table3", "EXAMPLE_TYPES"]
 
@@ -26,18 +27,21 @@ def run_table3(
     defenses: Optional[Sequence[str]] = None,
     seed: int = 0,
     verbose: bool = False,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
 ) -> List[EvaluationResult]:
     """Regenerate one dataset column-block of Table III.
 
     Returns one :class:`EvaluationResult` per defense, each carrying the
     accuracy for every example type plus the training history (which the
-    Figure 5 runner reuses).
+    Figure 5 runner reuses).  ``cache_dir`` enables the adversarial-example
+    cache: a re-run against unchanged weights replays the stored batches.
     """
     cfg = get_config(preset).dataset(dataset)
     fast = get_config(preset).fast
     split = load_config_split(cfg, seed=seed)
     attacks = cfg.budget.build(fast=fast, seed=seed)
-    framework = EvaluationFramework(split, attacks, eval_size=cfg.eval_size)
+    framework = EvaluationFramework(split, attacks, eval_size=cfg.eval_size,
+                                    cache=build_cache(cache_dir))
 
     results = []
     for defense in (defenses or DEFENSE_NAMES):

@@ -7,17 +7,20 @@ from the signed-gradient family the defense was (not) trained against.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import os
+from typing import Dict, Optional, Union
 
 from ..eval.framework import EvaluationFramework, EvaluationResult
 from .config import ExperimentConfig, get_config
-from .runners import build_trainer, load_config_split
+from .runners import build_cache, build_trainer, load_config_split
 
 __all__ = ["run_table4"]
 
 
 def run_table4(dataset: str, preset: str = "fast", seed: int = 0,
-               verbose: bool = False) -> EvaluationResult:
+               verbose: bool = False,
+               cache_dir: Optional[Union[str, os.PathLike]] = None
+               ) -> EvaluationResult:
     """Regenerate one dataset column-pair of Table IV.
 
     Returns a single result whose accuracy dict has ``original``,
@@ -27,7 +30,8 @@ def run_table4(dataset: str, preset: str = "fast", seed: int = 0,
     cfg = config.dataset(dataset)
     split = load_config_split(cfg, seed=seed)
     attacks = cfg.budget.build_generalizability(fast=config.fast)
-    framework = EvaluationFramework(split, attacks, eval_size=cfg.eval_size)
+    framework = EvaluationFramework(split, attacks, eval_size=cfg.eval_size,
+                                    cache=build_cache(cache_dir))
     trainer = build_trainer("zk-gandef", cfg, seed=seed)
     result = framework.evaluate(trainer)
     if verbose:

@@ -1,0 +1,122 @@
+"""Adversarial cache correctness: bit-identical replay, key invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BIM, FGSM
+from repro.eval.cache import (
+    AdversarialCache,
+    cache_key,
+    fingerprint_attack,
+    fingerprint_data,
+    fingerprint_model,
+)
+from tests.conftest import TinyNet, make_blobs_dataset
+
+
+@pytest.fixture
+def setup():
+    data = make_blobs_dataset(n=16, seed=2)
+    model = TinyNet(num_classes=4, seed=0)
+    model(np.zeros((1, 1, 8, 8), dtype=np.float32))  # build the lazy head
+    return model, data.images, data.labels
+
+
+ATTACK = BIM(eps=0.3, step=0.1, iterations=3)
+
+
+class TestBitIdenticalReplay:
+    def test_hit_returns_identical_batch(self, setup, tmp_path):
+        model, x, y = setup
+        cache = AdversarialCache(tmp_path / "adv")
+        first, hit1 = cache.get_or_generate(ATTACK, model, x, y)
+        second, hit2 = cache.get_or_generate(ATTACK, model, x, y)
+        assert (hit1, hit2) == (False, True)
+        assert second.dtype == first.dtype
+        np.testing.assert_array_equal(second, first)
+
+    def test_disk_roundtrip_is_bit_identical(self, setup, tmp_path):
+        """A fresh cache instance (no in-memory layer) replays from disk."""
+        model, x, y = setup
+        root = tmp_path / "adv"
+        first, _ = AdversarialCache(root).get_or_generate(ATTACK, model, x, y)
+        reread, hit = AdversarialCache(
+            root, keep_in_memory=False).get_or_generate(ATTACK, model, x, y)
+        assert hit is True
+        assert reread.tobytes() == first.tobytes()
+
+    def test_hit_miss_counters(self, setup, tmp_path):
+        model, x, y = setup
+        cache = AdversarialCache(tmp_path / "adv")
+        cache.get_or_generate(ATTACK, model, x, y)
+        cache.get_or_generate(ATTACK, model, x, y)
+        cache.get_or_generate(FGSM(eps=0.3), model, x, y)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+
+class TestKeyInvalidation:
+    def test_mutating_weights_invalidates(self, setup, tmp_path):
+        model, x, y = setup
+        cache = AdversarialCache(tmp_path / "adv")
+        cache.get_or_generate(ATTACK, model, x, y)
+        before = fingerprint_model(model)
+        next(iter(model.parameters())).data += 1e-3
+        assert fingerprint_model(model) != before
+        _, hit = cache.get_or_generate(ATTACK, model, x, y)
+        assert hit is False
+
+    def test_attack_config_changes_invalidate(self, setup):
+        model, x, y = setup
+        base = fingerprint_attack(ATTACK)
+        assert fingerprint_attack(BIM(eps=0.31, step=0.1,
+                                      iterations=3)) != base
+        assert fingerprint_attack(BIM(eps=0.3, step=0.1,
+                                      iterations=4)) != base
+        assert fingerprint_attack(BIM(eps=0.3, step=0.1, iterations=3,
+                                      early_stop=True)) != base
+        # Different attack class at identical hyper-parameters.
+        assert fingerprint_attack(FGSM(eps=0.3)) != base
+
+    def test_data_changes_invalidate(self, setup):
+        _, x, y = setup
+        base = fingerprint_data(x, y)
+        bumped = x.copy()
+        bumped[0, 0, 0, 0] += 1e-6
+        assert fingerprint_data(bumped, y) != base
+        relabeled = y.copy()
+        relabeled[0] = (relabeled[0] + 1) % 4
+        assert fingerprint_data(x, relabeled) != base
+
+    def test_key_is_deterministic(self, setup):
+        model, x, y = setup
+        assert cache_key(model, ATTACK, x, y) == \
+            cache_key(model, ATTACK, x, y)
+
+    def test_identical_config_different_instances_share_key(self, setup):
+        model, x, y = setup
+        twin = BIM(eps=0.3, step=0.1, iterations=3)
+        assert cache_key(model, ATTACK, x, y) == cache_key(model, twin, x, y)
+
+
+class TestStorageHygiene:
+    def test_load_unknown_key_returns_none(self, tmp_path):
+        cache = AdversarialCache(tmp_path / "adv")
+        assert cache.load("0" * 64) is None
+
+    def test_store_creates_directory_lazily(self, setup, tmp_path):
+        root = tmp_path / "deep" / "adv"
+        cache = AdversarialCache(root)
+        assert len(cache) == 0
+        model, x, y = setup
+        cache.get_or_generate(ATTACK, model, x, y)
+        assert root.is_dir()
+        assert len(cache) == 1
+
+    def test_no_tmp_files_left_behind(self, setup, tmp_path):
+        model, x, y = setup
+        root = tmp_path / "adv"
+        AdversarialCache(root).get_or_generate(ATTACK, model, x, y)
+        leftovers = [f for f in root.iterdir() if ".tmp" in f.name]
+        assert leftovers == []

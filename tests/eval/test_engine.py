@@ -1,0 +1,138 @@
+"""The batched evaluation engine: suite runs, shared clean pass, streaming."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BIM, FGSM
+from repro.eval import AdversarialCache, AttackSuite, EvaluationFramework
+from repro.eval.reporting import format_accuracy_table
+from tests.conftest import TinyNet, make_blobs_dataset
+
+
+@pytest.fixture
+def setup():
+    data = make_blobs_dataset(n=24, seed=3)
+    model = TinyNet(num_classes=4, seed=0)
+    model(np.zeros((1, 1, 8, 8), dtype=np.float32))  # build the lazy head
+    return model, data.images, data.labels
+
+
+ATTACKS = {"fgsm": FGSM(eps=0.3), "bim": BIM(eps=0.3, step=0.1, iterations=3)}
+
+
+class TestAttackSuite:
+    def test_result_covers_grid(self, setup):
+        model, x, y = setup
+        result = AttackSuite(ATTACKS).run(model, x, y, model_name="tiny",
+                                          dataset="blobs")
+        assert result.model_name == "tiny"
+        assert result.dataset == "blobs"
+        assert [r.attack for r in result.records] == ["fgsm", "bim"]
+        assert set(result.accuracy) == {"original", "fgsm", "bim"}
+        for value in result.accuracy.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_one_shared_clean_forward_pass(self, setup, monkeypatch):
+        """The clean test batch is classified exactly once per run.
+
+        Attacks still make their own differentiable passes (those carry
+        gradients), but the suite must not recompute the clean *inference*
+        forward per metric — one pass feeds the original accuracy and every
+        flip count.
+        """
+        import repro.eval.engine as engine_mod
+        model, x, y = setup
+        calls = []
+        real_predict = engine_mod.predict_labels
+
+        def spying_predict(model, images, batch_size=256):
+            calls.append(images)
+            return real_predict(model, images, batch_size)
+
+        monkeypatch.setattr(engine_mod, "predict_labels", spying_predict)
+        AttackSuite(ATTACKS).run(model, x, y)
+        # One clean inference pass plus one per adversarial batch; the clean
+        # one is identified by identity, not value (an attack output can
+        # legitimately equal the input).
+        assert len(calls) == 1 + len(ATTACKS)
+        clean_passes = [im for im in calls if np.shares_memory(im, x)]
+        assert len(clean_passes) == 1
+
+    def test_streaming_callback_sees_every_record(self, setup):
+        model, x, y = setup
+        seen = []
+        AttackSuite(ATTACKS).run(model, x, y, on_record=seen.append)
+        assert [r.attack for r in seen] == ["fgsm", "bim"]
+        assert all(r.seconds >= 0 for r in seen)
+        assert all(r.evaluated == len(x) for r in seen)
+
+    def test_flip_counts_consistent_with_accuracy(self, setup):
+        model, x, y = setup
+        result = AttackSuite(ATTACKS).run(model, x, y)
+        for record in result.records:
+            # Flips only count clean-correct examples broken by the attack.
+            assert 0 <= record.flipped <= round(
+                result.clean_accuracy * len(x))
+
+    def test_early_stop_override_applied(self):
+        suite = AttackSuite({"bim": BIM(eps=0.1, early_stop=False)},
+                            early_stop=True)
+        assert suite.attacks["bim"].early_stop is True
+        neutral = AttackSuite({"bim": BIM(eps=0.1, early_stop=False)},
+                              early_stop=None)
+        assert neutral.attacks["bim"].early_stop is False
+
+    def test_empty_batch_rejected(self, setup):
+        model, _, _ = setup
+        with pytest.raises(ValueError):
+            AttackSuite(ATTACKS).run(model, np.empty((0, 1, 8, 8)),
+                                     np.empty(0, dtype=np.int64))
+
+    def test_run_grid_one_result_per_model(self, setup):
+        model, x, y = setup
+        other = TinyNet(num_classes=4, seed=1)
+        results = AttackSuite({"fgsm": FGSM(eps=0.2)}).run_grid(
+            {"a": model, "b": other}, x, y, dataset="blobs")
+        assert [r.model_name for r in results] == ["a", "b"]
+
+    def test_streams_into_reporting_types(self, setup):
+        """Suite accuracies render through the existing table formatter."""
+        model, x, y = setup
+        from repro.eval.framework import EvaluationResult
+        suite_result = AttackSuite(ATTACKS).run(model, x, y,
+                                                model_name="tiny")
+        bridged = EvaluationResult(defense="tiny", dataset="blobs")
+        bridged.accuracy.update(suite_result.accuracy)
+        table = format_accuracy_table([bridged], ["original", "fgsm", "bim"])
+        assert "tiny" in table and "%" in table
+
+    def test_cached_run_same_accuracies(self, setup, tmp_path):
+        model, x, y = setup
+        cold = AttackSuite(ATTACKS,
+                           cache=AdversarialCache(tmp_path / "adv"))
+        first = cold.run(model, x, y)
+        assert all(not r.from_cache for r in first.records)
+        warm = AttackSuite(ATTACKS,
+                           cache=AdversarialCache(tmp_path / "adv"))
+        second = warm.run(model, x, y)
+        assert all(r.from_cache for r in second.records)
+        assert second.accuracy == first.accuracy
+
+
+class TestFrameworkDelegation:
+    def test_framework_records_suite_telemetry(self, tiny_split):
+        model = TinyNet(seed=0)
+        framework = EvaluationFramework(tiny_split,
+                                        {"fgsm": FGSM(eps=0.3)},
+                                        eval_size=8)
+        result = framework.evaluate_pretrained(model, "tiny")
+        assert set(result.accuracy) == {"original", "fgsm"}
+        suite_result = framework.last_suite_result
+        assert suite_result is not None
+        assert suite_result.accuracy == result.accuracy
+
+    def test_framework_respects_attack_flags(self, tiny_split):
+        attack = BIM(eps=0.3, step=0.1, iterations=2, early_stop=False)
+        framework = EvaluationFramework(tiny_split, {"bim": attack},
+                                        eval_size=4)
+        assert framework.suite.attacks["bim"].early_stop is False

@@ -53,3 +53,22 @@ class TestTransfer:
         r = transfer_attack_accuracy(
             victim, victim, {"fgsm": FGSM(eps=0.4)}, x, y)["fgsm"]
         assert r.white_box_accuracy == pytest.approx(r.transfer_accuracy)
+
+
+class TestTransferCache:
+    def test_repeat_run_hits_cache_with_identical_numbers(self, pair,
+                                                          tmp_path):
+        from repro.eval import AdversarialCache
+        victim, surrogate, x, y = pair
+        attacks = {"fgsm": FGSM(eps=0.4)}
+        cache = AdversarialCache(tmp_path / "adv")
+        first = transfer_attack_accuracy(victim, surrogate, attacks, x, y,
+                                         cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+        second = transfer_attack_accuracy(victim, surrogate, attacks, x, y,
+                                          cache=cache)
+        assert cache.hits == 2
+        assert second["fgsm"].white_box_accuracy == \
+            first["fgsm"].white_box_accuracy
+        assert second["fgsm"].transfer_accuracy == \
+            first["fgsm"].transfer_accuracy

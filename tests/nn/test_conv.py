@@ -103,6 +103,112 @@ class TestConvBackward:
                        [rng.standard_normal(3)])
 
 
+def naive_conv2d_general(x, w, stride_hw, padding_hw):
+    """Loop reference supporting non-square kernels / strides / padding."""
+    sh, sw = stride_hw
+    ph, pw = padding_hw
+    n, c, h, wdt = x.shape
+    oc, ic, kh, kw = w.shape
+    x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (wdt + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, oc, out_h, out_w), dtype=np.float64)
+    for i in range(n):
+        for o in range(oc):
+            for y in range(out_h):
+                for xx in range(out_w):
+                    patch = x[i, :, y * sh:y * sh + kh, xx * sw:xx * sw + kw]
+                    out[i, o, y, xx] = (patch * w[o]).sum()
+    return out
+
+
+class TestConvEdgeCases:
+    """Geometries the attack gradients depend on but the main models do not
+    exercise: non-square kernels, stride > 1 with padding, and the im2col /
+    col2im adjoint pair that carries every input gradient."""
+
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        ((3, 2), (1, 1), (0, 0)),
+        ((2, 4), (1, 1), (1, 1)),
+        ((3, 2), (2, 1), (1, 0)),
+        ((1, 3), (1, 2), (0, 1)),
+    ])
+    def test_non_square_forward_matches_naive(self, kernel, stride, padding):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((2, 2, 7, 8)).astype(np.float32)
+        w = rng.standard_normal((3, 2) + kernel).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        ref = naive_conv2d_general(x, w, stride, padding)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-4)
+
+    def test_non_square_kernel_gradcheck_input(self):
+        rng = np.random.default_rng(10)
+        w = (rng.standard_normal((2, 1, 3, 2)) * 0.5).astype(np.float32)
+        check_gradient(
+            lambda x: conv2d(x, Tensor(w), stride=(2, 1), padding=(1, 0)),
+            [rng.standard_normal((1, 1, 6, 5))],
+        )
+
+    def test_non_square_kernel_gradcheck_weight(self):
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((1, 1, 6, 5))
+        check_gradient(
+            lambda w: conv2d(Tensor(x.astype(np.float32)), w,
+                             stride=(1, 2), padding=(0, 1)),
+            [rng.standard_normal((2, 1, 2, 3)) * 0.5],
+        )
+
+    def test_stride2_with_padding_gradcheck_input(self):
+        rng = np.random.default_rng(12)
+        w = (rng.standard_normal((3, 2, 3, 3)) * 0.5).astype(np.float32)
+        check_gradient(
+            lambda x: conv2d(x, Tensor(w), stride=2, padding=1),
+            [rng.standard_normal((2, 2, 6, 6))],
+        )
+
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        ((3, 3), (1, 1), (1, 1)),
+        ((3, 2), (2, 1), (1, 0)),
+        ((2, 2), (2, 2), (0, 0)),
+        ((4, 1), (3, 1), (2, 0)),
+    ])
+    def test_col2im_is_adjoint_of_im2col(self, kernel, stride, padding):
+        """<im2col(x), c> == <x, col2im(c)> for every geometry — the exact
+        property the conv backward pass (and hence every white-box input
+        gradient) relies on."""
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal((2, 3, 7, 6)).astype(np.float64)
+        cols = im2col(x, kh, kw, sh, sw, ph, pw)
+        c = rng.standard_normal(cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im(c, x.shape, kh, kw, sh, sw, ph, pw)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_im2col_identity_when_non_overlapping(self):
+        """With stride == kernel and no padding the patches tile the image,
+        so the roundtrip reproduces it exactly."""
+        rng = np.random.default_rng(14)
+        x = rng.standard_normal((1, 2, 6, 4)).astype(np.float64)
+        cols = im2col(x, 3, 2, 3, 2, 0, 0)
+        back = col2im(cols, x.shape, 3, 2, 3, 2, 0, 0)
+        np.testing.assert_array_equal(back, x)
+
+    def test_col2im_accumulates_overlaps(self):
+        """Overlapping patches must *sum* on fold — the adjoint, not an
+        average: col2im(im2col(ones)) counts patch coverage per pixel."""
+        x = np.ones((1, 1, 4, 4), dtype=np.float64)
+        cols = im2col(x, 3, 3, 1, 1, 0, 0)
+        back = col2im(cols, x.shape, 3, 3, 1, 1, 0, 0)
+        expected = np.array([[1, 2, 2, 1],
+                             [2, 4, 4, 2],
+                             [2, 4, 4, 2],
+                             [1, 2, 2, 1]], dtype=np.float64)
+        np.testing.assert_array_equal(back[0, 0], expected)
+
+
 class TestPooling:
     def test_max_pool_forward(self):
         x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)

@@ -2,7 +2,9 @@
 
 import pytest
 
+import repro.experiments.registry as registry
 from repro.cli import build_parser, main
+from repro.eval.engine import AttackRecord, SuiteResult
 
 
 class TestParser:
@@ -11,6 +13,7 @@ class TestParser:
         assert args.dataset == "digits"
         assert args.preset == "fast"
         assert args.seed == 0
+        assert args.cache_dir is None
 
     def test_dataset_choices_enforced(self):
         with pytest.raises(SystemExit):
@@ -20,6 +23,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table3", "--preset", "huge"])
 
+    def test_eval_suite_options(self):
+        args = build_parser().parse_args(
+            ["eval-suite", "--defense", "pgd-adv", "--attacks", "fgsm,pgd",
+             "--cache-dir", "/tmp/adv", "--no-early-stop"])
+        assert args.defense == "pgd-adv"
+        assert args.attacks == "fgsm,pgd"
+        assert args.cache_dir == "/tmp/adv"
+        assert args.no_early_stop is True
+
+    def test_eval_suite_defense_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eval-suite", "--defense", "magic"])
+
+    def test_eval_suite_help_documents_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "eval-suite" in out
+        assert "early stopping" in out
+
 
 class TestDispatch:
     def test_list(self, capsys):
@@ -27,6 +50,44 @@ class TestDispatch:
         out = capsys.readouterr().out
         assert "table3" in out
         assert "figure5-convergence" in out
+        assert "eval-suite" in out
 
     def test_unknown_experiment(self, capsys):
         assert main(["table9"]) == 2
+
+    def test_eval_suite_renders_suite_result(self, capsys, monkeypatch):
+        fake = SuiteResult(model_name="vanilla", dataset="digits",
+                           clean_accuracy=0.9)
+        fake.records.append(AttackRecord(attack="fgsm", accuracy=0.25,
+                                         seconds=0.5, from_cache=True,
+                                         flipped=10, evaluated=16))
+        captured = {}
+
+        def stub_runner(dataset, **kwargs):
+            captured.update(kwargs, dataset=dataset)
+            return fake
+
+        monkeypatch.setitem(
+            registry.REGISTRY, "eval-suite",
+            registry.Experiment(artifact="evaluation engine",
+                                description="stub", runner=stub_runner))
+        assert main(["eval-suite", "--defense", "vanilla",
+                     "--attacks", "fgsm", "--cache-dir", "/tmp/adv"]) == 0
+        out = capsys.readouterr().out
+        assert "vanilla" in out
+        assert "fgsm" in out
+        assert "1 of 1 attacks from cache" in out
+        assert captured["defense"] == "vanilla"
+        assert captured["attack_names"] == ["fgsm"]
+        assert captured["cache_dir"] == "/tmp/adv"
+        assert captured["early_stop"] is True
+
+    def test_eval_suite_unknown_attack_is_error(self, capsys, monkeypatch):
+        def raising_runner(dataset, **kwargs):
+            raise KeyError("unknown attacks ['warp']")
+
+        monkeypatch.setitem(
+            registry.REGISTRY, "eval-suite",
+            registry.Experiment(artifact="evaluation engine",
+                                description="stub", runner=raising_runner))
+        assert main(["eval-suite", "--attacks", "warp"]) == 2
