@@ -8,6 +8,9 @@ Top-level layout (see DESIGN.md for the full inventory):
 * :mod:`repro.attacks` — FGSM / BIM / PGD / DeepFool / CW / MIM attacks,
 * :mod:`repro.defenses` — Vanilla, CLP, CLS, ZK-GanDef, FGSM-Adv, PGD-Adv,
   PGD-GanDef trainers,
+* :mod:`repro.train` — callback-driven training loop: atomic
+  checkpoint/resume, LR schedulers, divergence guard, in-training
+  robustness probes, JSONL metrics,
 * :mod:`repro.models` — LeNet / allCNN classifier families,
 * :mod:`repro.eval` — the Figure 3 evaluation framework, metrics and the
   black-box transfer extension,

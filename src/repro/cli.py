@@ -11,6 +11,8 @@ without writing code:
     python -m repro ablation-gamma --dataset digits
     python -m repro eval-suite --dataset digits --defense pgd-adv \
         --attacks fgsm,pgd,mim --cache-dir .adv-cache
+    python -m repro train --defense gandef --dataset objects \
+        --checkpoint-dir runs/gandef --resume --probe-every 2
 """
 
 from __future__ import annotations
@@ -53,8 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate one defense against the attack grid through the batched "
         "engine (per-example early stopping + shared clean forward pass)")
     suite.add_argument("--defense", default="vanilla",
-                       choices=list(DEFENSE_NAMES),
-                       help="defense to train and attack")
+                       choices=list(DEFENSE_NAMES) + ["gandef"],
+                       help="defense to train and attack ('gandef' is an "
+                            "alias for the headline zk-gandef)")
     suite.add_argument("--attacks", default=",".join(ATTACK_POOL_NAMES),
                        metavar="A,B,...",
                        help="comma-separated subset of "
@@ -64,6 +67,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "budget even on already-fooled examples "
                             "(the pre-engine behavior; slower, same "
                             "accuracies)")
+    train = parser.add_argument_group(
+        "train options",
+        "restartable training via the callback-driven train subsystem "
+        "(checkpoint/resume, LR schedule, divergence guard, JSONL metrics, "
+        "in-training robustness probes); --defense selects what to train")
+    train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="write atomic full-state checkpoints (weights, "
+                            "optimizer moments, RNG streams, history) under "
+                            "DIR; metrics.jsonl lands there too")
+    train.add_argument("--resume", action="store_true",
+                       help="continue from DIR's checkpoint if one exists; "
+                            "the resumed run is bit-identical to an "
+                            "uninterrupted one")
+    train.add_argument("--probe-every", type=int, default=None, metavar="K",
+                       help="run the attack suite on a held-out slice every "
+                            "K epochs, streaming clean/robust accuracy "
+                            "into the metrics log (0 disables; default: "
+                            "the preset's schedule)")
+    train.add_argument("--epochs", type=int, default=None,
+                       help="override the preset's epoch budget")
     return parser
 
 
@@ -84,17 +107,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     key = args.experiment
+    ignored = []
+    if key not in ("eval-suite", "train") and args.defense != "vanilla":
+        ignored.append("--defense")
     if key != "eval-suite":
-        ignored = []
-        if args.defense != "vanilla":
-            ignored.append("--defense")
         if args.attacks != ",".join(ATTACK_POOL_NAMES):
             ignored.append("--attacks")
         if args.no_early_stop:
             ignored.append("--no-early-stop")
-        if ignored:
-            print(f"note: {', '.join(ignored)} only applies to eval-suite "
-                  f"and is ignored by {key}")
+    if key != "train":
+        if args.checkpoint_dir is not None and key not in (
+                "figure5-time", "figure5-convergence"):
+            ignored.append("--checkpoint-dir")
+        if args.resume and key not in ("figure5-time",
+                                       "figure5-convergence"):
+            ignored.append("--resume")
+        if args.probe_every is not None:
+            ignored.append("--probe-every")
+        if args.epochs is not None:
+            ignored.append("--epochs")
+    if ignored:
+        print(f"note: {', '.join(ignored)} does not apply to {key} "
+              "and is ignored")
+    try:
+        return _dispatch(key, args, experiment)
+    except ValueError as error:
+        # Runners raise ValueError for user-input problems (e.g. --resume
+        # without --checkpoint-dir); render them as clean CLI errors.
+        print(error)
+        return 2
+
+
+def _dispatch(key, args, experiment) -> int:
     if key == "table3":
         results = experiment.runner(args.dataset, preset=args.preset,
                                     seed=args.seed, verbose=True,
@@ -124,14 +168,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  generation: {suite_result.generation_seconds:.2f}s "
               f"({sum(r.from_cache for r in suite_result.records)} of "
               f"{len(suite_result.records)} attacks from cache)")
+    elif key == "train":
+        result = experiment.runner(
+            args.dataset, preset=args.preset, defense=args.defense,
+            seed=args.seed, epochs=args.epochs,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            probe_every=args.probe_every, cache_dir=args.cache_dir,
+            verbose=True)
+        h = result.history
+        status = f"diverged ({h.stop_reason})" if h.stop_reason \
+            else "completed"
+        print(f"{result.defense} on {result.dataset}: "
+              f"{result.completed_epochs} epochs {status}"
+              + (f" (resumed from {result.resumed_from})"
+                 if result.resumed else ""))
+        if h.losses:
+            print(f"  final loss {h.losses[-1]:.4f}  "
+                  f"mean epoch {h.mean_epoch_seconds:.2f}s")
+        if result.probes:
+            last = result.probes[-1]
+            robust = "  ".join(
+                f"{r.attack}={r.accuracy * 100:.1f}%"
+                for r in last["result"].records)
+            print(f"  probe @ epoch {last['epoch'] + 1}: "
+                  f"clean={last['result'].clean_accuracy * 100:.1f}%  "
+                  f"{robust}")
+        if result.checkpoint_path:
+            print(f"  checkpoint: {result.checkpoint_path}")
+        if result.metrics_path:
+            print(f"  metrics:    {result.metrics_path}")
     elif key == "figure5-time":
         timings = experiment.runner(args.dataset, preset=args.preset,
-                                    seed=args.seed)
+                                    seed=args.seed,
+                                    checkpoint_dir=args.checkpoint_dir,
+                                    resume=args.resume)
         for name, seconds in timings.items():
             print(f"  {name:14s} {seconds:8.3f} s/epoch")
     elif key == "figure5-convergence":
         curves = experiment.runner("objects", preset=args.preset,
-                                   seed=args.seed)
+                                   seed=args.seed,
+                                   run_dir=args.checkpoint_dir,
+                                   resume=args.resume)
         print(format_series(
             "CLS training loss per epoch",
             {c.label: c.losses for c in curves}))

@@ -1,16 +1,24 @@
 """Trainer abstraction shared by every defense.
 
-A trainer owns a classifier, runs an epoch loop over a training
-:class:`~repro.data.datasets.Dataset`, and records a
-:class:`TrainingHistory`: per-epoch mean loss (Figure 5 right plots these
-for CLS) and per-epoch wall-clock seconds (Figure 5 left/middle compares
-them across defenses).
+A trainer owns a classifier plus the *science* of one training procedure
+(``train_epoch``: batch iteration and optimizer steps); run control lives
+in :class:`~repro.train.loop.TrainLoop`, which drives the epochs, emits
+callback events and records a :class:`TrainingHistory`: per-epoch mean
+loss (Figure 5 right plots these for CLS) and per-epoch wall-clock
+seconds (Figure 5 left/middle compares them across defenses).
+
+Everything stateful a resumed run needs is reachable from the trainer:
+model parameters, every optimizer's moments (``named_optimizers``), and
+every RNG stream (``rng_streams`` — batch shuffling, augmentation noise,
+dropout generators).  ``state_dict``/``load_state_dict`` round-trip the
+lot, which is what makes :mod:`repro.train.checkpoint` resumes
+bit-identical to uninterrupted runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,7 +26,10 @@ from .. import nn
 from ..data.batching import iterate_batches
 from ..data.datasets import Dataset
 from ..utils.rng import derive_rng
-from ..utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..train.callbacks import Callback
+    from ..train.loop import TrainLoop
 
 __all__ = ["TrainingHistory", "Trainer"]
 
@@ -30,6 +41,7 @@ class TrainingHistory:
     losses: List[float] = field(default_factory=list)
     epoch_seconds: List[float] = field(default_factory=list)
     extra: Dict[str, List[float]] = field(default_factory=dict)
+    stop_reason: Optional[str] = None
 
     @property
     def epochs(self) -> int:
@@ -49,9 +61,26 @@ class TrainingHistory:
         paper reports on CIFAR10 (Sec. V-D)."""
         return any(not np.isfinite(v) for v in self.losses)
 
+    # -- checkpoint (de)serialization ---------------------------------- #
+    def to_dict(self) -> Dict:
+        return {"losses": list(self.losses),
+                "epoch_seconds": list(self.epoch_seconds),
+                "extra": {k: list(v) for k, v in self.extra.items()},
+                "stop_reason": self.stop_reason}
+
+    @classmethod
+    def from_dict(cls, state: Dict) -> "TrainingHistory":
+        return cls(losses=[float(v) for v in state.get("losses", [])],
+                   epoch_seconds=[float(v)
+                                  for v in state.get("epoch_seconds", [])],
+                   extra={k: [float(v) for v in vals]
+                          for k, vals in state.get("extra", {}).items()},
+                   stop_reason=state.get("stop_reason"))
+
 
 class Trainer:
-    """Base epoch loop; subclasses implement :meth:`train_step`.
+    """Base trainer; subclasses implement :meth:`train_step` (or override
+    :meth:`train_epoch` for non-standard batch structures).
 
     Parameters
     ----------
@@ -71,6 +100,11 @@ class Trainer:
 
     name = "trainer"
 
+    #: RNG tag for the batch-shuffling stream.  ``None`` derives
+    #: ``"{name}-batches"``; GanDef pins the shared historical tag so all
+    #: its variants shuffle identically to the seed implementation.
+    batch_stream_tag: Optional[str] = None
+
     def __init__(
         self,
         model: nn.Module,
@@ -87,6 +121,12 @@ class Trainer:
         self.seed = seed
         self.optimizer = self._build_optimizer(optimizer, lr, momentum)
         self.history = TrainingHistory()
+        self.completed_epochs = 0
+        self._rng_streams: Dict[str, np.random.Generator] = {}
+        self._run_stream_tags: Dict[str, str] = {}
+        tag = self.batch_stream_tag or f"{self.name}-batches"
+        self.batch_rng = self.register_rng("batches", tag,
+                                           reset_each_run=True)
 
     def _build_optimizer(self, kind: str, lr: float,
                          momentum: float) -> nn.Optimizer:
@@ -98,29 +138,128 @@ class Trainer:
         raise ValueError(f"unknown optimizer {kind!r}; use 'adam' or 'sgd'")
 
     # ------------------------------------------------------------------ #
-    def fit(self, dataset: Dataset) -> TrainingHistory:
-        """Run the full epoch loop; returns (and stores) the history."""
-        batch_rng = derive_rng(self.seed, f"{self.name}-batches")
-        watch = Stopwatch().start()
-        for epoch in range(self.epochs):
-            losses = []
-            self.model.train()
-            for images, labels in iterate_batches(
-                    dataset, self.batch_size, batch_rng):
-                losses.append(self.train_step(images, labels))
-            epoch_loss = float(np.mean(losses)) if losses else float("nan")
-            self.history.losses.append(epoch_loss)
-            self.history.epoch_seconds.append(watch.lap())
-            self.on_epoch_end(epoch, epoch_loss)
-        self.model.eval()
-        return self.history
+    # RNG stream registry
+    # ------------------------------------------------------------------ #
+    def register_rng(self, stream: str, tag: str,
+                     reset_each_run: bool = False) -> np.random.Generator:
+        """Create and register the ``(seed, tag)``-derived stream.
+
+        Registered streams are checkpointed by name; ``reset_each_run``
+        streams are additionally re-derived whenever a from-scratch run
+        starts (matching the historical per-``fit`` derivation of the
+        batch order), while the others — e.g. Gaussian augmentation noise
+        — persist for the trainer's lifetime.
+        """
+        rng = derive_rng(self.seed, tag)
+        self._rng_streams[stream] = rng
+        if reset_each_run:
+            self._run_stream_tags[stream] = tag
+        return rng
+
+    def reset_run_streams(self) -> None:
+        """Re-derive every per-run stream (called at fresh-run start)."""
+        for stream, tag in self._run_stream_tags.items():
+            fresh = derive_rng(self.seed, tag)
+            self._rng_streams[stream].bit_generator.state = \
+                fresh.bit_generator.state
+
+    def rng_streams(self) -> Dict[str, np.random.Generator]:
+        """Every stateful generator a checkpoint must capture: the
+        registered trainer streams plus any ``Dropout`` layer's generator
+        inside the checkpointed modules (allCNN's input dropout draws a
+        mask per training forward pass)."""
+        streams = dict(self._rng_streams)
+        for mod_name, module in self.checkpoint_modules().items():
+            for i, m in enumerate(module.modules()):
+                if isinstance(m, nn.Dropout):
+                    streams[f"{mod_name}-dropout-{i}"] = m._rng
+        return streams
+
+    # ------------------------------------------------------------------ #
+    # checkpoint surface
+    # ------------------------------------------------------------------ #
+    def checkpoint_modules(self) -> Dict[str, nn.Module]:
+        """Modules whose parameters belong in a checkpoint."""
+        return {"model": self.model}
+
+    def named_optimizers(self) -> Dict[str, nn.Optimizer]:
+        """Optimizers whose moments belong in a checkpoint."""
+        return {"classifier": self.optimizer}
+
+    def state_dict(self) -> Dict:
+        """Everything a bit-identical resume needs."""
+        return {
+            "modules": {name: module.state_dict()
+                        for name, module in self.checkpoint_modules().items()},
+            "optimizers": {name: opt.state_dict()
+                           for name, opt in self.named_optimizers().items()},
+            "rng": {name: gen.bit_generator.state
+                    for name, gen in self.rng_streams().items()},
+            "completed_epochs": int(self.completed_epochs),
+            "history": self.history.to_dict(),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Inverse of :meth:`state_dict`; validates every name set (module,
+        optimizer, RNG stream) before mutating anything, so a mismatched
+        checkpoint cannot leave the trainer half-loaded.
+
+        RNG validation is strict in *both* directions: a stream missing
+        from the checkpoint would silently resume from a freshly-derived
+        generator — breaking the bit-identical-resume guarantee — so it
+        is an error, not a skip.
+        """
+        modules = self.checkpoint_modules()
+        optimizers = self.named_optimizers()
+        streams = self.rng_streams()
+        stored_rng = state.get("rng", {})
+        for scope, own, stored in (("module", modules, state["modules"]),
+                                   ("optimizer", optimizers,
+                                    state["optimizers"]),
+                                   ("RNG stream", streams, stored_rng)):
+            missing = set(own) - set(stored)
+            unexpected = set(stored) - set(own)
+            if missing or unexpected:
+                raise KeyError(
+                    f"checkpoint {scope} mismatch: missing "
+                    f"{sorted(missing)}, unexpected {sorted(unexpected)}")
+        for name, module in modules.items():
+            module.load_state_dict(state["modules"][name])
+        for name, opt in optimizers.items():
+            opt.load_state_dict(state["optimizers"][name])
+        for name, rng_state in stored_rng.items():
+            streams[name].bit_generator.state = rng_state
+        self.completed_epochs = int(state["completed_epochs"])
+        self.history = TrainingHistory.from_dict(state["history"])
+
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: Dataset,
+            callbacks: Optional[Iterable["Callback"]] = None
+            ) -> TrainingHistory:
+        """Run the epoch loop (from ``completed_epochs`` to ``epochs``);
+        returns (and stores) the history."""
+        from ..train.loop import TrainLoop  # deferred: avoids import cycle
+        return TrainLoop(self, callbacks=callbacks or ()).run(dataset)
+
+    def train_epoch(self, dataset: Dataset, epoch: int,
+                    loop: Optional["TrainLoop"] = None
+                    ) -> Tuple[List[float], Dict[str, float]]:
+        """One epoch of batches; returns (batch losses, extra metrics)."""
+        losses: List[float] = []
+        for i, (images, labels) in enumerate(
+                iterate_batches(dataset, self.batch_size, self.batch_rng)):
+            losses.append(self.train_step(images, labels))
+            if loop is not None:
+                loop.emit_batch_end(epoch, i, losses[-1])
+        return losses, {}
 
     def train_step(self, images: np.ndarray,
                    labels: np.ndarray) -> float:  # pragma: no cover
         raise NotImplementedError
 
     def on_epoch_end(self, epoch: int, loss: float) -> None:
-        """Hook for subclasses (checkpointing, schedules); default no-op."""
+        """Legacy subclass hook (checkpointing, schedules); default no-op.
+        New code should use loop callbacks instead."""
 
     # ------------------------------------------------------------------ #
     def _step_classifier(self, loss: nn.Tensor) -> float:

@@ -12,15 +12,15 @@ Note CLP trains **only** on perturbed examples — the paper points at this
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional, Tuple
+
 import numpy as np
 
 from .. import nn
 from ..data.batching import iterate_pairs
 from ..data.datasets import Dataset
 from ..data.preprocessing import GaussianAugmenter
-from ..utils.rng import derive_rng
-from ..utils.timing import Stopwatch
-from .base import Trainer, TrainingHistory
+from .base import Trainer
 
 __all__ = ["CLPTrainer"]
 
@@ -35,23 +35,18 @@ class CLPTrainer(Trainer):
         super().__init__(model, **kwargs)
         self.lam = lam
         self.augment = GaussianAugmenter(
-            derive_rng(self.seed, "clp-noise"), sigma=sigma)
+            self.register_rng("noise", "clp-noise"), sigma=sigma)
 
-    def fit(self, dataset: Dataset) -> TrainingHistory:
-        # CLP consumes paired batches, so it overrides the base loop.
-        batch_rng = derive_rng(self.seed, "clp-batches")
-        watch = Stopwatch().start()
-        for epoch in range(self.epochs):
-            losses = []
-            self.model.train()
-            for xa, ta, xb, tb in iterate_pairs(dataset, self.batch_size,
-                                                batch_rng):
-                losses.append(self._pair_step(xa, ta, xb, tb))
-            epoch_loss = float(np.mean(losses)) if losses else float("nan")
-            self.history.losses.append(epoch_loss)
-            self.history.epoch_seconds.append(watch.lap())
-        self.model.eval()
-        return self.history
+    def train_epoch(self, dataset: Dataset, epoch: int,
+                    loop=None) -> Tuple[List[float], Dict[str, float]]:
+        # CLP consumes paired batches, so it overrides the base epoch.
+        losses: List[float] = []
+        for i, (xa, ta, xb, tb) in enumerate(
+                iterate_pairs(dataset, self.batch_size, self.batch_rng)):
+            losses.append(self._pair_step(xa, ta, xb, tb))
+            if loop is not None:
+                loop.emit_batch_end(epoch, i, losses[-1])
+        return losses, {}
 
     def _pair_step(self, xa, ta, xb, tb) -> float:
         za = self.model(nn.Tensor(self.augment(xa)))
@@ -61,10 +56,12 @@ class CLPTrainer(Trainer):
         if not np.isfinite(value):
             # Reproduce the paper's observation that CLP's loss "goes to
             # nan" on the complex dataset: record divergence but do not
-            # step on a non-finite gradient.
+            # step on a non-finite gradient.  (Pair a DivergenceGuard
+            # callback with this trainer to stop the run instead of
+            # burning the remaining epochs.)
             self.optimizer.zero_grad()
             return value
         return self._step_classifier(loss)
 
     def train_step(self, images, labels) -> float:  # pragma: no cover
-        raise NotImplementedError("CLP uses paired batches via fit()")
+        raise NotImplementedError("CLP uses paired batches via train_epoch()")

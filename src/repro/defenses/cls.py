@@ -16,7 +16,6 @@ import numpy as np
 
 from .. import nn
 from ..data.preprocessing import GaussianAugmenter
-from ..utils.rng import derive_rng
 from .base import Trainer
 
 __all__ = ["CLSTrainer"]
@@ -31,8 +30,9 @@ class CLSTrainer(Trainer):
                  **kwargs) -> None:
         super().__init__(model, **kwargs)
         self.lam = lam
+        # Registered so checkpoints capture the noise stream's position.
         self.augment = GaussianAugmenter(
-            derive_rng(self.seed, "cls-noise"), sigma=sigma)
+            self.register_rng("noise", "cls-noise"), sigma=sigma)
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
         logits = self.model(nn.Tensor(self.augment(images)))

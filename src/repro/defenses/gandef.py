@@ -20,7 +20,7 @@ optimizer — the other network's parameters receive no update.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,8 +30,7 @@ from ..data.batching import iterate_batches
 from ..data.datasets import Dataset
 from ..data.preprocessing import GaussianAugmenter
 from ..utils.rng import derive_rng
-from ..utils.timing import Stopwatch
-from .base import Trainer, TrainingHistory
+from .base import Trainer
 from .discriminator import DISCRIMINATOR_LR, Discriminator
 
 __all__ = ["GanDefTrainer", "ZKGanDefTrainer", "PGDGanDefTrainer"]
@@ -64,6 +63,10 @@ class GanDefTrainer(Trainer):
     """
 
     name = "gandef"
+    # All GanDef variants historically share one batch-shuffling stream
+    # tag (not per-subclass), so the pinned tag keeps their batch orders
+    # bit-identical to the seed implementation.
+    batch_stream_tag = "gandef-batches"
 
     def __init__(
         self,
@@ -90,6 +93,21 @@ class GanDefTrainer(Trainer):
             num_logits=num_logits, rng=derive_rng(self.seed, "disc-init"))
         self.disc_optimizer = nn.Adam(
             self.discriminator.parameters(), lr=DISCRIMINATOR_LR)
+        self.mix_rng = self.register_rng("mix", "gandef-mix",
+                                         reset_each_run=True)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint surface — Algorithm 1 is a two-network, two-optimizer
+    # game, and *both* sides must survive a kill: resuming with a fresh
+    # discriminator (or fresh Adam moments for it) changes every
+    # subsequent classifier gradient.
+    # ------------------------------------------------------------------ #
+    def checkpoint_modules(self) -> Dict[str, nn.Module]:
+        return {"model": self.model, "discriminator": self.discriminator}
+
+    def named_optimizers(self) -> Dict[str, nn.Optimizer]:
+        return {"classifier": self.optimizer,
+                "discriminator": self.disc_optimizer}
 
     # ------------------------------------------------------------------ #
     # perturbation source — overridden by subclasses
@@ -99,33 +117,25 @@ class GanDefTrainer(Trainer):
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
-    def fit(self, dataset: Dataset) -> TrainingHistory:
-        batch_rng = derive_rng(self.seed, "gandef-batches")
-        mix_rng = derive_rng(self.seed, "gandef-mix")
-        watch = Stopwatch().start()
-        for epoch in range(self.epochs):
-            cls_losses = []
-            disc_losses = []
-            self.model.train()
-            for images, labels in iterate_batches(dataset, self.batch_size,
-                                                  batch_rng):
-                # One global iteration of Algorithm 1: ``disc_steps``
-                # freshly-sampled mixes update D, then a fresh mix updates C.
-                for _ in range(self.disc_steps):
-                    x, _, s = self._mixed_batch(images, labels, mix_rng)
-                    disc_losses.append(self._discriminator_step(x, s))
-                x, t, s = self._mixed_batch(images, labels, mix_rng)
-                gamma = 0.0 if epoch < self.warmup_epochs else self.gamma
-                cls_losses.append(self._classifier_step(x, t, s, gamma))
-            epoch_loss = float(np.mean(cls_losses)) if cls_losses \
-                else float("nan")
-            self.history.losses.append(epoch_loss)
-            self.history.epoch_seconds.append(watch.lap())
-            if disc_losses:
-                self.history.record_extra(
-                    "disc_loss", float(np.mean(disc_losses)))
-        self.model.eval()
-        return self.history
+    def train_epoch(self, dataset: Dataset, epoch: int,
+                    loop=None) -> Tuple[List[float], Dict[str, float]]:
+        cls_losses: List[float] = []
+        disc_losses: List[float] = []
+        for i, (images, labels) in enumerate(
+                iterate_batches(dataset, self.batch_size, self.batch_rng)):
+            # One global iteration of Algorithm 1: ``disc_steps``
+            # freshly-sampled mixes update D, then a fresh mix updates C.
+            for _ in range(self.disc_steps):
+                x, _, s = self._mixed_batch(images, labels, self.mix_rng)
+                disc_losses.append(self._discriminator_step(x, s))
+            x, t, s = self._mixed_batch(images, labels, self.mix_rng)
+            gamma = 0.0 if epoch < self.warmup_epochs else self.gamma
+            cls_losses.append(self._classifier_step(x, t, s, gamma))
+            if loop is not None:
+                loop.emit_batch_end(epoch, i, cls_losses[-1])
+        extra = {"disc_loss": float(np.mean(disc_losses))} \
+            if disc_losses else {}
+        return cls_losses, extra
 
     # ------------------------------------------------------------------ #
     def _mixed_batch(self, images: np.ndarray, labels: np.ndarray,
@@ -185,7 +195,8 @@ class GanDefTrainer(Trainer):
         return float(ce.item())
 
     def train_step(self, images, labels) -> float:  # pragma: no cover
-        raise NotImplementedError("GanDef uses the minimax loop via fit()")
+        raise NotImplementedError(
+            "GanDef uses the minimax loop via train_epoch()")
 
 
 class ZKGanDefTrainer(GanDefTrainer):
@@ -197,7 +208,7 @@ class ZKGanDefTrainer(GanDefTrainer):
     def __init__(self, model: nn.Module, sigma: float = 1.0, **kwargs) -> None:
         super().__init__(model, **kwargs)
         self.augment = GaussianAugmenter(
-            derive_rng(self.seed, "zk-noise"), sigma=sigma)
+            self.register_rng("noise", "zk-noise"), sigma=sigma)
 
     def perturb(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         if len(images) == 0:

@@ -12,20 +12,28 @@ from .config import (
     AttackBudget,
     DatasetConfig,
     ExperimentConfig,
+    TrainingSchedule,
     get_config,
 )
 from .figure5 import (
     CLS_SETTINGS,
     TIMED_DEFENSES,
     ConvergenceCurve,
+    curves_from_metrics,
     run_cls_convergence,
     run_training_time,
 )
 from .eval_suite import ATTACK_POOL_NAMES, build_attack_pool, run_eval_suite
 from .registry import REGISTRY, Experiment, get_experiment
-from .runners import build_cache, build_trainer, load_config_split
+from .runners import (
+    build_cache,
+    build_train_callbacks,
+    build_trainer,
+    load_config_split,
+)
 from .table3 import EXAMPLE_TYPES, render_table3, run_table3
 from .table4 import run_table4
+from .train_run import TrainRunResult, run_train
 
 __all__ = [
     "AttackBudget",
@@ -55,4 +63,9 @@ __all__ = [
     "run_eval_suite",
     "build_attack_pool",
     "ATTACK_POOL_NAMES",
+    "TrainingSchedule",
+    "build_train_callbacks",
+    "run_train",
+    "TrainRunResult",
+    "curves_from_metrics",
 ]

@@ -15,12 +15,13 @@ PGD 40 iterations x 0.02 / 20 x 0.016.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..attacks import BIM, CarliniWagner, DeepFool, FGSM, PGD, Attack
 
 __all__ = ["AttackBudget", "DatasetConfig", "ExperimentConfig",
-           "FAST", "FULL", "get_config", "DEFENSE_NAMES"]
+           "TrainingSchedule", "FAST", "FULL", "get_config",
+           "DEFENSE_NAMES"]
 
 DEFENSE_NAMES = ("vanilla", "clp", "cls", "zk-gandef",
                  "fgsm-adv", "pgd-adv", "pgd-gandef")
@@ -75,6 +76,28 @@ class AttackBudget:
 
 
 @dataclass(frozen=True)
+class TrainingSchedule:
+    """Run-control knobs for the :mod:`repro.train` subsystem.
+
+    ``scheduler`` names a :func:`repro.train.schedulers.build_scheduler`
+    kind; ``none`` (the FAST default) keeps the constant learning rate the
+    paper-artifact tests pin.  ``probe_every=0`` disables in-training
+    robustness probes unless the caller asks for them (``repro train
+    --probe-every``).
+    """
+
+    scheduler: str = "none"          # none | step | cosine | warmup-cosine
+    step_size: int = 10              # StepLR cadence (epochs)
+    decay: float = 0.5               # StepLR multiplier
+    lr_warmup_epochs: int = 0        # warm-up span for warmup-cosine
+    min_lr: float = 1e-5             # cosine floor
+    checkpoint_every: int = 1        # Checkpointer cadence (epochs)
+    probe_every: int = 0             # RobustnessProbe cadence; 0 = off
+    probe_attacks: Tuple[str, ...] = ("fgsm", "pgd")
+    probe_size: int = 64             # held-out slice size for probes
+
+
+@dataclass(frozen=True)
 class DatasetConfig:
     """One dataset's sizes, model and training geometry."""
 
@@ -95,6 +118,7 @@ class DatasetConfig:
     cls_lambda: float = 0.4
     sigma: float = 1.0
     train_attack_iterations: int = 5
+    schedule: TrainingSchedule = TrainingSchedule()
 
 
 _PAPER_BUDGETS = {
@@ -143,24 +167,37 @@ def _fast_preset() -> ExperimentConfig:
 
 
 def _full_preset() -> ExperimentConfig:
+    # Paper-scale runs are hour-long (digits/fashion) to day-long
+    # (objects): checkpoint sparsely, probe robustness periodically, and
+    # anneal the rate over the long tail.  The FAST preset keeps
+    # ``scheduler="none"`` so the pinned artifact numbers never move.
+    gray_schedule = TrainingSchedule(scheduler="warmup-cosine",
+                                     lr_warmup_epochs=5, checkpoint_every=5,
+                                     probe_every=10, probe_size=256)
+    rgb_schedule = TrainingSchedule(scheduler="warmup-cosine",
+                                    lr_warmup_epochs=10, checkpoint_every=10,
+                                    probe_every=25, probe_size=256)
     datasets = {
         "digits": DatasetConfig(
             name="digits", train_size=60_000, test_size=10_000,
             eval_size=10_000, epochs=80, batch_size=128, model_width=32,
             lr=1e-3, budget=_PAPER_BUDGETS["digits"],
             train_attack_iterations=40, warmup_epochs=8,
+            schedule=gray_schedule,
         ),
         "fashion": DatasetConfig(
             name="fashion", train_size=60_000, test_size=10_000,
             eval_size=10_000, epochs=80, batch_size=128, model_width=32,
             lr=1e-3, budget=_PAPER_BUDGETS["fashion"],
             train_attack_iterations=40, warmup_epochs=8,
+            schedule=gray_schedule,
         ),
         "objects": DatasetConfig(
             name="objects", train_size=50_000, test_size=10_000,
             eval_size=10_000, epochs=300, batch_size=128, model_width=32,
             lr=1e-3, budget=_PAPER_BUDGETS["objects"],
             train_attack_iterations=20, warmup_epochs=24,
+            schedule=rgb_schedule,
         ),
     }
     return ExperimentConfig(fast=False, datasets=datasets)

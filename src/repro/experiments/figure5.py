@@ -10,18 +10,21 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..defenses import CLSTrainer
 from ..models import build_classifier
+from ..train import Checkpointer, MetricsLogger, read_jsonl
 from .config import DatasetConfig, get_config
 from .runners import build_trainer, load_config_split
 
 __all__ = ["run_training_time", "run_cls_convergence",
-           "TIMED_DEFENSES", "CLS_SETTINGS", "ConvergenceCurve"]
+           "curves_from_metrics", "TIMED_DEFENSES", "CLS_SETTINGS",
+           "ConvergenceCurve"]
 
 TIMED_DEFENSES = ("zk-gandef", "fgsm-adv", "pgd-adv", "pgd-gandef")
 
@@ -36,13 +39,21 @@ CLS_SETTINGS = (
 
 def run_training_time(dataset: str, preset: str = "fast", seed: int = 0,
                       epochs: int = None,
-                      defenses: Sequence[str] = TIMED_DEFENSES
-                      ) -> Dict[str, float]:
+                      defenses: Sequence[str] = TIMED_DEFENSES,
+                      checkpoint_dir: Optional[Union[str, os.PathLike]]
+                      = None, resume: bool = False) -> Dict[str, float]:
     """Mean seconds per training epoch for each timed defense.
 
     Returns ``{defense: sec_per_epoch}``; the paper's claim is the ordering
     ZK-GanDef ~ FGSM-Adv << PGD-Adv < PGD-GanDef.
+
+    With ``checkpoint_dir`` each defense checkpoints under its own
+    subdirectory, and ``resume=True`` picks up killed runs — an
+    interrupted PGD-GanDef sweep (the expensive corner of this figure)
+    costs only its unfinished epochs on restart.
     """
+    if resume and not checkpoint_dir:
+        raise ValueError("resume requires checkpoint_dir")
     cfg = get_config(preset).dataset(dataset)
     split = load_config_split(cfg, seed=seed)
     timings: Dict[str, float] = {}
@@ -50,7 +61,15 @@ def run_training_time(dataset: str, preset: str = "fast", seed: int = 0,
         trainer = build_trainer(defense, cfg, seed=seed)
         if epochs is not None:
             trainer.epochs = epochs
-        history = trainer.fit(split.train)
+        callbacks = []
+        if checkpoint_dir:
+            checkpointer = Checkpointer(
+                os.path.join(os.fspath(checkpoint_dir), defense),
+                every=cfg.schedule.checkpoint_every)
+            if resume:
+                checkpointer.try_resume(trainer)
+            callbacks.append(checkpointer)
+        history = trainer.fit(split.train, callbacks=callbacks)
         timings[defense] = history.mean_epoch_seconds
     return timings
 
@@ -86,10 +105,15 @@ class ConvergenceCurve:
         return best < baseline * (1.0 - drop_fraction)
 
 
+def _setting_slug(sigma: float, lam: float) -> str:
+    return f"cls-sigma{sigma}-lambda{lam}"
+
+
 def run_cls_convergence(dataset: str = "objects", preset: str = "fast",
                         seed: int = 0, epochs: int = None,
-                        optimizer: str = "sgd", lr: float = 0.05
-                        ) -> List[ConvergenceCurve]:
+                        optimizer: str = "sgd", lr: float = 0.05,
+                        run_dir: Optional[Union[str, os.PathLike]] = None,
+                        resume: bool = False) -> List[ConvergenceCurve]:
     """Record the CLS training loss under the paper's four settings.
 
     The study uses momentum SGD (the paper does not name the classifier
@@ -97,7 +121,14 @@ def run_cls_convergence(dataset: str = "objects", preset: str = "fast",
     setting learns slowly instead of stalling, washing out the contrast the
     paper draws; under SGD the first three settings stay on the flat top
     curve and only the weakest setting converges — the Figure 5 pattern.
+
+    With ``run_dir`` each setting checkpoints and streams a JSONL metrics
+    log under ``<run_dir>/<setting>/``; ``resume=True`` continues killed
+    settings, and :func:`curves_from_metrics` rebuilds the curves from the
+    logs alone — no retraining, no pickles.
     """
+    if resume and not run_dir:
+        raise ValueError("resume requires run_dir")
     cfg = get_config(preset).dataset(dataset)
     split = load_config_split(cfg, seed=seed)
     curves = []
@@ -107,7 +138,40 @@ def run_cls_convergence(dataset: str = "objects", preset: str = "fast",
                              optimizer=optimizer, lr=lr,
                              batch_size=cfg.batch_size,
                              epochs=epochs or cfg.epochs, seed=seed)
-        history = trainer.fit(split.train)
+        callbacks = []
+        if run_dir:
+            setting_dir = os.path.join(os.fspath(run_dir),
+                                       _setting_slug(sigma, lam))
+            checkpointer = Checkpointer(setting_dir,
+                                        every=cfg.schedule.checkpoint_every)
+            if resume:
+                checkpointer.try_resume(trainer)
+            callbacks = [MetricsLogger(
+                os.path.join(setting_dir, "metrics.jsonl")), checkpointer]
+        history = trainer.fit(split.train, callbacks=callbacks)
         curves.append(ConvergenceCurve(sigma=sigma, lam=lam,
                                        losses=list(history.losses)))
+    return curves
+
+
+def curves_from_metrics(run_dir: Union[str, os.PathLike]
+                        ) -> List[ConvergenceCurve]:
+    """Rebuild the Figure 5 convergence curves from JSONL metrics logs.
+
+    Reads the ``{"event": "epoch", ...}`` records written by
+    :func:`run_cls_convergence` (or any ``repro train`` run dropped into
+    the same layout), so plots regenerate without touching a trainer.
+    """
+    curves = []
+    for sigma, lam in CLS_SETTINGS:
+        path = os.path.join(os.fspath(run_dir), _setting_slug(sigma, lam),
+                            "metrics.jsonl")
+        if not os.path.exists(path):
+            continue
+        # Last record per epoch wins: a run killed between checkpoint and
+        # epoch write re-logs the replayed epochs on resume.
+        by_epoch = {int(r["epoch"]): float(r["loss"])
+                    for r in read_jsonl(path, event="epoch")}
+        losses = [by_epoch[e] for e in sorted(by_epoch)]
+        curves.append(ConvergenceCurve(sigma=sigma, lam=lam, losses=losses))
     return curves

@@ -14,6 +14,7 @@ from .eval_suite import run_eval_suite
 from .figure5 import run_cls_convergence, run_training_time
 from .table3 import run_table3
 from .table4 import run_table4
+from .train_run import run_train
 
 __all__ = ["Experiment", "REGISTRY", "get_experiment"]
 
@@ -58,6 +59,13 @@ REGISTRY: Dict[str, Experiment] = {
         description="one defense vs the full attack grid, with per-attack "
                     "timing and adversarial caching",
         runner=run_eval_suite,
+    ),
+    "train": Experiment(
+        artifact="training subsystem",
+        description="restartable training of one defense: checkpoints + "
+                    "resume, LR schedule, divergence guard, JSONL metrics "
+                    "and periodic robustness probes",
+        runner=run_train,
     ),
 }
 

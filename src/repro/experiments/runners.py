@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..data.datasets import DataSplit, load_split
 from ..defenses import (
@@ -17,10 +17,21 @@ from ..defenses import (
     ZKGanDefTrainer,
 )
 from ..eval.cache import AdversarialCache
+from ..eval.engine import AttackSuite
 from ..models import build_classifier
+from ..train import (
+    Callback,
+    Checkpointer,
+    DivergenceGuard,
+    JsonlWriter,
+    MetricsLogger,
+    RobustnessProbe,
+    build_scheduler,
+)
 from .config import DatasetConfig
 
-__all__ = ["build_trainer", "load_config_split", "build_cache"]
+__all__ = ["build_trainer", "load_config_split", "build_cache",
+           "build_train_callbacks"]
 
 
 def load_config_split(cfg: DatasetConfig, seed: int = 0) -> DataSplit:
@@ -49,6 +60,8 @@ def build_trainer(defense: str, cfg: DatasetConfig, seed: int = 0) -> Trainer:
     train_iters = cfg.train_attack_iterations
     train_step = max(budget.pgd_step, budget.eps / train_iters)
     defense = defense.lower()
+    if defense == "gandef":  # the paper's headline GanDef is the ZK variant
+        defense = "zk-gandef"
     if defense == "vanilla":
         return VanillaTrainer(model, **common)
     if defense == "clp":
@@ -66,3 +79,60 @@ def build_trainer(defense: str, cfg: DatasetConfig, seed: int = 0) -> Trainer:
         return PGDGanDefTrainer(model, eps=budget.eps, step=train_step,
                                 iterations=train_iters, **gan, **common)
     raise KeyError(f"unknown defense {defense!r}")
+
+
+def build_train_callbacks(
+    cfg: DatasetConfig,
+    trainer: Trainer,
+    split: DataSplit,
+    checkpointer: Optional[Checkpointer] = None,
+    metrics_path: Optional[Union[str, os.PathLike]] = None,
+    probe_every: Optional[int] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    fast: bool = True,
+    seed: int = 0,
+    guard: bool = True,
+) -> List[Callback]:
+    """Assemble the standard callback stack for a configured run.
+
+    Order matters (the loop dispatches in insertion order, after its
+    built-in history recorder): scheduler first so the epoch trains at
+    the scheduled rate, then the divergence guard, metrics, probes, and
+    the checkpointer **last** so every snapshot contains the records the
+    other callbacks just appended.
+    """
+    schedule = cfg.schedule
+    callbacks: List[Callback] = []
+    scheduler = build_scheduler(schedule.scheduler, base_lr=cfg.lr,
+                                total_epochs=trainer.epochs,
+                                step_size=schedule.step_size,
+                                gamma=schedule.decay,
+                                warmup_epochs=schedule.lr_warmup_epochs,
+                                min_lr=schedule.min_lr)
+    if scheduler is not None:
+        callbacks.append(scheduler)
+    if guard:
+        callbacks.append(DivergenceGuard())
+    writer = JsonlWriter(metrics_path) if metrics_path else None
+    if writer is not None:
+        callbacks.append(MetricsLogger(writer))
+    every = schedule.probe_every if probe_every is None else probe_every
+    if every:
+        pool = cfg.budget.build(fast=fast, seed=seed)
+        unknown = sorted(set(schedule.probe_attacks) - set(pool))
+        if unknown:
+            raise KeyError(f"unknown probe attacks {unknown}; "
+                           f"choose from {sorted(pool)}")
+        attacks = {name: pool[name] for name in schedule.probe_attacks}
+        # Probe on the *tail* of the test split: the final evaluation
+        # reads test[:eval_size], so the slices stay disjoint whenever
+        # the split is big enough to allow it.
+        n = min(schedule.probe_size, len(split.test))
+        suite = AttackSuite(attacks, cache=build_cache(cache_dir),
+                            early_stop=None)
+        callbacks.append(RobustnessProbe(
+            suite, split.test.images[-n:], split.test.labels[-n:],
+            every=every, writer=writer))
+    if checkpointer is not None:
+        callbacks.append(checkpointer)
+    return callbacks

@@ -1,0 +1,113 @@
+"""``repro train`` — restartable, observable training of any defense.
+
+The training-side counterpart of ``repro eval-suite``: one CLI-reachable
+runner that trains any of the paper's seven defenses through the
+:mod:`repro.train` subsystem — LR schedule and divergence guard from the
+preset's :class:`~repro.experiments.config.TrainingSchedule`, atomic
+full-state checkpoints with ``--resume``, JSONL metrics streaming, and
+periodic in-training robustness probes (``--probe-every``) powered by the
+PR 1 attack engine.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..defenses.base import TrainingHistory
+from ..train import Checkpointer, PrintProgress, RobustnessProbe
+from .config import get_config
+from .runners import build_train_callbacks, build_trainer, load_config_split
+
+__all__ = ["TrainRunResult", "run_train"]
+
+
+@dataclass
+class TrainRunResult:
+    """What one ``repro train`` invocation produced."""
+
+    defense: str
+    dataset: str
+    history: TrainingHistory
+    completed_epochs: int
+    resumed_from: int = 0            # epochs already done when we started
+    checkpoint_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+    probes: List[Dict] = field(default_factory=list)
+
+    @property
+    def resumed(self) -> bool:
+        return self.resumed_from > 0
+
+
+def run_train(
+    dataset: str,
+    preset: str = "fast",
+    defense: str = "vanilla",
+    seed: int = 0,
+    epochs: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
+    resume: bool = False,
+    probe_every: Optional[int] = None,
+    metrics_path: Optional[Union[str, os.PathLike]] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    verbose: bool = False,
+) -> TrainRunResult:
+    """Train ``defense`` on ``dataset`` with full run control.
+
+    ``resume`` restores ``<checkpoint_dir>/checkpoint.npz`` when present
+    (a fresh directory just starts from scratch), and the continued run
+    is bit-identical to one that was never interrupted.  ``probe_every``
+    overrides the preset's probe cadence; metrics (per-epoch loss/lr plus
+    probe accuracies) stream to ``metrics_path``, defaulting to
+    ``<checkpoint_dir>/metrics.jsonl`` when checkpointing is on.
+    """
+    if resume and not checkpoint_dir:
+        raise ValueError(
+            "resume requires a checkpoint directory (--checkpoint-dir); "
+            "refusing to silently retrain from scratch")
+    config = get_config(preset)
+    cfg = config.dataset(dataset)
+    split = load_config_split(cfg, seed=seed)
+    trainer = build_trainer(defense, cfg, seed=seed)
+    if epochs is not None:
+        trainer.epochs = epochs
+
+    resumed_from = 0
+    checkpointer = Checkpointer(checkpoint_dir,
+                                every=cfg.schedule.checkpoint_every) \
+        if checkpoint_dir else None
+    if checkpointer is not None and resume \
+            and checkpointer.try_resume(trainer):
+        resumed_from = trainer.completed_epochs
+        if verbose:
+            print(f"  resumed {defense} from epoch {resumed_from} "
+                  f"({checkpointer.path})")
+
+    if metrics_path is None and checkpoint_dir:
+        metrics_path = os.path.join(os.fspath(checkpoint_dir),
+                                    "metrics.jsonl")
+    callbacks = build_train_callbacks(
+        cfg, trainer, split,
+        checkpointer=checkpointer, metrics_path=metrics_path,
+        probe_every=probe_every, cache_dir=cache_dir,
+        fast=config.fast, seed=seed)
+    probe = next((c for c in callbacks
+                  if isinstance(c, RobustnessProbe)), None)
+    if verbose:
+        callbacks.insert(0, PrintProgress())
+
+    history = trainer.fit(split.train, callbacks=callbacks)
+    return TrainRunResult(
+        defense=defense,
+        dataset=cfg.name,
+        history=history,
+        completed_epochs=trainer.completed_epochs,
+        resumed_from=resumed_from,
+        checkpoint_path=checkpointer.path if checkpointer else None,
+        metrics_path=os.fspath(metrics_path) if metrics_path else None,
+        probes=[{"epoch": epoch, "result": result}
+                for epoch, result in zip(probe.probe_epochs, probe.results)]
+        if probe else [],
+    )

@@ -39,7 +39,7 @@ from .modules import (
     Tanh,
 )
 from .optim import SGD, Adam, Optimizer
-from .serialization import load_state, save_state
+from .serialization import atomic_savez, load_state, save_state
 from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
 
 __all__ = [
@@ -81,4 +81,5 @@ __all__ = [
     "numeric_gradient",
     "save_state",
     "load_state",
+    "atomic_savez",
 ]

@@ -134,13 +134,19 @@ class Module:
                 f"state dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}"
             )
+        # Validate every shape before touching any parameter, so a
+        # mismatch can never leave the module half-loaded (and no value is
+        # ever silently broadcast into a differently-shaped parameter).
+        converted = {}
         for name, p in own.items():
             value = np.asarray(state[name], dtype=np.float32)
             if value.shape != p.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: {value.shape} vs {p.data.shape}"
                 )
-            p.data = value.copy()
+            converted[name] = value
+        for name, p in own.items():
+            p.data = converted[name].copy()
 
 
 class Dense(Module):

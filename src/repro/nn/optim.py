@@ -9,7 +9,7 @@ prescribes.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -20,6 +20,10 @@ __all__ = ["Optimizer", "SGD", "Adam"]
 
 class Optimizer:
     """Base class: holds parameters, performs ``step`` / ``zero_grad``."""
+
+    #: Maps state-dict buffer names to the instance attribute holding a
+    #: per-parameter list of moment arrays (``None`` until first touched).
+    _buffer_attrs: Dict[str, str] = {}
 
     def __init__(self, params: Iterable[Parameter], lr: float) -> None:
         self.params: List[Parameter] = list(params)
@@ -44,10 +48,65 @@ class Optimizer:
     def _update(self, index: int, p: Parameter) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict:
+        """Full optimizer state: step counter, learning rate and every
+        per-parameter moment buffer (momentum velocity, Adam m/v).
+
+        Restoring this via :meth:`load_state_dict` makes a resumed run
+        continue bit-for-bit where the original left off; restoring weights
+        alone silently resets the moments (and Adam's bias correction).
+        """
+        buffers = {
+            name: [None if b is None else b.copy()
+                   for b in getattr(self, attr)]
+            for name, attr in self._buffer_attrs.items()
+        }
+        return {"lr": float(self.lr), "steps": int(self.steps),
+                "buffers": buffers}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Inverse of :meth:`state_dict`; validates buffer counts and
+        shapes against the held parameters before mutating anything."""
+        buffers = state.get("buffers", {})
+        missing = set(self._buffer_attrs) - set(buffers)
+        unexpected = set(buffers) - set(self._buffer_attrs)
+        if missing or unexpected:
+            raise KeyError(
+                f"optimizer state mismatch: missing buffers "
+                f"{sorted(missing)}, unexpected {sorted(unexpected)}")
+        validated = {}
+        for name in self._buffer_attrs:
+            entries = buffers[name]
+            if len(entries) != len(self.params):
+                raise ValueError(
+                    f"buffer {name!r} covers {len(entries)} parameters, "
+                    f"optimizer holds {len(self.params)}")
+            restored: List[Optional[np.ndarray]] = []
+            for i, (entry, p) in enumerate(zip(entries, self.params)):
+                if entry is None:
+                    restored.append(None)
+                    continue
+                arr = np.asarray(entry)
+                if arr.shape != p.data.shape:
+                    raise ValueError(
+                        f"buffer {name!r}[{i}] has shape {arr.shape}, "
+                        f"parameter expects {p.data.shape}")
+                restored.append(arr.astype(p.data.dtype, copy=True))
+            validated[name] = restored
+        for name, attr in self._buffer_attrs.items():
+            setattr(self, attr, validated[name])
+        self.lr = float(state["lr"])
+        self.steps = int(state["steps"])
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional Nesterov-free momentum and
     weight decay."""
+
+    _buffer_attrs = {"velocity": "_velocity"}
 
     def __init__(
         self,
@@ -80,6 +139,8 @@ class SGD(Optimizer):
 class Adam(Optimizer):
     """Adam (Kingma & Ba) — the paper trains the Table II discriminator with
     Adam at learning rate 0.001, which is this class's default."""
+
+    _buffer_attrs = {"m": "_m", "v": "_v"}
 
     def __init__(
         self,

@@ -1,0 +1,63 @@
+"""``repro.train`` — the callback-driven training subsystem.
+
+The pieces:
+
+* :class:`TrainLoop` — the epoch loop every defense trainer runs on,
+  emitting ``on_train_start / epoch_start / batch_end / epoch_end /
+  train_end`` events,
+* :class:`Checkpointer` / :func:`save_checkpoint` /
+  :func:`load_checkpoint` — atomic full-state checkpoints (weights,
+  optimizer moments, RNG streams, epoch counter, history) whose resume is
+  bit-identical to an uninterrupted run,
+* :class:`StepLR` / :class:`CosineLR` / :class:`WarmupLR` — stateless
+  learning-rate schedules,
+* :class:`DivergenceGuard` — halts-and-flags the CLP ``nan`` blow-up,
+* :class:`RobustnessProbe` — periodic :class:`~repro.eval.engine.AttackSuite`
+  runs on a held-out slice during training,
+* :class:`MetricsLogger` / :class:`JsonlWriter` — streaming JSONL metrics
+  for Figure 5-style curves.
+"""
+
+from .callbacks import (
+    Callback,
+    CallbackList,
+    DivergenceGuard,
+    EpochLogs,
+    HistoryCallback,
+    LambdaCallback,
+    PrintProgress,
+)
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .loop import TrainLoop
+from .metrics import JsonlWriter, MetricsLogger, read_jsonl
+from .probe import RobustnessProbe
+from .schedulers import CosineLR, LRScheduler, StepLR, WarmupLR, build_scheduler
+
+__all__ = [
+    "TrainLoop",
+    "Callback",
+    "CallbackList",
+    "EpochLogs",
+    "HistoryCallback",
+    "DivergenceGuard",
+    "LambdaCallback",
+    "PrintProgress",
+    "Checkpointer",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CHECKPOINT_VERSION",
+    "LRScheduler",
+    "StepLR",
+    "CosineLR",
+    "WarmupLR",
+    "build_scheduler",
+    "JsonlWriter",
+    "MetricsLogger",
+    "read_jsonl",
+    "RobustnessProbe",
+]

@@ -1,0 +1,191 @@
+"""Typed callback/event API for the training loop.
+
+Every trainer runs through :class:`~repro.train.loop.TrainLoop`, which
+emits five events per run::
+
+    on_train_start -> [on_epoch_start -> on_batch_end* -> on_epoch_end]* -> on_train_end
+
+Callbacks receive the loop (and through it the trainer) plus, at epoch
+end, an :class:`EpochLogs` record.  History recording, divergence
+guarding, LR scheduling, checkpointing, metrics streaming and in-training
+robustness probes are all clients of this one API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .loop import TrainLoop
+
+__all__ = ["EpochLogs", "Callback", "CallbackList", "HistoryCallback",
+           "DivergenceGuard", "LambdaCallback", "PrintProgress"]
+
+
+@dataclass
+class EpochLogs:
+    """What one completed epoch measured."""
+
+    epoch: int                  # zero-based index of the finished epoch
+    loss: float                 # mean train loss over the epoch's batches
+    seconds: float              # wall-clock spent inside the epoch
+    lr: float                   # classifier learning rate used this epoch
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class Callback:
+    """Base class; override any subset of the five events (no-ops here)."""
+
+    def on_train_start(self, loop: "TrainLoop") -> None:
+        """Fired once before the first epoch of a run (or resumed run)."""
+
+    def on_epoch_start(self, loop: "TrainLoop", epoch: int) -> None:
+        """Fired before each epoch's batches; schedulers hook here."""
+
+    def on_batch_end(self, loop: "TrainLoop", epoch: int,
+                     batch_index: int, loss: float) -> None:
+        """Fired after every optimizer step with that batch's loss."""
+
+    def on_epoch_end(self, loop: "TrainLoop", epoch: int,
+                     logs: EpochLogs) -> None:
+        """Fired after each epoch, once the history has been updated."""
+
+    def on_train_end(self, loop: "TrainLoop") -> None:
+        """Fired when the run finishes or stops early (not on a raise)."""
+
+
+class CallbackList(Callback):
+    """Dispatches each event to callbacks in insertion order.
+
+    Order matters: the loop installs :class:`HistoryCallback` first, so
+    every user callback observes an up-to-date ``trainer.history``; a
+    :class:`~repro.train.checkpoint.Checkpointer` placed last therefore
+    snapshots the epoch it just watched finish.
+    """
+
+    def __init__(self, callbacks: Iterable[Callback] = ()) -> None:
+        self.callbacks: List[Callback] = list(callbacks)
+
+    def append(self, callback: Callback) -> None:
+        self.callbacks.append(callback)
+
+    def on_train_start(self, loop):
+        for c in self.callbacks:
+            c.on_train_start(loop)
+
+    def on_epoch_start(self, loop, epoch):
+        for c in self.callbacks:
+            c.on_epoch_start(loop, epoch)
+
+    def on_batch_end(self, loop, epoch, batch_index, loss):
+        for c in self.callbacks:
+            c.on_batch_end(loop, epoch, batch_index, loss)
+
+    def on_epoch_end(self, loop, epoch, logs):
+        for c in self.callbacks:
+            c.on_epoch_end(loop, epoch, logs)
+
+    def on_train_end(self, loop):
+        for c in self.callbacks:
+            c.on_train_end(loop)
+
+
+class HistoryCallback(Callback):
+    """Streams epoch records into the trainer's ``TrainingHistory``.
+
+    This is how the pre-loop ``Trainer.fit`` bookkeeping survives the
+    refactor: the history is now just the first client of the event API.
+    """
+
+    def on_epoch_end(self, loop, epoch, logs):
+        history = loop.trainer.history
+        history.losses.append(float(logs.loss))
+        history.epoch_seconds.append(float(logs.seconds))
+        for key, value in logs.extra.items():
+            history.record_extra(key, value)
+
+
+class DivergenceGuard(Callback):
+    """Halt-and-flag on a non-finite epoch loss.
+
+    CLP on the RGB dataset reproduces the paper's ``nan`` blow-up
+    (Sec. V-D); without the guard the remaining epochs burn compute on a
+    dead run.  The stop reason lands in ``history.stop_reason`` so
+    downstream tables can report "diverged" instead of a silent short
+    history.
+    """
+
+    def __init__(self, patience: int = 0) -> None:
+        if patience < 0:
+            raise ValueError(f"patience must be non-negative, got {patience}")
+        self.patience = patience
+        self._bad = 0
+
+    def on_train_start(self, loop):
+        self._bad = 0
+
+    def on_epoch_end(self, loop, epoch, logs):
+        if np.isfinite(logs.loss):
+            self._bad = 0
+            return
+        self._bad += 1
+        if self._bad > self.patience:
+            loop.request_stop(
+                f"diverged: non-finite loss {logs.loss!r} at epoch {epoch}")
+
+
+class LambdaCallback(Callback):
+    """Ad-hoc callback from plain functions (tests, notebooks)."""
+
+    def __init__(
+        self,
+        on_train_start: Optional[Callable] = None,
+        on_epoch_start: Optional[Callable] = None,
+        on_batch_end: Optional[Callable] = None,
+        on_epoch_end: Optional[Callable] = None,
+        on_train_end: Optional[Callable] = None,
+    ) -> None:
+        self._handlers = {
+            "on_train_start": on_train_start,
+            "on_epoch_start": on_epoch_start,
+            "on_batch_end": on_batch_end,
+            "on_epoch_end": on_epoch_end,
+            "on_train_end": on_train_end,
+        }
+
+    def _fire(self, event: str, *args) -> None:
+        handler = self._handlers[event]
+        if handler is not None:
+            handler(*args)
+
+    def on_train_start(self, loop):
+        self._fire("on_train_start", loop)
+
+    def on_epoch_start(self, loop, epoch):
+        self._fire("on_epoch_start", loop, epoch)
+
+    def on_batch_end(self, loop, epoch, batch_index, loss):
+        self._fire("on_batch_end", loop, epoch, batch_index, loss)
+
+    def on_epoch_end(self, loop, epoch, logs):
+        self._fire("on_epoch_end", loop, epoch, logs)
+
+    def on_train_end(self, loop):
+        self._fire("on_train_end", loop)
+
+
+class PrintProgress(Callback):
+    """One line per epoch — the ``repro train`` CLI's progress stream."""
+
+    def on_epoch_end(self, loop, epoch, logs):
+        extras = "".join(f"  {k}={v:.4f}" for k, v in sorted(logs.extra.items()))
+        print(f"  epoch {epoch + 1:3d}/{loop.trainer.epochs:<3d} "
+              f"loss={logs.loss:.4f}  lr={logs.lr:.2e}  "
+              f"{logs.seconds:6.2f}s{extras}")
+
+    def on_train_end(self, loop):
+        if loop.stop_reason:
+            print(f"  stopped early: {loop.stop_reason}")

@@ -1,0 +1,173 @@
+"""Atomic full-state training checkpoints.
+
+A checkpoint is everything a trainer needs to continue **bit-for-bit**
+where a killed run stopped:
+
+* every checkpointed module's parameters (classifier, and for GanDef the
+  Table II discriminator),
+* every optimizer's full state — step counter, learning rate, momentum
+  velocity / Adam ``m``/``v`` moments (via ``Optimizer.state_dict``),
+* the state of every stateful RNG stream: batch shuffling, Gaussian
+  augmentation noise, GanDef's batch mixing, and any ``Dropout`` layer's
+  generator,
+* the epoch counter and the accumulated ``TrainingHistory``.
+
+The archive is one ``.npz`` written atomically (temp file +
+``os.replace``), so a crash mid-save leaves the previous checkpoint
+intact.  Arrays are stored natively; everything else (RNG states, history,
+scalars) rides in one JSON metadata entry — ``json`` handles the 128-bit
+PCG64 state integers exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Dict, Union
+
+import numpy as np
+
+from ..nn.serialization import atomic_savez
+from .callbacks import Callback
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..defenses.base import Trainer
+
+__all__ = ["save_checkpoint", "load_checkpoint", "Checkpointer",
+           "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+_META_KEY = "__checkpoint__"
+_ARRAY_MARKER = "__array__"
+
+
+def _externalize(obj, arrays: Dict[str, np.ndarray]):
+    """Replace ndarrays in a nested structure with archive references."""
+    if isinstance(obj, np.ndarray):
+        key = f"array_{len(arrays)}"
+        arrays[key] = obj
+        return {_ARRAY_MARKER: key}
+    if isinstance(obj, dict):
+        return {str(k): _externalize(v, arrays) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_externalize(v, arrays) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    return obj
+
+
+def _internalize(obj, archive):
+    """Inverse of :func:`_externalize`."""
+    if isinstance(obj, dict):
+        if set(obj) == {_ARRAY_MARKER}:
+            return archive[obj[_ARRAY_MARKER]]
+        return {k: _internalize(v, archive) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_internalize(v, archive) for v in obj]
+    return obj
+
+
+def save_checkpoint(trainer: "Trainer",
+                    path: Union[str, os.PathLike]) -> str:
+    """Write ``trainer.state_dict()`` to ``path`` atomically."""
+    path = os.fspath(path)
+    arrays: Dict[str, np.ndarray] = {}
+    meta = _externalize({"version": CHECKPOINT_VERSION,
+                         "trainer": trainer.name,
+                         "state": trainer.state_dict()}, arrays)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    return atomic_savez(path, arrays)
+
+
+def load_checkpoint(trainer: "Trainer",
+                    path: Union[str, os.PathLike]) -> Dict:
+    """Restore a checkpoint into ``trainer`` in place.
+
+    Returns the raw (internalized) state dict.  Raises ``ValueError`` on a
+    trainer-kind mismatch — resuming a CLS checkpoint into a GanDef
+    trainer, say — before any state is touched.
+    """
+    path = os.fspath(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(
+                f"{path!r} is not a training checkpoint "
+                "(weights-only archives load via nn.load_state)")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        meta = _internalize(meta, archive)
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {meta.get('version')!r} unsupported "
+            f"(expected {CHECKPOINT_VERSION})")
+    if meta.get("trainer") != trainer.name:
+        raise ValueError(
+            f"checkpoint was written by trainer {meta.get('trainer')!r}, "
+            f"cannot resume into {trainer.name!r}")
+    trainer.load_state_dict(meta["state"])
+    return meta["state"]
+
+
+class Checkpointer(Callback):
+    """Callback that snapshots the trainer during a run.
+
+    Parameters
+    ----------
+    directory:
+        Where ``checkpoint.npz`` lives.  Created on first save.
+    every:
+        Save cadence in epochs; the final epoch (and an early stop) always
+        saves regardless, so ``--resume`` after any exit point works.
+    filename:
+        Archive name inside ``directory``.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike],
+                 every: int = 1, filename: str = "checkpoint.npz") -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.directory = os.fspath(directory)
+        self.every = every
+        self.path = os.path.join(self.directory, filename)
+        self.saves = 0
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def try_resume(self, trainer: "Trainer") -> bool:
+        """Restore the latest checkpoint if one exists; True on restore."""
+        if not self.exists():
+            return False
+        load_checkpoint(trainer, self.path)
+        return True
+
+    def _save(self, trainer: "Trainer") -> None:
+        save_checkpoint(trainer, self.path)
+        self.saves += 1
+
+    def on_train_start(self, loop):
+        # A from-scratch run invalidates any previous run's checkpoint
+        # immediately (mirroring MetricsLogger's log truncation): were the
+        # stale archive left in place until the first new save, a kill in
+        # that window followed by --resume would silently resurrect the
+        # overwritten run.
+        if loop.trainer.completed_epochs == 0 and self.exists():
+            os.unlink(self.path)
+
+    def on_epoch_end(self, loop, epoch, logs):
+        trainer = loop.trainer
+        due = (epoch + 1) % self.every == 0
+        last = trainer.completed_epochs >= trainer.epochs
+        # An early stop is handled by on_train_end (which sees the stop
+        # reason the loop records after this event), not duplicated here.
+        if (due or last) and not loop.stopping:
+            self._save(trainer)
+
+    def on_train_end(self, loop):
+        # The early-stop save: off-cadence epochs are captured and the
+        # stop reason is persisted so a resumed process sees why the run
+        # halted.
+        if loop.stop_reason is not None and loop.trainer.completed_epochs:
+            self._save(loop.trainer)

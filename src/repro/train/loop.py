@@ -1,0 +1,124 @@
+"""The epoch loop every defense trainer runs on.
+
+``TrainLoop`` owns run control (epoch window, early stop, wall-clock laps)
+and event dispatch; the trainer supplies the science via ``train_epoch``
+(batch iteration + optimizer steps).  The split is what makes training
+restartable: the loop starts from ``trainer.completed_epochs`` — zero for
+a fresh run, the checkpointed value after
+:func:`~repro.train.checkpoint.load_checkpoint` — and every stateful RNG
+stream lives on the trainer where the checkpointer can reach it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import numpy as np
+
+from ..utils.timing import Stopwatch
+from .callbacks import Callback, CallbackList, EpochLogs, HistoryCallback
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..defenses.base import Trainer, TrainingHistory
+
+__all__ = ["TrainLoop"]
+
+
+class TrainLoop:
+    """Drive one trainer over a dataset, emitting callback events.
+
+    Parameters
+    ----------
+    trainer:
+        Any :class:`~repro.defenses.base.Trainer`; it provides
+        ``train_epoch(dataset, epoch, loop)`` and the bookkeeping surface
+        (``history``, ``completed_epochs``, RNG streams, optimizers).
+    callbacks:
+        Extra callbacks, dispatched in order *after* the built-in history
+        recorder (so they all see the finished epoch already recorded).
+    record_history:
+        Disable only when a caller wants raw event access without
+        touching ``trainer.history`` (the overhead benchmark does).
+    """
+
+    def __init__(self, trainer: "Trainer",
+                 callbacks: Iterable[Callback] = (),
+                 record_history: bool = True) -> None:
+        chain = [HistoryCallback()] if record_history else []
+        chain.extend(callbacks)
+        self.trainer = trainer
+        self.callbacks = CallbackList(chain)
+        self.stop_reason: Optional[str] = None
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ #
+    def request_stop(self, reason: str) -> None:
+        """Ask the loop to finish after the current epoch's callbacks."""
+        self._stop_requested = True
+        if self.stop_reason is None:
+            self.stop_reason = reason
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop_requested
+
+    # ------------------------------------------------------------------ #
+    def run(self, dataset) -> "TrainingHistory":
+        """Train from ``trainer.completed_epochs`` to ``trainer.epochs``.
+
+        A fresh trainer starts at epoch 0 (its per-run RNG streams are
+        re-derived from the seed, exactly as the pre-loop ``fit`` did); a
+        trainer restored by ``load_checkpoint`` continues where it left
+        off.  Already-complete trainers return their history untouched.
+        """
+        trainer = self.trainer
+        if trainer.completed_epochs >= trainer.epochs:
+            return trainer.history
+        if trainer.completed_epochs == 0:
+            trainer.reset_run_streams()
+        self._stop_requested = False
+        self.stop_reason = None
+        trainer.history.stop_reason = None
+        self.callbacks.on_train_start(self)
+        watch = Stopwatch()
+        try:
+            while trainer.completed_epochs < trainer.epochs \
+                    and not self._stop_requested:
+                epoch = trainer.completed_epochs
+                self.callbacks.on_epoch_start(self, epoch)
+                trainer.model.train()
+                # The stopwatch brackets the epoch's training work only:
+                # restarting it here keeps callback time (checkpoint
+                # saves, robustness probes) out of ``epoch_seconds``, the
+                # number Figure 5 compares across defenses.
+                watch.start()
+                try:
+                    losses, extra = trainer.train_epoch(dataset, epoch, self)
+                finally:
+                    # Mode-restore invariant: the model leaves every epoch
+                    # (including one aborted by a raise mid-batch) in eval
+                    # mode, mirroring the attacks' guarantee.  A raise also
+                    # leaves the history free of partial-epoch records —
+                    # recording only happens below, on completion.
+                    trainer.model.eval()
+                epoch_seconds = watch.lap()
+                epoch_loss = float(np.mean(losses)) if losses else float("nan")
+                logs = EpochLogs(epoch=epoch, loss=epoch_loss,
+                                 seconds=epoch_seconds,
+                                 lr=float(trainer.optimizer.lr),
+                                 extra=dict(extra))
+                trainer.completed_epochs = epoch + 1
+                self.callbacks.on_epoch_end(self, epoch, logs)
+                trainer.on_epoch_end(epoch, epoch_loss)
+            if self.stop_reason is not None:
+                trainer.history.stop_reason = self.stop_reason
+        finally:
+            trainer.model.eval()
+        self.callbacks.on_train_end(self)
+        return trainer.history
+
+    # ------------------------------------------------------------------ #
+    def emit_batch_end(self, epoch: int, batch_index: int,
+                       loss: float) -> None:
+        """Called by ``Trainer.train_epoch`` after each optimizer step."""
+        self.callbacks.on_batch_end(self, epoch, batch_index, loss)

@@ -1,0 +1,98 @@
+"""JSONL metrics streaming for training runs.
+
+One line per event, appended and flushed as it happens, so a killed run
+keeps every record it produced and a resumed run appends the remaining
+epochs to the same file — the Figure 5-style curves read straight out of
+these logs via :func:`read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Union
+
+from .callbacks import Callback
+
+__all__ = ["JsonlWriter", "read_jsonl", "MetricsLogger"]
+
+
+class JsonlWriter:
+    """Append-only JSON-lines writer (one flushed line per record)."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def write(self, record: Dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def reset(self) -> None:
+        """Truncate the log (start of a from-scratch run)."""
+        open(self.path, "w", encoding="utf-8").close()
+
+
+def read_jsonl(path: Union[str, os.PathLike],
+               event: Optional[str] = None) -> List[Dict]:
+    """Load a metrics log; optionally keep only one ``event`` type."""
+    records: List[Dict] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if event is None or record.get("event") == event:
+                records.append(record)
+    return records
+
+
+class MetricsLogger(Callback):
+    """Stream per-epoch training records into a JSONL log.
+
+    Events written::
+
+        {"event": "train_start", "trainer": ..., "epoch": k, "epochs": n}
+        {"event": "epoch", "epoch": k, "loss": ..., "seconds": ...,
+         "lr": ..., **extra}
+        {"event": "train_end", "epochs_completed": n, "stop_reason": ...}
+
+    The :class:`~repro.train.probe.RobustnessProbe` shares the writer and
+    adds ``{"event": "probe", ...}`` lines between epochs.
+
+    A **resumed** run appends to the existing log (the pre-kill records
+    are part of the same training run); a **from-scratch** run truncates
+    it first — otherwise a shorter re-run into the same directory would
+    leave the old run's tail epochs to be stitched into rebuilt curves.
+    """
+
+    def __init__(self, writer: Union[JsonlWriter, str, os.PathLike]) -> None:
+        if not isinstance(writer, JsonlWriter):
+            writer = JsonlWriter(writer)
+        self.writer = writer
+
+    def on_train_start(self, loop):
+        trainer = loop.trainer
+        if trainer.completed_epochs == 0:
+            self.writer.reset()
+        self.writer.write({"event": "train_start", "trainer": trainer.name,
+                           "epoch": trainer.completed_epochs,
+                           "epochs": trainer.epochs})
+
+    def on_epoch_end(self, loop, epoch, logs):
+        record = {"event": "epoch", "epoch": epoch,
+                  "loss": float(logs.loss), "seconds": float(logs.seconds),
+                  "lr": float(logs.lr)}
+        record.update({k: float(v) for k, v in logs.extra.items()})
+        self.writer.write(record)
+
+    def on_train_end(self, loop):
+        self.writer.write({
+            "event": "train_end",
+            "epochs_completed": loop.trainer.completed_epochs,
+            "stop_reason": loop.stop_reason,
+        })

@@ -1,0 +1,88 @@
+"""In-training robustness probes.
+
+Figure 5's story is about what happens *during* training, but the seed
+pipeline could only measure robustness after the fact.  The probe runs
+PR 1's batched :class:`~repro.eval.engine.AttackSuite` on a held-out
+slice every ``every`` epochs, streaming clean/robust accuracy into the
+trainer history (``probe_*`` extra series) and, when a JSONL writer is
+attached, into the run's metrics log — enough to plot robustness-vs-epoch
+curves for any defense.
+
+Probing never perturbs training: the model is already in eval mode when
+``on_epoch_end`` fires (dropout inactive, so no generator draws), and the
+attacks re-derive their own streams per call — a probed run and an
+unprobed run produce bit-identical training histories.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .callbacks import Callback
+from .metrics import JsonlWriter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..eval.engine import AttackSuite
+
+__all__ = ["RobustnessProbe"]
+
+
+class RobustnessProbe(Callback):
+    """Periodically attack the in-training model on a held-out slice.
+
+    Parameters
+    ----------
+    suite:
+        A configured :class:`~repro.eval.engine.AttackSuite`; attach an
+        ``AdversarialCache`` to it for cheap re-probes of unchanged
+        weights (e.g. a resumed run re-probing its last epoch).
+    images, labels:
+        The held-out slice.  Keep it disjoint from the final evaluation
+        slice so in-training probes never leak the test set.
+    every:
+        Probe cadence in epochs (the final epoch always probes, so every
+        run ends with a fresh robustness reading).
+    writer:
+        Optional JSONL sink shared with a ``MetricsLogger``.
+    """
+
+    def __init__(self, suite: "AttackSuite", images: np.ndarray,
+                 labels: np.ndarray, every: int = 1,
+                 writer: Optional[JsonlWriter] = None) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if len(images) == 0:
+            raise ValueError("probe needs at least one held-out example")
+        self.suite = suite
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels)
+        self.every = every
+        self.writer = writer
+        self.results = []       # SuiteResult per probe, in epoch order
+        self.probe_epochs: list = []  # epoch index of each probe
+
+    def on_epoch_end(self, loop, epoch, logs):
+        trainer = loop.trainer
+        last = trainer.completed_epochs >= trainer.epochs
+        if (epoch + 1) % self.every and not last and not loop.stopping:
+            return
+        result = self.suite.run(trainer.model, self.images, self.labels,
+                                model_name=trainer.name)
+        self.results.append(result)
+        self.probe_epochs.append(epoch)
+        history = trainer.history
+        history.record_extra("probe_epoch", float(epoch))
+        history.record_extra("probe_clean", result.clean_accuracy)
+        for record in result.records:
+            history.record_extra(f"probe_{record.attack}", record.accuracy)
+        if self.writer is not None:
+            self.writer.write({
+                "event": "probe", "epoch": epoch,
+                "clean_accuracy": result.clean_accuracy,
+                "robust_accuracy": {r.attack: r.accuracy
+                                    for r in result.records},
+                "seconds": result.generation_seconds,
+                "examples": int(len(self.images)),
+            })

@@ -1,0 +1,142 @@
+"""Learning-rate schedulers as loop callbacks.
+
+Each scheduler is a pure function of the epoch index applied at
+``on_epoch_start`` — no mutable schedule state exists, so a resumed run
+recomputes exactly the learning rate the uninterrupted run would have
+used at that epoch (the property the kill-and-resume equivalence tests
+pin).
+
+For that same reason, pass ``base_lr`` explicitly when a run may be
+resumed: capturing it lazily from the optimizer at train start would read
+back an already-decayed checkpointed rate.  The ``repro train`` CLI always
+passes the config's base rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .callbacks import Callback
+
+__all__ = ["LRScheduler", "StepLR", "CosineLR", "WarmupLR",
+           "build_scheduler"]
+
+
+class LRScheduler(Callback):
+    """Base: sets ``trainer.optimizer.lr`` from :meth:`lr_at` each epoch."""
+
+    def __init__(self, base_lr: Optional[float] = None) -> None:
+        if base_lr is not None and base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        self.base_lr = base_lr
+
+    def on_train_start(self, loop):
+        if self.base_lr is None:
+            self.base_lr = float(loop.trainer.optimizer.lr)
+
+    def on_epoch_start(self, loop, epoch):
+        loop.trainer.optimizer.lr = self.lr_at(epoch, loop.trainer.epochs)
+
+    def lr_at(self, epoch: int, total_epochs: int) -> float:
+        """Learning rate for (zero-based) ``epoch``."""
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the base rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, step_size: int, gamma: float = 0.5,
+                 base_lr: Optional[float] = None) -> None:
+        super().__init__(base_lr)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int, total_epochs: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(LRScheduler):
+    """Cosine annealing from the base rate down to ``min_lr``.
+
+    ``total_epochs`` defaults to the trainer's epoch budget at run time,
+    so the annealing window always spans the whole run.
+    """
+
+    def __init__(self, total_epochs: Optional[int] = None,
+                 min_lr: float = 0.0,
+                 base_lr: Optional[float] = None) -> None:
+        super().__init__(base_lr)
+        if min_lr < 0:
+            raise ValueError(f"min_lr must be non-negative, got {min_lr}")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int, total_epochs: int) -> float:
+        span = self.total_epochs or total_epochs
+        horizon = max(1, span - 1)
+        progress = min(epoch, horizon) / horizon
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress))
+
+
+class WarmupLR(LRScheduler):
+    """Linear warm-up over the first epochs, then an inner schedule.
+
+    Without an inner schedule the rate holds at ``base_lr`` after warm-up
+    (plain warm-up).  The inner schedule sees epochs re-based to the end
+    of warm-up so its own horizon starts there.
+    """
+
+    def __init__(self, warmup_epochs: int,
+                 after: Optional[LRScheduler] = None,
+                 base_lr: Optional[float] = None) -> None:
+        super().__init__(base_lr)
+        if warmup_epochs < 1:
+            raise ValueError(
+                f"warmup_epochs must be >= 1, got {warmup_epochs}")
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def on_train_start(self, loop):
+        super().on_train_start(loop)
+        if self.after is not None and self.after.base_lr is None:
+            self.after.base_lr = self.base_lr
+
+    def lr_at(self, epoch: int, total_epochs: int) -> float:
+        if epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        if self.after is None:
+            return self.base_lr
+        return self.after.lr_at(epoch - self.warmup_epochs,
+                                max(1, total_epochs - self.warmup_epochs))
+
+
+def build_scheduler(kind: str, base_lr: float, total_epochs: int,
+                    step_size: int = 10, gamma: float = 0.5,
+                    warmup_epochs: int = 0,
+                    min_lr: float = 0.0) -> Optional[LRScheduler]:
+    """Instantiate the scheduler a :class:`TrainingSchedule` names.
+
+    ``kind`` is one of ``none`` / ``step`` / ``cosine`` /
+    ``warmup-cosine``; ``none`` returns ``None`` (constant rate).
+    """
+    key = kind.lower()
+    if key in ("none", ""):
+        return None
+    if key == "step":
+        return StepLR(step_size=step_size, gamma=gamma, base_lr=base_lr)
+    if key == "cosine":
+        return CosineLR(total_epochs=total_epochs, min_lr=min_lr,
+                        base_lr=base_lr)
+    if key == "warmup-cosine":
+        warmup = max(1, warmup_epochs)
+        inner = CosineLR(total_epochs=max(1, total_epochs - warmup),
+                         min_lr=min_lr, base_lr=base_lr)
+        return WarmupLR(warmup_epochs=warmup, after=inner, base_lr=base_lr)
+    raise KeyError(f"unknown scheduler {kind!r}; "
+                   "use none, step, cosine or warmup-cosine")

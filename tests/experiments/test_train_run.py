@@ -1,0 +1,84 @@
+"""``repro train`` runner: checkpoint/resume/probe wiring end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import TrainingSchedule, get_config, run_train
+from repro.experiments.runners import build_trainer
+from repro.train import read_jsonl
+
+
+@pytest.fixture(scope="module")
+def fresh_run(tmp_path_factory):
+    """One short checkpointed digits run shared by the assertions."""
+    ckdir = tmp_path_factory.mktemp("run")
+    result = run_train("digits", preset="fast", defense="vanilla", seed=0,
+                       epochs=2, checkpoint_dir=ckdir, probe_every=2)
+    return ckdir, result
+
+
+class TestRunTrain:
+    def test_run_completes_and_checkpoints(self, fresh_run):
+        ckdir, result = fresh_run
+        assert result.completed_epochs == 2
+        assert result.resumed is False
+        assert (ckdir / "checkpoint.npz").exists()
+
+    def test_metrics_log_written(self, fresh_run):
+        ckdir, result = fresh_run
+        epochs = read_jsonl(result.metrics_path, event="epoch")
+        assert [r["epoch"] for r in epochs] == [0, 1]
+        probes = read_jsonl(result.metrics_path, event="probe")
+        assert len(probes) == 1
+        assert set(probes[0]["robust_accuracy"]) == {"fgsm", "pgd"}
+
+    def test_probe_results_surface(self, fresh_run):
+        _, result = fresh_run
+        assert len(result.probes) == 1
+        assert result.probes[0]["epoch"] == 1
+        assert 0.0 <= result.probes[0]["result"].clean_accuracy <= 1.0
+
+    def test_resume_continues_not_restarts(self, fresh_run):
+        ckdir, first = fresh_run
+        result = run_train("digits", preset="fast", defense="vanilla",
+                           seed=0, epochs=4, checkpoint_dir=ckdir,
+                           resume=True, probe_every=0)
+        assert result.resumed_from == 2
+        assert result.completed_epochs == 4
+        assert result.history.losses[:2] == first.history.losses
+        epochs = read_jsonl(result.metrics_path, event="epoch")
+        assert [r["epoch"] for r in epochs] == [0, 1, 2, 3]
+
+    def test_resume_of_finished_run_is_noop(self, fresh_run):
+        ckdir, _ = fresh_run
+        result = run_train("digits", preset="fast", defense="vanilla",
+                           seed=0, epochs=4, checkpoint_dir=ckdir,
+                           resume=True, probe_every=0)
+        assert result.resumed_from == 4
+        assert result.completed_epochs == 4
+
+    def test_gandef_alias_accepted(self):
+        trainer = build_trainer("gandef", get_config("fast").dataset("digits"))
+        assert trainer.name == "zk-gandef"
+
+    def test_unknown_defense_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_train("digits", defense="nonesuch", epochs=1)
+
+
+class TestTrainingSchedule:
+    def test_fast_preset_keeps_constant_lr(self):
+        cfg = get_config("fast").dataset("digits")
+        assert cfg.schedule.scheduler == "none"
+        assert cfg.schedule.probe_every == 0
+
+    def test_full_preset_schedules(self):
+        for name in ("digits", "fashion", "objects"):
+            schedule = get_config("full").dataset(name).schedule
+            assert schedule.scheduler == "warmup-cosine"
+            assert schedule.probe_every > 0
+            assert schedule.checkpoint_every > 1
+
+    def test_schedule_is_frozen(self):
+        with pytest.raises(Exception):
+            TrainingSchedule().scheduler = "step"

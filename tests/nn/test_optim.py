@@ -119,3 +119,107 @@ class TestOptimizerBase:
         opt.step()
         opt.step()
         assert opt.steps == 2
+
+
+class TestStateDictRoundTrip:
+    """Checkpoint round-trips: moments must continue bit-for-bit."""
+
+    @staticmethod
+    def _drive(opt, w, target, steps):
+        for _ in range(steps):
+            opt.zero_grad()
+            loss_and_grad(w, target)
+            opt.step()
+
+    def _clone_and_resume(self, make_opt, steps_before, steps_after):
+        # Uninterrupted run.
+        w_full, target = quadratic_problem()
+        full = make_opt(w_full)
+        self._drive(full, w_full, target, steps_before + steps_after)
+        # Interrupted-and-restored run.
+        w_a, _ = quadratic_problem()
+        a = make_opt(w_a)
+        self._drive(a, w_a, target, steps_before)
+        state = a.state_dict()
+        w_b, _ = quadratic_problem()
+        w_b.data = w_a.data.copy()
+        b = make_opt(w_b)
+        b.load_state_dict(state)
+        self._drive(b, w_b, target, steps_after)
+        np.testing.assert_array_equal(w_full.data, w_b.data)
+        return full, b
+
+    def test_sgd_momentum_buffers_resume(self):
+        full, resumed = self._clone_and_resume(
+            lambda w: nn.SGD([w], lr=0.05, momentum=0.9), 3, 4)
+        assert resumed.steps == full.steps
+        for vf, vr in zip(full._velocity, resumed._velocity):
+            np.testing.assert_array_equal(vf, vr)
+
+    def test_adam_m_v_t_resume(self):
+        full, resumed = self._clone_and_resume(
+            lambda w: nn.Adam([w], lr=0.05), 3, 4)
+        assert resumed.steps == full.steps  # the bias-correction "t"
+        for buf in ("_m", "_v"):
+            for bf, br in zip(getattr(full, buf), getattr(resumed, buf)):
+                np.testing.assert_array_equal(bf, br)
+
+    def test_untouched_buffers_round_trip_as_none(self):
+        w = Parameter(np.zeros(2, dtype=np.float32))
+        opt = nn.SGD([w], lr=0.1, momentum=0.9)
+        state = opt.state_dict()
+        assert state["buffers"]["velocity"] == [None]
+        opt.load_state_dict(state)
+        assert opt._velocity == [None]
+
+    def test_state_dict_copies_are_independent(self):
+        w, target = quadratic_problem()
+        opt = nn.Adam([w], lr=0.05)
+        self._drive(opt, w, target, 2)
+        state = opt.state_dict()
+        state["buffers"]["m"][0][:] = 99.0
+        assert not np.array_equal(opt._m[0], state["buffers"]["m"][0])
+
+    def test_lr_and_steps_restored(self):
+        w, target = quadratic_problem()
+        opt = nn.Adam([w], lr=0.05)
+        self._drive(opt, w, target, 5)
+        state = opt.state_dict()
+        w2, _ = quadratic_problem()
+        fresh = nn.Adam([w2], lr=0.001)
+        fresh.load_state_dict(state)
+        assert fresh.lr == pytest.approx(0.05)
+        assert fresh.steps == 5
+
+    def test_missing_buffer_rejected(self):
+        w, _ = quadratic_problem()
+        opt = nn.Adam([w])
+        with pytest.raises(KeyError):
+            opt.load_state_dict({"lr": 0.1, "steps": 0, "buffers": {}})
+
+    def test_wrong_param_count_rejected(self):
+        w, _ = quadratic_problem()
+        opt = nn.SGD([w], momentum=0.9)
+        with pytest.raises(ValueError):
+            opt.load_state_dict({"lr": 0.1, "steps": 0,
+                                 "buffers": {"velocity": [None, None]}})
+
+    def test_wrong_buffer_shape_rejected(self):
+        w, _ = quadratic_problem()
+        opt = nn.SGD([w], momentum=0.9)
+        bad = np.zeros(7, dtype=np.float32)
+        with pytest.raises(ValueError):
+            opt.load_state_dict({"lr": 0.1, "steps": 0,
+                                 "buffers": {"velocity": [bad]}})
+
+    def test_failed_load_leaves_state_untouched(self):
+        w, target = quadratic_problem()
+        opt = nn.SGD([w], lr=0.05, momentum=0.9)
+        self._drive(opt, w, target, 2)
+        velocity_before = [v.copy() for v in opt._velocity]
+        with pytest.raises(ValueError):
+            opt.load_state_dict({"lr": 0.1, "steps": 0,
+                                 "buffers": {"velocity": [np.zeros(9)]}})
+        assert opt.steps == 2
+        for vb, v in zip(velocity_before, opt._velocity):
+            np.testing.assert_array_equal(vb, v)

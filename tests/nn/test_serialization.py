@@ -1,10 +1,12 @@
 """Weight persistence round-trips."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import nn
-from repro.nn.serialization import load_state, save_state
+from repro.nn.serialization import atomic_savez, load_state, save_state
 from repro.utils.rng import derive_rng
 
 
@@ -41,3 +43,48 @@ def test_load_into_wrong_architecture_fails(tmp_path):
 def test_load_missing_file(tmp_path):
     with pytest.raises(FileNotFoundError):
         load_state(small_model(0), tmp_path / "nope")
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_after_save(self, tmp_path):
+        save_state(small_model(0), tmp_path / "w")
+        assert sorted(os.listdir(tmp_path)) == ["w.npz"]
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        a, b = small_model(0), small_model(1)
+        path = tmp_path / "w"
+        save_state(a, path)
+        save_state(b, path)  # replace, not append/merge
+        c = small_model(2)
+        load_state(c, path)
+        x = np.random.randn(2, 3).astype(np.float32)
+        np.testing.assert_array_equal(b(x).data, c(x).data)
+
+    def test_atomic_savez_creates_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "arrays.npz"
+        atomic_savez(target, {"x": np.arange(3)})
+        with np.load(target) as archive:
+            np.testing.assert_array_equal(archive["x"], np.arange(3))
+
+    def test_failed_save_leaves_no_debris(self, tmp_path):
+        class Exploding:
+            def __array__(self, dtype=None):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            atomic_savez(tmp_path / "bad.npz", {"x": Exploding()})
+        assert os.listdir(tmp_path) == []
+
+
+class TestShapeMismatch:
+    def test_shape_mismatch_raises_with_file_context(self, tmp_path):
+        a = small_model(0)
+        save_state(a, tmp_path / "w")
+        wrong = nn.Sequential(nn.Dense(3, 5), nn.ReLU(), nn.Dense(5, 3))
+        before = {id(p): p.data.copy() for p in wrong.parameters()}
+        with pytest.raises((KeyError, ValueError)) as err:
+            load_state(wrong, tmp_path / "w")
+        assert "w.npz" in str(err.value)
+        # nothing was silently broadcast or partially applied
+        for p in wrong.parameters():
+            np.testing.assert_array_equal(before[id(p)], p.data)

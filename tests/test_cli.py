@@ -91,3 +91,76 @@ class TestDispatch:
             registry.Experiment(artifact="evaluation engine",
                                 description="stub", runner=raising_runner))
         assert main(["eval-suite", "--attacks", "warp"]) == 2
+
+
+class TestTrainCommand:
+    def test_train_options_parse(self):
+        args = build_parser().parse_args(
+            ["train", "--defense", "gandef", "--dataset", "objects",
+             "--checkpoint-dir", "/tmp/ck", "--resume",
+             "--probe-every", "2", "--epochs", "8"])
+        assert args.defense == "gandef"
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.resume is True
+        assert args.probe_every == 2
+        assert args.epochs == 8
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+        assert args.probe_every is None
+        assert args.epochs is None
+
+    def test_train_dispatch(self, capsys, monkeypatch):
+        from repro.defenses.base import TrainingHistory
+        from repro.experiments.train_run import TrainRunResult
+
+        captured = {}
+
+        def stub_runner(dataset, **kwargs):
+            captured.update(kwargs, dataset=dataset)
+            return TrainRunResult(
+                defense="zk-gandef", dataset=dataset,
+                history=TrainingHistory(losses=[1.5, 1.0],
+                                        epoch_seconds=[2.0, 2.0]),
+                completed_epochs=2, resumed_from=1,
+                checkpoint_path="/tmp/ck/checkpoint.npz",
+                metrics_path="/tmp/ck/metrics.jsonl")
+
+        monkeypatch.setitem(
+            registry.REGISTRY, "train",
+            registry.Experiment(artifact="training subsystem",
+                                description="stub", runner=stub_runner))
+        assert main(["train", "--defense", "gandef", "--dataset", "objects",
+                     "--checkpoint-dir", "/tmp/ck", "--resume",
+                     "--probe-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from 1" in out
+        assert "checkpoint.npz" in out
+        assert captured["defense"] == "gandef"
+        assert captured["checkpoint_dir"] == "/tmp/ck"
+        assert captured["resume"] is True
+        assert captured["probe_every"] == 2
+
+    def test_train_flags_flagged_when_inapplicable(self, capsys,
+                                                   monkeypatch):
+        def stub_runner(dataset, **kwargs):
+            return {}
+
+        monkeypatch.setitem(
+            registry.REGISTRY, "table3",
+            registry.Experiment(artifact="t3", description="stub",
+                                runner=stub_runner))
+        main(["table3", "--probe-every", "3"])
+        out = capsys.readouterr().out
+        assert "--probe-every" in out
+        assert "ignored" in out
+
+    def test_resume_without_checkpoint_dir_is_error(self, capsys):
+        assert main(["train", "--resume"]) == 2
+        assert "checkpoint" in capsys.readouterr().out.lower()
+
+    def test_figure5_resume_without_dir_is_error(self, capsys):
+        assert main(["figure5-time", "--resume"]) == 2
+        assert "resume requires" in capsys.readouterr().out

@@ -1,0 +1,186 @@
+"""TrainLoop: event dispatch, history recording, stop control, mode
+restore invariants."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import VanillaTrainer
+from repro.train import (
+    Callback,
+    DivergenceGuard,
+    LambdaCallback,
+    TrainLoop,
+)
+from tests.conftest import TinyNet, make_blobs_dataset
+
+
+@pytest.fixture
+def blobs4():
+    return make_blobs_dataset(n=64, num_classes=4)
+
+
+def make_trainer(**kwargs):
+    defaults = dict(epochs=3, batch_size=16, seed=42)
+    defaults.update(kwargs)
+    return VanillaTrainer(TinyNet(num_classes=4, seed=3), **defaults)
+
+
+class Recorder(Callback):
+    def __init__(self):
+        self.events = []
+
+    def on_train_start(self, loop):
+        self.events.append("train_start")
+
+    def on_epoch_start(self, loop, epoch):
+        self.events.append(f"epoch_start:{epoch}")
+
+    def on_batch_end(self, loop, epoch, batch_index, loss):
+        self.events.append(f"batch:{epoch}.{batch_index}")
+
+    def on_epoch_end(self, loop, epoch, logs):
+        self.events.append(f"epoch_end:{epoch}")
+
+    def on_train_end(self, loop):
+        self.events.append("train_end")
+
+
+class TestEventOrdering:
+    def test_full_event_sequence(self, blobs4):
+        trainer = make_trainer(epochs=2, batch_size=32)
+        rec = Recorder()
+        trainer.fit(blobs4, callbacks=[rec])
+        # 64 examples / 32 per batch = 2 batches per epoch
+        assert rec.events == [
+            "train_start",
+            "epoch_start:0", "batch:0.0", "batch:0.1", "epoch_end:0",
+            "epoch_start:1", "batch:1.0", "batch:1.1", "epoch_end:1",
+            "train_end",
+        ]
+
+    def test_epoch_logs_contents(self, blobs4):
+        seen = []
+        trainer = make_trainer(epochs=1)
+        trainer.fit(blobs4, callbacks=[
+            LambdaCallback(on_epoch_end=lambda loop, e, logs:
+                           seen.append(logs))])
+        (logs,) = seen
+        assert logs.epoch == 0
+        assert np.isfinite(logs.loss)
+        assert logs.seconds > 0
+        assert logs.lr == pytest.approx(trainer.optimizer.lr)
+
+    def test_history_matches_logs(self, blobs4):
+        losses = []
+        trainer = make_trainer()
+        h = trainer.fit(blobs4, callbacks=[
+            LambdaCallback(on_epoch_end=lambda loop, e, logs:
+                           losses.append(logs.loss))])
+        assert h.losses == losses
+        assert h.epochs == 3
+
+
+class TestRunControl:
+    def test_request_stop_halts_after_epoch(self, blobs4):
+        class StopAtOne(Callback):
+            def on_epoch_end(self, loop, epoch, logs):
+                if epoch == 1:
+                    loop.request_stop("enough")
+
+        trainer = make_trainer(epochs=5)
+        h = trainer.fit(blobs4, callbacks=[StopAtOne()])
+        assert h.epochs == 2
+        assert h.stop_reason == "enough"
+        assert trainer.completed_epochs == 2
+
+    def test_completed_trainer_refit_is_noop(self, blobs4):
+        trainer = make_trainer()
+        h = trainer.fit(blobs4)
+        losses = list(h.losses)
+        h2 = trainer.fit(blobs4)
+        assert h2.losses == losses  # nothing re-ran or was appended
+
+    def test_fresh_run_clears_stale_stop_reason(self, blobs4):
+        trainer = make_trainer(epochs=2)
+        trainer.history.stop_reason = "stale"
+        h = trainer.fit(blobs4)
+        assert h.stop_reason is None
+
+    def test_record_history_off_leaves_history_empty(self, blobs4):
+        trainer = make_trainer(epochs=1)
+        TrainLoop(trainer, record_history=False).run(blobs4)
+        assert trainer.history.epochs == 0
+        assert trainer.completed_epochs == 1
+
+
+class TestModeRestore:
+    def test_model_left_in_eval_mode_after_run(self, blobs4):
+        trainer = make_trainer(epochs=1)
+        trainer.fit(blobs4)
+        assert trainer.model.training is False
+
+    def test_raise_mid_epoch_restores_eval_and_history(self, blobs4):
+        trainer = make_trainer(epochs=3)
+        calls = []
+
+        original = trainer.train_step
+
+        def explode(images, labels):
+            if calls:
+                raise RuntimeError("killed mid-epoch")
+            calls.append(1)
+            return original(images, labels)
+
+        trainer.train_step = explode
+        with pytest.raises(RuntimeError):
+            trainer.fit(blobs4)
+        # The satellite invariant: no train-mode leak, no partial epoch.
+        assert trainer.model.training is False
+        assert trainer.history.epochs == 0
+        assert trainer.completed_epochs == 0
+
+
+class TestDivergenceGuard:
+    def test_halts_on_nan_loss(self, blobs4):
+        trainer = make_trainer(epochs=5)
+        original = trainer.train_step
+        trainer.train_step = lambda x, y: float("nan") \
+            if trainer.completed_epochs >= 1 else original(x, y)
+        h = trainer.fit(blobs4, callbacks=[DivergenceGuard()])
+        assert h.epochs == 2  # one good epoch + the nan epoch, then halt
+        assert h.diverged()
+        assert "diverged" in h.stop_reason
+
+    def test_patience_tolerates_transients(self, blobs4):
+        trainer = make_trainer(epochs=4)
+        original = trainer.train_step
+        # Only epoch 1 is non-finite; patience=1 must ride it out.
+        trainer.train_step = lambda x, y: float("inf") \
+            if trainer.completed_epochs == 1 else original(x, y)
+        h = trainer.fit(blobs4, callbacks=[DivergenceGuard(patience=1)])
+        assert h.epochs == 4
+        assert h.stop_reason is None
+
+    def test_finite_run_untouched(self, blobs4):
+        h = make_trainer().fit(blobs4, callbacks=[DivergenceGuard()])
+        assert h.epochs == 3
+        assert h.stop_reason is None
+
+    def test_negative_patience_rejected(self):
+        with pytest.raises(ValueError):
+            DivergenceGuard(patience=-1)
+
+
+class TestLoopEquivalence:
+    def test_callbacks_do_not_change_training(self, blobs4):
+        """A pile of passive callbacks must not perturb the run."""
+        plain = make_trainer()
+        h_plain = plain.fit(blobs4)
+        watched = make_trainer()
+        h_watched = watched.fit(
+            blobs4, callbacks=[Recorder(), DivergenceGuard(),
+                               LambdaCallback()])
+        assert h_plain.losses == h_watched.losses
+        for p, q in zip(plain.model.parameters(),
+                        watched.model.parameters()):
+            np.testing.assert_array_equal(p.data, q.data)

@@ -1,0 +1,129 @@
+"""RobustnessProbe and JSONL metrics streaming."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM
+from repro.defenses import VanillaTrainer
+from repro.eval.engine import AttackSuite
+from repro.train import (
+    JsonlWriter,
+    MetricsLogger,
+    RobustnessProbe,
+    read_jsonl,
+)
+from tests.conftest import TinyNet, make_blobs_dataset
+
+
+@pytest.fixture
+def blobs4():
+    return make_blobs_dataset(n=64, num_classes=4)
+
+
+def make_trainer(**kwargs):
+    defaults = dict(epochs=4, batch_size=16, seed=42)
+    defaults.update(kwargs)
+    return VanillaTrainer(TinyNet(num_classes=4, seed=3), **defaults)
+
+
+def make_probe(blobs4, **kwargs):
+    suite = AttackSuite({"fgsm": FGSM(eps=0.2)})
+    return RobustnessProbe(suite, blobs4.images[:16], blobs4.labels[:16],
+                           **kwargs)
+
+
+class TestRobustnessProbe:
+    def test_probes_every_k_and_final_epoch(self, blobs4):
+        probe = make_probe(blobs4, every=3)
+        trainer = make_trainer(epochs=4)
+        trainer.fit(blobs4, callbacks=[probe])
+        # epoch 3 by cadence, epoch 4 because it is last
+        assert probe.probe_epochs == [2, 3]
+        assert len(probe.results) == 2
+
+    def test_history_series(self, blobs4):
+        probe = make_probe(blobs4, every=2)
+        trainer = make_trainer(epochs=4)
+        h = trainer.fit(blobs4, callbacks=[probe])
+        assert h.extra["probe_epoch"] == [1.0, 3.0]
+        assert len(h.extra["probe_clean"]) == 2
+        assert len(h.extra["probe_fgsm"]) == 2
+        assert all(0.0 <= v <= 1.0 for v in h.extra["probe_clean"])
+
+    def test_probe_does_not_perturb_training(self, blobs4):
+        plain = make_trainer()
+        h_plain = plain.fit(blobs4)
+        probed = make_trainer()
+        h_probed = probed.fit(blobs4,
+                              callbacks=[make_probe(blobs4, every=1)])
+        assert h_plain.losses == h_probed.losses
+        for p, q in zip(plain.model.parameters(),
+                        probed.model.parameters()):
+            np.testing.assert_array_equal(p.data, q.data)
+
+    def test_model_back_in_eval_after_probe(self, blobs4):
+        trainer = make_trainer(epochs=2)
+        trainer.fit(blobs4, callbacks=[make_probe(blobs4, every=1)])
+        assert trainer.model.training is False
+
+    def test_writer_records(self, blobs4, tmp_path):
+        writer = JsonlWriter(tmp_path / "m.jsonl")
+        probe = make_probe(blobs4, every=2, writer=writer)
+        make_trainer(epochs=4).fit(blobs4, callbacks=[probe])
+        records = read_jsonl(tmp_path / "m.jsonl", event="probe")
+        assert [r["epoch"] for r in records] == [1, 3]
+        for r in records:
+            assert 0.0 <= r["clean_accuracy"] <= 1.0
+            assert set(r["robust_accuracy"]) == {"fgsm"}
+
+    def test_validation(self, blobs4):
+        with pytest.raises(ValueError):
+            make_probe(blobs4, every=0)
+        with pytest.raises(ValueError):
+            RobustnessProbe(AttackSuite({}), np.empty((0, 1, 8, 8)),
+                            np.empty((0,)))
+
+
+class TestMetricsLogger:
+    def test_epoch_stream(self, blobs4, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        trainer = make_trainer(epochs=3)
+        trainer.fit(blobs4, callbacks=[MetricsLogger(path)])
+        start = read_jsonl(path, event="train_start")
+        epochs = read_jsonl(path, event="epoch")
+        end = read_jsonl(path, event="train_end")
+        assert len(start) == 1 and start[0]["epochs"] == 3
+        assert [r["epoch"] for r in epochs] == [0, 1, 2]
+        assert [r["loss"] for r in epochs] == trainer.history.losses
+        assert end[0]["epochs_completed"] == 3
+        assert end[0]["stop_reason"] is None
+
+    def test_lines_are_valid_json(self, blobs4, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        make_trainer(epochs=2).fit(blobs4, callbacks=[MetricsLogger(path)])
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_resume_appends(self, blobs4, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        trainer = make_trainer(epochs=2)
+        trainer.fit(blobs4, callbacks=[MetricsLogger(path)])
+        # Same trainer, extended budget: a resumed (mid-run) start appends.
+        trainer.epochs = 4
+        trainer.fit(blobs4, callbacks=[MetricsLogger(path)])
+        assert len(read_jsonl(path, event="train_start")) == 2
+        assert [r["epoch"] for r in read_jsonl(path, event="epoch")] == \
+            [0, 1, 2, 3]
+
+    def test_fresh_run_truncates_stale_log(self, blobs4, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        make_trainer(epochs=4).fit(blobs4, callbacks=[MetricsLogger(path)])
+        # From-scratch rerun with a shorter budget must not leave the old
+        # run's tail epochs behind to be stitched into rebuilt curves.
+        make_trainer(epochs=2).fit(blobs4, callbacks=[MetricsLogger(path)])
+        assert len(read_jsonl(path, event="train_start")) == 1
+        assert [r["epoch"] for r in read_jsonl(path, event="epoch")] == \
+            [0, 1]

@@ -1,0 +1,169 @@
+"""Kill-and-resume equivalence — the checkpoint subsystem's headline
+guarantee, pinned on tiny models so it runs in the CI fast lane.
+
+For each trainer family: train N epochs uninterrupted; train the same
+seeded configuration with a simulated kill at epoch k (checkpoint saved,
+process state discarded); resume a *fresh* trainer from the checkpoint
+and finish.  Losses must match bit-for-bit and final parameters exactly
+— which only holds if weights, optimizer moments, every RNG stream and
+the epoch counter all round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defenses import (
+    CLPTrainer,
+    CLSTrainer,
+    VanillaTrainer,
+    ZKGanDefTrainer,
+)
+from repro.train import Callback, Checkpointer, load_checkpoint
+from tests.conftest import TinyNet, make_blobs_dataset
+
+EPOCHS = 6
+KILL_AT = 3
+
+
+@pytest.fixture(scope="module")
+def blobs4():
+    return make_blobs_dataset(n=64, num_classes=4)
+
+
+class KillAfter(Callback):
+    """Simulate the process dying after epoch ``n`` (post-checkpoint)."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def on_epoch_end(self, loop, epoch, logs):
+        if epoch + 1 >= self.n:
+            loop.request_stop(f"simulated kill after epoch {self.n}")
+
+
+def run_uninterrupted(make_trainer, blobs4):
+    trainer = make_trainer()
+    history = trainer.fit(blobs4)
+    return trainer, history
+
+
+def run_killed_and_resumed(make_trainer, blobs4, tmp_path):
+    victim = make_trainer()
+    checkpointer = Checkpointer(tmp_path)
+    victim.fit(blobs4, callbacks=[KillAfter(KILL_AT), checkpointer])
+    assert victim.completed_epochs == KILL_AT
+    # A brand-new process: fresh trainer, state only from the archive.
+    resumed = make_trainer()
+    load_checkpoint(resumed, checkpointer.path)
+    assert resumed.completed_epochs == KILL_AT
+    history = resumed.fit(blobs4, callbacks=[Checkpointer(tmp_path)])
+    return resumed, history
+
+
+def assert_equivalent(full_trainer, full_history, res_trainer, res_history):
+    assert res_history.losses == full_history.losses  # bit-for-bit
+    assert res_trainer.completed_epochs == EPOCHS
+    assert res_history.stop_reason is None
+    for p, q in zip(full_trainer.model.parameters(),
+                    res_trainer.model.parameters()):
+        np.testing.assert_array_equal(p.data, q.data)
+
+
+def tiny_model(blobs4):
+    model = TinyNet(num_classes=4, seed=3)
+    model(blobs4.images[:1])  # materialize lazy head before optimizer build
+    return model
+
+
+def vanilla_factory(blobs4):
+    def make():
+        return VanillaTrainer(tiny_model(blobs4),
+                              epochs=EPOCHS, batch_size=16, seed=42)
+    return make
+
+
+def cls_factory(blobs4):
+    def make():
+        return CLSTrainer(tiny_model(blobs4), lam=0.1,
+                          sigma=0.5, epochs=EPOCHS, batch_size=16, seed=42)
+    return make
+
+
+def clp_factory(blobs4):
+    def make():
+        return CLPTrainer(tiny_model(blobs4), lam=0.1,
+                          sigma=0.5, epochs=EPOCHS, batch_size=16, seed=42)
+    return make
+
+
+def gandef_factory(blobs4, **overrides):
+    def make():
+        model = TinyNet(num_classes=4, seed=3)
+        model(blobs4.images[:1])  # materialize lazy head
+        kwargs = dict(num_logits=4, sigma=0.3, epochs=EPOCHS,
+                      batch_size=16, warmup_epochs=4, lr=0.01, seed=42)
+        kwargs.update(overrides)
+        return ZKGanDefTrainer(model, **kwargs)
+    return make
+
+
+class TestResumeEquivalence:
+    def test_vanilla(self, blobs4, tmp_path):
+        full, h_full = run_uninterrupted(vanilla_factory(blobs4), blobs4)
+        res, h_res = run_killed_and_resumed(vanilla_factory(blobs4),
+                                            blobs4, tmp_path)
+        assert_equivalent(full, h_full, res, h_res)
+
+    def test_vanilla_sgd_momentum(self, blobs4, tmp_path):
+        def factory():
+            return VanillaTrainer(tiny_model(blobs4),
+                                  optimizer="sgd", lr=0.05, momentum=0.9,
+                                  epochs=EPOCHS, batch_size=16, seed=42)
+        full, h_full = run_uninterrupted(factory, blobs4)
+        res, h_res = run_killed_and_resumed(factory, blobs4, tmp_path)
+        assert_equivalent(full, h_full, res, h_res)
+
+    def test_cls(self, blobs4, tmp_path):
+        """CLS adds the Gaussian augmentation stream to the state."""
+        full, h_full = run_uninterrupted(cls_factory(blobs4), blobs4)
+        res, h_res = run_killed_and_resumed(cls_factory(blobs4),
+                                            blobs4, tmp_path)
+        assert_equivalent(full, h_full, res, h_res)
+
+    def test_clp(self, blobs4, tmp_path):
+        """CLP's paired-batch loop rides the same machinery."""
+        full, h_full = run_uninterrupted(clp_factory(blobs4), blobs4)
+        res, h_res = run_killed_and_resumed(clp_factory(blobs4),
+                                            blobs4, tmp_path)
+        assert_equivalent(full, h_full, res, h_res)
+
+    def test_gandef_dual_optimizer(self, blobs4, tmp_path):
+        """GanDef must restore both networks, both Adam states, and the
+        mix stream; the kill at epoch 3 lands inside the warm-up window
+        (warmup_epochs=4), so the resumed run must also re-enter the
+        gamma schedule correctly."""
+        factory = gandef_factory(blobs4)
+        full, h_full = run_uninterrupted(factory, blobs4)
+        res, h_res = run_killed_and_resumed(factory, blobs4, tmp_path)
+        assert_equivalent(full, h_full, res, h_res)
+        for p, q in zip(full.discriminator.parameters(),
+                        res.discriminator.parameters()):
+            np.testing.assert_array_equal(p.data, q.data)
+        assert res.history.extra["disc_loss"] == \
+            full.history.extra["disc_loss"]
+
+    def test_resume_is_not_restart(self, blobs4, tmp_path):
+        """Guard the guard: a *restarted* (not resumed) second half must
+        diverge from the uninterrupted run, proving the equivalence
+        above is earned by state restoration rather than insensitivity."""
+        full, h_full = run_uninterrupted(vanilla_factory(blobs4), blobs4)
+        victim = vanilla_factory(blobs4)()
+        checkpointer = Checkpointer(tmp_path)
+        victim.fit(blobs4, callbacks=[KillAfter(KILL_AT), checkpointer])
+        restarted = vanilla_factory(blobs4)()
+        # Restore only the weights — the seed-code failure mode.
+        restarted.model.load_state_dict(victim.model.state_dict())
+        restarted.completed_epochs = KILL_AT
+        h_res = restarted.fit(blobs4)
+        assert h_res.losses[-(EPOCHS - KILL_AT):] != \
+            h_full.losses[-(EPOCHS - KILL_AT):]

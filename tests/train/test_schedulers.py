@@ -1,0 +1,121 @@
+"""LR schedulers: schedule math and in-loop application."""
+
+import pytest
+
+from repro.defenses import VanillaTrainer
+from repro.train import (
+    CosineLR,
+    LambdaCallback,
+    StepLR,
+    WarmupLR,
+    build_scheduler,
+)
+from tests.conftest import TinyNet, make_blobs_dataset
+
+
+@pytest.fixture
+def blobs4():
+    return make_blobs_dataset(n=64, num_classes=4)
+
+
+class TestStepLR:
+    def test_decay_boundaries(self):
+        s = StepLR(step_size=2, gamma=0.1, base_lr=1.0)
+        assert [s.lr_at(e, 6) for e in range(6)] == \
+            pytest.approx([1.0, 1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(step_size=2, gamma=0.0)
+        with pytest.raises(ValueError):
+            StepLR(step_size=2, base_lr=-1.0)
+
+
+class TestCosineLR:
+    def test_endpoints(self):
+        s = CosineLR(total_epochs=11, min_lr=0.001, base_lr=0.1)
+        assert s.lr_at(0, 11) == pytest.approx(0.1)
+        assert s.lr_at(10, 11) == pytest.approx(0.001)
+
+    def test_midpoint(self):
+        s = CosineLR(total_epochs=11, min_lr=0.0, base_lr=1.0)
+        assert s.lr_at(5, 11) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        s = CosineLR(total_epochs=20, base_lr=0.1)
+        rates = [s.lr_at(e, 20) for e in range(20)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_span_defaults_to_trainer_epochs(self):
+        s = CosineLR(base_lr=1.0)
+        assert s.lr_at(4, 5) == pytest.approx(0.0)
+
+
+class TestWarmupLR:
+    def test_linear_ramp(self):
+        s = WarmupLR(warmup_epochs=4, base_lr=0.8)
+        assert [s.lr_at(e, 10) for e in range(4)] == \
+            pytest.approx([0.2, 0.4, 0.6, 0.8])
+
+    def test_holds_base_after_warmup_without_inner(self):
+        s = WarmupLR(warmup_epochs=2, base_lr=0.5)
+        assert s.lr_at(7, 10) == pytest.approx(0.5)
+
+    def test_inner_schedule_rebased(self):
+        inner = CosineLR(total_epochs=4, min_lr=0.0, base_lr=1.0)
+        s = WarmupLR(warmup_epochs=2, after=inner, base_lr=1.0)
+        assert s.lr_at(2, 6) == pytest.approx(1.0)   # inner epoch 0
+        assert s.lr_at(5, 6) == pytest.approx(0.0)   # inner epoch 3 (last)
+
+
+class TestBuildScheduler:
+    def test_none_returns_none(self):
+        assert build_scheduler("none", base_lr=0.1, total_epochs=5) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            build_scheduler("exotic", base_lr=0.1, total_epochs=5)
+
+    @pytest.mark.parametrize("kind,cls", [
+        ("step", StepLR), ("cosine", CosineLR),
+        ("warmup-cosine", WarmupLR),
+    ])
+    def test_kinds(self, kind, cls):
+        s = build_scheduler(kind, base_lr=0.1, total_epochs=10,
+                            warmup_epochs=2)
+        assert isinstance(s, cls)
+        assert s.base_lr == pytest.approx(0.1)
+
+
+class TestInLoopApplication:
+    def test_scheduler_sets_rate_per_epoch(self, blobs4):
+        trainer = VanillaTrainer(TinyNet(num_classes=4), epochs=4,
+                                 batch_size=32, lr=1.0)
+        seen = []
+        trainer.fit(blobs4, callbacks=[
+            StepLR(step_size=2, gamma=0.1),
+            LambdaCallback(on_epoch_end=lambda loop, e, logs:
+                           seen.append(logs.lr))])
+        assert seen == pytest.approx([1.0, 1.0, 0.1, 0.1])
+
+    def test_base_lr_captured_from_optimizer(self, blobs4):
+        trainer = VanillaTrainer(TinyNet(num_classes=4), epochs=2,
+                                 batch_size=32, lr=0.25)
+        scheduler = StepLR(step_size=1, gamma=0.5)
+        trainer.fit(blobs4, callbacks=[scheduler])
+        assert scheduler.base_lr == pytest.approx(0.25)
+        assert trainer.optimizer.lr == pytest.approx(0.125)
+
+    def test_cosine_anneals_over_run(self, blobs4):
+        trainer = VanillaTrainer(TinyNet(num_classes=4), epochs=5,
+                                 batch_size=32, lr=0.1)
+        seen = []
+        trainer.fit(blobs4, callbacks=[
+            CosineLR(min_lr=0.0),
+            LambdaCallback(on_epoch_end=lambda loop, e, logs:
+                           seen.append(logs.lr))])
+        assert seen[0] == pytest.approx(0.1)
+        assert seen[-1] == pytest.approx(0.0, abs=1e-9)
+        assert seen[2] == pytest.approx(0.05)
