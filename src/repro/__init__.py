@@ -3,7 +3,11 @@ Training Defense for Neural Networks* (Liu, Khalil, Khreishah — DSN 2019).
 
 Top-level layout (see DESIGN.md for the full inventory):
 
-* :mod:`repro.nn` — numpy autodiff neural-network substrate,
+* :mod:`repro.backend` — pluggable array-backend layer (``ArrayOps``
+  protocol; numpy reference, fast CPU, optional cupy) the whole stack
+  dispatches through,
+* :mod:`repro.nn` — autodiff neural-network substrate over the backend
+  seam,
 * :mod:`repro.data` — synthetic dataset substrate + preprocessing module,
 * :mod:`repro.attacks` — FGSM / BIM / PGD / DeepFool / CW / MIM attacks,
 * :mod:`repro.defenses` — Vanilla, CLP, CLS, ZK-GanDef, FGSM-Adv, PGD-Adv,

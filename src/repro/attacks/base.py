@@ -5,6 +5,11 @@ with respect to the *input* image.  The common plumbing here computes those
 input gradients through the ``repro.nn`` tape, projects iterates back onto
 the l-infinity ball around the original image, and applies the paper's
 regulation function ``F`` (clip onto ``[-1, 1]``).
+
+The crafting loops are backend-agnostic: array math goes through the active
+backend's ``xp`` namespace (:mod:`repro.backend`), and ``Attack.generate``
+moves the incoming batch onto the backend once up front, so the entire
+iterate/projection/masking inner loop stays on-device.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 from ..data.preprocessing import BOX_HIGH, BOX_LOW
 
@@ -46,8 +52,11 @@ def project_linf(adv: np.ndarray, original: np.ndarray,
                  eps: float) -> np.ndarray:
     """Project onto the l-inf ball of radius ``eps`` around ``original``,
     then onto the valid image box via ``F``."""
-    adv = np.clip(adv, original - eps, original + eps)
-    return np.clip(adv, BOX_LOW, BOX_HIGH).astype(np.float32)
+    xp = _backend.active().xp
+    adv = xp.clip(adv, original - eps, original + eps)
+    # ``copy=False``: the clip result is already a fresh array; the cast is
+    # a no-op pass-through whenever it is already float32.
+    return xp.clip(adv, BOX_LOW, BOX_HIGH).astype(np.float32, copy=False)
 
 
 def still_correct(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
@@ -58,7 +67,7 @@ def still_correct(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
     gradient steps on it are wasted work — it leaves the active set frozen
     at its current iterate.
     """
-    return logits.argmax(axis=1) == np.asarray(labels)
+    return logits.argmax(axis=1) == _backend.active().asarray(labels)
 
 
 def masked_signed_ascent(model: nn.Module, adv: np.ndarray,
@@ -76,7 +85,8 @@ def masked_signed_ascent(model: nn.Module, adv: np.ndarray,
     to a step direction (default: ``sign(grad)``); MIM passes a closure
     that folds the gradient into its per-example momentum state.
     """
-    active = np.arange(len(images))
+    xp = _backend.active().xp
+    active = xp.arange(len(images))
     for _ in range(iterations):
         logits, grad = logits_and_input_grad(model, adv[active],
                                              labels[active])
@@ -85,7 +95,7 @@ def masked_signed_ascent(model: nn.Module, adv: np.ndarray,
         if active.size == 0:
             break
         grad = grad[keep]
-        d = np.sign(grad) if direction is None else direction(active, grad)
+        d = xp.sign(grad) if direction is None else direction(active, grad)
         adv[active] = project_linf(adv[active] + step * d,
                                    images[active], eps)
     return adv
@@ -98,7 +108,14 @@ class Attack:
 
     Attacks run the victim in ``eval()`` mode (dropout off) — gradients must
     describe the deployed model, not a stochastic one — and restore the
-    previous mode afterwards.
+    previous mode afterwards.  They also *freeze* the victim's parameters
+    for the duration: a white-box attack differentiates w.r.t. the input
+    only, and the input gradient does not route through any parameter
+    gradient, so skipping those accumulations changes nothing about the
+    crafted examples (pinned bitwise by the cross-backend parity suite)
+    while dropping the weight-gradient contractions from every inner-loop
+    backward pass.  Flags are restored even on a crashing ``_generate``,
+    mirroring the mode guarantee.
 
     ``early_stop`` opts iterative subclasses into per-example early
     stopping: each step begins with the forward pass the gradient needs
@@ -119,15 +136,22 @@ class Attack:
                  labels: np.ndarray) -> np.ndarray:
         if self.eps < 0:
             raise ValueError(f"eps must be non-negative, got {self.eps}")
+        b = _backend.active()
+        images = b.asarray(images, dtype=np.float32)
+        labels = b.asarray(labels)
         was_training = model.training
         model.eval()
+        frozen = [p for p in model.parameters() if p.requires_grad]
+        for p in frozen:
+            p.requires_grad = False
         try:
-            adv = self._generate(model, np.asarray(images, dtype=np.float32),
-                                 np.asarray(labels))
+            adv = self._generate(model, images, labels)
         finally:
+            for p in frozen:
+                p.requires_grad = True
             if was_training:
                 model.train()
-        return project_linf(adv, np.asarray(images, dtype=np.float32), self.eps)
+        return project_linf(adv, images, self.eps)
 
     def _generate(self, model: nn.Module, images: np.ndarray,
                   labels: np.ndarray) -> np.ndarray:  # pragma: no cover

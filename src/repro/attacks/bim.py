@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 from .base import Attack, input_gradient, masked_signed_ascent, project_linf
 
@@ -31,12 +32,13 @@ class BIM(Attack):
                   labels: np.ndarray) -> np.ndarray:
         if self.iterations <= 0:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
-        labels = np.asarray(labels)
+        xp = _backend.active().xp
+        labels = xp.asarray(labels)
         adv = images.copy()
         if not self.early_stop:
             for _ in range(self.iterations):
                 grad = input_gradient(model, adv, labels)
-                adv = adv + self.step * np.sign(grad)
+                adv = adv + self.step * xp.sign(grad)
                 adv = project_linf(adv, images, self.eps)
             return adv
         return masked_signed_ascent(model, adv, images, labels,

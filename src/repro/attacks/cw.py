@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 from ..data.preprocessing import BOX_HIGH, BOX_LOW
 from .base import Attack, project_linf
@@ -38,20 +39,23 @@ class CarliniWagner(Attack):
 
     def _generate(self, model: nn.Module, images: np.ndarray,
                   labels: np.ndarray) -> np.ndarray:
+        xp = _backend.active().xp
         if self.early_stop:
             return self._generate_early_stop(model, images, labels)
         # Map images into tanh space.  Shrink slightly to keep atanh finite.
-        scaled = np.clip(images, BOX_LOW + 1e-4, BOX_HIGH - 1e-4)
-        w0 = np.arctanh(scaled).astype(np.float32)
+        scaled = xp.clip(images, BOX_LOW + 1e-4, BOX_HIGH - 1e-4)
+        w0 = xp.arctanh(scaled).astype(np.float32)
         w = nn.Parameter(w0.copy(), name="cw.w")
         optimizer = nn.Adam([w], lr=self.lr)
         x0 = nn.Tensor(images)
-        labels = np.asarray(labels)
-        onehot = nn.functional.one_hot(labels, self._num_classes(model, images))
+        labels = xp.asarray(labels)
+        onehot = nn.functional.one_hot(
+            _backend.active().to_numpy(labels),
+            self._num_classes(model, images))
         onehot_t = nn.Tensor(onehot)
 
         best_adv = images.copy()
-        best_obj = np.full(len(images), np.inf, dtype=np.float64)
+        best_obj = xp.full(len(images), np.inf, dtype=np.float64)
 
         for _ in range(self.iterations):
             optimizer.zero_grad()
@@ -70,7 +74,7 @@ class CarliniWagner(Attack):
 
             # Track the best (lowest objective among successful) iterate.
             with nn.no_grad():
-                x_np = np.tanh(w.data)
+                x_np = xp.tanh(w.data)
                 cur_logits = model(nn.Tensor(x_np)).data
             fooled = cur_logits.argmax(axis=1) != labels
             obj = dist.data + (~fooled) * 1e9
@@ -102,22 +106,25 @@ class CarliniWagner(Attack):
         verification pin the accuracies equal on all shipped
         configurations.
         """
-        labels = np.asarray(labels)
-        scaled = np.clip(images, BOX_LOW + 1e-4, BOX_HIGH - 1e-4)
-        w = np.arctanh(scaled).astype(np.float32)
-        onehot = nn.functional.one_hot(labels,
+        b = _backend.active()
+        xp = b.xp
+        labels = xp.asarray(labels)
+        scaled = xp.clip(images, BOX_LOW + 1e-4, BOX_HIGH - 1e-4)
+        w = xp.arctanh(scaled).astype(np.float32)
+        onehot = nn.functional.one_hot(b.to_numpy(labels),
                                        self._num_classes(model, images))
+        onehot = b.asarray(onehot)
 
         best_adv = images.copy()
-        best_obj = np.full(len(images), np.inf, dtype=np.float64)
-        m = np.zeros_like(w)
-        v = np.zeros_like(w)
+        best_obj = xp.full(len(images), np.inf, dtype=np.float64)
+        m = xp.zeros_like(w)
+        v = xp.zeros_like(w)
         # Read nn.Adam's own defaults so the hand-rolled update below can
         # never drift out of sync with the optimizer the naive path uses.
         adam_params = inspect.signature(nn.Adam.__init__).parameters
         b1, b2 = adam_params["betas"].default
         adam_eps = adam_params["eps"].default
-        active = np.arange(len(images))
+        active = xp.arange(len(images))
 
         for t in range(1, self.iterations + 1):
             if active.size == 0:
@@ -142,10 +149,10 @@ class CarliniWagner(Attack):
             m_hat = m[active] / (1.0 - b1 ** t)
             v_hat = v[active] / (1.0 - b2 ** t)
             w[active] = w[active] - self.lr * m_hat \
-                / (np.sqrt(v_hat) + adam_eps)
+                / (xp.sqrt(v_hat) + adam_eps)
 
             with nn.no_grad():
-                x_np = np.tanh(w[active])
+                x_np = xp.tanh(w[active])
                 cur_logits = model(nn.Tensor(x_np)).data
             fooled = cur_logits.argmax(axis=1) != labels[active]
             obj = dist.data + (~fooled) * 1e9

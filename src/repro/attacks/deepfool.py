@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 from .base import Attack, project_linf
 
@@ -51,13 +52,14 @@ class DeepFool(Attack):
 
     def _approach_boundary(self, model: nn.Module, images: np.ndarray,
                            labels: np.ndarray) -> np.ndarray:
+        xp = _backend.active().xp
         adv = images.copy()
         n = len(images)
-        active = np.ones(n, dtype=bool)
+        active = xp.ones(n, dtype=bool)
         for _ in range(self.iterations):
             if not active.any():
                 break
-            idx = np.flatnonzero(active)
+            idx = xp.flatnonzero(active)
             batch = adv[idx]
             logits, grads = self._logits_and_class_grads(model, batch)
             preds = logits.argmax(axis=1)
@@ -71,11 +73,11 @@ class DeepFool(Attack):
             logits = logits[still]
             grads = grads[:, still]
             true = labels[sel]
-            rows = np.arange(len(sel))
+            rows = xp.arange(len(sel))
             f_true = logits[rows, true]
             g_true = grads[true, rows]
             best_step = None
-            best_ratio = np.full(len(sel), np.inf, dtype=np.float64)
+            best_ratio = xp.full(len(sel), np.inf, dtype=np.float64)
             num_classes = logits.shape[1]
             for k in range(min(num_classes, self.num_candidate_classes)):
                 mask = k != true
@@ -84,18 +86,18 @@ class DeepFool(Attack):
                 w = grads[k] - g_true                       # (b, *image)
                 f = logits[:, k] - f_true                   # (b,)
                 flat = w.reshape(len(sel), -1)
-                norm = np.abs(flat).sum(axis=1) + 1e-12     # dual of l-inf
-                ratio = np.abs(f) / norm
+                norm = xp.abs(flat).sum(axis=1) + 1e-12     # dual of l-inf
+                ratio = xp.abs(f) / norm
                 ratio[~mask] = np.inf
                 better = ratio < best_ratio
                 if best_step is None:
-                    best_step = np.zeros_like(w)
+                    best_step = xp.zeros_like(w)
                 # l-inf optimal step: move along sign(w).
-                step = ((np.abs(f) + 1e-6) / norm)[:, None] \
-                    * np.sign(flat)
+                step = ((xp.abs(f) + 1e-6) / norm)[:, None] \
+                    * xp.sign(flat)
                 best_step[better] = step[better].reshape(
                     (-1,) + w.shape[1:])
-                best_ratio = np.where(better, ratio, best_ratio)
+                best_ratio = xp.where(better, ratio, best_ratio)
             if best_step is None:
                 break
             batch = batch + best_step.astype(np.float32)
@@ -120,4 +122,4 @@ class DeepFool(Attack):
             logits[:, k].sum().backward()
             grads.append(x.grad.copy())
             k += 1
-        return logits_out, np.stack(grads, axis=0)
+        return logits_out, _backend.active().xp.stack(grads, axis=0)

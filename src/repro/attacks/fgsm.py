@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 from .base import Attack, input_gradient
 
@@ -26,4 +27,4 @@ class FGSM(Attack):
     def _generate(self, model: nn.Module, images: np.ndarray,
                   labels: np.ndarray) -> np.ndarray:
         grad = input_gradient(model, images, labels)
-        return images + self.eps * np.sign(grad)
+        return images + self.eps * _backend.active().xp.sign(grad)

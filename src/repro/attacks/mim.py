@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 from .base import Attack, input_gradient, masked_signed_ascent, project_linf
 
@@ -21,8 +22,9 @@ __all__ = ["MIM"]
 
 def _l1_normalized(grad: np.ndarray) -> np.ndarray:
     """Per-example l1 normalization of an input gradient batch."""
-    flat = np.abs(grad).reshape(len(grad), -1).sum(axis=1)
-    flat = np.maximum(flat, 1e-12).reshape(-1, *([1] * (grad.ndim - 1)))
+    xp = _backend.active().xp
+    flat = xp.abs(grad).reshape(len(grad), -1).sum(axis=1)
+    flat = xp.maximum(flat, 1e-12).reshape(-1, *([1] * (grad.ndim - 1)))
     return grad / flat
 
 
@@ -40,20 +42,21 @@ class MIM(Attack):
                   labels: np.ndarray) -> np.ndarray:
         if self.iterations <= 0:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
-        labels = np.asarray(labels)
+        xp = _backend.active().xp
+        labels = xp.asarray(labels)
         adv = images.copy()
-        velocity = np.zeros_like(images)
+        velocity = xp.zeros_like(images)
         if not self.early_stop:
             for _ in range(self.iterations):
                 grad = input_gradient(model, adv, labels)
                 velocity = self.decay * velocity + _l1_normalized(grad)
-                adv = adv + self.step * np.sign(velocity)
+                adv = adv + self.step * xp.sign(velocity)
                 adv = project_linf(adv, images, self.eps)
             return adv
         def momentum_direction(active, grad):
             velocity[active] = self.decay * velocity[active] \
                 + _l1_normalized(grad)
-            return np.sign(velocity[active])
+            return xp.sign(velocity[active])
 
         return masked_signed_ascent(model, adv, images, labels,
                                     self.step, self.iterations, self.eps,

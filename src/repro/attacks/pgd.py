@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 from ..utils.rng import derive_rng
 from .base import Attack, input_gradient, masked_signed_ascent, project_linf
@@ -52,19 +53,23 @@ class PGD(Attack):
             raise ValueError(f"iterations must be positive, got {self.iterations}")
         if self.restarts <= 0:
             raise ValueError(f"restarts must be positive, got {self.restarts}")
-        labels = np.asarray(labels)
+        b = _backend.active()
+        xp = b.xp
+        labels = xp.asarray(labels)
         rng = derive_rng(self.seed, "pgd-init")
         if self.early_stop:
             return self._generate_early_stop(model, images, labels, rng)
         best_adv = images.copy()
-        best_loss = np.full(len(images), -np.inf, dtype=np.float64)
+        best_loss = xp.full(len(images), -np.inf, dtype=np.float64)
         for _ in range(self.restarts):
-            start = images + rng.uniform(
-                -self.eps, self.eps, size=images.shape).astype(np.float32)
+            # Random starts draw on the host stream and transfer, so the
+            # stream consumed is identical on every backend.
+            start = images + b.asarray(rng.uniform(
+                -self.eps, self.eps, size=images.shape).astype(np.float32))
             adv = project_linf(start, images, self.eps)
             for _ in range(self.iterations):
                 grad = input_gradient(model, adv, labels)
-                adv = adv + self.step * np.sign(grad)
+                adv = adv + self.step * xp.sign(grad)
                 adv = project_linf(adv, images, self.eps)
             if self.restarts == 1:
                 # Single restart: the ascent result wins unconditionally
@@ -79,19 +84,21 @@ class PGD(Attack):
 
     def _generate_early_stop(self, model: nn.Module, images: np.ndarray,
                              labels: np.ndarray, rng) -> np.ndarray:
+        b = _backend.active()
+        xp = b.xp
         best_adv = images.copy()
-        fooled = np.zeros(len(images), dtype=bool)
-        best_loss = np.full(len(images), -np.inf, dtype=np.float64)
+        fooled = xp.zeros(len(images), dtype=bool)
+        best_loss = xp.full(len(images), -np.inf, dtype=np.float64)
         for _ in range(self.restarts):
             # The random start always draws for the full batch so the stream
             # consumed per restart is identical with and without early
             # stopping (and to the pre-engine implementation).
-            start = project_linf(images + rng.uniform(
-                -self.eps, self.eps, size=images.shape).astype(np.float32),
+            start = project_linf(images + b.asarray(rng.uniform(
+                -self.eps, self.eps, size=images.shape).astype(np.float32)),
                 images, self.eps)
             if fooled.all():
                 continue
-            idx = np.flatnonzero(~fooled)
+            idx = xp.flatnonzero(~fooled)
             adv = masked_signed_ascent(model, start[idx], images[idx],
                                        labels[idx], self.step,
                                        self.iterations, self.eps)
@@ -119,6 +126,7 @@ class PGD(Attack):
     @staticmethod
     def _loss_from_logits(logits: np.ndarray,
                           labels: np.ndarray) -> np.ndarray:
+        xp = _backend.active().xp
         shifted = logits - logits.max(axis=1, keepdims=True)
-        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
-        return -log_probs[np.arange(len(labels)), labels]
+        log_probs = shifted - xp.log(xp.exp(shifted).sum(axis=1, keepdims=True))
+        return -log_probs[xp.arange(len(labels)), labels]

@@ -1,0 +1,111 @@
+"""Optional GPU backend: ``cupy`` as a drop-in array namespace.
+
+Registered automatically by :mod:`repro.backend` when ``cupy`` is
+importable; on CPU-only machines this module is never imported and the
+backend simply does not appear in :func:`repro.backend.available_backends`.
+
+The design keeps determinism anchored on the host: RNG streams stay
+``numpy.random.Generator`` (see :mod:`repro.backend.base`), stochastic
+draws are made on the CPU and transferred, and ``to_numpy`` synchronizes
+results back for host-side scoring, caching and checkpointing.  Everything
+between those boundaries — tensor ops, conv kernels, attack loops — runs on
+the device through ``self.xp``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import cupy
+import numpy as np
+
+from .base import conv_output_size
+from .numpy_backend import NumpyBackend
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(NumpyBackend):
+    """``ArrayOps`` over cupy device arrays."""
+
+    name = "cupy"
+
+    @property
+    def xp(self):
+        return cupy
+
+    # ------------------------------------------------------------------ #
+    # creation / transfer
+    # ------------------------------------------------------------------ #
+    def asarray(self, data: Any, dtype=None):
+        return cupy.asarray(data, dtype=dtype)
+
+    def to_numpy(self, arr: Any) -> np.ndarray:
+        return cupy.asnumpy(arr) if isinstance(arr, cupy.ndarray) \
+            else np.asarray(arr)
+
+    # ------------------------------------------------------------------ #
+    # scratch buffers (cupy has its own memory pool underneath)
+    # ------------------------------------------------------------------ #
+    def scratch(self, shape: Tuple[int, ...], dtype=np.float32,
+                zero: bool = False):
+        return cupy.zeros(shape, dtype=dtype) if zero \
+            else cupy.empty(shape, dtype=dtype)
+
+    # ------------------------------------------------------------------ #
+    # contraction / indexing kernels
+    # ------------------------------------------------------------------ #
+    def einsum(self, subscripts: str, *operands: Any):
+        return cupy.einsum(subscripts, *operands)
+
+    def index_add(self, target, index, update) -> None:
+        cupyx = __import__("cupyx")
+        cupyx.scatter_add(target, index, update)
+
+    def im2col(self, x, kh: int, kw: int, stride_h: int, stride_w: int,
+               pad_h: int, pad_w: int):
+        n, c, h, w = x.shape
+        out_h = conv_output_size(h, kh, stride_h, pad_h)
+        out_w = conv_output_size(w, kw, stride_w, pad_w)
+        if pad_h or pad_w:
+            x = cupy.pad(x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+        s = x.strides
+        # Unlike the CPU backends' kernel, no ``writeable=False`` guard on
+        # the view: cupy's as_strided does not accept the keyword.
+        view = cupy.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, kh, kw, out_h, out_w),
+            strides=(s[0], s[1], s[2], s[3], s[2] * stride_h, s[3] * stride_w),
+        )
+        return view.reshape(n, c * kh * kw, out_h * out_w).copy()
+
+    def col2im(self, cols, x_shape: Tuple[int, int, int, int],
+               kh: int, kw: int, stride_h: int, stride_w: int,
+               pad_h: int, pad_w: int):
+        n, c, h, w = x_shape
+        out_h = conv_output_size(h, kh, stride_h, pad_h)
+        out_w = conv_output_size(w, kw, stride_w, pad_w)
+        padded = cupy.zeros((n, c, h + 2 * pad_h, w + 2 * pad_w),
+                            dtype=cols.dtype)
+        cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+        for i in range(kh):
+            i_end = i + stride_h * out_h
+            for j in range(kw):
+                j_end = j + stride_w * out_w
+                padded[:, :, i:i_end:stride_h, j:j_end:stride_w] += \
+                    cols[:, :, i, j]
+        if pad_h or pad_w:
+            return padded[:, :, pad_h:pad_h + h, pad_w:pad_w + w]
+        return padded
+
+    # ------------------------------------------------------------------ #
+    # autodiff tape / optimizer steps: the inherited reference expressions
+    # are already namespace-generic for these (ndarray arithmetic and
+    # ``zeros_like`` resolve on the operand type), except first-use copy:
+    # ------------------------------------------------------------------ #
+    def accumulate(self, current: Optional[Any], update: Any,
+                   owned: bool = False):
+        if current is None:
+            return update.copy()
+        current += update
+        return current

@@ -1,0 +1,153 @@
+"""The reference backend: plain numpy, bit-identical to the pre-seam code.
+
+Every method here is the exact expression (same operations, same evaluation
+order, same dtypes) that used to live inline in ``repro.nn`` before the
+backend seam was introduced, so activating :class:`NumpyBackend` — the
+default — reproduces the seed implementation bit for bit.  All seeded
+equivalence tests (attack accuracies, checkpoint/resume bit-identity) pin
+that property.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from .base import conv_output_size
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend:
+    """CPU reference implementation of the :class:`~repro.backend.base.ArrayOps`
+    protocol (see there for the contract)."""
+
+    name = "numpy"
+
+    @property
+    def xp(self):
+        return np
+
+    # ------------------------------------------------------------------ #
+    # creation / transfer
+    # ------------------------------------------------------------------ #
+    def asarray(self, data: Any, dtype=None) -> np.ndarray:
+        return np.asarray(data, dtype=dtype)
+
+    def to_numpy(self, arr: Any) -> np.ndarray:
+        return np.asarray(arr)
+
+    # ------------------------------------------------------------------ #
+    # scratch buffers (reference: plain allocation, release is a no-op)
+    # ------------------------------------------------------------------ #
+    def scratch(self, shape: Tuple[int, ...], dtype=np.float32,
+                zero: bool = False) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype) if zero \
+            else np.empty(shape, dtype=dtype)
+
+    def release(self, buf: Any) -> None:
+        pass
+
+    # ------------------------------------------------------------------ #
+    # contraction / indexing kernels
+    # ------------------------------------------------------------------ #
+    def einsum(self, subscripts: str, *operands: Any) -> np.ndarray:
+        return np.einsum(subscripts, *operands, optimize=True)
+
+    def index_add(self, target: np.ndarray, index: Any,
+                  update: np.ndarray) -> None:
+        np.add.at(target, index, update)
+
+    def im2col(self, x: np.ndarray, kh: int, kw: int, stride_h: int,
+               stride_w: int, pad_h: int, pad_w: int) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_h = conv_output_size(h, kh, stride_h, pad_h)
+        out_w = conv_output_size(w, kw, stride_w, pad_w)
+        if pad_h or pad_w:
+            x = np.pad(x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+        # Strided view of all patches: (N, C, kh, kw, out_h, out_w)
+        s = x.strides
+        view = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, kh, kw, out_h, out_w),
+            strides=(s[0], s[1], s[2], s[3], s[2] * stride_h, s[3] * stride_w),
+            writeable=False,
+        )
+        return view.reshape(n, c * kh * kw, out_h * out_w).copy()
+
+    def col2im(self, cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+               kh: int, kw: int, stride_h: int, stride_w: int,
+               pad_h: int, pad_w: int) -> np.ndarray:
+        n, c, h, w = x_shape
+        out_h = conv_output_size(h, kh, stride_h, pad_h)
+        out_w = conv_output_size(w, kw, stride_w, pad_w)
+        padded = np.zeros((n, c, h + 2 * pad_h, w + 2 * pad_w),
+                          dtype=cols.dtype)
+        cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+        for i in range(kh):
+            i_end = i + stride_h * out_h
+            for j in range(kw):
+                j_end = j + stride_w * out_w
+                padded[:, :, i:i_end:stride_h, j:j_end:stride_w] += \
+                    cols[:, :, i, j]
+        if pad_h or pad_w:
+            return padded[:, :, pad_h:pad_h + h, pad_w:pad_w + w]
+        return padded
+
+    # ------------------------------------------------------------------ #
+    # autodiff tape
+    # ------------------------------------------------------------------ #
+    def accumulate(self, current: Optional[np.ndarray], update: np.ndarray,
+                   owned: bool = False) -> np.ndarray:
+        # The reference copies on first use regardless of ownership — the
+        # seed implementation always did, and the copy also normalizes
+        # non-writeable broadcast views into plain arrays.
+        if current is None:
+            return update.copy()
+        current += update
+        return current
+
+    # ------------------------------------------------------------------ #
+    # fused optimizer steps (reference: the seed's exact expressions)
+    # ------------------------------------------------------------------ #
+    def sgd_step(self, param: np.ndarray, grad: np.ndarray,
+                 velocity: Optional[np.ndarray], lr: float, momentum: float,
+                 weight_decay: float) -> Optional[np.ndarray]:
+        if weight_decay:
+            grad = grad + weight_decay * param
+        if momentum:
+            v = velocity
+            if v is None:
+                v = np.zeros_like(param)
+            v = momentum * v + grad
+            velocity = v
+            grad = v
+        param -= lr * grad
+        return velocity
+
+    def adam_step(self, param: np.ndarray, grad: np.ndarray,
+                  m: Optional[np.ndarray], v: Optional[np.ndarray],
+                  lr: float, b1: float, b2: float, eps: float,
+                  weight_decay: float, steps: int
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        if weight_decay:
+            grad = grad + weight_decay * param
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        m = b1 * m + (1.0 - b1) * grad
+        v = b2 * v + (1.0 - b2) * grad * grad
+        m_hat = m / (1.0 - b1 ** steps)
+        v_hat = v / (1.0 - b2 ** steps)
+        param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+        return m, v
+
+    # ------------------------------------------------------------------ #
+    # RNG
+    # ------------------------------------------------------------------ #
+    def derive_rng(self, seed: int, tag: str = "") -> np.random.Generator:
+        digest = hashlib.sha256(f"{seed}:{tag}".encode()).digest()
+        child_seed = int.from_bytes(digest[:8], "little")
+        return np.random.default_rng(child_seed)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
+from .backend import available_backends
 from .eval.reporting import format_accuracy_table, format_series
 from .experiments import REGISTRY, get_experiment
 from .experiments.config import DEFENSE_NAMES
@@ -45,6 +46,15 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["fast", "bench", "full"],
                         help="experiment scale")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", default=None,
+                        choices=list(available_backends()),
+                        help="array backend executing the experiment "
+                             "(train, eval-suite, table3, table4): 'numpy' "
+                             "is the bit-exact reference, 'fast' the "
+                             "allocation-avoiding CPU path with identical "
+                             "seeded results, 'cupy' appears when "
+                             "installed; default: the REPRO_BACKEND "
+                             "environment default")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache crafted adversarial batches under DIR "
                              "keyed by (weights, attack config, data); "
@@ -110,6 +120,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     ignored = []
     if key not in ("eval-suite", "train") and args.defense != "vanilla":
         ignored.append("--defense")
+    if args.backend is not None and key not in (
+            "table3", "table4", "eval-suite", "train"):
+        ignored.append("--backend")
     if key != "eval-suite":
         if args.attacks != ",".join(ATTACK_POOL_NAMES):
             ignored.append("--attacks")
@@ -142,12 +155,14 @@ def _dispatch(key, args, experiment) -> int:
     if key == "table3":
         results = experiment.runner(args.dataset, preset=args.preset,
                                     seed=args.seed, verbose=True,
-                                    cache_dir=args.cache_dir)
+                                    cache_dir=args.cache_dir,
+                                    backend=args.backend)
         print(render_table3(results))
     elif key == "table4":
         result = experiment.runner(args.dataset, preset=args.preset,
                                    seed=args.seed, verbose=True,
-                                   cache_dir=args.cache_dir)
+                                   cache_dir=args.cache_dir,
+                                   backend=args.backend)
         for kind, value in result.accuracy.items():
             print(f"  {kind:10s} {value * 100:6.2f}%")
     elif key == "eval-suite":
@@ -157,7 +172,8 @@ def _dispatch(key, args, experiment) -> int:
                 args.dataset, preset=args.preset, defense=args.defense,
                 attack_names=attack_names, seed=args.seed,
                 cache_dir=args.cache_dir,
-                early_stop=not args.no_early_stop, verbose=True)
+                early_stop=not args.no_early_stop, verbose=True,
+                backend=args.backend)
         except KeyError as error:
             print(error)
             return 2
@@ -174,7 +190,7 @@ def _dispatch(key, args, experiment) -> int:
             seed=args.seed, epochs=args.epochs,
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
             probe_every=args.probe_every, cache_dir=args.cache_dir,
-            verbose=True)
+            verbose=True, backend=args.backend)
         h = result.history
         status = f"diverged ({h.stop_reason})" if h.stop_reason \
             else "completed"

@@ -25,6 +25,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 from ..attacks.base import Attack
 
@@ -164,7 +165,9 @@ class AdversarialCache:
             self.hits += 1
             return cached, True
         self.misses += 1
-        adv = attack(model, images, labels)
+        # Sync to host *before* the store: the archive persists host bytes,
+        # and a device backend's crafted batch cannot be np.savez'd as-is.
+        adv = _backend.active().to_numpy(attack(model, images, labels))
         self.store(key, adv)
         return adv, False
 

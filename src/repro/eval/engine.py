@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 from ..attacks.base import Attack
 from .cache import AdversarialCache, fingerprint_data, fingerprint_model
@@ -122,6 +123,10 @@ class AttackSuite:
         ``on_record`` is called after each attack finishes, so callers can
         stream rows (the CLI uses it for progress output).
         """
+        # The engine's own arrays are host-side: the cache fingerprints and
+        # stores host bytes, and the accuracy bookkeeping is scalar work.
+        # Attacks and forward passes move batches onto the active backend
+        # themselves, so the hot loops still run wherever the backend says.
         images = np.asarray(images, dtype=np.float32)
         labels = np.asarray(labels)
         if len(images) == 0:
@@ -145,6 +150,7 @@ class AttackSuite:
                     model_fingerprint=model_fp, data_fingerprint=data_fp)
             else:
                 adv, hit = attack(model, images, labels), False
+            adv = _backend.active().to_numpy(adv)
             generation_seconds = time.perf_counter() - start
             adv_preds = predict_labels(model, adv, self.batch_size)
             adv_correct = adv_preds == labels

@@ -15,6 +15,7 @@ from typing import Iterable
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 
 __all__ = ["test_accuracy", "predict_labels", "AccuracyReport"]
@@ -22,7 +23,12 @@ __all__ = ["test_accuracy", "predict_labels", "AccuracyReport"]
 
 def predict_labels(model: nn.Module, images: np.ndarray,
                    batch_size: int = 256) -> np.ndarray:
-    """Argmax predictions in eval mode, batched to bound memory."""
+    """Argmax predictions in eval mode, batched to bound memory.
+
+    Always returns a **host** array: predictions feed host-side scoring,
+    caching and reporting, so this is where a device backend syncs.
+    """
+    b = _backend.active()
     was_training = model.training
     model.eval()
     try:
@@ -30,7 +36,7 @@ def predict_labels(model: nn.Module, images: np.ndarray,
         for start in range(0, len(images), batch_size):
             with nn.no_grad():
                 logits = model(nn.Tensor(images[start:start + batch_size])).data
-            out.append(logits.argmax(axis=1))
+            out.append(b.to_numpy(logits.argmax(axis=1)))
     finally:
         if was_training:
             model.train()

@@ -133,10 +133,20 @@ _PAPER_BUDGETS = {
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """A full preset: per-dataset configs plus the preset flag."""
+    """A full preset: per-dataset configs plus the preset flag.
+
+    ``backend`` names the :mod:`repro.backend` implementation the
+    experiment runners activate (``numpy``, ``fast``, or ``cupy`` when
+    installed).  ``None`` — the shipped default — inherits whatever is
+    already active, so the ``REPRO_BACKEND`` environment default and the
+    CLI's ``--backend`` override keep working; pin it with
+    ``dataclasses.replace(config, backend="fast")`` to make a preset
+    carry its own execution path.
+    """
 
     fast: bool
     datasets: Dict[str, DatasetConfig] = field(default_factory=dict)
+    backend: Optional[str] = None
 
     def dataset(self, name: str) -> DatasetConfig:
         if name not in self.datasets:

@@ -16,7 +16,8 @@ from ..attacks import MIM, Attack
 from ..eval.engine import AttackSuite, SuiteResult
 from ..eval.framework import EvaluationResult
 from .config import get_config
-from .runners import build_cache, build_trainer, load_config_split
+from .runners import backend_scope, build_cache, build_trainer, \
+    load_config_split
 
 __all__ = ["run_eval_suite", "build_attack_pool", "ATTACK_POOL_NAMES"]
 
@@ -44,34 +45,37 @@ def run_eval_suite(
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     early_stop: bool = True,
     verbose: bool = False,
+    backend: Optional[str] = None,
 ) -> SuiteResult:
     """Train ``defense`` on ``dataset`` and run the selected attack grid.
 
     Returns the engine's :class:`SuiteResult` (per-attack accuracy, wall
-    time, cache provenance and flip counts).
+    time, cache provenance and flip counts).  ``backend`` pins the array
+    backend for both the training and the attack grid.
     """
     config = get_config(preset)
-    cfg = config.dataset(dataset)
-    pool = build_attack_pool(cfg, fast=config.fast, seed=seed,
-                             early_stop=early_stop)
-    names = list(attack_names) if attack_names else list(pool)
-    unknown = sorted(set(names) - set(pool))
-    if unknown:
-        raise KeyError(f"unknown attacks {unknown}; "
-                       f"choose from {sorted(pool)}")
-    attacks = {name: pool[name] for name in names}
+    with backend_scope(backend, config):
+        cfg = config.dataset(dataset)
+        pool = build_attack_pool(cfg, fast=config.fast, seed=seed,
+                                 early_stop=early_stop)
+        names = list(attack_names) if attack_names else list(pool)
+        unknown = sorted(set(names) - set(pool))
+        if unknown:
+            raise KeyError(f"unknown attacks {unknown}; "
+                           f"choose from {sorted(pool)}")
+        attacks = {name: pool[name] for name in names}
 
-    split = load_config_split(cfg, seed=seed)
-    trainer = build_trainer(defense, cfg, seed=seed)
-    trainer.fit(split.train)
+        split = load_config_split(cfg, seed=seed)
+        trainer = build_trainer(defense, cfg, seed=seed)
+        trainer.fit(split.train)
 
-    suite = AttackSuite(attacks, cache=build_cache(cache_dir),
-                        early_stop=None)
-    n = min(cfg.eval_size, len(split.test))
-    on_record = (lambda r: print(f"  {r}")) if verbose else None
-    return suite.run(trainer.model, split.test.images[:n],
-                     split.test.labels[:n], model_name=defense,
-                     dataset=cfg.name, on_record=on_record)
+        suite = AttackSuite(attacks, cache=build_cache(cache_dir),
+                            early_stop=None)
+        n = min(cfg.eval_size, len(split.test))
+        on_record = (lambda r: print(f"  {r}")) if verbose else None
+        return suite.run(trainer.model, split.test.images[:n],
+                         split.test.labels[:n], model_name=defense,
+                         dataset=cfg.name, on_record=on_record)
 
 
 def suite_to_evaluation_result(suite_result: SuiteResult) -> EvaluationResult:

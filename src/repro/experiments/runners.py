@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Union
+
+from .. import backend as backend_mod
 
 from ..data.datasets import DataSplit, load_split
 from ..defenses import (
@@ -28,10 +31,19 @@ from ..train import (
     RobustnessProbe,
     build_scheduler,
 )
-from .config import DatasetConfig
+from .config import DatasetConfig, ExperimentConfig
 
 __all__ = ["build_trainer", "load_config_split", "build_cache",
-           "build_train_callbacks"]
+           "build_train_callbacks", "backend_scope"]
+
+
+def backend_scope(backend: Optional[str], config: ExperimentConfig):
+    """Context manager activating the array backend one experiment runs
+    under: an explicit ``backend`` argument (the CLI's ``--backend``) wins,
+    else the preset's ``config.backend``; both unset means inherit whatever
+    is already active (the ``REPRO_BACKEND`` process default)."""
+    name = backend or config.backend
+    return backend_mod.use(name) if name else nullcontext()
 
 
 def load_config_split(cfg: DatasetConfig, seed: int = 0) -> DataSplit:

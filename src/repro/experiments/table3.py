@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..eval.framework import EvaluationFramework, EvaluationResult
 from ..eval.reporting import format_accuracy_table
 from .config import DEFENSE_NAMES, DatasetConfig, ExperimentConfig, get_config
-from .runners import build_cache, build_trainer, load_config_split
+from .runners import backend_scope, build_cache, build_trainer, \
+    load_config_split
 
 __all__ = ["run_table3", "EXAMPLE_TYPES"]
 
@@ -28,6 +29,7 @@ def run_table3(
     seed: int = 0,
     verbose: bool = False,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
+    backend: Optional[str] = None,
 ) -> List[EvaluationResult]:
     """Regenerate one dataset column-block of Table III.
 
@@ -35,25 +37,30 @@ def run_table3(
     accuracy for every example type plus the training history (which the
     Figure 5 runner reuses).  ``cache_dir`` enables the adversarial-example
     cache: a re-run against unchanged weights replays the stored batches.
+    ``backend`` pins the array backend for the whole grid (training and
+    attacks); the seeded accuracies are backend-invariant, pinned by the
+    cross-backend parity suite.
     """
-    cfg = get_config(preset).dataset(dataset)
-    fast = get_config(preset).fast
-    split = load_config_split(cfg, seed=seed)
-    attacks = cfg.budget.build(fast=fast, seed=seed)
-    framework = EvaluationFramework(split, attacks, eval_size=cfg.eval_size,
-                                    cache=build_cache(cache_dir))
+    config = get_config(preset)
+    with backend_scope(backend, config):
+        cfg = config.dataset(dataset)
+        split = load_config_split(cfg, seed=seed)
+        attacks = cfg.budget.build(fast=config.fast, seed=seed)
+        framework = EvaluationFramework(split, attacks,
+                                        eval_size=cfg.eval_size,
+                                        cache=build_cache(cache_dir))
 
-    results = []
-    for defense in (defenses or DEFENSE_NAMES):
-        trainer = build_trainer(defense, cfg, seed=seed)
-        result = framework.evaluate(trainer)
-        results.append(result)
-        if verbose:
-            row = " ".join(
-                f"{t}={result.accuracy.get(t, float('nan')) * 100:.1f}%"
-                for t in EXAMPLE_TYPES)
-            print(f"[table3:{dataset}] {defense:12s} {row}")
-    return results
+        results = []
+        for defense in (defenses or DEFENSE_NAMES):
+            trainer = build_trainer(defense, cfg, seed=seed)
+            result = framework.evaluate(trainer)
+            results.append(result)
+            if verbose:
+                row = " ".join(
+                    f"{t}={result.accuracy.get(t, float('nan')) * 100:.1f}%"
+                    for t in EXAMPLE_TYPES)
+                print(f"[table3:{dataset}] {defense:12s} {row}")
+        return results
 
 
 def render_table3(results: Sequence[EvaluationResult]) -> str:

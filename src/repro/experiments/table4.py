@@ -12,30 +12,35 @@ from typing import Dict, Optional, Union
 
 from ..eval.framework import EvaluationFramework, EvaluationResult
 from .config import ExperimentConfig, get_config
-from .runners import build_cache, build_trainer, load_config_split
+from .runners import backend_scope, build_cache, build_trainer, \
+    load_config_split
 
 __all__ = ["run_table4"]
 
 
 def run_table4(dataset: str, preset: str = "fast", seed: int = 0,
                verbose: bool = False,
-               cache_dir: Optional[Union[str, os.PathLike]] = None
+               cache_dir: Optional[Union[str, os.PathLike]] = None,
+               backend: Optional[str] = None,
                ) -> EvaluationResult:
     """Regenerate one dataset column-pair of Table IV.
 
     Returns a single result whose accuracy dict has ``original``,
     ``deepfool`` and ``cw`` entries for the ZK-GanDef classifier.
+    ``backend`` pins the array backend for the run.
     """
     config = get_config(preset)
-    cfg = config.dataset(dataset)
-    split = load_config_split(cfg, seed=seed)
-    attacks = cfg.budget.build_generalizability(fast=config.fast)
-    framework = EvaluationFramework(split, attacks, eval_size=cfg.eval_size,
-                                    cache=build_cache(cache_dir))
-    trainer = build_trainer("zk-gandef", cfg, seed=seed)
-    result = framework.evaluate(trainer)
-    if verbose:
-        row = " ".join(f"{k}={v * 100:.1f}%" for k, v in
-                       result.accuracy.items())
-        print(f"[table4:{dataset}] zk-gandef {row}")
-    return result
+    with backend_scope(backend, config):
+        cfg = config.dataset(dataset)
+        split = load_config_split(cfg, seed=seed)
+        attacks = cfg.budget.build_generalizability(fast=config.fast)
+        framework = EvaluationFramework(split, attacks,
+                                        eval_size=cfg.eval_size,
+                                        cache=build_cache(cache_dir))
+        trainer = build_trainer("zk-gandef", cfg, seed=seed)
+        result = framework.evaluate(trainer)
+        if verbose:
+            row = " ".join(f"{k}={v * 100:.1f}%" for k, v in
+                           result.accuracy.items())
+            print(f"[table4:{dataset}] zk-gandef {row}")
+        return result

@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, Union
 from ..defenses.base import TrainingHistory
 from ..train import Checkpointer, PrintProgress, RobustnessProbe
 from .config import get_config
-from .runners import build_train_callbacks, build_trainer, load_config_split
+from .runners import backend_scope, build_train_callbacks, build_trainer, \
+    load_config_split
 
 __all__ = ["TrainRunResult", "run_train"]
 
@@ -53,6 +54,7 @@ def run_train(
     metrics_path: Optional[Union[str, os.PathLike]] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     verbose: bool = False,
+    backend: Optional[str] = None,
 ) -> TrainRunResult:
     """Train ``defense`` on ``dataset`` with full run control.
 
@@ -62,52 +64,57 @@ def run_train(
     overrides the preset's probe cadence; metrics (per-epoch loss/lr plus
     probe accuracies) stream to ``metrics_path``, defaulting to
     ``<checkpoint_dir>/metrics.jsonl`` when checkpointing is on.
+    ``backend`` pins the array backend; checkpoints record which backend
+    produced them, and the two CPU backends resume each other's runs
+    bit-for-bit.
     """
     if resume and not checkpoint_dir:
         raise ValueError(
             "resume requires a checkpoint directory (--checkpoint-dir); "
             "refusing to silently retrain from scratch")
     config = get_config(preset)
-    cfg = config.dataset(dataset)
-    split = load_config_split(cfg, seed=seed)
-    trainer = build_trainer(defense, cfg, seed=seed)
-    if epochs is not None:
-        trainer.epochs = epochs
+    with backend_scope(backend, config):
+        cfg = config.dataset(dataset)
+        split = load_config_split(cfg, seed=seed)
+        trainer = build_trainer(defense, cfg, seed=seed)
+        if epochs is not None:
+            trainer.epochs = epochs
 
-    resumed_from = 0
-    checkpointer = Checkpointer(checkpoint_dir,
-                                every=cfg.schedule.checkpoint_every) \
-        if checkpoint_dir else None
-    if checkpointer is not None and resume \
-            and checkpointer.try_resume(trainer):
-        resumed_from = trainer.completed_epochs
+        resumed_from = 0
+        checkpointer = Checkpointer(checkpoint_dir,
+                                    every=cfg.schedule.checkpoint_every) \
+            if checkpoint_dir else None
+        if checkpointer is not None and resume \
+                and checkpointer.try_resume(trainer):
+            resumed_from = trainer.completed_epochs
+            if verbose:
+                print(f"  resumed {defense} from epoch {resumed_from} "
+                      f"({checkpointer.path})")
+
+        if metrics_path is None and checkpoint_dir:
+            metrics_path = os.path.join(os.fspath(checkpoint_dir),
+                                        "metrics.jsonl")
+        callbacks = build_train_callbacks(
+            cfg, trainer, split,
+            checkpointer=checkpointer, metrics_path=metrics_path,
+            probe_every=probe_every, cache_dir=cache_dir,
+            fast=config.fast, seed=seed)
+        probe = next((c for c in callbacks
+                      if isinstance(c, RobustnessProbe)), None)
         if verbose:
-            print(f"  resumed {defense} from epoch {resumed_from} "
-                  f"({checkpointer.path})")
+            callbacks.insert(0, PrintProgress())
 
-    if metrics_path is None and checkpoint_dir:
-        metrics_path = os.path.join(os.fspath(checkpoint_dir),
-                                    "metrics.jsonl")
-    callbacks = build_train_callbacks(
-        cfg, trainer, split,
-        checkpointer=checkpointer, metrics_path=metrics_path,
-        probe_every=probe_every, cache_dir=cache_dir,
-        fast=config.fast, seed=seed)
-    probe = next((c for c in callbacks
-                  if isinstance(c, RobustnessProbe)), None)
-    if verbose:
-        callbacks.insert(0, PrintProgress())
-
-    history = trainer.fit(split.train, callbacks=callbacks)
-    return TrainRunResult(
-        defense=defense,
-        dataset=cfg.name,
-        history=history,
-        completed_epochs=trainer.completed_epochs,
-        resumed_from=resumed_from,
-        checkpoint_path=checkpointer.path if checkpointer else None,
-        metrics_path=os.fspath(metrics_path) if metrics_path else None,
-        probes=[{"epoch": epoch, "result": result}
-                for epoch, result in zip(probe.probe_epochs, probe.results)]
-        if probe else [],
-    )
+        history = trainer.fit(split.train, callbacks=callbacks)
+        return TrainRunResult(
+            defense=defense,
+            dataset=cfg.name,
+            history=history,
+            completed_epochs=trainer.completed_epochs,
+            resumed_from=resumed_from,
+            checkpoint_path=checkpointer.path if checkpointer else None,
+            metrics_path=os.fspath(metrics_path) if metrics_path else None,
+            probes=[{"epoch": epoch, "result": result}
+                    for epoch, result in zip(probe.probe_epochs,
+                                             probe.results)]
+            if probe else [],
+        )

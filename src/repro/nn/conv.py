@@ -2,8 +2,16 @@
 
 All spatial ops use NCHW layout.  ``im2col``/``col2im`` turn convolution into
 one big matmul, which is the only way to get acceptable CPU throughput from a
-pure-numpy substrate — important because the benchmark harness trains many
+pure-array substrate — important because the benchmark harness trains many
 classifiers.
+
+The unfold/fold kernels and the contraction dispatch live on the active
+backend (:mod:`repro.backend`): the reference backend is the original numpy
+implementation verbatim, while :class:`~repro.backend.fast.FastNumpyBackend`
+recycles the column workspaces through a buffer pool — which is why each op
+below *releases* its column matrix once nothing can read it again (directly
+after the forward when no gradient is required, else at the end of the
+single backward pass that consumes it).
 """
 
 from __future__ import annotations
@@ -12,7 +20,9 @@ from typing import Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor
+from .. import backend as _backend
+from ..backend import conv_output_size
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["conv2d", "max_pool2d", "avg_pool2d", "im2col", "col2im", "conv_output_size"]
 
@@ -25,60 +35,25 @@ def _pair(v: IntPair) -> Tuple[int, int]:
     return (int(v[0]), int(v[1]))
 
 
-def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Output spatial extent of a convolution along one axis."""
-    out = (size + 2 * padding - kernel) // stride + 1
-    if out <= 0:
-        raise ValueError(
-            f"convolution produces empty output (size={size}, kernel={kernel}, "
-            f"stride={stride}, padding={padding})"
-        )
-    return out
+def im2col(x, kh: int, kw: int, stride_h: int, stride_w: int,
+           pad_h: int, pad_w: int):
+    """Unfold patches of an NCHW array into columns of shape
+    ``(N, C*kh*kw, out_h*out_w)`` (delegates to the active backend).
 
-
-def im2col(
-    x: np.ndarray, kh: int, kw: int, stride_h: int, stride_w: int,
-    pad_h: int, pad_w: int,
-) -> np.ndarray:
-    """Unfold patches of an NCHW array into columns.
-
-    Returns an array of shape ``(N, C*kh*kw, out_h*out_w)``.
+    The caller owns the result outright — direct users (tests, adjoint
+    checks) never release it, which simply forgoes pooling.
     """
-    n, c, h, w = x.shape
-    out_h = conv_output_size(h, kh, stride_h, pad_h)
-    out_w = conv_output_size(w, kw, stride_w, pad_w)
-    if pad_h or pad_w:
-        x = np.pad(x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
-    # Strided view of all patches: (N, C, kh, kw, out_h, out_w)
-    s = x.strides
-    view = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, kh, kw, out_h, out_w),
-        strides=(s[0], s[1], s[2], s[3], s[2] * stride_h, s[3] * stride_w),
-        writeable=False,
-    )
-    return view.reshape(n, c * kh * kw, out_h * out_w).copy()
+    return _backend.active().im2col(x, kh, kw, stride_h, stride_w,
+                                    pad_h, pad_w)
 
 
-def col2im(
-    cols: np.ndarray, x_shape: Tuple[int, int, int, int],
-    kh: int, kw: int, stride_h: int, stride_w: int, pad_h: int, pad_w: int,
-) -> np.ndarray:
+def col2im(cols, x_shape: Tuple[int, int, int, int],
+           kh: int, kw: int, stride_h: int, stride_w: int,
+           pad_h: int, pad_w: int):
     """Fold columns back into an NCHW array, accumulating overlaps
-    (the adjoint of :func:`im2col`)."""
-    n, c, h, w = x_shape
-    out_h = conv_output_size(h, kh, stride_h, pad_h)
-    out_w = conv_output_size(w, kw, stride_w, pad_w)
-    padded = np.zeros((n, c, h + 2 * pad_h, w + 2 * pad_w), dtype=cols.dtype)
-    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
-    for i in range(kh):
-        i_end = i + stride_h * out_h
-        for j in range(kw):
-            j_end = j + stride_w * out_w
-            padded[:, :, i:i_end:stride_h, j:j_end:stride_w] += cols[:, :, i, j]
-    if pad_h or pad_w:
-        return padded[:, :, pad_h:pad_h + h, pad_w:pad_w + w]
-    return padded
+    (the adjoint of :func:`im2col`; delegates to the active backend)."""
+    return _backend.active().col2im(cols, x_shape, kh, kw,
+                                    stride_h, stride_w, pad_h, pad_w)
 
 
 def conv2d(
@@ -89,6 +64,7 @@ def conv2d(
     padding: IntPair = 0,
 ) -> Tensor:
     """2-D convolution: ``x`` is NCHW, ``weight`` is (out_c, in_c, kh, kw)."""
+    b = _backend.active()
     sh, sw = _pair(stride)
     ph, pw = _pair(padding)
     out_c, in_c, kh, kw = weight.shape
@@ -98,55 +74,90 @@ def conv2d(
     out_h = conv_output_size(h, kh, sh, ph)
     out_w = conv_output_size(w, kw, sw, pw)
 
-    cols = im2col(x.data, kh, kw, sh, sw, ph, pw)  # (N, C*kh*kw, L)
-    w_mat = weight.data.reshape(out_c, -1)         # (out_c, C*kh*kw)
-    out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True)
+    cols = b.im2col(x.data, kh, kw, sh, sw, ph, pw)  # (N, C*kh*kw, L)
+    w_mat = weight.data.reshape(out_c, -1)           # (out_c, C*kh*kw)
+    out = b.einsum("ok,nkl->nol", w_mat, cols)
     out = out.reshape(n, out_c, out_h, out_w)
     if bias is not None:
-        out = out + bias.data.reshape(1, out_c, 1, 1)
+        # In place: ``out`` is the fresh contraction result (same values
+        # as allocating the sum into a new array).
+        out += bias.data.reshape(1, out_c, 1, 1)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
+    if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+        # No backward will ever read the columns: recycle them now.
+        b.release(cols)
+        return Tensor._make(out, parents, lambda grad: None)
 
-    def backward(grad: np.ndarray) -> None:
+    # The column workspace is released to the pool after the backward pass
+    # consumes it; the cell is nulled so a *repeated* backward on the same
+    # graph (legal: gradients accumulate) re-unfolds from ``x.data``
+    # instead of reading recycled memory.
+    cols_cell = [cols]
+
+    def backward(grad) -> None:
+        bk = _backend.active()
+        cols = cols_cell[0]
+        if cols is None:
+            cols = bk.im2col(x.data, kh, kw, sh, sw, ph, pw)
         g = grad.reshape(n, out_c, -1)  # (N, out_c, L)
         if weight.requires_grad:
-            gw = np.einsum("nol,nkl->ok", g, cols, optimize=True)
-            weight._accumulate(gw.reshape(weight.shape))
+            gw = bk.einsum("nol,nkl->ok", g, cols)
+            weight._accumulate(gw.reshape(weight.shape), owned=True)
         if bias is not None and bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            bias._accumulate(grad.sum(axis=(0, 2, 3)), owned=True)
         if x.requires_grad:
-            gcols = np.einsum("ok,nol->nkl", w_mat, g, optimize=True)
-            x._accumulate(col2im(gcols, x.shape, kh, kw, sh, sw, ph, pw))
+            gcols = bk.einsum("ok,nol->nkl", w_mat, g)
+            x._accumulate(bk.col2im(gcols, x.shape, kh, kw, sh, sw, ph, pw),
+                          owned=True)
+        cols_cell[0] = None
+        bk.release(cols)
 
     return Tensor._make(out, parents, backward)
 
 
 def max_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor:
     """Max pooling over NCHW spatial dims."""
+    b = _backend.active()
+    xp = b.xp
     kh, kw = _pair(kernel)
     sh, sw = _pair(stride) if stride is not None else (kh, kw)
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kh, sh, 0)
     out_w = conv_output_size(w, kw, sw, 0)
 
-    cols = im2col(x.data, kh, kw, sh, sw, 0, 0)          # (N, C*kh*kw, L)
-    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    raw = b.im2col(x.data, kh, kw, sh, sw, 0, 0)          # (N, C*kh*kw, L)
+    cols = raw.reshape(n, c, kh * kw, out_h * out_w)
+    if not (is_grad_enabled() and x.requires_grad):
+        # Inference: the winner's value is all that's needed — skip the
+        # argmax bookkeeping (identical values; max picks the same winner
+        # take_along_axis(argmax) does).
+        out = cols.max(axis=2).reshape(n, c, out_h, out_w)
+        b.release(raw)
+        return Tensor._make(out, (x,), lambda grad: None)
     arg = cols.argmax(axis=2)                             # (N, C, L)
-    out = np.take_along_axis(cols, arg[:, :, None, :], axis=2)[:, :, 0, :]
+    out = xp.take_along_axis(cols, arg[:, :, None, :], axis=2)[:, :, 0, :]
     out = out.reshape(n, c, out_h, out_w)
+    # Backward needs only ``arg``: the columns can be recycled already.
+    b.release(raw)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
+        bk = _backend.active()
         g = grad.reshape(n, c, 1, -1)
-        gcols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=np.float32)
-        np.put_along_axis(gcols, arg[:, :, None, :], g, axis=2)
-        gcols = gcols.reshape(n, c * kh * kw, out_h * out_w)
-        x._accumulate(col2im(gcols, x.shape, kh, kw, sh, sw, 0, 0))
+        gcols = bk.scratch((n, c, kh * kw, out_h * out_w), np.float32,
+                           zero=True)
+        bk.xp.put_along_axis(gcols, arg[:, :, None, :], g, axis=2)
+        folded = bk.col2im(gcols.reshape(n, c * kh * kw, out_h * out_w),
+                           x.shape, kh, kw, sh, sw, 0, 0)
+        bk.release(gcols)
+        x._accumulate(folded, owned=True)
 
     return Tensor._make(out, (x,), backward)
 
 
 def avg_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor:
     """Average pooling over NCHW spatial dims."""
+    b = _backend.active()
     kh, kw = _pair(kernel)
     sh, sw = _pair(stride) if stride is not None else (kh, kw)
     n, c, h, w = x.shape
@@ -154,13 +165,15 @@ def avg_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor
     out_w = conv_output_size(w, kw, sw, 0)
     area = float(kh * kw)
 
-    cols = im2col(x.data, kh, kw, sh, sw, 0, 0).reshape(n, c, kh * kw, -1)
-    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    raw = b.im2col(x.data, kh, kw, sh, sw, 0, 0)
+    out = raw.reshape(n, c, kh * kw, -1).mean(axis=2).reshape(n, c, out_h, out_w)
+    b.release(raw)
 
-    def backward(grad: np.ndarray) -> None:
-        g = np.repeat(grad.reshape(n, c, 1, -1) / area, kh * kw, axis=2)
+    def backward(grad) -> None:
+        bk = _backend.active()
+        g = bk.xp.repeat(grad.reshape(n, c, 1, -1) / area, kh * kw, axis=2)
         g = g.reshape(n, c * kh * kw, out_h * out_w)
-        x._accumulate(col2im(g, x.shape, kh, kw, sh, sw, 0, 0))
+        x._accumulate(bk.col2im(g, x.shape, kh, kw, sh, sw, 0, 0), owned=True)
 
     return Tensor._make(out, (x,), backward)
 

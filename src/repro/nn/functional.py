@@ -3,6 +3,12 @@
 Everything here operates on :class:`repro.nn.tensor.Tensor` and records the
 autodiff tape.  Numerically-sensitive ops (softmax, log-softmax, sigmoid)
 use the standard stable formulations.
+
+Array math dispatches through the active backend's ``xp`` namespace
+(:mod:`repro.backend`); under the default ``NumpyBackend`` every expression
+is the plain-numpy code it always was.  Stochastic draws (dropout masks)
+are made on the host RNG stream and transferred via ``backend.asarray`` so
+seeded runs agree across backends.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from .. import backend as _backend
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -39,8 +46,8 @@ def relu(x: Tensor) -> Tensor:
     mask = (x.data > 0).astype(np.float32)
     out_data = x.data * mask
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * mask)
+    def backward(grad) -> None:
+        x._accumulate(grad * mask, owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -51,8 +58,8 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     scale = mask + negative_slope * (1.0 - mask)
     out_data = x.data * scale
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * scale)
+    def backward(grad) -> None:
+        x._accumulate(grad * scale, owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -61,90 +68,95 @@ def sigmoid(x: Tensor) -> Tensor:
     """Numerically stable logistic sigmoid."""
     out_data = _stable_sigmoid(x.data)
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * out_data * (1.0 - out_data))
+    def backward(grad) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data), owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
 
-def _stable_sigmoid(z: np.ndarray) -> np.ndarray:
-    out = np.empty_like(z, dtype=np.float32)
+def _stable_sigmoid(z):
+    xp = _backend.active().xp
+    out = xp.empty_like(z, dtype=np.float32)
     pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    ez = np.exp(z[~pos])
+    out[pos] = 1.0 / (1.0 + xp.exp(-z[pos]))
+    ez = xp.exp(z[~pos])
     out[~pos] = ez / (1.0 + ez)
     return out
 
 
 def tanh(x: Tensor) -> Tensor:
-    out_data = np.tanh(x.data)
+    out_data = _backend.active().xp.tanh(x.data)
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * (1.0 - out_data ** 2))
+    def backward(grad) -> None:
+        x._accumulate(grad * (1.0 - out_data ** 2), owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
 
 def exp(x: Tensor) -> Tensor:
-    out_data = np.exp(x.data)
+    out_data = _backend.active().xp.exp(x.data)
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * out_data)
+    def backward(grad) -> None:
+        x._accumulate(grad * out_data, owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
 
 def log(x: Tensor, eps: float = 0.0) -> Tensor:
     """Natural logarithm; pass ``eps`` to clamp inputs away from zero."""
-    safe = x.data if eps == 0.0 else np.maximum(x.data, eps)
-    out_data = np.log(safe)
+    xp = _backend.active().xp
+    safe = x.data if eps == 0.0 else xp.maximum(x.data, eps)
+    out_data = xp.log(safe)
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad / safe)
+    def backward(grad) -> None:
+        x._accumulate(grad / safe, owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
 
 def sqrt(x: Tensor) -> Tensor:
-    out_data = np.sqrt(x.data)
+    xp = _backend.active().xp
+    out_data = xp.sqrt(x.data)
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
+    def backward(grad) -> None:
+        xp = _backend.active().xp
+        x._accumulate(grad * 0.5 / xp.maximum(out_data, 1e-12), owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
 
 def abs(x: Tensor) -> Tensor:  # noqa: A001 - mirrors np.abs
-    sign = np.sign(x.data).astype(np.float32)
+    sign = _backend.active().xp.sign(x.data).astype(np.float32)
     out_data = x.data * sign
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * sign)
+    def backward(grad) -> None:
+        x._accumulate(grad * sign, owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
 
 def clip(x: Tensor, low: float, high: float) -> Tensor:
     """Differentiable clamp; gradient is passed only inside the box."""
-    out_data = np.clip(x.data, low, high)
+    out_data = _backend.active().xp.clip(x.data, low, high)
     mask = ((x.data >= low) & (x.data <= high)).astype(np.float32)
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * mask)
+    def backward(grad) -> None:
+        x._accumulate(grad * mask, owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
 
-def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
-    """Differentiable ``np.where`` on a boolean numpy condition."""
+def where(condition, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable ``where`` on a boolean array condition."""
     a = as_tensor(a)
     b = as_tensor(b)
-    cond = np.asarray(condition, dtype=bool)
-    out_data = np.where(cond, a.data, b.data)
+    xp = _backend.active().xp
+    cond = xp.asarray(condition, dtype=bool)
+    out_data = xp.where(cond, a.data, b.data)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * cond)
-        b._accumulate(grad * ~cond)
+    def backward(grad) -> None:
+        a._accumulate(grad * cond, owned=True)
+        b._accumulate(grad * ~cond, owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -153,13 +165,14 @@ def maximum(a: Tensor, b) -> Tensor:
     """Element-wise maximum (gradient goes to the winner; ties split)."""
     a = as_tensor(a)
     b = as_tensor(b)
-    out_data = np.maximum(a.data, b.data)
+    xp = _backend.active().xp
+    out_data = xp.maximum(a.data, b.data)
     a_wins = (a.data > b.data).astype(np.float32)
     ties = (a.data == b.data).astype(np.float32) * 0.5
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * (a_wins + ties))
-        b._accumulate(grad * (1.0 - a_wins - ties))
+    def backward(grad) -> None:
+        a._accumulate(grad * (a_wins + ties), owned=True)
+        b._accumulate(grad * (1.0 - a_wins - ties), owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -172,26 +185,29 @@ def minimum(a: Tensor, b) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Stable softmax along ``axis``."""
+    xp = _backend.active().xp
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
+    e = xp.exp(shifted)
     out_data = e / e.sum(axis=axis, keepdims=True)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         dot = (grad * out_data).sum(axis=axis, keepdims=True)
-        x._accumulate(out_data * (grad - dot))
+        x._accumulate(out_data * (grad - dot), owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Stable log-softmax along ``axis``."""
+    xp = _backend.active().xp
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    log_z = xp.log(xp.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - log_z
-    soft = np.exp(out_data)
+    soft = xp.exp(out_data)
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+    def backward(grad) -> None:
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True),
+                      owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -210,11 +226,14 @@ def dropout(
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     rng = rng or np.random.default_rng()
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
+    # The mask is drawn on the host stream (cross-backend determinism) and
+    # transferred; a no-op on the CPU backends.
+    mask = _backend.active().asarray(
+        (rng.random(x.shape) < keep).astype(np.float32) / keep)
     out_data = x.data * mask
 
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * mask)
+    def backward(grad) -> None:
+        x._accumulate(grad * mask, owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -228,17 +247,18 @@ def pad2d(x: Tensor, padding: Union[int, Tuple[int, int]]) -> Tensor:
     if ph == 0 and pw == 0:
         return x
     pads = ((0, 0), (0, 0), (ph, ph), (pw, pw))
-    out_data = np.pad(x.data, pads)
+    out_data = _backend.active().xp.pad(x.data, pads)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         h, w = x.shape[2], x.shape[3]
+        # A slice view of the child's gradient slot — not owned.
         x._accumulate(grad[:, :, ph:ph + h, pw:pw + w])
 
     return Tensor._make(out_data, (x,), backward)
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Dense one-hot encoding of an integer label vector."""
+def one_hot(labels, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of an integer label vector (host-side)."""
     labels = np.asarray(labels, dtype=np.int64)
     if labels.ndim != 1:
         raise ValueError("labels must be a 1-D integer vector")

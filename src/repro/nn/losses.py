@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import backend as _backend
 from . import functional as F
 from .tensor import Tensor, as_tensor
 
@@ -29,9 +30,10 @@ __all__ = [
 ]
 
 
-def _as_labels(t, num_classes: int) -> np.ndarray:
+def _as_labels(t, num_classes: int):
     """Accept integer labels or one-hot rows; return integer labels."""
-    arr = t.data if isinstance(t, Tensor) else np.asarray(t)
+    arr = t.data if isinstance(t, Tensor) \
+        else _backend.active().asarray(t)
     if arr.ndim == 2:
         if arr.shape[1] != num_classes:
             raise ValueError(
@@ -51,7 +53,7 @@ def softmax_cross_entropy(logits: Tensor, targets, reduction: str = "mean") -> T
     if labels.shape[0] != logits.shape[0]:
         raise ValueError("batch size mismatch between logits and targets")
     log_probs = F.log_softmax(logits, axis=-1)
-    rows = np.arange(labels.shape[0])
+    rows = _backend.active().xp.arange(labels.shape[0])
     picked = log_probs[rows, labels]
     loss = -picked
     return _reduce(loss, reduction)
@@ -64,7 +66,7 @@ def bce_with_logits(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
     """
     t = as_tensor(targets)
     z = logits
-    zero = Tensor(np.zeros_like(z.data))
+    zero = Tensor(_backend.active().xp.zeros_like(z.data))
     loss = F.maximum(z, zero) - z * t + F.log(F.exp(-F.abs(z)) + 1.0)
     return _reduce(loss, reduction)
 

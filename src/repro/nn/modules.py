@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import backend as _backend
 from . import functional as F
 from . import init as initializers
 from .conv import avg_pool2d, conv2d, max_pool2d
@@ -123,7 +124,12 @@ class Module:
     # (de)serialization
     # ------------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, np.ndarray]:
-        return {name: p.data.copy() for name, p in self.named_parameters()}
+        # State dicts are always host-side numpy (serialization,
+        # fingerprinting and checkpoints all hash/save host bytes); a
+        # device backend syncs here.
+        b = _backend.active()
+        return {name: b.to_numpy(p.data).copy()
+                for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         own = dict(self.named_parameters())
@@ -137,9 +143,10 @@ class Module:
         # Validate every shape before touching any parameter, so a
         # mismatch can never leave the module half-loaded (and no value is
         # ever silently broadcast into a differently-shaped parameter).
+        b = _backend.active()
         converted = {}
         for name, p in own.items():
-            value = np.asarray(state[name], dtype=np.float32)
+            value = b.asarray(state[name], dtype=np.float32)
             if value.shape != p.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: {value.shape} vs {p.data.shape}"

@@ -5,6 +5,12 @@ Algorithm 1's "fix Omega_C / fix Omega_D" steps by holding **two** optimizers
 over disjoint parameter sets and stepping only one of them at a time — the
 non-stepped network's weights are therefore frozen exactly as the paper
 prescribes.
+
+The per-parameter update arithmetic lives on the active backend
+(``sgd_step`` / ``adam_step``): the reference backend evaluates the
+textbook expressions exactly as this module originally did, while the fast
+backend fuses them into in-place writes through pooled scratch buffers —
+same operations in the same order, so the trajectories are bit-identical.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .modules import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam"]
@@ -123,17 +130,9 @@ class SGD(Optimizer):
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
 
     def _update(self, index: int, p: Parameter) -> None:
-        grad = p.grad
-        if self.weight_decay:
-            grad = grad + self.weight_decay * p.data
-        if self.momentum:
-            v = self._velocity[index]
-            if v is None:
-                v = np.zeros_like(p.data)
-            v = self.momentum * v + grad
-            self._velocity[index] = v
-            grad = v
-        p.data -= self.lr * grad
+        self._velocity[index] = _backend.active().sgd_step(
+            p.data, p.grad, self._velocity[index],
+            self.lr, self.momentum, self.weight_decay)
 
 
 class Adam(Optimizer):
@@ -161,18 +160,7 @@ class Adam(Optimizer):
         self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
 
     def _update(self, index: int, p: Parameter) -> None:
-        grad = p.grad
-        if self.weight_decay:
-            grad = grad + self.weight_decay * p.data
-        m = self._m[index]
-        v = self._v[index]
-        if m is None:
-            m = np.zeros_like(p.data)
-            v = np.zeros_like(p.data)
-        m = self.b1 * m + (1.0 - self.b1) * grad
-        v = self.b2 * v + (1.0 - self.b2) * grad * grad
-        self._m[index] = m
-        self._v[index] = v
-        m_hat = m / (1.0 - self.b1 ** self.steps)
-        v_hat = v / (1.0 - self.b2 ** self.steps)
-        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self._m[index], self._v[index] = _backend.active().adam_step(
+            p.data, p.grad, self._m[index], self._v[index],
+            self.lr, self.b1, self.b2, self.eps, self.weight_decay,
+            self.steps)

@@ -1,4 +1,4 @@
-"""Reverse-mode automatic differentiation on top of numpy.
+"""Reverse-mode automatic differentiation over the pluggable array backend.
 
 This module is the lowest layer of the ``repro.nn`` substrate.  It provides a
 :class:`Tensor` that records the computation graph as operations are applied
@@ -16,6 +16,15 @@ The design mirrors the minimal core of larger frameworks:
 * ``float32`` is the canonical dtype (matching the GPU frameworks the paper
   used).
 
+Array work dispatches through :func:`repro.backend.active`: element-wise
+math, reductions and shape ops go through the backend's numpy-compatible
+``xp`` namespace, and gradient accumulation goes through
+``backend.accumulate`` so a backend may adopt freshly-computed temporaries
+(``owned=True`` below marks every call site whose gradient array nothing
+else references) instead of copying them.  Under the default
+:class:`~repro.backend.numpy_backend.NumpyBackend` every expression is
+exactly the plain-numpy code this module was first written as.
+
 The white-box attacks in :mod:`repro.attacks` rely on gradients with respect
 to *inputs*, so any tensor — not only parameters — may set
 ``requires_grad=True``.
@@ -26,6 +35,8 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .. import backend as _backend
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
@@ -52,7 +63,7 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED[0]
 
 
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+def _unbroadcast(grad, shape: Tuple[int, ...]):
     """Sum ``grad`` over axes that were introduced or stretched by
     broadcasting so that it matches ``shape``."""
     if grad.shape == shape:
@@ -69,13 +80,13 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 
 
 class Tensor:
-    """A numpy array plus autodiff bookkeeping.
+    """A backend array plus autodiff bookkeeping.
 
     Parameters
     ----------
     data:
-        Anything ``np.asarray`` accepts.  Stored as ``float32`` unless an
-        integer/bool array is given explicitly.
+        Anything the active backend's ``asarray`` accepts.  Stored as
+        ``float32`` unless an integer/bool array is given explicitly.
     requires_grad:
         Whether gradients should flow into this tensor.
     name:
@@ -83,6 +94,12 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    #: Make numpy scalars/arrays on the *left* of a binary op defer to this
+    #: class's reflected methods (``np.float64(2) * t`` must build a graph
+    #: node, not an object array of element-wise Tensors — the canonical
+    #: float32 dtype audit caught exactly that leak).
+    __array_priority__ = 1000
 
     def __init__(
         self,
@@ -92,17 +109,17 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        arr = np.asarray(data)
+        arr = _backend.active().asarray(data)
         if arr.dtype.kind == "f" and arr.dtype != np.float32:
             arr = arr.astype(np.float32)
         elif arr.dtype.kind in "iu" and requires_grad:
             raise TypeError("integer tensors cannot require gradients")
         elif arr.dtype.kind not in "fiub":
             raise TypeError(f"unsupported dtype {arr.dtype}")
-        self.data: np.ndarray = arr
-        self.grad: Optional[np.ndarray] = None
+        self.data = arr
+        self.grad = None
         self.requires_grad = bool(requires_grad)
-        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._backward: Optional[Callable] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
 
@@ -134,8 +151,8 @@ class Tensor:
         return f"Tensor(shape={self.shape}{grad_flag}{label})"
 
     def numpy(self) -> np.ndarray:
-        """Return the underlying array (no copy)."""
-        return self.data
+        """Return the data as a host array (no copy on CPU backends)."""
+        return _backend.active().to_numpy(self.data)
 
     def item(self) -> float:
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
@@ -155,9 +172,9 @@ class Tensor:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _make(
-        data: np.ndarray,
+        data,
         parents: Sequence["Tensor"],
-        backward: Callable[[np.ndarray], None],
+        backward: Callable,
     ) -> "Tensor":
         """Create the child node of an op, recording the tape only when
         gradients are enabled and at least one parent needs them."""
@@ -168,15 +185,18 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+    def _accumulate(self, grad, owned: bool = False) -> None:
+        """Add ``grad`` into ``self.grad`` (allocating on first use).
+
+        ``owned`` marks a gradient array that the calling backward closure
+        computed fresh and holds no other reference to; the backend may
+        then adopt it as the gradient slot instead of copying.
+        """
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float32), self.data.shape)
-        if self.grad is None:
-            self.grad = grad.copy()
-        else:
-            self.grad += grad
+        b = _backend.active()
+        grad = _unbroadcast(b.asarray(grad, dtype=np.float32), self.data.shape)
+        self.grad = b.accumulate(self.grad, grad, owned=owned)
 
     # ------------------------------------------------------------------ #
     # backward pass
@@ -187,15 +207,17 @@ class Tensor:
         ``grad`` defaults to ones (and must be supplied for non-scalar
         outputs only if a non-trivial seed is wanted).
         """
+        xp = _backend.active().xp
         if grad is None:
-            seed = np.ones_like(self.data, dtype=np.float32)
+            seed = xp.ones_like(self.data, dtype=np.float32)
         else:
-            seed = np.asarray(grad.data if isinstance(grad, Tensor) else grad,
-                              dtype=np.float32)
-            seed = np.broadcast_to(seed, self.data.shape).astype(np.float32)
+            seed = _backend.active().asarray(
+                grad.data if isinstance(grad, Tensor) else grad,
+                dtype=np.float32)
+            seed = xp.broadcast_to(seed, self.data.shape).astype(np.float32)
 
         order = self._topological_order()
-        self._accumulate(seed)
+        self._accumulate(seed, owned=True)
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
@@ -225,7 +247,9 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data + other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
+            # ``grad`` is the child's gradient slot, shared with the child
+            # itself and (possibly) the sibling — never owned.
             self._accumulate(grad)
             other._accumulate(grad)
 
@@ -234,8 +258,8 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+        def backward(grad) -> None:
+            self._accumulate(-grad, owned=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -243,9 +267,9 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data - other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             self._accumulate(grad)
-            other._accumulate(-grad)
+            other._accumulate(-grad, owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -256,9 +280,9 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data * other.data
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * other.data)
-            other._accumulate(grad * self.data)
+        def backward(grad) -> None:
+            self._accumulate(grad * other.data, owned=True)
+            other._accumulate(grad * self.data, owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -268,9 +292,9 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data / other.data
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / other.data)
-            other._accumulate(-grad * self.data / (other.data ** 2))
+        def backward(grad) -> None:
+            self._accumulate(grad / other.data, owned=True)
+            other._accumulate(-grad * self.data / (other.data ** 2), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -282,8 +306,9 @@ class Tensor:
             raise TypeError("only scalar exponents are supported")
         out_data = self.data ** exponent
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+        def backward(grad) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1),
+                             owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -291,27 +316,30 @@ class Tensor:
         other = as_tensor(other)
         out_data = self.data @ other.data
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
+            xp = _backend.active().xp
             if self.requires_grad:
-                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+                self._accumulate(grad @ xp.swapaxes(other.data, -1, -2),
+                                 owned=True)
             if other.requires_grad:
-                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+                other._accumulate(xp.swapaxes(self.data, -1, -2) @ grad,
+                                  owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
     # ------------------------------------------------------------------ #
     # comparisons (no gradient)
     # ------------------------------------------------------------------ #
-    def __gt__(self, other: ArrayLike) -> np.ndarray:
+    def __gt__(self, other: ArrayLike):
         return self.data > as_tensor(other).data
 
-    def __lt__(self, other: ArrayLike) -> np.ndarray:
+    def __lt__(self, other: ArrayLike):
         return self.data < as_tensor(other).data
 
-    def __ge__(self, other: ArrayLike) -> np.ndarray:
+    def __ge__(self, other: ArrayLike):
         return self.data >= as_tensor(other).data
 
-    def __le__(self, other: ArrayLike) -> np.ndarray:
+    def __le__(self, other: ArrayLike):
         return self.data <= as_tensor(other).data
 
     # ------------------------------------------------------------------ #
@@ -323,7 +351,8 @@ class Tensor:
         original = self.data.shape
         out_data = self.data.reshape(shape)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
+            # A reshape view of the child's gradient slot — not owned.
             self._accumulate(grad.reshape(original))
 
         return Tensor._make(out_data, (self,), backward)
@@ -336,7 +365,7 @@ class Tensor:
         inverse = tuple(np.argsort(axes))
         out_data = self.data.transpose(axes)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             self._accumulate(grad.transpose(inverse))
 
         return Tensor._make(out_data, (self,), backward)
@@ -348,10 +377,11 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
 
-        def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data, dtype=np.float32)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
+        def backward(grad) -> None:
+            b = _backend.active()
+            full = b.xp.zeros_like(self.data, dtype=np.float32)
+            b.index_add(full, index, grad)
+            self._accumulate(full, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -365,11 +395,13 @@ class Tensor:
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
+            xp = _backend.active().xp
             g = grad
             if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-            self._accumulate(np.broadcast_to(g, self.data.shape))
+                g = xp.expand_dims(g, axis)
+            # A broadcast view — non-writeable, never owned.
+            self._accumulate(xp.broadcast_to(g, self.data.shape))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -384,24 +416,25 @@ class Tensor:
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
+            xp = _backend.active().xp
             g = grad
             out = out_data
             if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-                out = np.expand_dims(out, axis)
+                g = xp.expand_dims(g, axis)
+                out = xp.expand_dims(out, axis)
             mask = (self.data == out).astype(np.float32)
             # Split gradient between ties so the sum is preserved.
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
                 else mask.sum()
-            self._accumulate(g * mask / counts)
+            self._accumulate(g * mask / counts, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
     # ------------------------------------------------------------------ #
     # convenience
     # ------------------------------------------------------------------ #
-    def argmax(self, axis=None) -> np.ndarray:
+    def argmax(self, axis=None):
         return self.data.argmax(axis=axis)
 
 
@@ -413,26 +446,29 @@ def as_tensor(value: ArrayLike) -> Tensor:
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
-    """Differentiable ``np.stack``."""
+    """Differentiable ``stack`` along a new axis."""
     tensors = list(tensors)
-    out_data = np.stack([t.data for t in tensors], axis=axis)
+    xp = _backend.active().xp
+    out_data = xp.stack([t.data for t in tensors], axis=axis)
 
-    def backward(grad: np.ndarray) -> None:
-        pieces = np.split(grad, len(tensors), axis=axis)
+    def backward(grad) -> None:
+        xp = _backend.active().xp
+        pieces = xp.split(grad, len(tensors), axis=axis)
         for t, piece in zip(tensors, pieces):
-            t._accumulate(np.squeeze(piece, axis=axis))
+            t._accumulate(xp.squeeze(piece, axis=axis))
 
     return Tensor._make(out_data, tensors, backward)
 
 
 def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
-    """Differentiable ``np.concatenate``."""
+    """Differentiable ``concatenate`` along an existing axis."""
     tensors = list(tensors)
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    xp = _backend.active().xp
+    out_data = xp.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
             index = [slice(None)] * grad.ndim
             index[axis] = slice(lo, hi)

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Dict, Union
 
 import numpy as np
 
+from .. import backend as _backend
 from ..nn.serialization import atomic_savez
 from .callbacks import Callback
 
@@ -71,11 +72,17 @@ def _internalize(obj, archive):
 
 def save_checkpoint(trainer: "Trainer",
                     path: Union[str, os.PathLike]) -> str:
-    """Write ``trainer.state_dict()`` to ``path`` atomically."""
+    """Write ``trainer.state_dict()`` to ``path`` atomically.
+
+    The archive records which array backend produced it (provenance for
+    perf forensics; the weights themselves are always host numpy and load
+    under any backend).
+    """
     path = os.fspath(path)
     arrays: Dict[str, np.ndarray] = {}
     meta = _externalize({"version": CHECKPOINT_VERSION,
                          "trainer": trainer.name,
+                         "backend": _backend.active().name,
                          "state": trainer.state_dict()}, arrays)
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8)
@@ -106,6 +113,9 @@ def load_checkpoint(trainer: "Trainer",
         raise ValueError(
             f"checkpoint was written by trainer {meta.get('trainer')!r}, "
             f"cannot resume into {trainer.name!r}")
+    # ``backend`` is provenance, not a constraint: a checkpoint written
+    # under any backend resumes under any other (weights are host numpy,
+    # and the CPU backends are bit-identical by construction).
     trainer.load_state_dict(meta["state"])
     return meta["state"]
 

@@ -4,23 +4,28 @@ Every stochastic component (dataset generator, initializer, dropout mask,
 Gaussian augmentation, PGD restart) derives its own ``np.random.Generator``
 from a root seed plus a string tag, so experiments are reproducible and
 components never share a stream.
+
+Derivation is delegated to the active array backend
+(:meth:`repro.backend.base.ArrayOps.derive_rng`); every shipped backend
+returns the same host-side PCG64 stream for a given ``(seed, tag)`` — that
+shared-stream contract is what makes seeded runs comparable (and, for the
+two CPU backends, bit-identical) *across* backends.
 """
 
 from __future__ import annotations
 
-import hashlib
 from typing import List
 
 import numpy as np
+
+from .. import backend as _backend
 
 __all__ = ["derive_rng", "spawn_rngs"]
 
 
 def derive_rng(seed: int, tag: str = "") -> np.random.Generator:
     """Derive an independent generator from ``(seed, tag)``."""
-    digest = hashlib.sha256(f"{seed}:{tag}".encode()).digest()
-    child_seed = int.from_bytes(digest[:8], "little")
-    return np.random.default_rng(child_seed)
+    return _backend.active().derive_rng(seed, tag)
 
 
 def spawn_rngs(seed: int, *tags: str) -> List[np.random.Generator]:

@@ -4,13 +4,27 @@ These pin the base-class guarantees the evaluation engine builds on:
 ``eps=0`` degenerates to the (box-regulated) identity, outputs always live
 in the l-inf ball intersected with the image box, and the victim's
 train/eval mode survives even a crashing ``_generate``.
+
+The whole module runs once per registered array backend (the autouse
+fixture below): the invariants are properties of the attack *contract*, so
+they must hold identically on the reference backend, the fast CPU backend,
+and cupy when installed.
 """
 
 import numpy as np
 import pytest
 
+import repro.backend as repro_backend
 from repro.attacks import BIM, FGSM, MIM, PGD, Attack, CarliniWagner, DeepFool
 from repro.data.preprocessing import BOX_HIGH, BOX_LOW
+
+
+@pytest.fixture(params=list(repro_backend.available_backends()),
+                autouse=True)
+def each_backend(request):
+    """Re-run every invariant under each registered backend."""
+    with repro_backend.use(request.param):
+        yield request.param
 
 
 def _all_attacks(eps):
