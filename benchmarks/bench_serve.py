@@ -1,0 +1,166 @@
+"""Serving performance tracking: ``python benchmarks/bench_serve.py``.
+
+Measures, for every registered CPU backend, the serving subsystem under
+a seeded synthetic load mixing clean and PGD traffic (the production
+shape the ROADMAP targets):
+
+* **throughput and p50/p95 latency vs. batch size** — the same request
+  stream served one-request-at-a-time (``max_batch=1``, the no-batching
+  baseline) and through micro-batching at paper-scale batch sizes;
+* **the discriminator gate's filter quality** — detection rate on PGD
+  traffic and false-positive rate on clean traffic for a ZK-GanDef
+  checkpoint's Table II discriminator, through the full serve path.
+
+Results land in ``BENCH_serve.json`` so the trajectory is comparable
+across commits.  The script exits non-zero if micro-batched throughput
+falls below the pinned **2x** floor over the one-at-a-time baseline at
+the largest measured batch size on any backend.
+
+Usage::
+
+    python benchmarks/bench_serve.py [--output PATH] [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import repro.backend as backend  # noqa: E402
+from repro.data import load_split  # noqa: E402
+from repro.experiments.config import get_config  # noqa: E402
+from repro.experiments.runners import build_trainer  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ModelRegistry,
+    Server,
+    build_mixed_load,
+    craft_adversarial_pool,
+    run_load,
+)
+
+SPEEDUP_FLOOR = 2.0
+BACKENDS = ("numpy", "fast")
+
+
+def train_gandef(epochs, train_size, seed=0):
+    """A briefly-trained ZK-GanDef victim (classifier + discriminator)."""
+    split = load_split("digits", train_size, 256, seed=seed)
+    cfg = get_config("fast").dataset("digits")
+    trainer = build_trainer("zk-gandef", cfg, seed=seed)
+    trainer.epochs = epochs
+    trainer.fit(split.train)
+    return trainer, split
+
+
+def serve_load(trainer, traffic, max_batch, backend_name):
+    """One measured pass of ``traffic`` at ``max_batch``."""
+    registry = ModelRegistry()
+    registry.add("gandef", trainer.model,
+                 discriminator=trainer.discriminator,
+                 backend=backend_name)
+    server = Server(registry, max_batch=max_batch, deadline_ms=5.0,
+                    gate="disc", cache=None)
+    report = run_load(server, "gandef", traffic,
+                      pump_every=max(1, max_batch))
+    return report, server
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_out = os.path.join(os.path.dirname(__file__), "..",
+                               "BENCH_serve.json")
+    parser.add_argument("--output", default=os.path.normpath(default_out))
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller victim / shorter load (smoke run)")
+    args = parser.parse_args(argv)
+
+    epochs = 3 if args.quick else 8
+    train_size = 512 if args.quick else 1024
+    pool_size = 64 if args.quick else 96
+    num_requests = 128 if args.quick else 512
+    batch_sizes = (1, 16, 64)   # 1 is the no-batching baseline
+
+    report = {"config": {"epochs": epochs, "train_size": train_size,
+                         "pool_size": pool_size,
+                         "num_requests": num_requests,
+                         "batch_sizes": list(batch_sizes),
+                         "adv_fraction": 0.5,
+                         "attack": "pgd (paper Sec. IV-C budget)"},
+              "per_backend": {}}
+    failures = []
+    for name in BACKENDS:
+        with backend.use(name):
+            trainer, split = train_gandef(epochs, train_size)
+            images = split.test.images[:pool_size]
+            labels = split.test.labels[:pool_size]
+            budget = get_config("fast").dataset("digits").budget
+            attack = budget.build(fast=False, seed=0)["pgd"]
+            start = time.perf_counter()
+            adv_pool = craft_adversarial_pool(trainer.model, images,
+                                              labels, attack)
+            craft_s = time.perf_counter() - start
+            traffic = build_mixed_load(images, adv_pool,
+                                       num_requests=num_requests,
+                                       max_request_size=4,
+                                       adv_fraction=0.5, seed=0)
+            rows = {}
+            for max_batch in batch_sizes:
+                load, server = serve_load(trainer, traffic, max_batch, name)
+                stats = server.stats
+                rows[str(max_batch)] = {
+                    "throughput_eps": round(load.throughput, 1),
+                    "latency_p50_ms": round(
+                        stats.latency_percentile(50) * 1e3, 3),
+                    "latency_p95_ms": round(
+                        stats.latency_percentile(95) * 1e3, 3),
+                    "mean_batch_size": round(stats.mean_batch_size, 2),
+                    "batches": stats.batches,
+                }
+                print(f"[{name:5s}] max_batch={max_batch:3d}  "
+                      f"{load.throughput:9.1f} ex/s  "
+                      f"p50 {rows[str(max_batch)]['latency_p50_ms']:7.3f}ms  "
+                      f"p95 {rows[str(max_batch)]['latency_p95_ms']:7.3f}ms")
+            # Gate quality from the loop's final (largest-batch) pass:
+            # the load is deterministic, so re-serving it would produce
+            # the identical metrics at an extra full pass of cost.
+            gate = load.gate_metrics
+            baseline = rows[str(batch_sizes[0])]["throughput_eps"]
+            best = rows[str(batch_sizes[-1])]["throughput_eps"]
+            speedup = best / baseline if baseline else 0.0
+            report["per_backend"][name] = {
+                "by_batch_size": rows,
+                "pgd_craft_seconds": round(craft_s, 3),
+                "batching_speedup": round(speedup, 3),
+                "gate": {
+                    "kind": "disc",
+                    "detection_rate": round(gate.detection_rate, 4),
+                    "false_positive_rate": round(
+                        gate.false_positive_rate, 4),
+                    "threshold": gate.threshold,
+                    "adv_examples": gate.adversarial_examples,
+                    "clean_examples": gate.clean_examples,
+                },
+            }
+            print(f"[{name:5s}] batching speedup {speedup:5.2f}x   "
+                  f"gate: {gate}")
+            if speedup < SPEEDUP_FLOOR:
+                failures.append(
+                    f"{name}: micro-batched throughput {speedup:.2f}x "
+                    f"baseline, below the {SPEEDUP_FLOOR}x floor")
+
+    report["speedup_floor"] = SPEEDUP_FLOOR
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"->  {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,9 @@ Top-level layout (see DESIGN.md for the full inventory):
 * :mod:`repro.models` — LeNet / allCNN classifier families,
 * :mod:`repro.eval` — the Figure 3 evaluation framework, metrics and the
   black-box transfer extension,
+* :mod:`repro.serve` — in-process inference serving: model registry,
+  micro-batching, discriminator-gated adversarial filtering, prediction
+  caching,
 * :mod:`repro.experiments` — one runner per paper table / figure,
 * :mod:`repro.cli` — ``python -m repro <artifact>``.
 """

@@ -48,6 +48,7 @@ __all__ = [
     "register",
     "get_backend",
     "available_backends",
+    "resolve",
     "active",
     "use",
     "DEFAULT_BACKEND_ENV",
@@ -80,6 +81,26 @@ def get_backend(name: str) -> ArrayOps:
     if name not in _INSTANCES:
         _INSTANCES[name] = _FACTORIES[name]()
     return _INSTANCES[name]
+
+
+def resolve(name: Optional[str], fallback: str = "numpy") -> str:
+    """Map a backend name to one that is actually registered here.
+
+    Provenance metadata travels with artifacts — a checkpoint records the
+    backend that produced it — but the process reading the artifact may
+    not have that backend (a ``cupy``-trained checkpoint served on a
+    CPU-only box).  ``resolve`` keeps the recorded name when it is
+    available and otherwise falls back, so callers can pin execution to
+    the producing backend without first probing the registry.
+    """
+    if name in _FACTORIES:
+        assert name is not None
+        return name
+    if fallback not in _FACTORIES:
+        raise KeyError(
+            f"fallback backend {fallback!r} is not registered; "
+            f"choose from {sorted(_FACTORIES)}")
+    return fallback
 
 
 def active() -> ArrayOps:

@@ -13,6 +13,8 @@ without writing code:
         --attacks fgsm,pgd,mim --cache-dir .adv-cache
     python -m repro train --defense gandef --dataset objects \
         --checkpoint-dir runs/gandef --resume --probe-every 2
+    python -m repro serve --model runs/gandef/checkpoint.npz \
+        --dataset objects --max-batch 32 --deadline-ms 5 --gate disc
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from .experiments import REGISTRY, get_experiment
 from .experiments.config import DEFENSE_NAMES
 from .experiments.eval_suite import ATTACK_POOL_NAMES
 from .experiments.table3 import EXAMPLE_TYPES, render_table3
+from .serve.gate import GATE_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -97,12 +100,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "the preset's schedule)")
     train.add_argument("--epochs", type=int, default=None,
                        help="override the preset's epoch budget")
+    serve = parser.add_argument_group(
+        "serve options",
+        "in-process inference serving (repro.serve): micro-batched "
+        "forwards on the checkpoint's producing backend, "
+        "discriminator-gated adversarial filtering, prediction caching; "
+        "measured against a seeded clean+PGD traffic mix")
+    serve.add_argument("--model", default="gandef", metavar="PATH|DEFENSE",
+                       help="what to serve: a training-checkpoint path "
+                            "(from repro train --checkpoint-dir) or a "
+                            "defense name trained on the fly at the "
+                            "preset's scale (default: gandef)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="largest coalesced batch the server forwards "
+                            "(default: 32)")
+    serve.add_argument("--deadline-ms", type=float, default=5.0,
+                       help="oldest-request age forcing a (possibly "
+                            "ragged) flush, bounding latency at low load "
+                            "(default: 5)")
+    serve.add_argument("--gate", default="auto",
+                       choices=list(GATE_KINDS),
+                       help="adversarial-input filter: 'disc' is the "
+                            "GanDef discriminator, 'confidence' the "
+                            "softmax fallback, 'auto' picks by "
+                            "checkpoint, 'none' disables (default: auto)")
+    serve.add_argument("--requests", type=int, default=256,
+                       help="synthetic requests in the measured load "
+                            "(default: 256)")
     return parser
 
 
 def _print_listing() -> None:
     for key, exp in REGISTRY.items():
         print(f"{key:22s} {exp.artifact:28s} {exp.description}")
+    print(f"{'serve':22s} {'serving subsystem':28s} "
+          "micro-batched, discriminator-gated inference serving of one "
+          "defense checkpoint")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -110,19 +143,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "list":
         _print_listing()
         return 0
+    key = args.experiment
+    if key == "serve":
+        try:
+            return _run_serve_command(args)
+        except ValueError as error:
+            print(error)
+            return 2
     try:
-        experiment = get_experiment(args.experiment)
+        experiment = get_experiment(key)
     except KeyError as error:
         print(error)
         return 2
 
-    key = args.experiment
     ignored = []
     if key not in ("eval-suite", "train") and args.defense != "vanilla":
         ignored.append("--defense")
     if args.backend is not None and key not in (
             "table3", "table4", "eval-suite", "train"):
         ignored.append("--backend")
+    for flag, value, default in (("--model", args.model, "gandef"),
+                                 ("--max-batch", args.max_batch, 32),
+                                 ("--deadline-ms", args.deadline_ms, 5.0),
+                                 ("--gate", args.gate, "auto"),
+                                 ("--requests", args.requests, 256)):
+        if value != default:
+            ignored.append(flag)
     if key != "eval-suite":
         if args.attacks != ",".join(ATTACK_POOL_NAMES):
             ignored.append("--attacks")
@@ -149,6 +195,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         # without --checkpoint-dir); render them as clean CLI errors.
         print(error)
         return 2
+
+
+def _run_serve_command(args) -> int:
+    # Deferred: the serve runner pulls in the trainer/attack stack.
+    from .serve.run import run_serve
+
+    report = run_serve(
+        model=args.model, dataset=args.dataset, preset=args.preset,
+        seed=args.seed, backend=args.backend, max_batch=args.max_batch,
+        deadline_ms=args.deadline_ms, gate=args.gate,
+        requests=args.requests, verbose=True)
+    stats = report.stats.summary()
+    print(f"served {stats['examples']} examples in {stats['batches']} "
+          f"batches (mean size {stats['mean_batch_size']}) on "
+          f"{report.entry.backend}")
+    print(f"  throughput {report.load.throughput:8.1f} examples/s   "
+          f"latency p50 {stats['latency_p50_ms']:.2f}ms  "
+          f"p95 {stats['latency_p95_ms']:.2f}ms")
+    print(f"  accuracy on served traffic {report.served_accuracy * 100:.2f}%"
+          f"   prediction-cache hits {stats['cache_hits']}")
+    print(f"  gate [{report.gate_kind}]: {report.gate_metrics}")
+    return 0
 
 
 def _dispatch(key, args, experiment) -> int:

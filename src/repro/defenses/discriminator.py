@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import nn
 
 __all__ = ["Discriminator", "DISCRIMINATOR_LR"]
@@ -43,3 +44,15 @@ class Discriminator(nn.Module):
     def forward(self, logits: nn.Tensor) -> nn.Tensor:
         """Probability that each logit row came from a *perturbed* input."""
         return self.net(logits).reshape(-1)
+
+    def scores(self, logits) -> np.ndarray:
+        """Host-side perturbed-probabilities for a raw logit batch.
+
+        The test-time entry point the paper's Sec. V-E filtering idea
+        needs (and the serving layer's discriminator gate uses): no tape,
+        no mode flips left behind, and a plain numpy array out regardless
+        of the active backend.
+        """
+        with nn.inference_mode(self), nn.no_grad():
+            probs = self.forward(nn.Tensor(logits)).data
+        return _backend.active().to_numpy(probs)

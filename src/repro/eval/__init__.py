@@ -4,7 +4,8 @@ from .cache import AdversarialCache, cache_key, fingerprint_attack, \
     fingerprint_data, fingerprint_model
 from .engine import AttackRecord, AttackSuite, SuiteResult
 from .framework import EvaluationFramework, EvaluationResult
-from .metrics import AccuracyReport, predict_labels, test_accuracy
+from .metrics import AccuracyReport, FilterMetrics, filter_rates, \
+    predict_labels, test_accuracy
 from .reporting import format_accuracy_table, format_series, format_timing_table
 from .transfer import TransferResult, transfer_attack_accuracy
 
@@ -20,6 +21,8 @@ __all__ = [
     "EvaluationFramework",
     "EvaluationResult",
     "AccuracyReport",
+    "FilterMetrics",
+    "filter_rates",
     "predict_labels",
     "test_accuracy",
     "format_accuracy_table",

@@ -17,6 +17,7 @@ bit-for-bit.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import hashlib
 import json
@@ -30,7 +31,7 @@ from .. import nn
 from ..attacks.base import Attack
 
 __all__ = ["AdversarialCache", "fingerprint_model", "fingerprint_attack",
-           "fingerprint_data", "cache_key"]
+           "fingerprint_data", "fingerprint_array", "cache_key"]
 
 
 def _hash_array(h: "hashlib._Hash", array: np.ndarray) -> None:
@@ -67,6 +68,18 @@ def fingerprint_data(images: np.ndarray, labels: np.ndarray) -> str:
     return h.hexdigest()
 
 
+def fingerprint_array(array: np.ndarray) -> str:
+    """SHA-256 over one array's dtype, shape and exact bytes.
+
+    The label-free sibling of :func:`fingerprint_data`, for consumers that
+    hash inputs *without* ground truth — the serving layer's prediction
+    cache keys each incoming example this way.
+    """
+    h = hashlib.sha256()
+    _hash_array(h, np.asarray(array))
+    return h.hexdigest()
+
+
 def cache_key(model: nn.Module, attack: Attack, images: np.ndarray,
               labels: np.ndarray,
               model_fingerprint: Optional[str] = None,
@@ -94,18 +107,79 @@ class AdversarialCache:
     keep_in_memory:
         Also keep loaded/stored batches in a process-local dict so repeated
         hits within one run skip the disk round-trip.
+    max_bytes:
+        Optional cap on the on-disk footprint.  When set, entries are
+        tracked least-recently-used (existing entries are ranked by file
+        mtime at construction; hits bump both the in-process order and the
+        mtime so recency survives across runs) and the oldest are deleted
+        after each store until the directory fits.  Eviction only ever
+        deletes *finished* entries — :meth:`get_or_generate` returns the
+        freshly-crafted batch it just stored regardless, so a cap that is
+        too small degrades into extra regeneration, never into wrong
+        results.  The cap is per-writer: concurrent processes sharing a
+        directory each enforce it over the entries they have seen.
     """
 
     def __init__(self, root: Union[str, os.PathLike],
-                 keep_in_memory: bool = True) -> None:
+                 keep_in_memory: bool = True,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.root = os.fspath(root)
         self.keep_in_memory = keep_in_memory
+        self.max_bytes = max_bytes
         self._memory: dict = {}
+        self._lru: "collections.OrderedDict[str, int]" = \
+            collections.OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if max_bytes is not None and os.path.isdir(self.root):
+            entries = []
+            for fname in os.listdir(self.root):
+                if not fname.endswith(".npz") or fname.endswith(".tmp.npz"):
+                    continue
+                try:
+                    stat = os.stat(os.path.join(self.root, fname))
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, fname[:-len(".npz")],
+                                stat.st_size))
+            for _, key, size in sorted(entries):
+                self._lru[key] = size
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.npz")
+
+    @property
+    def total_bytes(self) -> int:
+        """On-disk footprint of the entries this instance tracks."""
+        return sum(self._lru.values())
+
+    def _touch(self, key: str) -> None:
+        """Mark ``key`` most-recently-used (and persist via mtime)."""
+        if self.max_bytes is None or key not in self._lru:
+            return
+        self._lru.move_to_end(key)
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
+
+    def _forget(self, key: str) -> None:
+        self._lru.pop(key, None)
+        self._memory.pop(key, None)
+
+    def _evict_over_cap(self) -> None:
+        assert self.max_bytes is not None
+        while self.total_bytes > self.max_bytes and self._lru:
+            key, _ = self._lru.popitem(last=False)
+            self._memory.pop(key, None)
+            try:
+                os.remove(self._path(key))
+            except OSError:
+                pass
+            self.evictions += 1
 
     def load(self, key: str) -> Optional[np.ndarray]:
         """Return the stored batch for ``key``, or ``None`` on a miss.
@@ -115,9 +189,11 @@ class AdversarialCache:
         than poisoning every later run.
         """
         if key in self._memory:
+            self._touch(key)
             return self._memory[key].copy()
         path = self._path(key)
         if not os.path.exists(path):
+            self._lru.pop(key, None)
             return None
         try:
             with np.load(path) as archive:
@@ -127,7 +203,9 @@ class AdversarialCache:
                 os.remove(path)
             except OSError:
                 pass
+            self._forget(key)
             return None
+        self._touch(key)
         if self.keep_in_memory:
             self._memory[key] = adv.copy()
         return adv
@@ -145,6 +223,13 @@ class AdversarialCache:
         os.replace(tmp, path)
         if self.keep_in_memory:
             self._memory[key] = np.array(adv, copy=True)
+        if self.max_bytes is not None:
+            try:
+                self._lru[key] = os.path.getsize(path)
+            except OSError:
+                self._lru[key] = 0
+            self._lru.move_to_end(key)
+            self._evict_over_cap()
 
     def get_or_generate(self, attack: Attack, model: nn.Module,
                         images: np.ndarray, labels: np.ndarray,

@@ -131,7 +131,17 @@ class AttackSuite:
         labels = np.asarray(labels)
         if len(images) == 0:
             raise ValueError("evaluation needs at least one test example")
-        # The one shared clean forward pass.
+        with nn.inference_mode(model):
+            return self._run_inference(model, images, labels, model_name,
+                                       dataset, on_record)
+
+    def _run_inference(self, model, images, labels, model_name, dataset,
+                       on_record) -> SuiteResult:
+        # The whole grid runs under inference_mode: attacks and
+        # predict_labels each force eval mode themselves (and restore it),
+        # so accuracies are unchanged — but the suite as a whole now
+        # guarantees the caller's model comes back with every submodule
+        # flag exactly as it was, even if an attack raises mid-grid.
         clean_preds = predict_labels(model, images, self.batch_size)
         clean_correct = clean_preds == labels
         result = SuiteResult(model_name=model_name, dataset=dataset,

@@ -18,7 +18,8 @@ import numpy as np
 from .. import backend as _backend
 from .. import nn
 
-__all__ = ["test_accuracy", "predict_labels", "AccuracyReport"]
+__all__ = ["test_accuracy", "predict_labels", "AccuracyReport",
+           "FilterMetrics", "filter_rates"]
 
 
 def predict_labels(model: nn.Module, images: np.ndarray,
@@ -29,17 +30,15 @@ def predict_labels(model: nn.Module, images: np.ndarray,
     caching and reporting, so this is where a device backend syncs.
     """
     b = _backend.active()
-    was_training = model.training
-    model.eval()
-    try:
+    # inference_mode restores every submodule's exact flag on exit, so a
+    # shared model (e.g. one the serving layer borrowed mid-training)
+    # never comes back with its mode permanently flipped.
+    with nn.inference_mode(model):
         out = []
         for start in range(0, len(images), batch_size):
             with nn.no_grad():
                 logits = model(nn.Tensor(images[start:start + batch_size])).data
             out.append(b.to_numpy(logits.argmax(axis=1)))
-    finally:
-        if was_training:
-            model.train()
     return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
 
 
@@ -51,6 +50,57 @@ def test_accuracy(model: nn.Module, images: np.ndarray,
         raise ValueError("cannot compute accuracy on an empty set")
     preds = predict_labels(model, images)
     return float((preds == np.asarray(labels)).mean())
+
+
+@dataclass
+class FilterMetrics:
+    """Adversarial-input filter quality (the Sec. IV-E rejection framing).
+
+    The paper's test-accuracy metric counts a *rejected original* as a
+    failure and an *accepted adversarial* as a failure; for a detector
+    that scores inputs and flags those above a threshold, the two failure
+    modes reduce to exactly these two rates:
+
+    * ``detection_rate`` — flagged fraction of adversarial traffic
+      (higher is better; ``1 - detection_rate`` of attacks slip through),
+    * ``false_positive_rate`` — flagged fraction of clean traffic
+      (lower is better; every false positive rejects a good request).
+    """
+
+    detection_rate: float
+    false_positive_rate: float
+    threshold: float
+    adversarial_examples: int = 0
+    clean_examples: int = 0
+
+    def __str__(self) -> str:
+        return (f"detection {self.detection_rate * 100:6.2f}% "
+                f"({self.adversarial_examples} adv)   "
+                f"false-positive {self.false_positive_rate * 100:6.2f}% "
+                f"({self.clean_examples} clean)   "
+                f"@ threshold {self.threshold:.3f}")
+
+
+def filter_rates(clean_scores: Iterable[float],
+                 adv_scores: Iterable[float],
+                 threshold: float) -> FilterMetrics:
+    """Detection / false-positive rates of a score-above-threshold filter.
+
+    ``clean_scores`` / ``adv_scores`` are suspicion scores (higher = more
+    likely adversarial) for traffic of known provenance — e.g. the GanDef
+    discriminator's perturbed-probabilities on labeled evaluation streams.
+    Either stream may be empty; its rate is then reported as 0.0.
+    """
+    clean = np.asarray(list(clean_scores), dtype=np.float64)
+    adv = np.asarray(list(adv_scores), dtype=np.float64)
+    return FilterMetrics(
+        detection_rate=float((adv > threshold).mean()) if adv.size else 0.0,
+        false_positive_rate=float((clean > threshold).mean())
+        if clean.size else 0.0,
+        threshold=float(threshold),
+        adversarial_examples=int(adv.size),
+        clean_examples=int(clean.size),
+    )
 
 
 @dataclass

@@ -37,6 +37,7 @@ from .modules import (
     Sequential,
     Sigmoid,
     Tanh,
+    inference_mode,
 )
 from .optim import SGD, Adam, Optimizer
 from .serialization import atomic_savez, load_state, save_state
@@ -55,6 +56,7 @@ __all__ = [
     "avg_pool2d",
     "Module",
     "Parameter",
+    "inference_mode",
     "Dense",
     "Conv2D",
     "MaxPool2D",

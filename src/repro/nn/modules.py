@@ -22,6 +22,7 @@ from .tensor import Tensor
 __all__ = [
     "Parameter",
     "Module",
+    "inference_mode",
     "Dense",
     "Conv2D",
     "MaxPool2D",
@@ -154,6 +155,40 @@ class Module:
             converted[name] = value
         for name, p in own.items():
             p.data = converted[name].copy()
+
+
+class inference_mode:
+    """Run modules in ``eval()`` mode, restoring their exact flags on exit.
+
+    ``Module.train()``/``eval()`` flip every submodule uniformly, so the
+    usual save-one-flag-and-restore dance loses heterogeneous states (a
+    model whose dropout was deliberately frozen would come back fully in
+    train mode).  This context manager snapshots **every** submodule's
+    ``_training`` flag and restores each one individually — which is what
+    lets a serving path or an evaluation borrow a *shared* model without
+    permanently flipping its mode, even when the body raises.
+
+        with nn.inference_mode(model):
+            logits = model(x)
+    """
+
+    def __init__(self, *modules: Module) -> None:
+        if not modules:
+            raise ValueError("inference_mode needs at least one module")
+        self._modules = modules
+        self._saved: List[Tuple[Module, bool]] = []
+
+    def __enter__(self):
+        self._saved = [(m, m._training)
+                       for mod in self._modules for m in mod.modules()]
+        for mod in self._modules:
+            mod.eval()
+        return self._modules[0] if len(self._modules) == 1 else self._modules
+
+    def __exit__(self, *exc) -> None:
+        for module, flag in self._saved:
+            module._training = flag
+        self._saved = []
 
 
 class Dense(Module):

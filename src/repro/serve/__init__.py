@@ -1,0 +1,74 @@
+"""``repro.serve`` — the in-process inference-serving subsystem.
+
+The paper's headline artifact is a GAN-trained classifier whose
+discriminator can tell clean from perturbed inputs at test time; this
+package turns that reproduction into the online service the ROADMAP
+describes.  The pieces:
+
+* :class:`ModelRegistry` — named defense models loaded from
+  :mod:`repro.train.checkpoint` archives, each pinned to the backend
+  that produced it,
+* :class:`MicroBatcher` — deterministic FIFO coalescing of single
+  examples and small requests into backend-sized batches under a
+  latency deadline,
+* :class:`DefenseGate` family — the GanDef discriminator (or a softmax
+  confidence fallback) as a test-time adversarial-input filter, scored
+  with the Sec. IV-E failure rates,
+* :class:`PredictionCache` — bounded per-example memoization keyed by
+  (weight fingerprint, input fingerprint),
+* :class:`Server` / :class:`Client` — the facade: submit requests,
+  pump deterministically (or on a background thread), collect
+  per-request results bitwise-identical to direct forward passes,
+* :mod:`repro.serve.loadgen` / :func:`run_serve` — seeded clean+PGD
+  traffic generation and the ``repro serve`` CLI runner.
+"""
+
+from .batcher import MicroBatch, MicroBatcher, PendingPrediction, Prediction
+from .cache import PredictionCache
+from .gate import (
+    GATE_KINDS,
+    ConfidenceGate,
+    DefenseGate,
+    DiscriminatorGate,
+    GateDecision,
+    NullGate,
+    build_gate,
+)
+from .loadgen import (
+    LoadReport,
+    LoadRequest,
+    build_mixed_load,
+    craft_adversarial_pool,
+    run_load,
+)
+from .registry import ModelEntry, ModelRegistry
+from .run import ServeReport, run_serve
+from .server import Client, Server, ServerStats, percentile
+
+__all__ = [
+    "MicroBatch",
+    "MicroBatcher",
+    "PendingPrediction",
+    "Prediction",
+    "PredictionCache",
+    "GATE_KINDS",
+    "DefenseGate",
+    "DiscriminatorGate",
+    "ConfidenceGate",
+    "NullGate",
+    "GateDecision",
+    "build_gate",
+    "LoadRequest",
+    "LoadReport",
+    "build_mixed_load",
+    "craft_adversarial_pool",
+    "run_load",
+    "ModelEntry",
+    "ModelRegistry",
+    "ServeReport",
+    "run_serve",
+    "Client",
+    "Server",
+    "ServerStats",
+    "percentile",
+]

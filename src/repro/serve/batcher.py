@@ -1,0 +1,239 @@
+"""Request coalescing: many small requests in, backend-sized batches out.
+
+Serving traffic arrives as single examples and small batches, but the
+substrate's forward pass amortizes its fixed costs (im2col workspace
+setup, BLAS dispatch, tape-free graph construction) over the batch
+dimension — one 64-example forward is far cheaper than 64 single-example
+forwards.  The :class:`MicroBatcher` closes that gap: requests queue up,
+and a batch is cut either when ``max_batch`` examples are pending (a
+**full flush**) or when the oldest pending request has waited
+``deadline_s`` (a **deadline flush** — latency is bounded even at low
+load, at the cost of a ragged, smaller-than-``max_batch`` batch).
+
+Determinism contract: admission order is strictly the submission order
+(each request takes a monotonic sequence number), batches are cut by
+walking that order, and a request larger than the remaining room is
+*split* across consecutive batches with its per-example order preserved.
+Time enters only through the injectable ``clock``, so tests drive the
+deadline logic with a fake clock and every flush decision is exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PendingPrediction", "Prediction", "MicroBatch", "MicroBatcher"]
+
+
+@dataclass
+class Prediction:
+    """One example's served result."""
+
+    label: int
+    logits: np.ndarray
+    score: float = 0.0          # gate suspicion score (higher = worse)
+    flagged: bool = False       # gate verdict: suspected adversarial
+    from_cache: bool = False
+
+
+class PendingPrediction:
+    """Future-like handle for one submitted request.
+
+    Results land per example (a request split across micro-batches fills
+    in pieces); ``done`` flips once every example has its row.  The
+    handle is filled by the server's pump — ``result()`` on an unfinished
+    handle raises rather than blocks, so a caller that wants synchronous
+    behaviour drives the server (``Server.drain`` / ``Client.call``).
+    """
+
+    def __init__(self, request_id: int, size: int,
+                 submitted_at: float) -> None:
+        self.request_id = request_id
+        self.size = size
+        self.submitted_at = submitted_at
+        self.completed_at: Optional[float] = None
+        self._predictions: List[Optional[Prediction]] = [None] * size
+        self._filled = 0
+
+    @property
+    def done(self) -> bool:
+        return self._filled == self.size
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit-to-complete seconds (``None`` until done)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def fill(self, offset: int, predictions: List[Prediction],
+             now: float) -> None:
+        """Install results for examples ``offset:offset+len(predictions)``."""
+        for i, prediction in enumerate(predictions):
+            if self._predictions[offset + i] is not None:
+                raise RuntimeError(
+                    f"request {self.request_id} example {offset + i} "
+                    "filled twice")
+            self._predictions[offset + i] = prediction
+        self._filled += len(predictions)
+        if self.done:
+            self.completed_at = now
+
+    def result(self) -> List[Prediction]:
+        """All predictions in the request's own example order."""
+        if not self.done:
+            raise RuntimeError(
+                f"request {self.request_id} is still pending "
+                f"({self._filled}/{self.size} examples served); "
+                "drive Server.pump()/drain() first")
+        return [p for p in self._predictions if p is not None]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([p.label for p in self.result()], dtype=np.int64)
+
+    @property
+    def logits(self) -> np.ndarray:
+        return np.stack([p.logits for p in self.result()])
+
+    @property
+    def flagged(self) -> np.ndarray:
+        return np.array([p.flagged for p in self.result()], dtype=bool)
+
+    @property
+    def scores(self) -> np.ndarray:
+        return np.array([p.score for p in self.result()], dtype=np.float64)
+
+
+@dataclass
+class _QueuedRequest:
+    """A request with its not-yet-batched example range."""
+
+    pending: PendingPrediction
+    images: np.ndarray
+    next_offset: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.images) - self.next_offset
+
+
+@dataclass
+class MicroBatch:
+    """One cut batch: coalesced images plus the reassembly map."""
+
+    images: np.ndarray
+    #: (handle, offset-within-request, count) per contiguous slice, in
+    #: batch-row order — row ``sum(counts[:i])`` is ``parts[i]``'s first.
+    parts: List[Tuple[PendingPrediction, int, int]] = field(
+        default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+
+class MicroBatcher:
+    """Deterministic FIFO admission queue with deadline/full-batch flushes.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest batch the consumer wants (the backend's sweet spot).
+    deadline_s:
+        Oldest-request age that forces a (possibly ragged) flush.
+    clock:
+        Monotonic-time source; injectable so tests control the deadline
+        logic exactly.  Defaults to :func:`time.monotonic`.
+
+    Not thread-safe by itself — the :class:`~repro.serve.server.Server`
+    serializes access around its pump.
+    """
+
+    def __init__(self, max_batch: int = 64, deadline_s: float = 0.005,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if deadline_s < 0:
+            raise ValueError(
+                f"deadline_s must be non-negative, got {deadline_s}")
+        self.max_batch = max_batch
+        self.deadline_s = deadline_s
+        self.clock = clock or time.monotonic
+        self._queue: List[_QueuedRequest] = []
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def submit(self, images: np.ndarray,
+               now: Optional[float] = None) -> PendingPrediction:
+        """Enqueue one request: a single example ``(C, H, W)`` or a small
+        batch ``(N, C, H, W)``.  Returns the handle its results fill."""
+        # Copy at admission: this is an asynchronous API, and a caller
+        # that reuses its buffer between submit and flush must not be
+        # able to mutate a queued request (or poison the prediction
+        # cache with torn pixels).
+        images = np.array(images, dtype=np.float32)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4:
+            raise ValueError(
+                "expected one (C, H, W) example or an (N, C, H, W) batch, "
+                f"got shape {images.shape}")
+        if len(images) == 0:
+            raise ValueError("cannot submit an empty request")
+        now = self.clock() if now is None else now
+        pending = PendingPrediction(next(self._ids), len(images), now)
+        self._queue.append(_QueuedRequest(pending, images))
+        return pending
+
+    @property
+    def pending_examples(self) -> int:
+        return sum(r.remaining for r in self._queue)
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # flush decisions
+    # ------------------------------------------------------------------ #
+    def ready(self, now: Optional[float] = None) -> bool:
+        """Is a batch due — full, or with an overdue oldest request?"""
+        if not self._queue:
+            return False
+        if self.pending_examples >= self.max_batch:
+            return True
+        now = self.clock() if now is None else now
+        oldest = self._queue[0].pending.submitted_at
+        return (now - oldest) >= self.deadline_s
+
+    def next_batch(self, now: Optional[float] = None,
+                   force: bool = False) -> Optional[MicroBatch]:
+        """Cut the next batch in admission order, or ``None`` if nothing
+        is due.  ``force`` flushes regardless of fill level or deadline
+        (drain semantics); splitting and coalescing preserve per-request
+        example order by construction."""
+        if not self._queue:
+            return None
+        if not force and not self.ready(now):
+            return None
+        chunks: List[np.ndarray] = []
+        parts: List[Tuple[PendingPrediction, int, int]] = []
+        room = self.max_batch
+        while room > 0 and self._queue:
+            request = self._queue[0]
+            take = min(room, request.remaining)
+            start = request.next_offset
+            chunks.append(request.images[start:start + take])
+            parts.append((request.pending, start, take))
+            request.next_offset += take
+            room -= take
+            if request.remaining == 0:
+                self._queue.pop(0)
+        return MicroBatch(images=np.concatenate(chunks), parts=parts)

@@ -1,0 +1,105 @@
+"""In-memory memoization of served predictions.
+
+Production inference traffic is heavily repetitive — retries, polling
+clients, hot content — and a classifier is a pure function of (weights,
+input).  The :class:`PredictionCache` exploits exactly that: entries are
+keyed by ``(model fingerprint, input fingerprint)`` using the same
+SHA-256 hashing the adversarial cache trusts
+(:func:`repro.eval.cache.fingerprint_array`), so a weight refresh or a
+single changed pixel is a guaranteed miss, and a hit skips the forward
+pass entirely.  (Model fingerprints are snapshotted at registration —
+hashing every weight per request would cost more than the forward pass
+saved — so code that mutates a served model's weights *in place* must
+call :meth:`ModelRegistry.refresh` to roll the key.)
+
+Keys are per *example*, not per request: a repeated single image hits
+even when it first arrived inside a larger coalesced batch.  The store
+is a bounded LRU (``max_entries``), so a long-running server cannot grow
+without limit.  The "model fingerprint" slot is an opaque string the
+caller controls — the server folds the gate kind and threshold into it,
+because stored predictions carry gate verdicts and lanes with different
+gates must not replay each other's flags.
+
+Note the interaction with bitwise determinism: a partially-cached
+micro-batch forwards only its missed examples, and forward rows are not
+bitwise-stable across batch compositions on BLAS substrates — so the
+cache stores the logits *as first served* and replays those, which keeps
+every repeat of an example bitwise-identical to its first answer.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import List, Optional
+
+import numpy as np
+
+from ..eval.cache import fingerprint_array
+from .batcher import Prediction
+
+__all__ = ["PredictionCache"]
+
+
+class PredictionCache:
+    """Bounded LRU of per-example served predictions."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "collections.OrderedDict[tuple, Prediction]" = \
+            collections.OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(model_fingerprint: str, example: np.ndarray) -> tuple:
+        return (model_fingerprint, fingerprint_array(example))
+
+    def lookup(self, model_fingerprint: str,
+               images: np.ndarray) -> List[Optional[Prediction]]:
+        """Per-example probe: cached :class:`Prediction` or ``None``.
+
+        Hits come back marked ``from_cache`` with *copied* logits (the
+        caller may hand them out; the cache's own row must stay
+        immutable) and bump the entry's recency.
+        """
+        out: List[Optional[Prediction]] = []
+        for example in images:
+            key = self.key(model_fingerprint, example)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                out.append(None)
+                continue
+            self._entries.move_to_end(key)
+            self.hits += 1
+            out.append(Prediction(label=entry.label,
+                                  logits=entry.logits.copy(),
+                                  score=entry.score,
+                                  flagged=entry.flagged,
+                                  from_cache=True))
+        return out
+
+    def store(self, model_fingerprint: str, example: np.ndarray,
+              prediction: Prediction) -> None:
+        """Remember one freshly-served example (evicting LRU if full)."""
+        key = self.key(model_fingerprint, example)
+        self._entries[key] = Prediction(label=prediction.label,
+                                        logits=prediction.logits.copy(),
+                                        score=prediction.score,
+                                        flagged=prediction.flagged)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

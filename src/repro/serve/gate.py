@@ -1,0 +1,139 @@
+"""Adversarial-input filtering at the serving boundary.
+
+The paper's test-time observation: after GAN training, the Table II
+discriminator reads the classifier's pre-softmax logits and tells
+original from perturbed inputs — which turns it into a deployable
+*filter* in front of the classifier.  A gate consumes the logits the
+serve path computed anyway (no extra victim forward pass) and scores
+each example's suspicion; examples above the threshold are **flagged**
+so the caller can reject, quarantine or down-weight them.
+
+Two gates ship:
+
+* :class:`DiscriminatorGate` — the GanDef discriminator's perturbed
+  probability, for models whose checkpoint carries a discriminator;
+* :class:`ConfidenceGate` — a softmax-confidence fallback for the other
+  defenses (suspicion = 1 - max softmax probability; adversarial inputs
+  tend to sit closer to decision boundaries than clean ones).
+
+Quality is measured with the Sec. IV-E failure rates
+(:func:`repro.eval.metrics.filter_rates`): detection rate on adversarial
+traffic, false-positive rate on clean traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..defenses.discriminator import Discriminator
+from .registry import ModelEntry
+
+__all__ = ["GateDecision", "DefenseGate", "DiscriminatorGate",
+           "ConfidenceGate", "NullGate", "build_gate", "GATE_KINDS"]
+
+GATE_KINDS = ("auto", "disc", "confidence", "none")
+
+
+@dataclass
+class GateDecision:
+    """Per-example verdicts for one scored batch."""
+
+    scores: np.ndarray          # suspicion in [0, 1]; higher = worse
+    flagged: np.ndarray         # scores > threshold
+    threshold: float
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+
+class DefenseGate:
+    """Base gate: score logits, flag everything above the threshold."""
+
+    #: registry name of the gate kind (reporting / BENCH output)
+    kind = "base"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in [0, 1], got {threshold}")
+        self.threshold = threshold
+
+    def scores(self, logits: np.ndarray) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def decide(self, logits: np.ndarray) -> GateDecision:
+        scores = np.asarray(self.scores(logits), dtype=np.float64)
+        return GateDecision(scores=scores,
+                            flagged=scores > self.threshold,
+                            threshold=self.threshold)
+
+
+class DiscriminatorGate(DefenseGate):
+    """GanDef's source-bit discriminator as a test-time filter."""
+
+    kind = "disc"
+
+    def __init__(self, discriminator: Discriminator,
+                 threshold: float = 0.5) -> None:
+        super().__init__(threshold)
+        self.discriminator = discriminator
+
+    def scores(self, logits: np.ndarray) -> np.ndarray:
+        return self.discriminator.scores(logits)
+
+
+class ConfidenceGate(DefenseGate):
+    """Softmax-confidence fallback for defenses without a discriminator.
+
+    The default threshold 0.5 flags examples whose top-class probability
+    is below one half — conservative on well-trained classifiers (clean
+    examples are usually high-confidence) while still catching the
+    boundary-hugging iterates gradient attacks produce.
+    """
+
+    kind = "confidence"
+
+    def scores(self, logits: np.ndarray) -> np.ndarray:
+        logits = np.asarray(logits, dtype=np.float64)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        confidence = exp.max(axis=1) / exp.sum(axis=1)
+        return 1.0 - confidence
+
+
+class NullGate(DefenseGate):
+    """Gate disabled: nothing is ever flagged."""
+
+    kind = "none"
+
+    def scores(self, logits: np.ndarray) -> np.ndarray:
+        return np.zeros(len(logits), dtype=np.float64)
+
+
+def build_gate(kind: str, entry: ModelEntry,
+               threshold: Optional[float] = None) -> DefenseGate:
+    """Gate factory for one registered model.
+
+    ``auto`` picks the discriminator gate when the entry has one (GanDef
+    checkpoints) and the confidence fallback otherwise; ``disc`` demands
+    a discriminator and fails loudly without one.
+    """
+    kind = kind.lower()
+    kwargs = {} if threshold is None else {"threshold": threshold}
+    if kind == "auto":
+        kind = "disc" if entry.has_discriminator else "confidence"
+    if kind == "none":
+        return NullGate(**kwargs)
+    if kind == "confidence":
+        return ConfidenceGate(**kwargs)
+    if kind == "disc":
+        if entry.discriminator is None:
+            raise ValueError(
+                f"model {entry.name!r} has no discriminator (trainer "
+                f"{entry.trainer or 'unknown'!r}); the 'disc' gate needs "
+                "a GanDef checkpoint — use 'confidence' or 'auto'")
+        return DiscriminatorGate(entry.discriminator, **kwargs)
+    raise KeyError(f"unknown gate kind {kind!r}; choose from {GATE_KINDS}")

@@ -1,0 +1,142 @@
+"""Seeded synthetic serving traffic: clean and adversarial mixed.
+
+Benchmarks, the demo and the ``repro serve`` CLI all need the same
+thing: a reproducible stream of requests that looks like production
+inference traffic under attack — mostly single examples and small
+batches, drawn with replacement from a pool (so the prediction cache
+sees realistic repeats), with a seeded fraction of requests carrying
+adversarially-perturbed inputs.  Provenance travels with each request,
+which is what lets the gate's detection / false-positive rates be
+measured exactly (:func:`repro.eval.metrics.filter_rates`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import backend as _backend
+from .. import nn
+from ..attacks.base import Attack
+from ..eval.metrics import FilterMetrics, filter_rates
+from .batcher import PendingPrediction
+from .server import Server
+
+__all__ = ["LoadRequest", "LoadReport", "craft_adversarial_pool",
+           "build_mixed_load", "run_load"]
+
+
+@dataclass
+class LoadRequest:
+    """One synthetic request with known provenance."""
+
+    images: np.ndarray          # (N, C, H, W)
+    adversarial: bool           # True: images came from the attack pool
+    indices: np.ndarray         # pool rows the images were drawn from
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    handles: List[PendingPrediction]
+    requests: List[LoadRequest]
+    wall_seconds: float
+    gate_metrics: FilterMetrics
+    examples: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Examples served per second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.examples / self.wall_seconds
+
+    def accuracy(self, labels_for: Dict[int, int]) -> float:
+        """Fraction of served labels matching ``labels_for[pool_row]``."""
+        total = correct = 0
+        for handle, request in zip(self.handles, self.requests):
+            for row, label in zip(request.indices, handle.labels):
+                total += 1
+                correct += int(label == labels_for[int(row)])
+        return correct / total if total else 0.0
+
+
+def craft_adversarial_pool(model: nn.Module, images: np.ndarray,
+                           labels: np.ndarray, attack: Attack) -> np.ndarray:
+    """Run ``attack`` over the pool once, returning host-side batches."""
+    return _backend.active().to_numpy(attack(model, images, labels))
+
+
+def build_mixed_load(clean_pool: np.ndarray, adv_pool: np.ndarray,
+                     num_requests: int, max_request_size: int = 4,
+                     adv_fraction: float = 0.5,
+                     seed: int = 0) -> List[LoadRequest]:
+    """Seeded request stream over two example pools.
+
+    Each request flips a seeded coin for provenance (``adv_fraction``
+    picks the attack pool), draws a seeded size in
+    ``[1, max_request_size]``, and samples rows with replacement — the
+    same seed always yields the identical stream.
+    """
+    if len(clean_pool) == 0 or len(adv_pool) == 0:
+        raise ValueError("both example pools must be non-empty")
+    if not 0.0 <= adv_fraction <= 1.0:
+        raise ValueError(
+            f"adv_fraction must be in [0, 1], got {adv_fraction}")
+    rng = np.random.default_rng(seed)
+    requests: List[LoadRequest] = []
+    for _ in range(num_requests):
+        adversarial = bool(rng.random() < adv_fraction)
+        pool = adv_pool if adversarial else clean_pool
+        size = int(rng.integers(1, max_request_size + 1))
+        rows = rng.integers(0, len(pool), size=size)
+        requests.append(LoadRequest(images=pool[rows],
+                                    adversarial=adversarial,
+                                    indices=rows))
+    return requests
+
+
+def run_load(server: Server, model_name: str,
+             requests: List[LoadRequest],
+             pump_every: Optional[int] = None) -> LoadReport:
+    """Drive ``requests`` through ``server`` and measure the outcome.
+
+    Submissions interleave with pumps: by default the pump runs after
+    every submission (batches still only cut when full or overdue, so
+    this just keeps the queue drained); pass ``pump_every`` to pump
+    once per that many submissions instead.  A final drain serves the
+    stragglers.  The report carries wall-clock throughput, every
+    request handle, and the gate's detection / false-positive split by
+    known provenance.
+    """
+    client = server.client(model_name)
+    handles: List[PendingPrediction] = []
+    start = time.perf_counter()
+    for i, request in enumerate(requests):
+        handles.append(client.predict(request.images))
+        if pump_every and (i + 1) % pump_every == 0:
+            server.pump()
+        elif not pump_every:
+            server.pump()
+    server.drain()
+    wall = time.perf_counter() - start
+
+    clean_scores: List[float] = []
+    adv_scores: List[float] = []
+    examples = 0
+    for handle, request in zip(handles, requests):
+        scores = handle.scores
+        examples += handle.size
+        (adv_scores if request.adversarial else clean_scores).extend(scores)
+    threshold = server.gate_for(model_name).threshold
+    return LoadReport(
+        handles=handles,
+        requests=requests,
+        wall_seconds=wall,
+        gate_metrics=filter_rates(clean_scores, adv_scores, threshold),
+        examples=examples,
+    )

@@ -1,0 +1,179 @@
+"""Named defense models, loaded once and served many times.
+
+A :class:`ModelRegistry` is the serving layer's model store: each entry
+owns a ready-to-serve classifier, the GanDef discriminator when the
+checkpoint carries one (that is what makes discriminator-gated filtering
+possible at inference time), the **producing backend** recorded in the
+checkpoint archive (serving pins each model's forward passes to it, so a
+model trained under ``fast`` serves under ``fast``), and the model's
+weight fingerprint (the prediction-cache key component).
+
+Checkpoints are the :mod:`repro.train.checkpoint` archives the training
+subsystem writes: the archive's own metadata names the producing trainer,
+so registration rebuilds the matching defense via the experiment
+factories and restores the full state into it — no separate model-config
+file to keep in sync.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from .. import backend as _backend
+from .. import nn
+from ..defenses.discriminator import Discriminator
+from ..eval.cache import fingerprint_model
+from ..train.checkpoint import read_checkpoint_meta
+
+__all__ = ["ModelEntry", "ModelRegistry"]
+
+
+@dataclass
+class ModelEntry:
+    """One servable model and everything the serve path needs with it."""
+
+    name: str
+    model: nn.Module
+    discriminator: Optional[Discriminator] = None
+    backend: str = "numpy"          # resolved producing backend
+    fingerprint: str = ""           # weight hash (prediction-cache key)
+    trainer: str = ""               # producing trainer (checkpoint meta)
+    dataset: str = ""
+    checkpoint_path: Optional[str] = None
+
+    @property
+    def has_discriminator(self) -> bool:
+        return self.discriminator is not None
+
+
+class ModelRegistry:
+    """Load-once store of named servable models."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ModelEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def load(self, name: str, checkpoint_path: Union[str, os.PathLike],
+             dataset: str, preset: str = "fast", seed: int = 0,
+             width: Optional[int] = None,
+             backend: Optional[str] = None) -> ModelEntry:
+        """Register the model inside a training checkpoint under ``name``.
+
+        The archive metadata names the producing trainer, so this builds
+        the matching defense for ``dataset``/``preset`` (``width``
+        overrides the preset's model width for checkpoints trained at a
+        non-preset geometry), restores the checkpoint into it, and keeps
+        the classifier — plus the discriminator for GanDef checkpoints —
+        for serving.  The producing backend recorded in the archive is
+        pinned on the entry (falling back to the reference backend when
+        it is not registered here, e.g. a ``cupy`` checkpoint on a
+        CPU-only box); an explicit ``backend`` argument overrides the
+        recorded one (the CLI's ``--backend``).
+        """
+        # Deferred: the experiment factories pull in every trainer; the
+        # registry itself should import light.
+        import dataclasses
+
+        from ..experiments.config import get_config
+        from ..experiments.runners import build_trainer
+
+        meta = read_checkpoint_meta(checkpoint_path)
+        cfg = get_config(preset).dataset(dataset)
+        if width is not None:
+            cfg = dataclasses.replace(cfg, model_width=width)
+        trainer_name = meta.get("trainer", "")
+        try:
+            trainer = build_trainer(trainer_name, cfg, seed=seed)
+        except KeyError:
+            raise ValueError(
+                f"checkpoint {os.fspath(checkpoint_path)!r} was produced "
+                f"by trainer {trainer_name!r}, which no defense factory "
+                "knows how to rebuild") from None
+        if backend is not None:
+            # An explicit choice must exist — only the *recorded*
+            # provenance degrades gracefully to the fallback.
+            _backend.get_backend(backend)
+            backend_name = backend
+        else:
+            backend_name = _backend.resolve(meta.get("backend"))
+        # Restore under the pinned backend so the loaded parameters live
+        # where the forward passes will run.
+        with _backend.use(backend_name):
+            trainer.load_state_dict(meta["state"])
+            entry = ModelEntry(
+                name=name,
+                model=trainer.model,
+                discriminator=getattr(trainer, "discriminator", None),
+                backend=backend_name,
+                fingerprint=fingerprint_model(trainer.model),
+                trainer=trainer_name,
+                dataset=dataset,
+                checkpoint_path=os.fspath(checkpoint_path),
+            )
+        return self._install(entry)
+
+    def add(self, name: str, model: nn.Module,
+            discriminator: Optional[Discriminator] = None,
+            backend: Optional[str] = None,
+            dataset: str = "") -> ModelEntry:
+        """Register an in-memory model (no checkpoint round-trip); the
+        backend defaults to whatever is active right now.  An explicit
+        ``backend`` must name a registered one."""
+        if backend is not None:
+            _backend.get_backend(backend)
+            backend_name = backend
+        else:
+            backend_name = _backend.active().name
+        with _backend.use(backend_name):
+            entry = ModelEntry(
+                name=name, model=model, discriminator=discriminator,
+                backend=backend_name, fingerprint=fingerprint_model(model),
+                dataset=dataset)
+        return self._install(entry)
+
+    def _install(self, entry: ModelEntry) -> ModelEntry:
+        if entry.name in self._entries:
+            raise ValueError(
+                f"model {entry.name!r} is already registered; "
+                "unregister it first or pick another name")
+        self._entries[entry.name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def refresh(self, name: str) -> ModelEntry:
+        """Recompute ``name``'s weight fingerprint from its live model.
+
+        Entries snapshot their fingerprint at registration; a caller
+        that mutates a served model's weights **in place** (continued
+        training on a shared model, a hot weight swap) must refresh so
+        prediction-cache keys change and stale cached predictions stop
+        replaying.
+        """
+        entry = self.get(name)
+        with _backend.use(entry.backend):
+            entry.fingerprint = fingerprint_model(entry.model)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> ModelEntry:
+        if name not in self._entries:
+            raise KeyError(
+                f"unknown model {name!r}; registered: {sorted(self._entries)}")
+        return self._entries[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

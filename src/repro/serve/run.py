@@ -1,0 +1,151 @@
+"""``repro serve`` — stand up the serving subsystem and exercise it.
+
+One entry point behind the CLI subcommand and the demo example: resolve
+``--model`` (a training-checkpoint path, or a defense name to train on
+the fly at the preset's scale), register it, build a
+micro-batching/gated/cached :class:`~repro.serve.server.Server`, drive a
+seeded clean+PGD traffic mix through it, and report what production
+cares about — throughput, p50/p95 latency, the gate's detection and
+false-positive rates, and cache effectiveness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import backend as _backend
+from ..eval.metrics import FilterMetrics
+from .cache import PredictionCache
+from .loadgen import LoadReport, build_mixed_load, craft_adversarial_pool, \
+    run_load
+from .registry import ModelEntry, ModelRegistry
+from .server import Server, ServerStats
+
+__all__ = ["ServeReport", "run_serve"]
+
+
+@dataclass
+class ServeReport:
+    """Everything one ``repro serve`` run measured."""
+
+    model: str
+    entry: ModelEntry
+    gate_kind: str
+    load: LoadReport
+    stats: ServerStats
+    served_accuracy: float
+
+    @property
+    def gate_metrics(self) -> FilterMetrics:
+        return self.load.gate_metrics
+
+
+def _resolve_model(registry: ModelRegistry, model: str, dataset: str,
+                   preset: str, seed: int, backend: Optional[str],
+                   verbose: bool):
+    """``--model`` semantics: checkpoint path, or defense name to train.
+
+    Returns ``(entry, split)`` — the split is the one the on-the-fly
+    training path already loaded (``None`` for checkpoints), so the
+    caller need not regenerate the dataset.
+    """
+    if model.endswith(".npz") or os.path.sep in model or \
+            os.path.exists(model):
+        if not os.path.exists(model):
+            raise ValueError(f"checkpoint {model!r} does not exist")
+        if verbose:
+            print(f"loading checkpoint {model} ...")
+        entry = registry.load("model", model, dataset=dataset,
+                              preset=preset, seed=seed, backend=backend)
+        return entry, None
+    # A defense name: train it at the preset's scale, then serve it.
+    from ..experiments.config import get_config
+    from ..experiments.runners import backend_scope, build_trainer, \
+        load_config_split
+
+    config = get_config(preset)
+    with backend_scope(backend, config):
+        cfg = config.dataset(dataset)
+        split = load_config_split(cfg, seed=seed)
+        if verbose:
+            print(f"training {model} on {dataset} ({preset} preset) ...")
+        trainer = build_trainer(model, cfg, seed=seed)
+        trainer.fit(split.train)
+        entry = registry.add("model", trainer.model,
+                             discriminator=getattr(trainer,
+                                                   "discriminator", None),
+                             dataset=dataset)
+        return entry, split
+
+
+def run_serve(
+    model: str = "gandef",
+    dataset: str = "digits",
+    preset: str = "fast",
+    seed: int = 0,
+    backend: Optional[str] = None,
+    max_batch: int = 32,
+    deadline_ms: float = 5.0,
+    gate: str = "auto",
+    gate_threshold: Optional[float] = None,
+    requests: int = 256,
+    adv_fraction: float = 0.5,
+    max_request_size: int = 4,
+    cache_entries: int = 4096,
+    verbose: bool = False,
+) -> ServeReport:
+    """Serve ``model`` against a seeded clean+PGD traffic mix.
+
+    ``model`` is either a path to a training checkpoint (``.npz``) or a
+    defense name (``vanilla`` … ``gandef``) trained on the fly.  The
+    load is generated from the preset's test split; adversarial traffic
+    is PGD at the paper's Sec. IV-C budget for ``dataset``.
+    """
+    from ..experiments.config import get_config
+    from ..experiments.runners import load_config_split
+
+    registry = ModelRegistry()
+    entry, split = _resolve_model(registry, model, dataset, preset, seed,
+                                  backend, verbose)
+
+    config = get_config(preset)
+    cfg = config.dataset(dataset)
+    if split is None:
+        split = load_config_split(cfg, seed=seed)
+    eval_images = split.test.images[:cfg.eval_size]
+    eval_labels = split.test.labels[:cfg.eval_size]
+
+    attack = cfg.budget.build(fast=config.fast, seed=seed)["pgd"]
+    if verbose:
+        print(f"crafting PGD pool ({len(eval_images)} examples, "
+              f"eps={attack.eps}) ...")
+    with _backend.use(entry.backend):
+        adv_pool = craft_adversarial_pool(entry.model, eval_images,
+                                          eval_labels, attack)
+
+    server = Server(registry, max_batch=max_batch, deadline_ms=deadline_ms,
+                    gate=gate, gate_threshold=gate_threshold,
+                    cache=PredictionCache(max_entries=cache_entries)
+                    if cache_entries else None)
+    traffic = build_mixed_load(eval_images, adv_pool, num_requests=requests,
+                               max_request_size=max_request_size,
+                               adv_fraction=adv_fraction, seed=seed)
+    if verbose:
+        gate_kind = server.gate_for(entry.name).kind
+        print(f"serving {requests} requests "
+              f"({sum(len(r.images) for r in traffic)} examples, "
+              f"{adv_fraction:.0%} adversarial) through max_batch="
+              f"{max_batch}, deadline={deadline_ms}ms, gate={gate_kind}, "
+              f"backend={entry.backend} ...")
+    report = run_load(server, entry.name, traffic)
+    labels_for = {i: int(label) for i, label in enumerate(eval_labels)}
+    return ServeReport(
+        model=model,
+        entry=entry,
+        gate_kind=server.gate_for(entry.name).kind,
+        load=report,
+        stats=server.stats,
+        served_accuracy=report.accuracy(labels_for),
+    )

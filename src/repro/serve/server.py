@@ -1,0 +1,382 @@
+"""The in-process inference server tying the serve pieces together.
+
+One :class:`Server` fronts a :class:`~repro.serve.registry.ModelRegistry`:
+every registered model gets its own **lane** — a
+:class:`~repro.serve.batcher.MicroBatcher` (its own deadline clock) plus
+a :class:`~repro.serve.gate.DefenseGate` built for that model — and all
+lanes share the optional :class:`~repro.serve.cache.PredictionCache`.
+
+The request path::
+
+    client.predict(x)         # enqueue; returns a PendingPrediction
+      └─ MicroBatcher         # coalesce to backend-sized batches
+           └─ Server.pump()   # forward under the model's pinned backend,
+                │             #   in nn.inference_mode (no mode leakage)
+                ├─ DefenseGate      flag suspected adversarial inputs
+                ├─ PredictionCache  replay repeated examples
+                └─ PendingPrediction.fill  per-request reassembly
+
+``pump`` is the explicit, deterministic engine: it cuts and processes
+every due batch and is safe to call from a loop, a test (with a fake
+clock), or the optional background thread (:meth:`Server.start`).
+Forward passes run on the **producing backend recorded in the model's
+checkpoint** — a model trained under ``fast`` serves under ``fast`` —
+and served rows are bitwise-identical to a direct ``model(x)`` forward
+of the same micro-batch on that backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from .. import backend as _backend
+from .. import nn
+from .batcher import MicroBatch, MicroBatcher, PendingPrediction, Prediction
+from .cache import PredictionCache
+from .gate import DefenseGate, build_gate
+from .registry import ModelEntry, ModelRegistry
+
+__all__ = ["Server", "Client", "ServerStats", "percentile"]
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (0 for an empty series)."""
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values), q, method="nearest"))
+
+
+#: Rolling-window length for the latency / batch-size series: scalar
+#: counters are exact forever, but the per-event series must not grow
+#: without bound in a long-running server (the same reason the
+#: prediction cache is LRU-capped), so percentiles and the mean batch
+#: size describe the most recent window.
+STATS_WINDOW = 16384
+
+
+@dataclass
+class ServerStats:
+    """Counters the serve path accumulates (one instance per server)."""
+
+    requests: int = 0
+    requests_completed: int = 0
+    examples: int = 0
+    batches: int = 0
+    batch_sizes: "deque" = field(
+        default_factory=lambda: deque(maxlen=STATS_WINDOW))
+    flagged_examples: int = 0
+    cache_hits: int = 0
+    latencies: "deque" = field(
+        default_factory=lambda: deque(maxlen=STATS_WINDOW))
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        return percentile(self.latencies, q)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "examples": self.examples,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "flagged_examples": self.flagged_examples,
+            "cache_hits": self.cache_hits,
+            "latency_p50_ms": round(self.latency_percentile(50) * 1e3, 3),
+            "latency_p95_ms": round(self.latency_percentile(95) * 1e3, 3),
+        }
+
+
+class _Lane:
+    """Per-model serving state: batcher + gate."""
+
+    def __init__(self, entry: ModelEntry, batcher: MicroBatcher,
+                 gate: DefenseGate) -> None:
+        self.entry = entry
+        self.batcher = batcher
+        self.gate = gate
+
+    @property
+    def cache_fingerprint(self) -> str:
+        # The prediction-cache key covers everything a stored Prediction
+        # depends on: the weights AND the gate configuration (cached
+        # entries carry gate verdicts, so two lanes serving identical
+        # weights through different gates/thresholds must not replay
+        # each other's flags).  Read dynamically from the entry so a
+        # ModelRegistry.refresh() after an in-place weight update
+        # invalidates this lane's cached predictions too.
+        return (f"{self.entry.fingerprint}:{self.gate.kind}:"
+                f"{self.gate.threshold!r}")
+
+
+class Server:
+    """In-process, micro-batching, gate-filtering inference server.
+
+    Parameters
+    ----------
+    registry:
+        The models to serve.  The server is a **live view**: lanes are
+        created on demand, so a model registered after construction is
+        servable, and an unregistered one stops accepting requests (its
+        already-queued work still drains).
+    max_batch, deadline_ms:
+        Batching geometry (see :class:`MicroBatcher`): batches flush full
+        at ``max_batch`` examples or when the oldest pending request is
+        ``deadline_ms`` old.
+    gate:
+        Gate kind per :func:`~repro.serve.gate.build_gate` (``auto`` /
+        ``disc`` / ``confidence`` / ``none``); ``gate_threshold``
+        overrides the kind's default.
+    cache:
+        Optional shared :class:`PredictionCache`; repeated examples
+        replay their first-served prediction bitwise.
+    clock:
+        Injectable monotonic time source for the batchers and latency
+        accounting (tests pass a fake; production uses
+        :func:`time.monotonic`).
+    """
+
+    def __init__(self, registry: ModelRegistry, max_batch: int = 64,
+                 deadline_ms: float = 5.0, gate: str = "auto",
+                 gate_threshold: Optional[float] = None,
+                 cache: Optional[PredictionCache] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.registry = registry
+        self.max_batch = max_batch
+        self.deadline_s = deadline_ms / 1e3
+        self.cache = cache
+        self.clock = clock or time.monotonic
+        self.stats = ServerStats()
+        self._gate_kind = gate
+        self._gate_threshold = gate_threshold
+        self._lanes: Dict[str, _Lane] = {}
+        # Two locks so admission never waits on inference: ``_lock``
+        # guards the queues/lanes/stats (held briefly), ``_pump_lock``
+        # serializes pump passes (the model forwards run under it but
+        # *outside* ``_lock``, so submit() stays responsive while a
+        # batch is being served).
+        self._lock = threading.RLock()
+        self._pump_lock = threading.RLock()
+        self._thread: Optional[threading.Thread] = None
+        self._running = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # request entry points
+    # ------------------------------------------------------------------ #
+    def client(self, model_name: str) -> "Client":
+        self._lane(model_name)  # fail fast on unknown models
+        return Client(self, model_name)
+
+    def submit(self, model_name: str,
+               images: np.ndarray) -> PendingPrediction:
+        """Enqueue a request (single example or small batch)."""
+        with self._lock:
+            lane = self._lane(model_name)
+            pending = lane.batcher.submit(images)
+            self.stats.requests += 1
+            self.stats.examples += pending.size
+        return pending
+
+    def _lane(self, model_name: str) -> _Lane:
+        with self._lock:
+            lane = self._lanes.get(model_name)
+            if model_name not in self.registry:
+                # Unregistered: stop accepting work; a lane with queued
+                # examples stays around (pump drains it), an idle one is
+                # dropped so its model can be collected.
+                if lane is not None and lane.batcher.pending_examples == 0:
+                    self._lanes.pop(model_name, None)
+                raise KeyError(
+                    f"server has no lane for model {model_name!r} — not "
+                    f"in the registry; registered: "
+                    f"{sorted(self.registry.names())}")
+            entry = self.registry.get(model_name)
+            if lane is not None and lane.entry is not entry:
+                # Re-registered under the same name: swap in the new
+                # model once the old lane's queue is empty.
+                if lane.batcher.pending_examples:
+                    raise KeyError(
+                        f"model {model_name!r} was re-registered while "
+                        "requests were pending; drain the server first")
+                lane = None
+            if lane is None:
+                lane = _Lane(
+                    entry,
+                    MicroBatcher(max_batch=self.max_batch,
+                                 deadline_s=self.deadline_s,
+                                 clock=self.clock),
+                    build_gate(self._gate_kind, entry,
+                               threshold=self._gate_threshold))
+                self._lanes[model_name] = lane
+            return lane
+
+    def gate_for(self, model_name: str) -> DefenseGate:
+        return self._lane(model_name).gate
+
+    # ------------------------------------------------------------------ #
+    # the pump
+    # ------------------------------------------------------------------ #
+    def pump(self, now: Optional[float] = None, force: bool = False) -> int:
+        """Cut and process every due batch across all lanes.
+
+        Returns the number of batches served.  With ``force`` every
+        pending example is flushed regardless of fill level or deadline
+        (drain semantics).
+        """
+        served = 0
+        with self._pump_lock:
+            with self._lock:
+                lanes = list(self._lanes.items())
+            for name, lane in lanes:
+                while True:
+                    # Cut under the queue lock, forward outside it:
+                    # next_batch already removed the rows, so admission
+                    # proceeds concurrently with the model inference.
+                    with self._lock:
+                        batch = lane.batcher.next_batch(now=now,
+                                                        force=force)
+                    if batch is None:
+                        break
+                    self._process(lane, batch)
+                    served += 1
+                with self._lock:
+                    # A drained lane whose model left the registry is
+                    # done for good — drop it so the model can be
+                    # collected.
+                    if name not in self.registry and \
+                            lane.batcher.pending_examples == 0 and \
+                            self._lanes.get(name) is lane:
+                        self._lanes.pop(name)
+        return served
+
+    def drain(self) -> int:
+        """Force-flush everything pending; returns batches served."""
+        return self.pump(force=True)
+
+    @property
+    def pending_examples(self) -> int:
+        with self._lock:
+            return sum(lane.batcher.pending_examples
+                       for lane in self._lanes.values())
+
+    # ------------------------------------------------------------------ #
+    def _process(self, lane: _Lane, batch: MicroBatch) -> None:
+        entry = lane.entry
+        n = len(batch)
+        predictions: List[Optional[Prediction]] = [None] * n
+        with _backend.use(entry.backend):
+            if self.cache is not None:
+                predictions = self.cache.lookup(lane.cache_fingerprint,
+                                                batch.images)
+            missed = [i for i, p in enumerate(predictions) if p is None]
+            if missed:
+                # One forward for all misses (the whole batch when no
+                # cache is attached), tape-free and mode-safe: the model
+                # comes back with every submodule flag untouched.
+                sub = batch.images[missed] if len(missed) != n \
+                    else batch.images
+                with nn.inference_mode(entry.model), nn.no_grad():
+                    logits = entry.model(nn.Tensor(sub)).data
+                logits = _backend.active().to_numpy(logits)
+                decision = lane.gate.decide(logits)
+                for j, i in enumerate(missed):
+                    prediction = Prediction(
+                        label=int(logits[j].argmax()),
+                        logits=logits[j].copy(),
+                        score=float(decision.scores[j]),
+                        flagged=bool(decision.flagged[j]),
+                    )
+                    predictions[i] = prediction
+                    if self.cache is not None:
+                        self.cache.store(lane.cache_fingerprint,
+                                         batch.images[i], prediction)
+        # Reassemble per request, in admission order.
+        now = self.clock()
+        cursor = 0
+        completed = 0
+        latencies = []
+        for pending, offset, count in batch.parts:
+            rows = predictions[cursor:cursor + count]
+            assert all(p is not None for p in rows)
+            pending.fill(offset, rows, now)  # type: ignore[arg-type]
+            cursor += count
+            if pending.done:
+                completed += 1
+                latency = pending.latency
+                if latency is not None:
+                    latencies.append(latency)
+        with self._lock:
+            self.stats.requests_completed += completed
+            self.stats.latencies.extend(latencies)
+            self.stats.batches += 1
+            self.stats.batch_sizes.append(n)
+            self.stats.flagged_examples += sum(
+                1 for p in predictions if p is not None and p.flagged)
+            self.stats.cache_hits += sum(
+                1 for p in predictions if p is not None and p.from_cache)
+
+    # ------------------------------------------------------------------ #
+    # background pumping (optional; the deterministic path is pump())
+    # ------------------------------------------------------------------ #
+    def start(self, poll_interval_s: Optional[float] = None) -> "Server":
+        """Run the pump on a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            return self
+        interval = poll_interval_s if poll_interval_s is not None \
+            else max(self.deadline_s / 4.0, 1e-4)
+        self._running.set()
+
+        def loop() -> None:
+            while self._running.is_set():
+                self.pump()
+                time.sleep(interval)
+
+        self._thread = threading.Thread(target=loop, daemon=True,
+                                        name="repro-serve-pump")
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the background pump (serving any stragglers by default)."""
+        if self._thread is None:
+            return
+        self._running.clear()
+        self._thread.join()
+        self._thread = None
+        if drain:
+            self.drain()
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class Client:
+    """Thin per-model handle (the facade callers hold)."""
+
+    def __init__(self, server: Server, model_name: str) -> None:
+        self.server = server
+        self.model_name = model_name
+
+    def predict(self, images: np.ndarray) -> PendingPrediction:
+        """Asynchronous: enqueue and return the handle; results appear
+        once the server pumps (background thread or explicit pump)."""
+        return self.server.submit(self.model_name, images)
+
+    def call(self, images: Union[np.ndarray, list]) -> PendingPrediction:
+        """Synchronous convenience: enqueue, drain, return the finished
+        handle.  Note this force-flushes the server's pending batches —
+        it trades batching efficiency for immediacy."""
+        pending = self.predict(np.asarray(images))
+        self.server.drain()
+        return pending

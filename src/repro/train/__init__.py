@@ -31,6 +31,7 @@ from .checkpoint import (
     CHECKPOINT_VERSION,
     Checkpointer,
     load_checkpoint,
+    read_checkpoint_meta,
     save_checkpoint,
 )
 from .loop import TrainLoop
@@ -50,6 +51,7 @@ __all__ = [
     "Checkpointer",
     "save_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_meta",
     "CHECKPOINT_VERSION",
     "LRScheduler",
     "StepLR",

@@ -34,8 +34,8 @@ from .callbacks import Callback
 if TYPE_CHECKING:  # pragma: no cover
     from ..defenses.base import Trainer
 
-__all__ = ["save_checkpoint", "load_checkpoint", "Checkpointer",
-           "CHECKPOINT_VERSION"]
+__all__ = ["save_checkpoint", "load_checkpoint", "read_checkpoint_meta",
+           "Checkpointer", "CHECKPOINT_VERSION"]
 
 CHECKPOINT_VERSION = 1
 _META_KEY = "__checkpoint__"
@@ -89,13 +89,16 @@ def save_checkpoint(trainer: "Trainer",
     return atomic_savez(path, arrays)
 
 
-def load_checkpoint(trainer: "Trainer",
-                    path: Union[str, os.PathLike]) -> Dict:
-    """Restore a checkpoint into ``trainer`` in place.
+def read_checkpoint_meta(path: Union[str, os.PathLike]) -> Dict:
+    """Read a checkpoint's full metadata without needing a trainer.
 
-    Returns the raw (internalized) state dict.  Raises ``ValueError`` on a
-    trainer-kind mismatch — resuming a CLS checkpoint into a GanDef
-    trainer, say — before any state is touched.
+    Returns the internalized archive metadata: ``version``, the producing
+    ``trainer`` name, the producing ``backend``, and the raw ``state``
+    dict (module weights, optimizer moments, RNG streams, history).  This
+    is the introspection entry point for consumers that must *construct*
+    the right trainer before they can restore into one — the serving
+    layer's :class:`~repro.serve.registry.ModelRegistry` reads the trainer
+    name here, rebuilds the matching defense, then loads.
     """
     path = os.fspath(path)
     with np.load(path) as archive:
@@ -109,6 +112,18 @@ def load_checkpoint(trainer: "Trainer",
         raise ValueError(
             f"checkpoint version {meta.get('version')!r} unsupported "
             f"(expected {CHECKPOINT_VERSION})")
+    return meta
+
+
+def load_checkpoint(trainer: "Trainer",
+                    path: Union[str, os.PathLike]) -> Dict:
+    """Restore a checkpoint into ``trainer`` in place.
+
+    Returns the raw (internalized) state dict.  Raises ``ValueError`` on a
+    trainer-kind mismatch — resuming a CLS checkpoint into a GanDef
+    trainer, say — before any state is touched.
+    """
+    meta = read_checkpoint_meta(path)
     if meta.get("trainer") != trainer.name:
         raise ValueError(
             f"checkpoint was written by trainer {meta.get('trainer')!r}, "

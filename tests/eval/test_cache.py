@@ -100,6 +100,86 @@ class TestKeyInvalidation:
         assert cache_key(model, ATTACK, x, y) == cache_key(model, twin, x, y)
 
 
+class TestLRUEviction:
+    """The ``max_bytes`` cap: bounded footprint, uncorrupted results."""
+
+    def attacks(self, n):
+        return [BIM(eps=0.1 + 0.05 * i, step=0.1, iterations=2)
+                for i in range(n)]
+
+    def entry_bytes(self, setup, tmp_path):
+        """Size of one stored entry for this batch geometry."""
+        model, x, y = setup
+        probe = AdversarialCache(tmp_path / "probe", max_bytes=1 << 30)
+        probe.get_or_generate(ATTACK, model, x, y)
+        return probe.total_bytes
+
+    def test_footprint_stays_under_cap(self, setup, tmp_path):
+        model, x, y = setup
+        size = self.entry_bytes(setup, tmp_path)
+        cache = AdversarialCache(tmp_path / "adv", max_bytes=3 * size)
+        for attack in self.attacks(5):
+            cache.get_or_generate(attack, model, x, y)
+        assert cache.total_bytes <= 3 * size
+        assert len(cache) == 3          # on disk too, not just in the index
+        assert cache.evictions == 2
+
+    def test_eviction_is_least_recently_used(self, setup, tmp_path):
+        model, x, y = setup
+        size = self.entry_bytes(setup, tmp_path)
+        cache = AdversarialCache(tmp_path / "adv", max_bytes=2 * size)
+        first, second, third = self.attacks(3)
+        cache.get_or_generate(first, model, x, y)
+        cache.get_or_generate(second, model, x, y)
+        cache.get_or_generate(first, model, x, y)   # touch: first is now MRU
+        cache.get_or_generate(third, model, x, y)   # evicts second, not first
+        _, hit_first = cache.get_or_generate(first, model, x, y)
+        assert hit_first is True
+        _, hit_second = cache.get_or_generate(second, model, x, y)
+        assert hit_second is False      # second was the LRU casualty
+
+    def test_eviction_never_corrupts_results(self, setup, tmp_path):
+        """The regression the cap must not introduce: under heavy
+        eviction pressure every get_or_generate still returns the exact
+        batch the attack produces."""
+        model, x, y = setup
+        size = self.entry_bytes(setup, tmp_path)
+        cache = AdversarialCache(tmp_path / "adv", max_bytes=size)  # thrash
+        attacks = self.attacks(3)
+        direct = {i: attack(model, x, y)
+                  for i, attack in enumerate(attacks)}
+        for _ in range(2):              # every entry evicted and remade
+            for i, attack in enumerate(attacks):
+                got, _ = cache.get_or_generate(attack, model, x, y)
+                np.testing.assert_array_equal(got, direct[i])
+
+    def test_recency_survives_reconstruction(self, setup, tmp_path):
+        """A new instance over the same directory ranks existing entries
+        by mtime and keeps enforcing the cap."""
+        model, x, y = setup
+        size = self.entry_bytes(setup, tmp_path)
+        root = tmp_path / "adv"
+        first = AdversarialCache(root, max_bytes=4 * size)
+        for attack in self.attacks(3):
+            first.get_or_generate(attack, model, x, y)
+        reopened = AdversarialCache(root, max_bytes=2 * size)
+        assert reopened.total_bytes == 3 * size     # inherited entries
+        reopened.get_or_generate(self.attacks(4)[3], model, x, y)
+        assert reopened.total_bytes <= 2 * size
+        assert len(reopened) == 2
+
+    def test_uncapped_cache_never_evicts(self, setup, tmp_path):
+        model, x, y = setup
+        cache = AdversarialCache(tmp_path / "adv")   # max_bytes=None
+        for attack in self.attacks(4):
+            cache.get_or_generate(attack, model, x, y)
+        assert len(cache) == 4 and cache.evictions == 0
+
+    def test_max_bytes_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            AdversarialCache(tmp_path / "adv", max_bytes=0)
+
+
 class TestStorageHygiene:
     def test_load_unknown_key_returns_none(self, tmp_path):
         cache = AdversarialCache(tmp_path / "adv")

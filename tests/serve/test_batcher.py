@@ -1,0 +1,197 @@
+"""MicroBatcher semantics: flush triggers, ordering, splitting."""
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+def tagged_images(n, start=0, side=4):
+    """Examples whose pixel value encodes their global index."""
+    out = np.zeros((n, 1, side, side), dtype=np.float32)
+    for i in range(n):
+        out[i] += float(start + i)
+    return out
+
+
+def tags_of(images):
+    return [int(img[0, 0, 0]) for img in images]
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_batcher(clock, max_batch=8, deadline_s=0.01):
+    return MicroBatcher(max_batch=max_batch, deadline_s=deadline_s,
+                        clock=clock)
+
+
+# --------------------------------------------------------------------- #
+# flush triggers
+# --------------------------------------------------------------------- #
+def test_no_flush_below_max_batch_before_deadline(clock):
+    b = make_batcher(clock)
+    b.submit(tagged_images(3))
+    assert not b.ready()
+    assert b.next_batch() is None
+    assert b.pending_examples == 3
+
+
+def test_full_batch_flush_at_max_batch(clock):
+    b = make_batcher(clock, max_batch=4)
+    b.submit(tagged_images(2))
+    assert not b.ready()
+    b.submit(tagged_images(2, start=2))
+    assert b.ready()          # 4 pending == max_batch, no time elapsed
+    batch = b.next_batch()
+    assert batch is not None and len(batch) == 4
+    assert tags_of(batch.images) == [0, 1, 2, 3]
+    assert b.pending_examples == 0
+
+
+def test_deadline_flush_is_ragged(clock):
+    b = make_batcher(clock, max_batch=8, deadline_s=0.01)
+    b.submit(tagged_images(3))
+    clock.t = 0.005
+    assert not b.ready()      # young and under-full
+    clock.t = 0.0101
+    assert b.ready()          # oldest request is past the deadline
+    batch = b.next_batch()
+    assert batch is not None and len(batch) == 3  # ragged: 3 < max_batch
+
+
+def test_deadline_measured_from_oldest_request(clock):
+    b = make_batcher(clock, max_batch=8, deadline_s=0.01)
+    b.submit(tagged_images(1))
+    clock.t = 0.009
+    b.submit(tagged_images(1, start=1))  # young request
+    clock.t = 0.011                       # oldest is 11ms old
+    assert b.ready()
+    batch = b.next_batch()
+    assert batch is not None
+    assert tags_of(batch.images) == [0, 1]  # young one rides along
+
+
+def test_force_flushes_regardless(clock):
+    b = make_batcher(clock, max_batch=64, deadline_s=10.0)
+    b.submit(tagged_images(2))
+    assert b.next_batch() is None
+    batch = b.next_batch(force=True)
+    assert batch is not None and len(batch) == 2
+    assert b.next_batch(force=True) is None  # queue drained
+
+
+# --------------------------------------------------------------------- #
+# coalescing / splitting order preservation
+# --------------------------------------------------------------------- #
+def test_coalescing_preserves_admission_order(clock):
+    b = make_batcher(clock, max_batch=8)
+    h1 = b.submit(tagged_images(3, start=0))
+    h2 = b.submit(tagged_images(2, start=3))
+    h3 = b.submit(tagged_images(3, start=5))
+    batch = b.next_batch()
+    assert batch is not None
+    assert tags_of(batch.images) == list(range(8))
+    assert [(p, o, c) for p, o, c in batch.parts] == [
+        (h1, 0, 3), (h2, 0, 2), (h3, 0, 3)]
+
+
+def test_large_request_splits_across_batches_in_order(clock):
+    b = make_batcher(clock, max_batch=4)
+    big = b.submit(tagged_images(10))
+    first = b.next_batch()
+    second = b.next_batch()
+    assert first is not None and second is not None
+    assert tags_of(first.images) == [0, 1, 2, 3]
+    assert tags_of(second.images) == [4, 5, 6, 7]
+    assert first.parts == [(big, 0, 4)]
+    assert second.parts == [(big, 4, 4)]
+    # The tail is under-full: only due via deadline/force (ragged).
+    assert b.next_batch() is None
+    tail = b.next_batch(force=True)
+    assert tail is not None
+    assert tags_of(tail.images) == [8, 9]
+    assert tail.parts == [(big, 8, 2)]
+
+
+def test_split_straddles_request_boundaries(clock):
+    b = make_batcher(clock, max_batch=4)
+    h1 = b.submit(tagged_images(3, start=0))
+    h2 = b.submit(tagged_images(5, start=3))
+    first = b.next_batch()
+    second = b.next_batch()
+    assert first is not None and second is not None
+    assert tags_of(first.images) == [0, 1, 2, 3]   # h1 + h2's head
+    assert first.parts == [(h1, 0, 3), (h2, 0, 1)]
+    assert tags_of(second.images) == [4, 5, 6, 7]  # h2's tail
+    assert second.parts == [(h2, 1, 4)]
+
+
+def test_admission_order_is_deterministic(clock):
+    """Same submissions, same clock → identical batch compositions."""
+    def run():
+        c = FakeClock()
+        b = make_batcher(c, max_batch=4)
+        for n, start in ((3, 0), (2, 3), (4, 5)):
+            b.submit(tagged_images(n, start=start))
+        out = []
+        while (batch := b.next_batch(force=True)) is not None:
+            out.append(tags_of(batch.images))
+        return out
+
+    assert run() == run() == [[0, 1, 2, 3], [4, 5, 6, 7], [8]]
+
+
+# --------------------------------------------------------------------- #
+# handles and validation
+# --------------------------------------------------------------------- #
+def test_single_example_request_is_promoted_to_batch(clock):
+    b = make_batcher(clock)
+    handle = b.submit(tagged_images(1)[0])  # (C, H, W)
+    assert handle.size == 1
+    assert b.pending_examples == 1
+
+
+def test_submit_rejects_bad_shapes(clock):
+    b = make_batcher(clock)
+    with pytest.raises(ValueError, match="empty"):
+        b.submit(np.empty((0, 1, 4, 4), dtype=np.float32))
+    with pytest.raises(ValueError, match="shape"):
+        b.submit(np.zeros((4, 4), dtype=np.float32))
+
+
+def test_result_before_done_raises(clock):
+    b = make_batcher(clock)
+    handle = b.submit(tagged_images(2))
+    with pytest.raises(RuntimeError, match="pending"):
+        handle.result()
+    assert handle.latency is None
+
+
+def test_double_fill_raises(clock):
+    from repro.serve import Prediction
+
+    b = make_batcher(clock)
+    handle = b.submit(tagged_images(1))
+    row = Prediction(label=0, logits=np.zeros(10, dtype=np.float32))
+    handle.fill(0, [row], now=1.0)
+    assert handle.done and handle.latency == 1.0
+    with pytest.raises(RuntimeError, match="twice"):
+        handle.fill(0, [row], now=2.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MicroBatcher(max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(deadline_s=-1.0)

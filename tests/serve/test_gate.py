@@ -1,0 +1,120 @@
+"""DefenseGate family: scoring, thresholds, the factory, filter metrics."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.discriminator import Discriminator
+from repro.eval.metrics import filter_rates
+from repro.models import build_classifier
+from repro.serve import (
+    ConfidenceGate,
+    DiscriminatorGate,
+    ModelRegistry,
+    NullGate,
+    build_gate,
+)
+
+
+def one_hot_logits(confident=True):
+    """Rows of very-confident and near-uniform logits."""
+    sharp = np.zeros((4, 10), dtype=np.float32)
+    sharp[:, 2] = 12.0 if confident else 0.1
+    return sharp
+
+
+# --------------------------------------------------------------------- #
+# confidence gate
+# --------------------------------------------------------------------- #
+def test_confidence_gate_scores_confident_rows_low():
+    gate = ConfidenceGate(threshold=0.5)
+    decision = gate.decide(one_hot_logits(confident=True))
+    assert decision.scores.shape == (4,)
+    assert (decision.scores < 0.01).all()
+    assert not decision.flagged.any()
+
+
+def test_confidence_gate_flags_uniform_rows():
+    gate = ConfidenceGate(threshold=0.5)
+    decision = gate.decide(np.zeros((3, 10), dtype=np.float32))
+    # Uniform softmax: confidence 1/10, suspicion 0.9.
+    np.testing.assert_allclose(decision.scores, 0.9)
+    assert decision.flagged.all()
+
+
+def test_confidence_gate_is_shift_invariant():
+    gate = ConfidenceGate()
+    logits = np.random.default_rng(0).normal(size=(8, 10))
+    np.testing.assert_allclose(gate.scores(logits),
+                               gate.scores(logits + 100.0))
+
+
+# --------------------------------------------------------------------- #
+# discriminator gate
+# --------------------------------------------------------------------- #
+def test_discriminator_gate_matches_discriminator_scores():
+    disc = Discriminator(num_logits=10,
+                         rng=np.random.default_rng(5))
+    gate = DiscriminatorGate(disc, threshold=0.5)
+    logits = np.random.default_rng(1).normal(size=(6, 10)) \
+        .astype(np.float32)
+    np.testing.assert_array_equal(gate.scores(logits), disc.scores(logits))
+    decision = gate.decide(logits)
+    assert ((decision.scores >= 0) & (decision.scores <= 1)).all()
+    np.testing.assert_array_equal(decision.flagged, decision.scores > 0.5)
+
+
+def test_discriminator_scores_leave_mode_alone():
+    disc = Discriminator(num_logits=10, rng=np.random.default_rng(5))
+    disc.train()
+    disc.scores(np.zeros((2, 10), dtype=np.float32))
+    assert disc.training  # snapshot/restore, not a permanent eval() flip
+
+
+# --------------------------------------------------------------------- #
+# null gate + factory
+# --------------------------------------------------------------------- #
+def test_null_gate_never_flags():
+    decision = NullGate().decide(np.zeros((5, 10), dtype=np.float32))
+    assert not decision.flagged.any()
+    assert (decision.scores == 0).all()
+
+
+def test_build_gate_auto_picks_by_checkpoint_contents():
+    registry = ModelRegistry()
+    model = build_classifier("digits", width=4, seed=0)
+    plain = registry.add("plain", model)
+    gandef = registry.add(
+        "gandef", build_classifier("digits", width=4, seed=1),
+        discriminator=Discriminator(rng=np.random.default_rng(2)))
+    assert isinstance(build_gate("auto", plain), ConfidenceGate)
+    assert isinstance(build_gate("auto", gandef), DiscriminatorGate)
+    assert isinstance(build_gate("none", plain), NullGate)
+    with pytest.raises(ValueError, match="no discriminator"):
+        build_gate("disc", plain)
+    with pytest.raises(KeyError, match="unknown gate"):
+        build_gate("turnstile", plain)
+
+
+def test_gate_threshold_validation():
+    with pytest.raises(ValueError, match="threshold"):
+        ConfidenceGate(threshold=1.5)
+
+
+# --------------------------------------------------------------------- #
+# filter metrics (Sec. IV-E rates)
+# --------------------------------------------------------------------- #
+def test_filter_rates_exact():
+    metrics = filter_rates(clean_scores=[0.1, 0.2, 0.8, 0.3],
+                           adv_scores=[0.9, 0.6, 0.4],
+                           threshold=0.5)
+    assert metrics.detection_rate == pytest.approx(2 / 3)
+    assert metrics.false_positive_rate == pytest.approx(1 / 4)
+    assert metrics.adversarial_examples == 3
+    assert metrics.clean_examples == 4
+    assert "detection" in str(metrics)
+
+
+def test_filter_rates_empty_streams_are_zero():
+    metrics = filter_rates([], [], threshold=0.5)
+    assert metrics.detection_rate == 0.0
+    assert metrics.false_positive_rate == 0.0

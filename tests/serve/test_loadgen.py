@@ -1,0 +1,75 @@
+"""Synthetic traffic generation and the measured load run."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_split
+from repro.models import build_classifier
+from repro.serve import (
+    ModelRegistry,
+    Server,
+    build_mixed_load,
+    run_load,
+)
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_split("digits", 64, 32, seed=7)
+
+
+def pools(split):
+    clean = split.test.images[:16]
+    adv = np.clip(clean + 0.5, -1, 1).astype(np.float32)  # stand-in noise
+    return clean, adv
+
+
+def test_mixed_load_is_seed_deterministic(split):
+    clean, adv = pools(split)
+    a = build_mixed_load(clean, adv, num_requests=20, seed=3)
+    b = build_mixed_load(clean, adv, num_requests=20, seed=3)
+    assert len(a) == len(b) == 20
+    for ra, rb in zip(a, b):
+        assert ra.adversarial == rb.adversarial
+        np.testing.assert_array_equal(ra.images, rb.images)
+        np.testing.assert_array_equal(ra.indices, rb.indices)
+    c = build_mixed_load(clean, adv, num_requests=20, seed=4)
+    assert any(not np.array_equal(ra.images, rc.images)
+               for ra, rc in zip(a, c))
+
+
+def test_mixed_load_respects_fractions_and_sizes(split):
+    clean, adv = pools(split)
+    all_adv = build_mixed_load(clean, adv, num_requests=10,
+                               adv_fraction=1.0, max_request_size=3, seed=0)
+    assert all(r.adversarial for r in all_adv)
+    assert all(1 <= len(r.images) <= 3 for r in all_adv)
+    none_adv = build_mixed_load(clean, adv, num_requests=10,
+                                adv_fraction=0.0, seed=0)
+    assert not any(r.adversarial for r in none_adv)
+    with pytest.raises(ValueError, match="adv_fraction"):
+        build_mixed_load(clean, adv, 1, adv_fraction=2.0)
+    with pytest.raises(ValueError, match="non-empty"):
+        build_mixed_load(clean[:0], adv, 1)
+
+
+def test_run_load_reports_gate_split_and_throughput(split):
+    clean, adv = pools(split)
+    registry = ModelRegistry()
+    registry.add("m", build_classifier("digits", width=4, seed=0))
+    server = Server(registry, max_batch=8, gate="confidence",
+                    gate_threshold=0.5)
+    traffic = build_mixed_load(clean, adv, num_requests=24,
+                               adv_fraction=0.5, seed=1)
+    report = run_load(server, "m", traffic)
+    assert all(h.done for h in report.handles)
+    examples = sum(len(r.images) for r in traffic)
+    assert report.examples == examples
+    assert report.throughput > 0
+    metrics = report.gate_metrics
+    assert metrics.adversarial_examples + metrics.clean_examples == examples
+    assert metrics.threshold == 0.5
+    # Served accuracy against the pool's ground truth is well-formed.
+    labels_for = {i: int(label)
+                  for i, label in enumerate(split.test.labels[:16])}
+    assert 0.0 <= report.accuracy(labels_for) <= 1.0

@@ -1,0 +1,343 @@
+"""Server end-to-end: bitwise determinism, gating, caching, mode safety.
+
+The headline guarantee pinned here: served predictions are **bitwise
+identical** to direct ``model(x)`` forward passes of the same
+micro-batches, on every registered backend.  (Forward rows are not
+bitwise-stable across *different* batch compositions on BLAS substrates,
+so the guarantee is stated — and verified — per composed batch: the
+expected values come from replaying the deterministic batcher and
+forwarding each composed batch directly.)
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.backend as backend
+from repro import nn
+from repro.data import load_split
+from repro.models import build_classifier
+from repro.serve import (
+    MicroBatcher,
+    ModelRegistry,
+    PredictionCache,
+    Server,
+)
+
+ALL_BACKENDS = backend.available_backends()
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_split("digits", 64, 48, seed=7)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_server(backend_name, split, **kwargs):
+    with backend.use(backend_name):
+        model = build_classifier("digits", width=4, seed=0)
+        registry = ModelRegistry()
+        registry.add("m", model, backend=backend_name)
+    kwargs.setdefault("clock", FakeClock())
+    server = Server(registry, **kwargs)
+    return server, model
+
+
+def direct_rows(model, images, backend_name):
+    """Direct forward of exactly one composed batch, host-side."""
+    with backend.use(backend_name) as b:
+        with nn.inference_mode(model), nn.no_grad():
+            return b.to_numpy(model(nn.Tensor(images)).data)
+
+
+def replay_expected(model, request_images, max_batch, backend_name):
+    """Expected per-request logits: replay the deterministic batcher and
+    forward each composed micro-batch directly."""
+    batcher = MicroBatcher(max_batch=max_batch, deadline_s=0.0,
+                           clock=lambda: 0.0)
+    handles = [batcher.submit(images) for images in request_images]
+    expected = {id(h): [None] * h.size for h in handles}
+    while (batch := batcher.next_batch(force=True)) is not None:
+        rows = direct_rows(model, batch.images, backend_name)
+        cursor = 0
+        for pending, offset, count in batch.parts:
+            for i in range(count):
+                expected[id(pending)][offset + i] = rows[cursor + i]
+            cursor += count
+    return [np.stack(expected[id(h)]) for h in handles]
+
+
+# --------------------------------------------------------------------- #
+# the bitwise guarantee, per backend
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+def test_served_equals_direct_forward_exact_tiling(backend_name, split):
+    """Requests tiling max_batch exactly: served rows == model(batch)."""
+    server, model = make_server(backend_name, split, max_batch=8,
+                                gate="none")
+    sizes = [3, 5, 4, 4]  # tiles into two full batches of 8
+    cuts = np.cumsum([0] + sizes)
+    requests = [split.test.images[a:b] for a, b in zip(cuts, cuts[1:])]
+    handles = [server.submit("m", r) for r in requests]
+    assert server.pump() == 2  # two full flushes, no deadline needed
+    direct_first = direct_rows(model, split.test.images[:8], backend_name)
+    direct_second = direct_rows(model, split.test.images[8:16],
+                                backend_name)
+    served = np.concatenate([h.logits for h in handles])
+    np.testing.assert_array_equal(
+        served, np.concatenate([direct_first, direct_second]))
+
+
+@pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+def test_served_equals_direct_forward_ragged_and_split(backend_name, split):
+    """Coalescing, splitting and a ragged tail, pinned via batch replay."""
+    server, model = make_server(backend_name, split, max_batch=4,
+                                gate="none")
+    sizes = [5, 2, 6]  # batches: [r1x4], [r1x1+r2x2+r3x1], [r3x4], [r3x1]
+    cuts = np.cumsum([0] + sizes)
+    requests = [split.test.images[a:b] for a, b in zip(cuts, cuts[1:])]
+    expected = replay_expected(model, requests, max_batch=4,
+                               backend_name=backend_name)
+    handles = [server.submit("m", r) for r in requests]
+    assert server.drain() == 4
+    for handle, want in zip(handles, expected):
+        np.testing.assert_array_equal(handle.logits, want)
+        assert handle.labels.tolist() == want.argmax(axis=1).tolist()
+
+
+@pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+def test_one_at_a_time_equals_single_example_forward(backend_name, split):
+    """max_batch=1 degenerates to per-example forwards (the baseline the
+    serve benchmark compares against)."""
+    server, model = make_server(backend_name, split, max_batch=1,
+                                gate="none")
+    xs = split.test.images[:6]
+    handles = [server.submit("m", x) for x in xs]
+    server.pump()  # 6 pending singles: all full batches at max_batch=1
+    for i, handle in enumerate(handles):
+        want = direct_rows(model, xs[i:i + 1], backend_name)
+        np.testing.assert_array_equal(handle.logits, want)
+
+
+def test_forward_runs_on_the_entry_backend(split):
+    """The lane pins the producing backend even if another is active."""
+    server, model = make_server("fast", split, max_batch=8, gate="none")
+    handle = server.submit("m", split.test.images[:8])
+    with backend.use("numpy"):    # different *active* backend at pump time
+        server.pump()
+    want = direct_rows(model, split.test.images[:8], "fast")
+    np.testing.assert_array_equal(handle.logits, want)
+
+
+# --------------------------------------------------------------------- #
+# mode safety
+# --------------------------------------------------------------------- #
+def test_serving_preserves_per_module_training_flags(split):
+    server, model = make_server("numpy", split, max_batch=4, gate="none")
+    model.train()
+    frozen = next(iter(model.modules()))  # the root module
+    modules = list(model.modules())
+    modules[-1]._training = False         # deliberately heterogeneous
+    before = [m._training for m in modules]
+    server.submit("m", split.test.images[:4])
+    server.pump()
+    assert [m._training for m in modules] == before
+    assert frozen.training  # root stayed in train mode
+
+
+# --------------------------------------------------------------------- #
+# gate wiring
+# --------------------------------------------------------------------- #
+def test_gate_decisions_ride_with_predictions(split):
+    server, model = make_server("numpy", split, max_batch=8,
+                                gate="confidence", gate_threshold=0.0)
+    handle = server.submit("m", split.test.images[:8])
+    server.pump()
+    # Threshold 0: every example's suspicion > 0, so everything flags.
+    assert handle.flagged.all()
+    assert (handle.scores > 0).all()
+    assert server.stats.flagged_examples == 8
+    # Scores are a pure row-wise function of the served logits.
+    gate = server.gate_for("m")
+    np.testing.assert_allclose(handle.scores, gate.scores(handle.logits))
+
+
+# --------------------------------------------------------------------- #
+# prediction cache
+# --------------------------------------------------------------------- #
+def test_repeated_examples_hit_the_cache_bitwise(split):
+    cache = PredictionCache(max_entries=64)
+    server, model = make_server("numpy", split, max_batch=8, gate="none",
+                                cache=cache)
+    client = server.client("m")
+    first = client.call(split.test.images[:4])
+    assert cache.hits == 0 and cache.misses == 4
+    again = client.call(split.test.images[:4])
+    assert cache.hits == 4
+    assert all(p.from_cache for p in again.result())
+    np.testing.assert_array_equal(first.logits, again.logits)
+    assert server.stats.cache_hits == 4
+
+
+def test_partially_cached_batch_serves_correctly(split):
+    cache = PredictionCache(max_entries=64)
+    server, model = make_server("numpy", split, max_batch=8, gate="none",
+                                cache=cache)
+    client = server.client("m")
+    warm = client.call(split.test.images[2:6])      # rows 2..5 cached
+    mixed = client.call(split.test.images[:8])      # rows 0..7: 4 hits
+    assert cache.hits == 4
+    # Cached rows replay their first-served logits bitwise; fresh rows
+    # come from the miss sub-batch forward.
+    np.testing.assert_array_equal(mixed.logits[2:6], warm.logits)
+    fresh_rows = direct_rows(
+        model, split.test.images[[0, 1, 6, 7]], "numpy")
+    np.testing.assert_array_equal(mixed.logits[[0, 1, 6, 7]], fresh_rows)
+
+
+def test_cache_is_bounded():
+    cache = PredictionCache(max_entries=3)
+    from repro.serve import Prediction
+
+    rng = np.random.default_rng(0)
+    for i in range(7):
+        cache.store("fp", rng.normal(size=(1, 4, 4)).astype(np.float32),
+                    Prediction(label=i, logits=np.zeros(3)))
+    assert len(cache) == 3
+    assert cache.evictions == 4
+    with pytest.raises(ValueError):
+        PredictionCache(max_entries=0)
+
+
+def test_shared_cache_does_not_leak_gate_verdicts_across_lanes(split):
+    """Same weights, different gates: no cross-replay of flags."""
+    with backend.use("numpy"):
+        model = build_classifier("digits", width=4, seed=0)
+        registry = ModelRegistry()
+        registry.add("m", model)
+    cache = PredictionCache(max_entries=64)
+    lenient = Server(registry, max_batch=8, gate="none", cache=cache,
+                     clock=FakeClock())
+    strict = Server(registry, max_batch=8, gate="confidence",
+                    gate_threshold=0.0, cache=cache, clock=FakeClock())
+    x = split.test.images[:4]
+    first = lenient.client("m").call(x)
+    assert not first.flagged.any()          # NullGate never flags
+    second = strict.client("m").call(x)
+    # Identical weights and inputs, but the strict lane must not replay
+    # the lenient lane's verdicts: threshold 0 flags everything.
+    assert not any(p.from_cache for p in second.result())
+    assert second.flagged.all()
+
+
+def test_refresh_invalidates_cache_after_inplace_weight_update(split):
+    """Mutating a served model's weights + registry.refresh() rolls the
+    prediction-cache key, so stale predictions stop replaying."""
+    cache = PredictionCache(max_entries=64)
+    server, model = make_server("numpy", split, max_batch=8, gate="none",
+                                cache=cache)
+    client = server.client("m")
+    stale = client.call(split.test.images[:2])
+    next(iter(model.parameters())).data += 0.25   # hot weight swap
+    entry = server.registry.get("m")
+    old_fingerprint = entry.fingerprint
+    server.registry.refresh("m")
+    assert entry.fingerprint != old_fingerprint
+    fresh = client.call(split.test.images[:2])
+    assert not any(p.from_cache for p in fresh.result())
+    assert not np.array_equal(stale.logits, fresh.logits)
+
+
+def test_cache_distinguishes_model_fingerprints(split):
+    cache = PredictionCache()
+    x = split.test.images[:1]
+    from repro.serve import Prediction
+
+    cache.store("model-a", x[0], Prediction(label=1, logits=np.ones(3)))
+    assert cache.lookup("model-b", x) == [None]
+    hit = cache.lookup("model-a", x)[0]
+    assert hit is not None and hit.label == 1 and hit.from_cache
+
+
+# --------------------------------------------------------------------- #
+# facade behaviour
+# --------------------------------------------------------------------- #
+def test_client_call_is_synchronous(split):
+    server, _ = make_server("numpy", split, max_batch=64)
+    client = server.client("m")
+    handle = client.call(split.test.images[:3])
+    assert handle.done and handle.size == 3
+
+
+def test_unknown_model_fails_fast(split):
+    server, _ = make_server("numpy", split)
+    with pytest.raises(KeyError, match="no lane"):
+        server.client("ghost")
+    with pytest.raises(KeyError, match="no lane"):
+        server.submit("ghost", split.test.images[:1])
+
+
+def test_server_is_a_live_registry_view(split):
+    """Models registered after construction serve; unregistered ones
+    stop accepting requests (queued work still drains)."""
+    server, _ = make_server("numpy", split, max_batch=4, gate="none")
+    with backend.use("numpy"):
+        late = build_classifier("digits", width=4, seed=9)
+    server.registry.add("late", late)
+    handle = server.client("late").call(split.test.images[:2])
+    assert handle.done
+    # Unregister with work still queued: no new submissions, old drains.
+    queued = server.submit("late", split.test.images[:2])
+    server.registry.unregister("late")
+    with pytest.raises(KeyError, match="no lane"):
+        server.submit("late", split.test.images[:1])
+    server.drain()
+    assert queued.done
+
+
+def test_submitted_buffers_are_copied_at_admission(split):
+    """Mutating the caller's array after submit must not change what is
+    served (or what the prediction cache fingerprints)."""
+    server, model = make_server("numpy", split, max_batch=8, gate="none")
+    buf = np.array(split.test.images[:2], copy=True)
+    original = np.array(buf, copy=True)
+    handle = server.submit("m", buf)
+    buf += 123.0                     # client reuses its buffer
+    server.drain()
+    want = direct_rows(model, original, "numpy")
+    np.testing.assert_array_equal(handle.logits, want)
+
+
+def test_stats_and_pending_accounting(split):
+    server, _ = make_server("numpy", split, max_batch=8, gate="none")
+    server.submit("m", split.test.images[:3])
+    assert server.pending_examples == 3
+    assert server.pump() == 0            # under-full, young
+    server.drain()
+    assert server.pending_examples == 0
+    stats = server.stats.summary()
+    assert stats["requests"] == 1 and stats["examples"] == 3
+    assert stats["batches"] == 1
+    assert server.stats.requests_completed == 1
+    assert len(server.stats.latencies) == 1
+
+
+def test_background_pump_serves_without_manual_pumping(split):
+    """The async path: a daemon thread drains the queue on its own."""
+    server, _ = make_server("numpy", split, max_batch=4, deadline_ms=1.0,
+                            clock=time.monotonic)
+    with server:
+        handle = server.submit("m", split.test.images[:2])
+        deadline = time.monotonic() + 5.0
+        while not handle.done and time.monotonic() < deadline:
+            time.sleep(0.002)
+    assert handle.done
+    assert handle.latency is not None and handle.latency < 5.0
