@@ -132,6 +132,23 @@ class Attack:
     name: str = "attack"
     early_stop: bool = False
 
+    def for_shard(self, start: int, total: int) -> "Attack":
+        """This attack, restricted to rows ``[start, start+b)`` of a
+        ``total``-row batch.
+
+        The sharded evaluation engine crafts each shard in its own
+        worker; for the result to merge bit-for-bit with a full-batch
+        call, an attack that consumes randomness must reproduce exactly
+        the draws the full batch would have assigned to its rows.
+        Deterministic attacks (every attack here except PGD) are already
+        row-independent, so the base implementation returns ``self``;
+        RNG-consuming subclasses override (see ``PGD.rng_window``).
+        """
+        if start < 0 or total < start:
+            raise ValueError(f"invalid shard window [{start}, ..) "
+                             f"of total {total}")
+        return self
+
     def generate(self, model: nn.Module, images: np.ndarray,
                  labels: np.ndarray) -> np.ndarray:
         if self.eps < 0:

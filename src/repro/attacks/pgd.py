@@ -8,8 +8,9 @@ runs PGD with 40 iterations x 0.02 step on MNIST/Fashion-MNIST and
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -44,8 +45,47 @@ class PGD(Attack):
     iterations: int = 40
     restarts: int = 1
     seed: int = 0
+    #: ``(start_row, total_rows)`` when this instance crafts one shard of
+    #: a larger batch: the random starts replay exactly the rows the
+    #: full-batch stream would have assigned to ``[start_row,
+    #: start_row + b)`` of each restart's ``total_rows``-row draw (PCG64
+    #: consumes one raw draw per uniform, so the stream position is
+    #: ``(restart * total_rows + start_row) * C*H*W``).  ``None`` — the
+    #: default and the only value the single-process engine ever uses —
+    #: keeps the draw sequence byte-identical to the pre-shard code.
+    rng_window: Optional[Tuple[int, int]] = None
 
     name: str = "pgd"
+
+    def for_shard(self, start: int, total: int) -> "PGD":
+        super().for_shard(start, total)  # validates the window
+        return dataclasses.replace(self, rng_window=(int(start), int(total)))
+
+    def _noise_draws(self, shape) -> Callable[[], np.ndarray]:
+        """Per-restart random-start source honouring ``rng_window``."""
+        if self.rng_window is None:
+            rng = derive_rng(self.seed, "pgd-init")
+
+            def draw() -> np.ndarray:
+                return rng.uniform(-self.eps, self.eps,
+                                   size=shape).astype(np.float32)
+            return draw
+        start_row, total = self.rng_window
+        if start_row + shape[0] > total:
+            raise ValueError(
+                f"rng_window {self.rng_window} cannot cover a "
+                f"{shape[0]}-row batch")
+        per_example = int(np.prod(shape[1:]))
+        restart_counter = iter(range(self.restarts))
+
+        def draw_windowed() -> np.ndarray:
+            restart = next(restart_counter)
+            rng = derive_rng(self.seed, "pgd-init")
+            rng.bit_generator.advance(
+                (restart * total + start_row) * per_example)
+            return rng.uniform(-self.eps, self.eps,
+                               size=shape).astype(np.float32)
+        return draw_windowed
 
     def _generate(self, model: nn.Module, images: np.ndarray,
                   labels: np.ndarray) -> np.ndarray:
@@ -56,16 +96,15 @@ class PGD(Attack):
         b = _backend.active()
         xp = b.xp
         labels = xp.asarray(labels)
-        rng = derive_rng(self.seed, "pgd-init")
+        draw = self._noise_draws(images.shape)
         if self.early_stop:
-            return self._generate_early_stop(model, images, labels, rng)
+            return self._generate_early_stop(model, images, labels, draw)
         best_adv = images.copy()
         best_loss = xp.full(len(images), -np.inf, dtype=np.float64)
         for _ in range(self.restarts):
             # Random starts draw on the host stream and transfer, so the
             # stream consumed is identical on every backend.
-            start = images + b.asarray(rng.uniform(
-                -self.eps, self.eps, size=images.shape).astype(np.float32))
+            start = images + b.asarray(draw())
             adv = project_linf(start, images, self.eps)
             for _ in range(self.iterations):
                 grad = input_gradient(model, adv, labels)
@@ -83,7 +122,8 @@ class PGD(Attack):
         return best_adv
 
     def _generate_early_stop(self, model: nn.Module, images: np.ndarray,
-                             labels: np.ndarray, rng) -> np.ndarray:
+                             labels: np.ndarray,
+                             draw: Callable[[], np.ndarray]) -> np.ndarray:
         b = _backend.active()
         xp = b.xp
         best_adv = images.copy()
@@ -93,9 +133,8 @@ class PGD(Attack):
             # The random start always draws for the full batch so the stream
             # consumed per restart is identical with and without early
             # stopping (and to the pre-engine implementation).
-            start = project_linf(images + b.asarray(rng.uniform(
-                -self.eps, self.eps, size=images.shape).astype(np.float32)),
-                images, self.eps)
+            start = project_linf(images + b.asarray(draw()),
+                                 images, self.eps)
             if fooled.all():
                 continue
             idx = xp.flatnonzero(~fooled)

@@ -62,7 +62,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cache crafted adversarial batches under DIR "
                              "keyed by (weights, attack config, data); "
                              "repeated runs replay them bit-for-bit "
-                             "(table3, table4, eval-suite)")
+                             "(table3, table4, eval-suite); safe to share "
+                             "across concurrent processes and --workers "
+                             "pools (atomic entries + journaled recency). "
+                             "Entries are shard-layout-specific: "
+                             "--workers 1 keys full batches, --workers N "
+                             "keys per-shard batches, so switching "
+                             "between them regenerates rather than "
+                             "replays")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard adversarial crafting over N spawned "
+                             "worker processes (table3, table4, "
+                             "eval-suite, train; figure5-time when "
+                             "--probe-every is set); results are "
+                             "identical to --workers 1 — the shard "
+                             "layout never depends on N (default: 1, "
+                             "fully single-process)")
     suite = parser.add_argument_group(
         "eval-suite options",
         "evaluate one defense against the attack grid through the batched "
@@ -162,6 +177,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.backend is not None and key not in (
             "table3", "table4", "eval-suite", "train"):
         ignored.append("--backend")
+    workers_apply_to = ["table3", "table4", "eval-suite", "train"]
+    if args.probe_every:
+        # figure5-time only crafts (and thus only parallelizes) when it
+        # probes; without --probe-every the flag would be a silent no-op.
+        workers_apply_to.append("figure5-time")
+    if args.workers != 1 and key not in workers_apply_to:
+        ignored.append("--workers")
     for flag, value, default in (("--model", args.model, "gandef"),
                                  ("--max-batch", args.max_batch, 32),
                                  ("--deadline-ms", args.deadline_ms, 5.0),
@@ -181,7 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.resume and key not in ("figure5-time",
                                        "figure5-convergence"):
             ignored.append("--resume")
-        if args.probe_every is not None:
+        if args.probe_every is not None and key != "figure5-time":
             ignored.append("--probe-every")
         if args.epochs is not None:
             ignored.append("--epochs")
@@ -206,7 +228,7 @@ def _run_serve_command(args) -> int:
         seed=args.seed, backend=args.backend, max_batch=args.max_batch,
         deadline_ms=args.deadline_ms, gate=args.gate,
         requests=args.requests, verbose=True)
-    stats = report.stats.summary()
+    stats = report.stats_snapshot
     print(f"served {stats['examples']} examples in {stats['batches']} "
           f"batches (mean size {stats['mean_batch_size']}) on "
           f"{report.entry.backend}")
@@ -224,13 +246,15 @@ def _dispatch(key, args, experiment) -> int:
         results = experiment.runner(args.dataset, preset=args.preset,
                                     seed=args.seed, verbose=True,
                                     cache_dir=args.cache_dir,
-                                    backend=args.backend)
+                                    backend=args.backend,
+                                    workers=args.workers)
         print(render_table3(results))
     elif key == "table4":
         result = experiment.runner(args.dataset, preset=args.preset,
                                    seed=args.seed, verbose=True,
                                    cache_dir=args.cache_dir,
-                                   backend=args.backend)
+                                   backend=args.backend,
+                                   workers=args.workers)
         for kind, value in result.accuracy.items():
             print(f"  {kind:10s} {value * 100:6.2f}%")
     elif key == "eval-suite":
@@ -241,7 +265,7 @@ def _dispatch(key, args, experiment) -> int:
                 attack_names=attack_names, seed=args.seed,
                 cache_dir=args.cache_dir,
                 early_stop=not args.no_early_stop, verbose=True,
-                backend=args.backend)
+                backend=args.backend, workers=args.workers)
         except KeyError as error:
             print(error)
             return 2
@@ -258,7 +282,7 @@ def _dispatch(key, args, experiment) -> int:
             seed=args.seed, epochs=args.epochs,
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
             probe_every=args.probe_every, cache_dir=args.cache_dir,
-            verbose=True, backend=args.backend)
+            verbose=True, backend=args.backend, workers=args.workers)
         h = result.history
         status = f"diverged ({h.stop_reason})" if h.stop_reason \
             else "completed"
@@ -285,7 +309,9 @@ def _dispatch(key, args, experiment) -> int:
         timings = experiment.runner(args.dataset, preset=args.preset,
                                     seed=args.seed,
                                     checkpoint_dir=args.checkpoint_dir,
-                                    resume=args.resume)
+                                    resume=args.resume,
+                                    probe_every=args.probe_every or 0,
+                                    workers=args.workers)
         for name, seconds in timings.items():
             print(f"  {name:14s} {seconds:8.3f} s/epoch")
     elif key == "figure5-convergence":

@@ -19,11 +19,23 @@ __all__ = ["iterate_batches", "iterate_pairs", "num_batches"]
 
 
 def num_batches(n: int, batch_size: int, drop_last: bool = False) -> int:
-    """Number of batches an epoch will yield."""
+    """Number of batches an epoch will yield.
+
+    An epoch that would yield **zero** batches is an error, not a silent
+    no-op: ``drop_last=True`` with ``n < batch_size`` (or ``n == 0``
+    either way) used to return 0, letting a trainer run every epoch
+    without a single optimizer step and report success.
+    """
     if batch_size <= 0:
         raise ValueError(f"batch size must be positive, got {batch_size}")
     full, rem = divmod(n, batch_size)
-    return full if (drop_last or rem == 0) else full + 1
+    count = full if (drop_last or rem == 0) else full + 1
+    if count == 0:
+        detail = (f"drop_last=True discards the only (partial) batch of "
+                  f"{n} example(s) at batch_size={batch_size}"
+                  if n else "the dataset is empty")
+        raise ValueError(f"epoch would yield zero batches: {detail}")
+    return count
 
 
 def iterate_batches(
@@ -32,7 +44,12 @@ def iterate_batches(
     rng: np.random.Generator,
     drop_last: bool = False,
 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-    """Yield shuffled ``(images, labels)`` batches covering one epoch."""
+    """Yield shuffled ``(images, labels)`` batches covering one epoch.
+
+    Raises the :func:`num_batches` ``ValueError`` up front when the epoch
+    would be empty, so the RNG stream is never consumed by a no-op epoch.
+    """
+    num_batches(len(dataset), batch_size, drop_last)
     order = rng.permutation(len(dataset))
     for start in range(0, len(dataset), batch_size):
         idx = order[start:start + batch_size]
@@ -50,6 +67,7 @@ def iterate_pairs(
 
     Each epoch still touches every sample exactly once per stream.
     """
+    num_batches(len(dataset), batch_size)
     order_a = rng.permutation(len(dataset))
     order_b = rng.permutation(len(dataset))
     for start in range(0, len(dataset), batch_size):

@@ -29,11 +29,19 @@ class Dataset:
     def __post_init__(self) -> None:
         if self.images.ndim != 4:
             raise ValueError(f"images must be NCHW, got shape {self.images.shape}")
+        if len(self.images) == 0:
+            # An empty dataset only fails later — divide-by-zero accuracy,
+            # empty class_counts, zero-batch epochs — so reject it where
+            # the mistake was made.
+            raise ValueError(f"dataset {self.name!r} has no examples")
         if self.labels.ndim != 1 or len(self.labels) != len(self.images):
             raise ValueError("labels must be a vector aligned with images")
         if self.images.dtype != np.float32:
             self.images = self.images.astype(np.float32)
-        lo, hi = float(self.images.min(initial=0.0)), float(self.images.max(initial=0.0))
+        # No ``initial=`` clamp: with emptiness rejected above, the true
+        # bounds are always defined, and seeding the reduction with 0.0
+        # misreported all-positive or all-negative pixel ranges.
+        lo, hi = float(self.images.min()), float(self.images.max())
         if lo < -1.0001 or hi > 1.0001:
             raise ValueError(f"pixels outside [-1, 1]: min={lo}, max={hi}")
 

@@ -2,11 +2,12 @@
 
 from .cache import AdversarialCache, cache_key, fingerprint_attack, \
     fingerprint_data, fingerprint_model
-from .engine import AttackRecord, AttackSuite, SuiteResult
+from .engine import AttackRecord, AttackSuite, PendingSuiteResult, SuiteResult
 from .framework import EvaluationFramework, EvaluationResult
 from .metrics import AccuracyReport, FilterMetrics, filter_rates, \
     predict_labels, test_accuracy
 from .reporting import format_accuracy_table, format_series, format_timing_table
+from .shard import Shard, ShardedCrafter, plan_shards
 from .transfer import TransferResult, transfer_attack_accuracy
 
 __all__ = [
@@ -17,7 +18,11 @@ __all__ = [
     "fingerprint_model",
     "AttackRecord",
     "AttackSuite",
+    "PendingSuiteResult",
     "SuiteResult",
+    "Shard",
+    "ShardedCrafter",
+    "plan_shards",
     "EvaluationFramework",
     "EvaluationResult",
     "AccuracyReport",

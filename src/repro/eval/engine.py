@@ -14,7 +14,15 @@ batch per attack, classify them, tabulate per-attack accuracy.  The
   steps on still-correct examples;
 * **adversarial caching** — with an :class:`~repro.eval.cache.AdversarialCache`
   attached, finished batches are replayed bit-for-bit across runs keyed by
-  (model weights, attack config, data).
+  (model weights, attack config, data);
+* **sharded multi-process crafting** — with ``workers > 1`` (or an explicit
+  ``shard_size``) the test batch is partitioned into deterministic shards
+  crafted by a spawn-safe worker pool (:mod:`repro.eval.shard`) and merged
+  order-preserving; per-shard RNG windows replay exactly the draws the
+  full-batch stream assigns to each shard's rows, and scoring runs in the
+  parent over the merged batch, so a sharded run's ``SuiteResult`` is
+  identical to the single-process engine's and the worker count never
+  changes results — only wall-clock.
 
 Results stream into the existing :class:`~repro.eval.framework.EvaluationResult`
 / :mod:`repro.eval.reporting` types, so all table renderers keep working.
@@ -23,6 +31,7 @@ Results stream into the existing :class:`~repro.eval.framework.EvaluationResult`
 from __future__ import annotations
 
 import dataclasses
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -34,8 +43,10 @@ from .. import nn
 from ..attacks.base import Attack
 from .cache import AdversarialCache, fingerprint_data, fingerprint_model
 from .metrics import predict_labels
+from .shard import CraftOutcome, ShardedCrafter, merge_outcomes
 
-__all__ = ["AttackRecord", "SuiteResult", "AttackSuite"]
+__all__ = ["AttackRecord", "SuiteResult", "AttackSuite",
+           "PendingSuiteResult"]
 
 
 @dataclass
@@ -98,12 +109,31 @@ class AttackSuite:
         stopping on, so the engine path is the default where it matters).
     batch_size:
         Forward-pass batch size for the accuracy measurements.
+    workers:
+        Crafting processes.  The default ``1`` (with ``shard_size`` unset)
+        preserves the original single-process code path exactly;
+        ``workers > 1`` fans the (attack, shard) grid out over a
+        persistent spawn pool.  Results are independent of the worker
+        count — the shard layout is a function of the data size and
+        ``shard_size`` alone.
+    shard_size:
+        Rows per shard (default
+        :data:`~repro.eval.shard.DEFAULT_SHARD_SIZE` when sharding is
+        active).  Setting it with ``workers=1`` runs the identical
+        sharded computation in-process — useful to pin shard-layout
+        equality without paying for a pool.
+
+    Pool-owning suites should be closed (:meth:`close`, or use the suite
+    as a context manager); an unclosed pool is reaped at interpreter
+    exit, but explicitly is better.
     """
 
     def __init__(self, attacks: Dict[str, Attack],
                  cache: Optional[AdversarialCache] = None,
                  early_stop: Optional[bool] = None,
-                 batch_size: int = 256) -> None:
+                 batch_size: int = 256,
+                 workers: int = 1,
+                 shard_size: Optional[int] = None) -> None:
         # An empty grid is allowed: the suite then measures clean accuracy
         # only (the framework supports attack-free scenarios).
         self.attacks: Dict[str, Attack] = {}
@@ -113,6 +143,28 @@ class AttackSuite:
             self.attacks[name] = attack
         self.cache = cache
         self.batch_size = batch_size
+        crafter = ShardedCrafter(workers=workers, shard_size=shard_size)
+        self.crafter: Optional[ShardedCrafter] = \
+            crafter if crafter.enabled else None
+
+    @property
+    def workers(self) -> int:
+        return self.crafter.workers if self.crafter is not None else 1
+
+    @property
+    def parallel(self) -> bool:
+        return self.crafter is not None and self.crafter.parallel
+
+    def close(self) -> None:
+        """Release the worker pool, if any (idempotent)."""
+        if self.crafter is not None:
+            self.crafter.close()
+
+    def __enter__(self) -> "AttackSuite":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(self, model: nn.Module, images: np.ndarray, labels: np.ndarray,
             model_name: str = "model", dataset: str = "dataset",
@@ -135,6 +187,16 @@ class AttackSuite:
             return self._run_inference(model, images, labels, model_name,
                                        dataset, on_record)
 
+    def _clean_scored_result(self, model, images, labels, model_name,
+                             dataset):
+        """The scoring preamble both sync and async paths share: one
+        clean forward pass and the result shell it seeds."""
+        clean_preds = predict_labels(model, images, self.batch_size)
+        clean_correct = clean_preds == labels
+        result = SuiteResult(model_name=model_name, dataset=dataset,
+                             clean_accuracy=float(clean_correct.mean()))
+        return clean_correct, result
+
     def _run_inference(self, model, images, labels, model_name, dataset,
                        on_record) -> SuiteResult:
         # The whole grid runs under inference_mode: attacks and
@@ -142,10 +204,12 @@ class AttackSuite:
         # so accuracies are unchanged — but the suite as a whole now
         # guarantees the caller's model comes back with every submodule
         # flag exactly as it was, even if an attack raises mid-grid.
-        clean_preds = predict_labels(model, images, self.batch_size)
-        clean_correct = clean_preds == labels
-        result = SuiteResult(model_name=model_name, dataset=dataset,
-                             clean_accuracy=float(clean_correct.mean()))
+        clean_correct, result = self._clean_scored_result(
+            model, images, labels, model_name, dataset)
+        if self.crafter is not None:
+            self._run_sharded(model, images, labels, clean_correct,
+                              result, on_record)
+            return result
         # Weights and the test batch are fixed for the whole grid: hash
         # them once, not per attack.
         model_fp = data_fp = None
@@ -162,20 +226,88 @@ class AttackSuite:
                 adv, hit = attack(model, images, labels), False
             adv = _backend.active().to_numpy(adv)
             generation_seconds = time.perf_counter() - start
-            adv_preds = predict_labels(model, adv, self.batch_size)
-            adv_correct = adv_preds == labels
-            record = AttackRecord(
-                attack=name,
-                accuracy=float(adv_correct.mean()),
-                seconds=generation_seconds,
-                from_cache=hit,
-                flipped=int((clean_correct & ~adv_correct).sum()),
-                evaluated=len(images),
-            )
-            result.records.append(record)
-            if on_record is not None:
-                on_record(record)
+            self._score_attack(model, name, adv, generation_seconds, hit,
+                               labels, clean_correct, result, on_record)
         return result
+
+    def _score_attack(self, model, name, adv, seconds, hit, labels,
+                      clean_correct, result, on_record) -> None:
+        """Measure one crafted batch against the victim (parent-side)."""
+        adv_preds = predict_labels(model, adv, self.batch_size)
+        adv_correct = adv_preds == labels
+        record = AttackRecord(
+            attack=name,
+            accuracy=float(adv_correct.mean()),
+            seconds=seconds,
+            from_cache=hit,
+            flipped=int((clean_correct & ~adv_correct).sum()),
+            evaluated=len(labels),
+        )
+        result.records.append(record)
+        if on_record is not None:
+            on_record(record)
+
+    # ------------------------------------------------------------------ #
+    # sharded path
+    # ------------------------------------------------------------------ #
+    def _grid_tasks(self, model, images, labels):
+        """Task list + per-run context for the sharded grid.
+
+        Fingerprint/depot/cache-spec policy lives in
+        :meth:`ShardedCrafter.prepare_model` (one home, shared with the
+        transfer study); the published model must be released via
+        ``crafter.release_model(model_fp)`` once the run's outcomes are
+        consumed.
+        """
+        assert self.crafter is not None
+        model_fp, blob, path, cache_spec = \
+            self.crafter.prepare_model(model, self.cache)
+        tasks = self.crafter.build_tasks(self.attacks, images, labels,
+                                         model_fp, path, cache_spec)
+        return tasks, blob, model_fp
+
+    def _run_sharded(self, model, images, labels, clean_correct, result,
+                     on_record) -> None:
+        """Craft the grid sharded, merge per attack, score in the parent.
+
+        Outcomes stream back in task order (attacks x shards), so each
+        attack is merged and scored as soon as its last shard lands —
+        parent-side scoring overlaps the workers crafting the next
+        attack.
+        """
+        tasks, _, model_fp = self._grid_tasks(model, images, labels)
+        try:
+            self._score_outcomes(
+                model, labels, clean_correct, result, on_record,
+                self.crafter.run_tasks(tasks, model, self.cache))
+        finally:
+            self.crafter.release_model(model_fp)
+
+    def _score_outcomes(self, model, labels, clean_correct, result,
+                        on_record, outcomes) -> None:
+        pending: List[CraftOutcome] = []
+        for outcome in outcomes:
+            if pending and pending[0].attack_name != outcome.attack_name:
+                self._merge_and_score(model, labels, clean_correct, result,
+                                      on_record, pending)
+                pending = []
+            pending.append(outcome)
+        if pending:
+            self._merge_and_score(model, labels, clean_correct, result,
+                                  on_record, pending)
+
+    def _merge_and_score(self, model, labels, clean_correct, result,
+                         on_record, outcomes: List[CraftOutcome]) -> None:
+        adv = merge_outcomes(outcomes)
+        # ``seconds`` sums the shards' crafting time (the comparable
+        # quantity across worker counts); wall-clock shrinks with the
+        # pool, per-shard work does not.  ``from_cache`` means *every*
+        # shard replayed.
+        self._score_attack(
+            model, outcomes[0].attack_name, adv,
+            sum(o.seconds for o in outcomes),
+            all(o.from_cache for o in outcomes),
+            labels, clean_correct, result, on_record)
 
     def run_grid(self, models: Dict[str, nn.Module], images: np.ndarray,
                  labels: np.ndarray, dataset: str = "dataset"
@@ -184,3 +316,83 @@ class AttackSuite:
         return [self.run(model, images, labels, model_name=name,
                          dataset=dataset)
                 for name, model in models.items()]
+
+    # ------------------------------------------------------------------ #
+    # asynchronous runs (in-training probes overlap the next epoch)
+    # ------------------------------------------------------------------ #
+    def run_async(self, model: nn.Module, images: np.ndarray,
+                  labels: np.ndarray, model_name: str = "model",
+                  dataset: str = "dataset") -> "PendingSuiteResult":
+        """Submit a suite run against a **snapshot** of ``model``.
+
+        With a worker pool the crafting proceeds in the background while
+        the caller keeps going (a training loop starts its next epoch);
+        :meth:`PendingSuiteResult.result` merges and scores — against the
+        snapshot, so later weight updates cannot leak in.  Without a pool
+        this degrades to a synchronous run, already complete on return.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels)
+        if len(images) == 0:
+            raise ValueError("evaluation needs at least one test example")
+        if self.crafter is None or not self.crafter.parallel:
+            return PendingSuiteResult(
+                completed=self.run(model, images, labels,
+                                   model_name=model_name, dataset=dataset))
+        tasks, blob, model_fp = self._grid_tasks(model, images, labels)
+        handle = self.crafter.run_tasks_async(tasks)
+        return PendingSuiteResult(suite=self, handle=handle,
+                                  model_blob=blob, model_fp=model_fp,
+                                  images=images,
+                                  labels=labels, model_name=model_name,
+                                  dataset=dataset)
+
+
+class PendingSuiteResult:
+    """Future-like handle for an asynchronous :meth:`AttackSuite.run_async`.
+
+    ``ready()`` never blocks; ``result()`` blocks until crafting finishes,
+    then scores the merged batches in the calling process against the
+    snapshotted weights (memoized — repeated calls return the same
+    object).
+    """
+
+    def __init__(self, completed: Optional[SuiteResult] = None,
+                 suite: Optional["AttackSuite"] = None, handle=None,
+                 model_blob: Optional[bytes] = None,
+                 model_fp: Optional[str] = None,
+                 images: Optional[np.ndarray] = None,
+                 labels: Optional[np.ndarray] = None,
+                 model_name: str = "model", dataset: str = "dataset"
+                 ) -> None:
+        self._result = completed
+        self._suite = suite
+        self._handle = handle
+        self._model_blob = model_blob
+        self._model_fp = model_fp
+        self._images = images
+        self._labels = labels
+        self._model_name = model_name
+        self._dataset = dataset
+
+    def ready(self) -> bool:
+        return self._result is not None or self._handle.ready()
+
+    def result(self) -> SuiteResult:
+        if self._result is not None:
+            return self._result
+        try:
+            outcomes = self._handle.get()
+        finally:
+            self._suite.crafter.release_model(self._model_fp)
+        suite = self._suite
+        model = pickle.loads(self._model_blob)
+        with nn.inference_mode(model):
+            clean_correct, result = suite._clean_scored_result(
+                model, self._images, self._labels, self._model_name,
+                self._dataset)
+            suite._score_outcomes(model, self._labels, clean_correct,
+                                  result, None, outcomes)
+        self._result = result
+        self._model_blob = None  # the snapshot served its purpose
+        return result

@@ -54,11 +54,18 @@ class EvaluationFramework:
     cache:
         Optional adversarial-example cache — repeated runs against the same
         trained weights replay stored batches instead of regenerating them.
+    workers, shard_size:
+        Sharded crafting (see :class:`AttackSuite`): ``workers > 1`` fans
+        the attack grid out over a spawn pool with identical results.
+        Close the framework (or use it as a context manager) when a pool
+        was requested.
     """
 
     def __init__(self, split: DataSplit, attacks: Dict[str, Attack],
                  eval_size: Optional[int] = None,
-                 cache: Optional[AdversarialCache] = None) -> None:
+                 cache: Optional[AdversarialCache] = None,
+                 workers: int = 1,
+                 shard_size: Optional[int] = None) -> None:
         self.split = split
         self.attacks = dict(attacks)
         n = len(split.test) if eval_size is None else min(eval_size,
@@ -69,8 +76,19 @@ class EvaluationFramework:
         self._test_y = split.test.labels[:n]
         # early_stop=None: each attack keeps the flag its config chose, so
         # the framework never silently changes attack semantics.
-        self.suite = AttackSuite(self.attacks, cache=cache, early_stop=None)
+        self.suite = AttackSuite(self.attacks, cache=cache, early_stop=None,
+                                 workers=workers, shard_size=shard_size)
         self.last_suite_result: Optional[SuiteResult] = None
+
+    def close(self) -> None:
+        """Release the suite's worker pool, if any."""
+        self.suite.close()
+
+    def __enter__(self) -> "EvaluationFramework":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def evaluate(self, trainer: Trainer,
                  defense_name: Optional[str] = None) -> EvaluationResult:

@@ -1,0 +1,405 @@
+"""Sharded, optionally multi-process adversarial crafting.
+
+The evaluation grid — (defense model) x (attack) x (test batch) — is
+embarrassingly parallel across test examples, yet crafting has always run
+on a single core.  This module partitions a test batch into deterministic
+contiguous shards and crafts every (attack, shard) cell in a spawn-safe
+worker pool, such that the merged result is **bit-for-bit** the
+single-process result:
+
+* **deterministic layout** — :func:`plan_shards` depends only on the batch
+  size and the configured ``shard_size``, never on the worker count, so
+  running with 1, 2 or 16 workers schedules the *same* computation;
+* **per-shard RNG windows** — RNG-consuming attacks (PGD's random starts)
+  are rewound to exactly the draws the full-batch stream assigns to their
+  rows (:meth:`repro.attacks.base.Attack.for_shard`), so sharding never
+  changes the randomness an example sees;
+* **order-preserving merge** — shard outputs concatenate back in row
+  order, and scoring happens in the parent on the merged batch through
+  the same ``predict_labels`` path the single-process engine uses;
+* **shared crash-safe cache** — every worker opens its own
+  :class:`~repro.eval.cache.AdversarialCache` over the same directory;
+  entries publish by atomic write-then-rename and recency lives in the
+  lock-guarded sidecar journal, so concurrent workers never tear or
+  resurrect entries.
+
+Workers are **spawn**-started (fork is unsafe under threads and
+unavailable on some platforms), live in a persistent pool reused across
+suite runs, and receive the victim model pickled once per run (re-used
+across that run's tasks, memoized per worker by fingerprint).  The
+``repro`` package must therefore be importable in a fresh interpreter
+(``PYTHONPATH=src`` or an installed package), and pool-owning callers
+should ``close()`` when done — the engine and runners do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, \
+    Tuple
+
+import numpy as np
+
+from .. import backend as _backend
+from ..attacks.base import Attack
+from .cache import AdversarialCache, fingerprint_model
+
+__all__ = ["Shard", "plan_shards", "ShardedCrafter", "CraftOutcome",
+           "DEFAULT_SHARD_SIZE"]
+
+#: Default rows per shard when the caller does not pin ``shard_size``.
+#: Chosen so typical eval batches (96-10000 rows) split into enough
+#: shards to feed several workers while each shard still amortizes its
+#: forward-pass and IPC overhead.  Independent of the worker count by
+#: design: the shard layout — and therefore the computation — must not
+#: change when the pool grows.
+DEFAULT_SHARD_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous row range ``[start, stop)`` of a ``total``-row batch."""
+
+    index: int
+    start: int
+    stop: int
+    total: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(n: int, shard_size: Optional[int] = None) -> List[Shard]:
+    """Deterministic contiguous partition of ``n`` rows.
+
+    The last shard is ragged when ``shard_size`` does not divide ``n``;
+    a ``shard_size >= n`` (including the ``workers > num_examples``
+    degenerate case upstream) yields a single full shard.
+    """
+    if n <= 0:
+        raise ValueError(f"cannot shard an empty batch (n={n})")
+    size = DEFAULT_SHARD_SIZE if shard_size is None else int(shard_size)
+    if size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    return [Shard(index=i, start=start, stop=min(start + size, n), total=n)
+            for i, start in enumerate(range(0, n, size))]
+
+
+@dataclass
+class CraftOutcome:
+    """One finished (attack, shard) cell."""
+
+    attack_name: str
+    shard: Shard
+    adv: np.ndarray
+    seconds: float
+    from_cache: bool
+
+
+@dataclass(frozen=True)
+class _CraftTask:
+    """Everything a worker needs to craft one (attack, shard) cell.
+
+    ``model_path`` points at the pickled victim, published **once per
+    run** to a temp file by the crafter's model depot (``None`` on the
+    in-process path, which crafts against the live model) — shipping the
+    weights through the task pipe per cell would scale IPC with (tasks x
+    model size).  ``model_fp`` doubles as the worker-side memoization
+    key and, when a cache is attached, the exact weight fingerprint the
+    single-process cache keys use.
+    """
+
+    attack_name: str
+    attack: Attack
+    shard: Shard
+    images: np.ndarray
+    labels: np.ndarray
+    model_path: Optional[str]
+    model_fp: str
+    cache_spec: Optional[dict]
+
+
+def _craft_cell(attack: Attack, model, images: np.ndarray,
+                labels: np.ndarray, cache: Optional[AdversarialCache],
+                model_fp: Optional[str]) -> Tuple[np.ndarray, bool, float]:
+    """The one crafting code path, shared by parent and workers."""
+    start = time.perf_counter()
+    if cache is not None:
+        adv, hit = cache.get_or_generate(attack, model, images, labels,
+                                         model_fingerprint=model_fp)
+    else:
+        adv = _backend.active().to_numpy(attack(model, images, labels))
+        hit = False
+    return adv, hit, time.perf_counter() - start
+
+
+# --------------------------------------------------------------------- #
+# worker-process side (spawn target functions must be module-level)
+# --------------------------------------------------------------------- #
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(backend_name: str) -> None:
+    """Pool initializer: pin the parent's active backend in the child."""
+    _backend.use(backend_name)
+    _WORKER.clear()
+
+
+def _worker_model(path: str, fingerprint: str):
+    """Load the published victim once per (worker, model) and reuse it."""
+    if _WORKER.get("model_fp") != fingerprint:
+        with open(path, "rb") as handle:
+            _WORKER["model"] = pickle.loads(handle.read())
+        _WORKER["model_fp"] = fingerprint
+    return _WORKER["model"]
+
+
+def _worker_cache(spec: Optional[dict]) -> Optional[AdversarialCache]:
+    if spec is None:
+        return None
+    key = (spec["root"], spec.get("max_bytes"))
+    if _WORKER.get("cache_key") != key:
+        # keep_in_memory=False: a worker sees each shard key at most once
+        # per run, so the in-memory layer would only duplicate the batch.
+        _WORKER["cache"] = AdversarialCache(spec["root"],
+                                            keep_in_memory=False,
+                                            max_bytes=spec.get("max_bytes"))
+        _WORKER["cache_key"] = key
+    return _WORKER["cache"]
+
+
+def _craft_in_worker(task: _CraftTask) -> CraftOutcome:
+    assert task.model_path is not None
+    model = _worker_model(task.model_path, task.model_fp)
+    cache = _worker_cache(task.cache_spec)
+    adv, hit, seconds = _craft_cell(task.attack, model, task.images,
+                                    task.labels, cache, task.model_fp)
+    return CraftOutcome(attack_name=task.attack_name, shard=task.shard,
+                        adv=adv, seconds=seconds, from_cache=hit)
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+class ShardedCrafter:
+    """Shard planner plus (for ``workers > 1``) a persistent spawn pool.
+
+    ``workers=1`` with an explicit ``shard_size`` runs the identical
+    sharded computation in-process — the equality tests lean on this:
+    worker count only changes *scheduling*, never results.  The pool is
+    created lazily under the backend active at first use and respawned if
+    a later call runs under a different backend.
+    """
+
+    def __init__(self, workers: int = 1,
+                 shard_size: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.shard_size = shard_size
+        self._pool = None
+        self._pool_backend: Optional[str] = None
+        # Model depot: fingerprint -> [temp path, refcount].  One pickled
+        # blob per run on disk (page-cached for the workers) instead of
+        # one copy per task through the pool pipe.
+        self._models: Dict[str, list] = {}
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    @property
+    def enabled(self) -> bool:
+        """Does this crafter change anything relative to the legacy
+        single-process, single-shard engine?"""
+        return self.parallel or self.shard_size is not None
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self):
+        import multiprocessing
+
+        backend_name = _backend.active().name
+        if self._pool is not None and self._pool_backend != backend_name:
+            self.close()
+        if self._pool is None:
+            ctx = multiprocessing.get_context("spawn")
+            self._pool = ctx.Pool(self.workers, initializer=_init_worker,
+                                  initargs=(backend_name,))
+            self._pool_backend = backend_name
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down and drop published models
+        (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_backend = None
+        for path, _ in self._models.values():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._models.clear()
+
+    # ------------------------------------------------------------------ #
+    # model depot
+    # ------------------------------------------------------------------ #
+    def prepare_model(self, model, cache: Optional[AdversarialCache]):
+        """Per-run model context: ``(fingerprint, blob, path, cache_spec)``.
+
+        The single home of the keying policy: with a cache attached the
+        fingerprint must be :func:`fingerprint_model` so sharded and
+        unsharded runs agree on the weight hash; without one, a cheap
+        hash of the pickled blob only serves worker memoization.  The
+        blob is published to the depot (refcounted — release with
+        :meth:`release_model` when the run's outcomes are consumed);
+        ``blob``/``path``/``cache_spec`` are ``None`` on the in-process
+        path, which uses the live model and the caller's cache instance.
+        """
+        blob = pickle.dumps(model) if self.parallel else None
+        if cache is not None:
+            model_fp = fingerprint_model(model)
+        else:
+            model_fp = model_blob_fingerprint(blob) if blob else ""
+        path = self._acquire_model(blob, model_fp) if blob else None
+        cache_spec = cache.spec() \
+            if (cache is not None and self.parallel) else None
+        return model_fp, blob, path, cache_spec
+
+    def _acquire_model(self, blob: bytes, fingerprint: str) -> str:
+        entry = self._models.get(fingerprint)
+        if entry is None:
+            fd, path = tempfile.mkstemp(
+                prefix=f"repro-shard-model-{fingerprint[:12]}-",
+                suffix=".pkl")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            entry = self._models[fingerprint] = [path, 0]
+        entry[1] += 1
+        return entry[0]
+
+    def release_model(self, fingerprint: str) -> None:
+        """Drop one reference to a published model; unlink at zero."""
+        entry = self._models.get(fingerprint)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            try:
+                os.unlink(entry[0])
+            except OSError:
+                pass
+            del self._models[fingerprint]
+
+    def __enter__(self) -> "ShardedCrafter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    def build_tasks(self, attacks: Dict[str, Attack], images: np.ndarray,
+                    labels: np.ndarray, model_fp: str,
+                    model_path: Optional[str],
+                    cache_spec: Optional[dict]) -> List[_CraftTask]:
+        """Grid tasks in deterministic (attack order, shard order)."""
+        shards = plan_shards(len(images), self.shard_size)
+        return [
+            _CraftTask(attack_name=name,
+                       attack=attack.for_shard(shard.start, shard.total),
+                       shard=shard,
+                       images=images[shard.start:shard.stop],
+                       labels=labels[shard.start:shard.stop],
+                       model_path=model_path,
+                       model_fp=model_fp,
+                       cache_spec=cache_spec)
+            for name, attack in attacks.items()
+            for shard in shards
+        ]
+
+    def run_tasks(self, tasks: Sequence[_CraftTask], model,
+                  cache: Optional[AdversarialCache]
+                  ) -> Iterator[CraftOutcome]:
+        """Yield outcomes in task order.
+
+        In-process when ``workers == 1`` (live model, the caller's own
+        cache instance with its in-memory layer); otherwise streamed from
+        the pool, so the caller can merge and score attack ``i`` while
+        attack ``i+1`` is still crafting.
+        """
+        if not self.parallel:
+            for task in tasks:
+                adv, hit, seconds = _craft_cell(task.attack, model,
+                                                task.images, task.labels,
+                                                cache, task.model_fp)
+                yield CraftOutcome(attack_name=task.attack_name,
+                                   shard=task.shard, adv=adv,
+                                   seconds=seconds, from_cache=hit)
+            return
+        yield from self._ensure_pool().imap(_craft_in_worker, tasks)
+
+    def run_tasks_async(self, tasks: Sequence[_CraftTask]):
+        """Submit the whole grid without blocking; returns the pool's
+        ``AsyncResult`` (``ready()`` / ``get()``)."""
+        return self._ensure_pool().map_async(_craft_in_worker, tasks)
+
+    # ------------------------------------------------------------------ #
+    def craft_grid(self, attacks: Dict[str, Attack], model,
+                   images: np.ndarray, labels: np.ndarray,
+                   cache: Optional[AdversarialCache] = None
+                   ) -> Dict[str, np.ndarray]:
+        """Craft every attack's full batch sharded against one model.
+
+        The standalone entry point for callers outside the suite (the
+        transfer study crafts a whole grid against the victim, then the
+        surrogate).  Publishing the model once for the *whole* grid
+        matters twice over: one pickle/temp-file per model instead of
+        one per attack, and workers keep their memoized model instead of
+        reloading every time the fingerprint alternates.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels)
+        model_fp, _, path, cache_spec = self.prepare_model(model, cache)
+        try:
+            tasks = self.build_tasks(attacks, images, labels,
+                                     model_fp, path, cache_spec)
+            outcomes = list(self.run_tasks(tasks, model, cache))
+        finally:
+            self.release_model(model_fp)
+        grouped: Dict[str, List[CraftOutcome]] = {}
+        for outcome in outcomes:
+            grouped.setdefault(outcome.attack_name, []).append(outcome)
+        return {name: merge_outcomes(cells)
+                for name, cells in grouped.items()}
+
+    def craft(self, attack: Attack, model, images: np.ndarray,
+              labels: np.ndarray, cache: Optional[AdversarialCache] = None
+              ) -> np.ndarray:
+        """Craft one attack's full batch sharded; returns the merged rows."""
+        return self.craft_grid({"attack": attack}, model, images, labels,
+                               cache=cache)["attack"]
+
+
+def model_blob_fingerprint(blob: bytes) -> str:
+    """Cheap worker-memoization key when no cache fingerprint is needed."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def merge_outcomes(outcomes: Iterable[CraftOutcome]) -> np.ndarray:
+    """Order-preserving merge of one attack's shard outputs."""
+    ordered = sorted(outcomes, key=lambda o: o.shard.index)
+    return np.concatenate([o.adv for o in ordered])

@@ -10,6 +10,7 @@ to look *worse* under transfer than under direct attack.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -19,6 +20,7 @@ from .. import nn
 from ..attacks.base import Attack
 from .cache import AdversarialCache
 from .metrics import test_accuracy
+from .shard import ShardedCrafter
 
 __all__ = ["TransferResult", "transfer_attack_accuracy"]
 
@@ -45,6 +47,8 @@ def transfer_attack_accuracy(
     images: np.ndarray,
     labels: np.ndarray,
     cache: Optional[AdversarialCache] = None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> Dict[str, TransferResult]:
     """Measure white-box vs transferred accuracy for each attack.
 
@@ -52,23 +56,40 @@ def transfer_attack_accuracy(
     generated against it and replayed on ``victim``.  With a ``cache``, the
     surrogate-crafted batches (and the direct white-box ones) are replayed
     from disk on repeated runs — useful because the same surrogate examples
-    are typically measured against several victims.
+    are typically measured against several victims.  ``workers > 1``
+    shards the crafting over a spawn pool (scoped to this call) with
+    identical results; the study crafts twice per attack, so it
+    parallelizes as well as the main grid.
     """
     if len(images) == 0:
         raise ValueError("transfer evaluation needs at least one example")
 
-    def craft(attack: Attack, model: nn.Module) -> np.ndarray:
-        if cache is not None:
-            return cache.get_or_generate(attack, model, images, labels)[0]
-        return attack(model, images, labels)
+    crafter = ShardedCrafter(workers=workers, shard_size=shard_size)
 
     results: Dict[str, TransferResult] = {}
-    for name, attack in attacks.items():
-        direct = craft(attack, victim)
-        transferred = craft(attack, surrogate)
-        results[name] = TransferResult(
-            attack=name,
-            white_box_accuracy=test_accuracy(victim, direct, labels),
-            transfer_accuracy=test_accuracy(victim, transferred, labels),
-        )
+    with crafter if crafter.enabled else nullcontext():
+        if crafter.enabled:
+            # Whole grid per model: the victim and surrogate are each
+            # published to the worker pool once, not once per attack.
+            direct_all = crafter.craft_grid(attacks, victim, images,
+                                            labels, cache=cache)
+            transfer_all = crafter.craft_grid(attacks, surrogate, images,
+                                              labels, cache=cache)
+        for name, attack in attacks.items():
+            if crafter.enabled:
+                direct = direct_all[name]
+                transferred = transfer_all[name]
+            elif cache is not None:
+                direct = cache.get_or_generate(attack, victim, images,
+                                               labels)[0]
+                transferred = cache.get_or_generate(attack, surrogate,
+                                                    images, labels)[0]
+            else:
+                direct = attack(victim, images, labels)
+                transferred = attack(surrogate, images, labels)
+            results[name] = TransferResult(
+                attack=name,
+                white_box_accuracy=test_accuracy(victim, direct, labels),
+                transfer_accuracy=test_accuracy(victim, transferred, labels),
+            )
     return results

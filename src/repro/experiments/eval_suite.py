@@ -46,12 +46,15 @@ def run_eval_suite(
     early_stop: bool = True,
     verbose: bool = False,
     backend: Optional[str] = None,
+    workers: int = 1,
 ) -> SuiteResult:
     """Train ``defense`` on ``dataset`` and run the selected attack grid.
 
     Returns the engine's :class:`SuiteResult` (per-attack accuracy, wall
     time, cache provenance and flip counts).  ``backend`` pins the array
-    backend for both the training and the attack grid.
+    backend for both the training and the attack grid; ``workers > 1``
+    shards the crafting over a spawn pool with identical results (the
+    pool is scoped to this call).
     """
     config = get_config(preset)
     with backend_scope(backend, config):
@@ -69,13 +72,13 @@ def run_eval_suite(
         trainer = build_trainer(defense, cfg, seed=seed)
         trainer.fit(split.train)
 
-        suite = AttackSuite(attacks, cache=build_cache(cache_dir),
-                            early_stop=None)
-        n = min(cfg.eval_size, len(split.test))
-        on_record = (lambda r: print(f"  {r}")) if verbose else None
-        return suite.run(trainer.model, split.test.images[:n],
-                         split.test.labels[:n], model_name=defense,
-                         dataset=cfg.name, on_record=on_record)
+        with AttackSuite(attacks, cache=build_cache(cache_dir),
+                         early_stop=None, workers=workers) as suite:
+            n = min(cfg.eval_size, len(split.test))
+            on_record = (lambda r: print(f"  {r}")) if verbose else None
+            return suite.run(trainer.model, split.test.images[:n],
+                             split.test.labels[:n], model_name=defense,
+                             dataset=cfg.name, on_record=on_record)
 
 
 def suite_to_evaluation_result(suite_result: SuiteResult) -> EvaluationResult:

@@ -20,7 +20,7 @@ from ..defenses import CLSTrainer
 from ..models import build_classifier
 from ..train import Checkpointer, MetricsLogger, read_jsonl
 from .config import DatasetConfig, get_config
-from .runners import build_trainer, load_config_split
+from .runners import build_probe, build_trainer, load_config_split
 
 __all__ = ["run_training_time", "run_cls_convergence",
            "curves_from_metrics", "TIMED_DEFENSES", "CLS_SETTINGS",
@@ -41,7 +41,9 @@ def run_training_time(dataset: str, preset: str = "fast", seed: int = 0,
                       epochs: int = None,
                       defenses: Sequence[str] = TIMED_DEFENSES,
                       checkpoint_dir: Optional[Union[str, os.PathLike]]
-                      = None, resume: bool = False) -> Dict[str, float]:
+                      = None, resume: bool = False,
+                      probe_every: int = 0,
+                      workers: int = 1) -> Dict[str, float]:
     """Mean seconds per training epoch for each timed defense.
 
     Returns ``{defense: sec_per_epoch}``; the paper's claim is the ordering
@@ -51,10 +53,17 @@ def run_training_time(dataset: str, preset: str = "fast", seed: int = 0,
     subdirectory, and ``resume=True`` picks up killed runs — an
     interrupted PGD-GanDef sweep (the expensive corner of this figure)
     costs only its unfinished epochs on restart.
+
+    ``probe_every > 0`` adds in-training robustness probes (the Figure 5
+    robustness-vs-epoch story); with ``workers > 1`` they craft on a
+    worker pool overlapping the next epoch, so the *timed* epochs stay
+    honest — probe crafting no longer inflates the per-epoch seconds it
+    is trying to measure.
     """
     if resume and not checkpoint_dir:
         raise ValueError("resume requires checkpoint_dir")
-    cfg = get_config(preset).dataset(dataset)
+    config = get_config(preset)
+    cfg = config.dataset(dataset)
     split = load_config_split(cfg, seed=seed)
     timings: Dict[str, float] = {}
     for defense in defenses:
@@ -62,6 +71,11 @@ def run_training_time(dataset: str, preset: str = "fast", seed: int = 0,
         if epochs is not None:
             trainer.epochs = epochs
         callbacks = []
+        probe = None
+        if probe_every:
+            probe = build_probe(cfg, split, probe_every, fast=config.fast,
+                                seed=seed, workers=workers)
+            callbacks.append(probe)
         if checkpoint_dir:
             checkpointer = Checkpointer(
                 os.path.join(os.fspath(checkpoint_dir), defense),
@@ -69,7 +83,11 @@ def run_training_time(dataset: str, preset: str = "fast", seed: int = 0,
             if resume:
                 checkpointer.try_resume(trainer)
             callbacks.append(checkpointer)
-        history = trainer.fit(split.train, callbacks=callbacks)
+        try:
+            history = trainer.fit(split.train, callbacks=callbacks)
+        finally:
+            if probe is not None:
+                probe.close()
         timings[defense] = history.mean_epoch_seconds
     return timings
 

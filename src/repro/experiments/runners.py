@@ -34,7 +34,7 @@ from ..train import (
 from .config import DatasetConfig, ExperimentConfig
 
 __all__ = ["build_trainer", "load_config_split", "build_cache",
-           "build_train_callbacks", "backend_scope"]
+           "build_train_callbacks", "build_probe", "backend_scope"]
 
 
 def backend_scope(backend: Optional[str], config: ExperimentConfig):
@@ -93,6 +93,41 @@ def build_trainer(defense: str, cfg: DatasetConfig, seed: int = 0) -> Trainer:
     raise KeyError(f"unknown defense {defense!r}")
 
 
+def build_probe(
+    cfg: DatasetConfig,
+    split: DataSplit,
+    every: int,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    fast: bool = True,
+    seed: int = 0,
+    workers: int = 1,
+    writer=None,
+) -> RobustnessProbe:
+    """A configured in-training robustness probe.
+
+    ``workers > 1`` gives the probe's suite a worker pool: each probe
+    snapshots the weights and crafts in the background, overlapping the
+    next epoch's training instead of stalling it.  Close the probe
+    (:meth:`RobustnessProbe.close` via the caller) when the run ends.
+    """
+    schedule = cfg.schedule
+    pool = cfg.budget.build(fast=fast, seed=seed)
+    unknown = sorted(set(schedule.probe_attacks) - set(pool))
+    if unknown:
+        raise KeyError(f"unknown probe attacks {unknown}; "
+                       f"choose from {sorted(pool)}")
+    attacks = {name: pool[name] for name in schedule.probe_attacks}
+    # Probe on the *tail* of the test split: the final evaluation
+    # reads test[:eval_size], so the slices stay disjoint whenever
+    # the split is big enough to allow it.
+    n = min(schedule.probe_size, len(split.test))
+    suite = AttackSuite(attacks, cache=build_cache(cache_dir),
+                        early_stop=None, workers=workers)
+    return RobustnessProbe(
+        suite, split.test.images[-n:], split.test.labels[-n:],
+        every=every, writer=writer)
+
+
 def build_train_callbacks(
     cfg: DatasetConfig,
     trainer: Trainer,
@@ -104,6 +139,7 @@ def build_train_callbacks(
     fast: bool = True,
     seed: int = 0,
     guard: bool = True,
+    workers: int = 1,
 ) -> List[Callback]:
     """Assemble the standard callback stack for a configured run.
 
@@ -111,7 +147,8 @@ def build_train_callbacks(
     built-in history recorder): scheduler first so the epoch trains at
     the scheduled rate, then the divergence guard, metrics, probes, and
     the checkpointer **last** so every snapshot contains the records the
-    other callbacks just appended.
+    other callbacks just appended.  ``workers`` parallelizes the probes'
+    crafting (see :func:`build_probe`).
     """
     schedule = cfg.schedule
     callbacks: List[Callback] = []
@@ -130,21 +167,10 @@ def build_train_callbacks(
         callbacks.append(MetricsLogger(writer))
     every = schedule.probe_every if probe_every is None else probe_every
     if every:
-        pool = cfg.budget.build(fast=fast, seed=seed)
-        unknown = sorted(set(schedule.probe_attacks) - set(pool))
-        if unknown:
-            raise KeyError(f"unknown probe attacks {unknown}; "
-                           f"choose from {sorted(pool)}")
-        attacks = {name: pool[name] for name in schedule.probe_attacks}
-        # Probe on the *tail* of the test split: the final evaluation
-        # reads test[:eval_size], so the slices stay disjoint whenever
-        # the split is big enough to allow it.
-        n = min(schedule.probe_size, len(split.test))
-        suite = AttackSuite(attacks, cache=build_cache(cache_dir),
-                            early_stop=None)
-        callbacks.append(RobustnessProbe(
-            suite, split.test.images[-n:], split.test.labels[-n:],
-            every=every, writer=writer))
+        callbacks.append(build_probe(cfg, split, every,
+                                     cache_dir=cache_dir, fast=fast,
+                                     seed=seed, workers=workers,
+                                     writer=writer))
     if checkpointer is not None:
         callbacks.append(checkpointer)
     return callbacks

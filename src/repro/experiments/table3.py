@@ -30,6 +30,7 @@ def run_table3(
     verbose: bool = False,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     backend: Optional[str] = None,
+    workers: int = 1,
 ) -> List[EvaluationResult]:
     """Regenerate one dataset column-block of Table III.
 
@@ -39,28 +40,31 @@ def run_table3(
     cache: a re-run against unchanged weights replays the stored batches.
     ``backend`` pins the array backend for the whole grid (training and
     attacks); the seeded accuracies are backend-invariant, pinned by the
-    cross-backend parity suite.
+    cross-backend parity suite.  ``workers > 1`` shards every defense's
+    attack grid over one persistent spawn pool, reused across the seven
+    evaluations; accuracies are identical to the single-process run.
     """
     config = get_config(preset)
     with backend_scope(backend, config):
         cfg = config.dataset(dataset)
         split = load_config_split(cfg, seed=seed)
         attacks = cfg.budget.build(fast=config.fast, seed=seed)
-        framework = EvaluationFramework(split, attacks,
-                                        eval_size=cfg.eval_size,
-                                        cache=build_cache(cache_dir))
-
-        results = []
-        for defense in (defenses or DEFENSE_NAMES):
-            trainer = build_trainer(defense, cfg, seed=seed)
-            result = framework.evaluate(trainer)
-            results.append(result)
-            if verbose:
-                row = " ".join(
-                    f"{t}={result.accuracy.get(t, float('nan')) * 100:.1f}%"
-                    for t in EXAMPLE_TYPES)
-                print(f"[table3:{dataset}] {defense:12s} {row}")
-        return results
+        with EvaluationFramework(split, attacks,
+                                 eval_size=cfg.eval_size,
+                                 cache=build_cache(cache_dir),
+                                 workers=workers) as framework:
+            results = []
+            for defense in (defenses or DEFENSE_NAMES):
+                trainer = build_trainer(defense, cfg, seed=seed)
+                result = framework.evaluate(trainer)
+                results.append(result)
+                if verbose:
+                    row = " ".join(
+                        f"{t}="
+                        f"{result.accuracy.get(t, float('nan')) * 100:.1f}%"
+                        for t in EXAMPLE_TYPES)
+                    print(f"[table3:{dataset}] {defense:12s} {row}")
+            return results
 
 
 def render_table3(results: Sequence[EvaluationResult]) -> str:

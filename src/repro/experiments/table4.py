@@ -22,23 +22,27 @@ def run_table4(dataset: str, preset: str = "fast", seed: int = 0,
                verbose: bool = False,
                cache_dir: Optional[Union[str, os.PathLike]] = None,
                backend: Optional[str] = None,
+               workers: int = 1,
                ) -> EvaluationResult:
     """Regenerate one dataset column-pair of Table IV.
 
     Returns a single result whose accuracy dict has ``original``,
     ``deepfool`` and ``cw`` entries for the ZK-GanDef classifier.
-    ``backend`` pins the array backend for the run.
+    ``backend`` pins the array backend for the run; ``workers > 1``
+    shards the DeepFool/CW crafting over a spawn pool (identical
+    accuracies, scoped to this call).
     """
     config = get_config(preset)
     with backend_scope(backend, config):
         cfg = config.dataset(dataset)
         split = load_config_split(cfg, seed=seed)
         attacks = cfg.budget.build_generalizability(fast=config.fast)
-        framework = EvaluationFramework(split, attacks,
-                                        eval_size=cfg.eval_size,
-                                        cache=build_cache(cache_dir))
-        trainer = build_trainer("zk-gandef", cfg, seed=seed)
-        result = framework.evaluate(trainer)
+        with EvaluationFramework(split, attacks,
+                                 eval_size=cfg.eval_size,
+                                 cache=build_cache(cache_dir),
+                                 workers=workers) as framework:
+            trainer = build_trainer("zk-gandef", cfg, seed=seed)
+            result = framework.evaluate(trainer)
         if verbose:
             row = " ".join(f"{k}={v * 100:.1f}%" for k, v in
                            result.accuracy.items())

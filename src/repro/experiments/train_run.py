@@ -55,6 +55,7 @@ def run_train(
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     verbose: bool = False,
     backend: Optional[str] = None,
+    workers: int = 1,
 ) -> TrainRunResult:
     """Train ``defense`` on ``dataset`` with full run control.
 
@@ -66,7 +67,9 @@ def run_train(
     ``<checkpoint_dir>/metrics.jsonl`` when checkpointing is on.
     ``backend`` pins the array backend; checkpoints record which backend
     produced them, and the two CPU backends resume each other's runs
-    bit-for-bit.
+    bit-for-bit.  ``workers > 1`` puts the robustness probes on a worker
+    pool: each probe snapshots the weights and crafts while the next
+    epoch trains, so probing stops stalling the run.
     """
     if resume and not checkpoint_dir:
         raise ValueError(
@@ -98,13 +101,17 @@ def run_train(
             cfg, trainer, split,
             checkpointer=checkpointer, metrics_path=metrics_path,
             probe_every=probe_every, cache_dir=cache_dir,
-            fast=config.fast, seed=seed)
+            fast=config.fast, seed=seed, workers=workers)
         probe = next((c for c in callbacks
                       if isinstance(c, RobustnessProbe)), None)
         if verbose:
             callbacks.insert(0, PrintProgress())
 
-        history = trainer.fit(split.train, callbacks=callbacks)
+        try:
+            history = trainer.fit(split.train, callbacks=callbacks)
+        finally:
+            if probe is not None:
+                probe.close()   # drain async probes, release the pool
         return TrainRunResult(
             defense=defense,
             dataset=cfg.name,

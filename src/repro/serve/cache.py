@@ -30,6 +30,7 @@ every repeat of an example bitwise-identical to its first answer.
 from __future__ import annotations
 
 import collections
+import threading
 from typing import List, Optional
 
 import numpy as np
@@ -41,7 +42,16 @@ __all__ = ["PredictionCache"]
 
 
 class PredictionCache:
-    """Bounded LRU of per-example served predictions."""
+    """Bounded LRU of per-example served predictions.
+
+    Thread-safe: one cache is typically shared by every lane of a server
+    (and may be shared by several servers), whose background pump threads
+    look up and store concurrently.  The LRU dict and the ``hits`` /
+    ``misses`` / ``evictions`` counters mutate only under an internal
+    lock, so ``hits + misses`` always equals the number of examples
+    probed — the unguarded counters could drop increments (and the
+    OrderedDict could corrupt) when two pumps raced.
+    """
 
     def __init__(self, max_entries: int = 4096) -> None:
         if max_entries < 1:
@@ -50,6 +60,7 @@ class PredictionCache:
         self.max_entries = max_entries
         self._entries: "collections.OrderedDict[tuple, Prediction]" = \
             collections.OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -68,38 +79,45 @@ class PredictionCache:
         """
         out: List[Optional[Prediction]] = []
         for example in images:
+            # Hash outside the lock (the expensive part), mutate inside.
             key = self.key(model_fingerprint, example)
-            entry = self._entries.get(key)
-            if entry is None:
-                self.misses += 1
-                out.append(None)
-                continue
-            self._entries.move_to_end(key)
-            self.hits += 1
-            out.append(Prediction(label=entry.label,
-                                  logits=entry.logits.copy(),
-                                  score=entry.score,
-                                  flagged=entry.flagged,
-                                  from_cache=True))
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                    out.append(None)
+                    continue
+                self._entries.move_to_end(key)
+                self.hits += 1
+                logits = entry.logits.copy()
+                out.append(Prediction(label=entry.label,
+                                      logits=logits,
+                                      score=entry.score,
+                                      flagged=entry.flagged,
+                                      from_cache=True))
         return out
 
     def store(self, model_fingerprint: str, example: np.ndarray,
               prediction: Prediction) -> None:
         """Remember one freshly-served example (evicting LRU if full)."""
         key = self.key(model_fingerprint, example)
-        self._entries[key] = Prediction(label=prediction.label,
-                                        logits=prediction.logits.copy(),
-                                        score=prediction.score,
-                                        flagged=prediction.flagged)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        entry = Prediction(label=prediction.label,
+                           logits=prediction.logits.copy(),
+                           score=prediction.score,
+                           flagged=prediction.flagged)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0

@@ -36,6 +36,10 @@ class ServeReport:
     load: LoadReport
     stats: ServerStats
     served_accuracy: float
+    #: Lock-consistent snapshot of ``stats`` taken by the server at the
+    #: end of the run (``Server.stats_summary``); readers should prefer
+    #: it over ``stats.summary()``, which reads live fields unlocked.
+    stats_snapshot: dict = None
 
     @property
     def gate_metrics(self) -> FilterMetrics:
@@ -148,4 +152,5 @@ def run_serve(
         load=report,
         stats=server.stats,
         served_accuracy=report.accuracy(labels_for),
+        stats_snapshot=server.stats_summary(),
     )

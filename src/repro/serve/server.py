@@ -261,6 +261,18 @@ class Server:
         """Force-flush everything pending; returns batches served."""
         return self.pump(force=True)
 
+    def stats_summary(self) -> Dict[str, float]:
+        """Consistent snapshot of :attr:`stats` taken under the lock.
+
+        Every mutation of the counters happens under ``_lock`` (admission
+        in :meth:`submit`, completion in ``_process``); reading them
+        field-by-field off the background-pump path could otherwise see a
+        half-applied batch (e.g. ``batches`` bumped but its latencies not
+        yet appended).
+        """
+        with self._lock:
+            return self.stats.summary()
+
     @property
     def pending_examples(self) -> int:
         with self._lock:

@@ -12,11 +12,30 @@ Probing never perturbs training: the model is already in eval mode when
 ``on_epoch_end`` fires (dropout inactive, so no generator draws), and the
 attacks re-derive their own streams per call — a probed run and an
 unprobed run produce bit-identical training histories.
+
+When the suite carries a worker pool (``AttackSuite(workers=N)``), probes
+go **asynchronous**: ``on_epoch_end`` snapshots the weights and submits
+the crafting to the pool, then training proceeds into the next epoch
+while the workers craft — the probe overlaps the epoch instead of
+stalling it.  Results are collected (in submission order, so histories
+stay ordered) on later epoch boundaries and drained at ``on_train_end``;
+each probe scores against its snapshot, so the readings are identical to
+the synchronous ones.
+
+One deliberate trade-off: because an async probe's rows reach the
+history *after* its epoch, a checkpoint written while a probe is still
+in flight does not contain that probe's rows (synchronous probes record
+before the checkpointer runs).  A run that completes — or is resumed and
+completes — still ends with the full, identical probe stream; what a
+kill-and-resume loses is only the in-flight probes of the killed
+process.  Runs that need checkpoints to be bit-complete at every epoch
+boundary (the resume-equivalence suite does) should keep the default
+synchronous probes.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,7 +43,7 @@ from .callbacks import Callback
 from .metrics import JsonlWriter
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..eval.engine import AttackSuite
+    from ..eval.engine import AttackSuite, PendingSuiteResult
 
 __all__ = ["RobustnessProbe"]
 
@@ -62,14 +81,59 @@ class RobustnessProbe(Callback):
         self.writer = writer
         self.results = []       # SuiteResult per probe, in epoch order
         self.probe_epochs: list = []  # epoch index of each probe
+        # (epoch, trainer, pending) probes still crafting in the pool.
+        self._pending: List[Tuple[int, object, "PendingSuiteResult"]] = []
+
+    @property
+    def overlapping(self) -> bool:
+        """Async probing: on when the suite has a worker pool."""
+        return getattr(self.suite, "parallel", False)
 
     def on_epoch_end(self, loop, epoch, logs):
         trainer = loop.trainer
+        # Collect any probes whose crafting finished while we trained.
+        self._collect(block=False)
         last = trainer.completed_epochs >= trainer.epochs
         if (epoch + 1) % self.every and not last and not loop.stopping:
             return
-        result = self.suite.run(trainer.model, self.images, self.labels,
-                                model_name=trainer.name)
+        if self.overlapping:
+            # run_async snapshots the weights, so the next epoch's updates
+            # cannot leak into this epoch's reading.
+            pending = self.suite.run_async(trainer.model, self.images,
+                                           self.labels,
+                                           model_name=trainer.name)
+            self._pending.append((epoch, trainer, pending))
+            if last or loop.stopping:
+                self._collect(block=True)
+            return
+        self._record(epoch, trainer,
+                     self.suite.run(trainer.model, self.images, self.labels,
+                                    model_name=trainer.name))
+
+    def on_train_end(self, loop):
+        self._collect(block=True)
+
+    def close(self) -> None:
+        """Drain outstanding probes and release the suite's worker pool."""
+        self._collect(block=True)
+        close = getattr(self.suite, "close", None)
+        if close is not None:
+            close()
+
+    def _collect(self, block: bool) -> None:
+        """Drain finished pendings from the head, preserving epoch order.
+
+        Only the head may be taken even when a later probe finished
+        first — histories and the JSONL stream must stay epoch-ordered.
+        """
+        while self._pending:
+            epoch, trainer, pending = self._pending[0]
+            if not block and not pending.ready():
+                return
+            self._pending.pop(0)
+            self._record(epoch, trainer, pending.result())
+
+    def _record(self, epoch, trainer, result) -> None:
         self.results.append(result)
         self.probe_epochs.append(epoch)
         history = trainer.history

@@ -29,6 +29,25 @@ class TestNumBatches:
         with pytest.raises(ValueError):
             num_batches(10, 0)
 
+    def test_drop_last_smaller_than_batch_raises(self):
+        """The silent-no-op regression: num_batches(5, 32, drop_last=True)
+        used to return 0 and trainers ran zero-step epochs."""
+        with pytest.raises(ValueError, match="zero batches"):
+            num_batches(5, 32, drop_last=True)
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError, match="zero batches"):
+            num_batches(0, 32)
+        with pytest.raises(ValueError, match="zero batches"):
+            num_batches(0, 32, drop_last=True)
+
+    def test_exact_batch_size_boundary(self):
+        """n == batch_size yields exactly one batch with and without
+        drop_last — the boundary right above the error."""
+        assert num_batches(32, 32, drop_last=True) == 1
+        assert num_batches(32, 32, drop_last=False) == 1
+        assert num_batches(33, 32, drop_last=True) == 1
+
     @given(st.integers(1, 200), st.integers(1, 50))
     @settings(max_examples=50, deadline=None)
     def test_matches_iteration(self, n, bs):
@@ -59,6 +78,26 @@ class TestIterateBatches:
                                        drop_last=True))
         assert all(len(x) == 3 for x, _ in batches)
         assert len(batches) == 3
+
+    def test_drop_last_empty_epoch_raises_before_consuming_rng(self):
+        ds = make_dataset(5)
+        rng = derive_rng(0, "t")
+        before = rng.bit_generator.state
+        with pytest.raises(ValueError, match="zero batches"):
+            list(iterate_batches(ds, 32, rng, drop_last=True))
+        # The error fires before the shuffle, so the stream is untouched
+        # and a caller that catches it can retry without drop_last.
+        assert rng.bit_generator.state == before
+
+    def test_exact_batch_size_boundary_iterates_once(self):
+        ds = make_dataset(8)
+        batches = list(iterate_batches(ds, 8, derive_rng(0, "t"),
+                                       drop_last=True))
+        assert len(batches) == 1 and len(batches[0][0]) == 8
+
+    def test_pairs_reject_invalid_batch_size(self):
+        with pytest.raises(ValueError, match="batch size"):
+            list(iterate_pairs(make_dataset(3), 0, derive_rng(0, "t")))
 
     def test_shuffling_differs_between_epochs(self):
         ds = make_dataset(32)

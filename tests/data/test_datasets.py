@@ -28,6 +28,26 @@ class TestDataset:
         with pytest.raises(ValueError):
             Dataset(make_images(value=2.0), np.zeros(10, int))
 
+    def test_rejects_empty(self):
+        """A 0-example set used to pass construction and only fail later
+        (divide-by-zero accuracy, zero-batch epochs)."""
+        with pytest.raises(ValueError, match="no examples"):
+            Dataset(np.zeros((0, 1, 4, 4), dtype=np.float32),
+                    np.zeros(0, dtype=np.int64))
+
+    def test_range_check_without_zero_clamp(self):
+        """The old ``min(initial=0.0)`` clamped the computed bounds toward
+        0: an all-positive set just above 1 slipped past the upper check
+        only via its true max, and reported ranges were wrong.  Both
+        all-positive and all-negative sets must be validated against
+        their true extrema."""
+        # all-negative pixels, genuinely out of range: must be caught
+        with pytest.raises(ValueError, match="pixels outside"):
+            Dataset(make_images(value=-1.5), np.zeros(10, int))
+        # legal all-positive and all-negative sets still construct
+        Dataset(make_images(value=0.9), np.zeros(10, int))
+        Dataset(make_images(value=-0.9), np.zeros(10, int))
+
     def test_casts_dtype(self):
         ds = Dataset(make_images().astype(np.float64), np.zeros(10, int))
         assert ds.images.dtype == np.float32

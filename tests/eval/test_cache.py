@@ -154,8 +154,8 @@ class TestLRUEviction:
                 np.testing.assert_array_equal(got, direct[i])
 
     def test_recency_survives_reconstruction(self, setup, tmp_path):
-        """A new instance over the same directory ranks existing entries
-        by mtime and keeps enforcing the cap."""
+        """A new instance over the same directory replays the recency
+        journal and keeps enforcing the cap."""
         model, x, y = setup
         size = self.entry_bytes(setup, tmp_path)
         root = tmp_path / "adv"
@@ -178,6 +178,148 @@ class TestLRUEviction:
     def test_max_bytes_validation(self, tmp_path):
         with pytest.raises(ValueError, match="max_bytes"):
             AdversarialCache(tmp_path / "adv", max_bytes=0)
+
+
+class TestRecencyJournal:
+    """The sidecar journal replacing mtime-ranked recency.
+
+    mtime has ~1s granularity on some filesystems: same-second entries
+    evicted in arbitrary order, and a cross-process touch racing an
+    eviction could act on (and appear to resurrect) a removed key.  The
+    journal is explicit, ordered and lock-guarded.
+    """
+
+    def attacks(self, n):
+        return [BIM(eps=0.1 + 0.05 * i, step=0.1, iterations=2)
+                for i in range(n)]
+
+    def test_same_instant_stores_keep_true_order(self, setup, tmp_path):
+        """Entries written within one filesystem-timestamp tick still
+        evict strictly oldest-first (mtime could not distinguish them)."""
+        model, x, y = setup
+        root = tmp_path / "adv"
+        writer = AdversarialCache(root, max_bytes=1 << 30)
+        for attack in self.attacks(4):      # all inside the same second
+            writer.get_or_generate(attack, model, x, y)
+        size = writer.total_bytes // 4
+        reopened = AdversarialCache(root, max_bytes=2 * size)
+        reopened._evict_over_cap()
+        # Probe with load() (no re-store) so the probe cannot disturb
+        # the order it is checking.
+        survivors = [reopened.load(cache_key(model, a, x, y)) is not None
+                     for a in self.attacks(4)]
+        assert survivors == [False, False, True, True]  # oldest two gone
+
+    def test_touch_is_journaled_not_mtime(self, setup, tmp_path):
+        """A hit through a *different* instance still protects the entry
+        from a third instance's eviction — cross-process recency."""
+        model, x, y = setup
+        root = tmp_path / "adv"
+        first = AdversarialCache(root, max_bytes=1 << 30)
+        a, b, c = self.attacks(3)
+        first.get_or_generate(a, model, x, y)
+        first.get_or_generate(b, model, x, y)
+        size = first.total_bytes // 2
+        # Another "process" touches the older entry...
+        toucher = AdversarialCache(root, keep_in_memory=False,
+                                   max_bytes=1 << 30)
+        assert toucher.get_or_generate(a, model, x, y)[1] is True
+        # ...so a capped writer evicts b (now the true LRU), not a.
+        evictor = AdversarialCache(root, keep_in_memory=False,
+                                   max_bytes=2 * size)
+        evictor.get_or_generate(c, model, x, y)
+        assert evictor.get_or_generate(a, model, x, y)[1] is True
+        assert evictor.get_or_generate(b, model, x, y)[1] is False
+
+    def test_foreign_entry_touch_is_adopted(self, setup, tmp_path):
+        """A capped instance hitting an entry stored by another process
+        *after* its own construction must still journal the recency bump
+        (the entry is adopted into its LRU view on first sight)."""
+        model, x, y = setup
+        root = tmp_path / "adv"
+        a, b, c = self.attacks(3)
+        capped = AdversarialCache(root, keep_in_memory=False,
+                                  max_bytes=1 << 30)  # constructed first
+        other = AdversarialCache(root, keep_in_memory=False,
+                                 max_bytes=1 << 30)
+        other.get_or_generate(a, model, x, y)   # after capped's replay
+        other.get_or_generate(b, model, x, y)
+        assert capped.get_or_generate(a, model, x, y)[1] is True  # bump a
+        size = other.total_bytes // 2
+        evictor = AdversarialCache(root, keep_in_memory=False,
+                                   max_bytes=2 * size)
+        evictor.get_or_generate(c, model, x, y)  # must evict b, not a
+        assert evictor.get_or_generate(a, model, x, y)[1] is True
+        assert evictor.get_or_generate(b, model, x, y)[1] is False
+
+    def test_eviction_cannot_resurrect(self, setup, tmp_path):
+        """An evicted key stays evicted even when another instance held
+        it tracked: the journal's evict record wins over stale state."""
+        model, x, y = setup
+        root = tmp_path / "adv"
+        a, b = self.attacks(2)
+        one = AdversarialCache(root, keep_in_memory=False,
+                               max_bytes=1 << 30)
+        one.get_or_generate(a, model, x, y)
+        size = one.total_bytes
+        one.get_or_generate(b, model, x, y)
+        two = AdversarialCache(root, keep_in_memory=False, max_bytes=size)
+        two._evict_over_cap()               # evicts a (the LRU)
+        assert one.get_or_generate(a, model, x, y)[1] is False  # regenerated
+        # The regeneration re-stored it — that is a fresh journaled store,
+        # not a resurrection of stale recency.
+        assert one.get_or_generate(a, model, x, y)[1] is True
+
+    def test_torn_journal_line_is_skipped(self, setup, tmp_path):
+        model, x, y = setup
+        root = tmp_path / "adv"
+        cache = AdversarialCache(root, max_bytes=1 << 30)
+        for attack in self.attacks(2):
+            cache.get_or_generate(attack, model, x, y)
+        with open(root / AdversarialCache.JOURNAL_NAME, "a") as handle:
+            handle.write('{"key": "tru')    # crash mid-append
+        reopened = AdversarialCache(root, max_bytes=1 << 30)
+        assert len(reopened._lru) == 2
+        assert reopened.get_or_generate(self.attacks(1)[0],
+                                        model, x, y)[1] is True
+
+    def test_unjournaled_entries_rank_oldest(self, setup, tmp_path):
+        """Files that predate the journal (legacy caches) are adopted as
+        least-recent and evict first."""
+        model, x, y = setup
+        root = tmp_path / "adv"
+        a, b = self.attacks(2)
+        legacy = AdversarialCache(root)     # uncapped journals stores...
+        legacy.get_or_generate(a, model, x, y)
+        (root / AdversarialCache.JOURNAL_NAME).unlink()  # ...erase history
+        size = sum(f.stat().st_size for f in root.glob("*.npz"))
+        capped = AdversarialCache(root, keep_in_memory=False,
+                                  max_bytes=size)
+        capped.get_or_generate(b, model, x, y)
+        assert capped.get_or_generate(b, model, x, y)[1] is True
+        assert capped.get_or_generate(a, model, x, y)[1] is False
+
+    def test_compaction_preserves_order(self, setup, tmp_path,
+                                        monkeypatch):
+        model, x, y = setup
+        root = tmp_path / "adv"
+        monkeypatch.setattr(AdversarialCache, "COMPACT_THRESHOLD", 4)
+        cache = AdversarialCache(root, max_bytes=1 << 30)
+        attacks = self.attacks(3)
+        for attack in attacks:
+            cache.get_or_generate(attack, model, x, y)
+        for _ in range(5):                  # touches pile up journal lines
+            cache.get_or_generate(attacks[0], model, x, y)
+        reopened = AdversarialCache(root, max_bytes=1 << 30)  # compacts
+        lines = (root / AdversarialCache.JOURNAL_NAME) \
+            .read_text().strip().splitlines()
+        assert len(lines) == 3              # one record per live key
+        assert list(reopened._lru) == list(cache._lru)
+
+    def test_spec_roundtrip(self, tmp_path):
+        cache = AdversarialCache(tmp_path / "adv", max_bytes=123)
+        twin = AdversarialCache(**cache.spec())
+        assert twin.root == cache.root and twin.max_bytes == 123
 
 
 class TestStorageHygiene:

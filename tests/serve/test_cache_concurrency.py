@@ -1,0 +1,127 @@
+"""PredictionCache under thread contention: counters must stay exact.
+
+The cache is shared across lanes (and may be shared across servers), so
+its LRU dict and hit/miss counters are mutated from whichever thread is
+pumping.  Unguarded ``+=`` on the counters drops increments under
+contention and concurrent ``OrderedDict`` mutation can corrupt the LRU;
+this suite hammers one cache from many threads and asserts the exact
+accounting invariant ``hits + misses == lookups``.
+"""
+
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import Prediction
+from repro.serve.cache import PredictionCache
+
+
+def make_examples(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, 1, 4, 4)).astype(np.float32)
+
+
+def prediction_for(i):
+    return Prediction(label=int(i % 7),
+                      logits=np.full(7, float(i), dtype=np.float32))
+
+
+@pytest.fixture
+def fast_thread_switching():
+    """Force frequent GIL handoffs so counter races actually interleave."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+class TestThreadedCounters:
+    THREADS = 8
+    ROUNDS = 40
+    EXAMPLES = 24
+
+    def test_hits_plus_misses_equals_lookups(self, fast_thread_switching):
+        cache = PredictionCache(max_entries=256)
+        examples = make_examples(self.EXAMPLES)
+        lookups = self.THREADS * self.ROUNDS * self.EXAMPLES
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for _ in range(self.ROUNDS):
+                    results = cache.lookup("model-fp", examples)
+                    for i, result in enumerate(results):
+                        if result is None:
+                            cache.store("model-fp", examples[i],
+                                        prediction_for(i))
+            except Exception as error:  # surfaced to the main thread
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert cache.hits + cache.misses == lookups
+        # Every example is stored at least once, so misses are bounded by
+        # the races on first sight: at most one miss per (thread, example).
+        assert cache.misses <= self.THREADS * self.EXAMPLES
+        assert cache.hits > 0
+
+    def test_eviction_accounting_under_contention(self,
+                                                  fast_thread_switching):
+        """A cache smaller than the working set keeps len <= max_entries
+        and exact counters while threads thrash it."""
+        cache = PredictionCache(max_entries=8)
+        examples = make_examples(self.EXAMPLES, seed=1)
+        lookups = self.THREADS * self.ROUNDS * self.EXAMPLES
+
+        def worker():
+            for _ in range(self.ROUNDS):
+                for i, result in enumerate(
+                        cache.lookup("fp", examples)):
+                    if result is None:
+                        cache.store("fp", examples[i], prediction_for(i))
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert cache.hits + cache.misses == lookups
+        assert len(cache) <= 8
+        # The working set (24) exceeds the cap (8), so the thrash must
+        # have evicted; same-key replacement stores never count.
+        assert cache.evictions > 0
+        assert cache.evictions <= cache.misses
+
+    def test_hit_replay_stays_immutable_across_threads(self):
+        """Concurrent hits each get their own logits copy."""
+        cache = PredictionCache(max_entries=4)
+        example = make_examples(1)[0]
+        cache.store("fp", example, prediction_for(3))
+        out = []
+
+        def worker():
+            result = cache.lookup("fp", example[None])[0]
+            result.logits += 1.0  # mutating my copy must not leak
+            out.append(result)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        clean = cache.lookup("fp", example[None])[0]
+        np.testing.assert_array_equal(
+            clean.logits, prediction_for(3).logits)
