@@ -1,0 +1,217 @@
+"""HTTP serving-tier performance: ``python benchmarks/bench_http.py``.
+
+Two phases against a live ``HttpServer`` on loopback:
+
+* **Equality** — the same single-example request stream served over
+  HTTP and directly through the in-process ``Server`` (both at
+  ``max_batch=1``, where batch composition is identical by
+  construction) must produce **bitwise identical** logits row for row:
+  the wire adds latency, never drift.
+* **Saturation** — a closed-loop load sweep at increasing offered RPS
+  against a capacity-bounded server (small admission queue): measured
+  throughput, p50/p95 latency and 429 rate per rung.  The backpressure
+  contract is asserted, not just plotted: beyond saturation the 429
+  rate must rise while **every** request still gets an answer — zero
+  transport errors, zero drops, at every rung.
+
+Results land in ``BENCH_http.json``; the script exits non-zero if the
+equality phase sees any mismatch, if any request is dropped, or if the
+overloaded rungs never push back.
+
+Usage::
+
+    python benchmarks/bench_http.py [--output PATH] [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import nn  # noqa: E402
+from repro.data import load_split  # noqa: E402
+from repro.experiments.config import get_config  # noqa: E402
+from repro.experiments.runners import build_trainer  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ApiKeyAuth,
+    HttpClient,
+    HttpFrontend,
+    HttpServer,
+    ModelRegistry,
+    Server,
+    build_mixed_load,
+    craft_adversarial_pool,
+    run_http_load,
+)
+
+
+def train_gandef(epochs, train_size, seed=0):
+    split = load_split("digits", train_size, 256, seed=seed)
+    cfg = get_config("fast").dataset("digits")
+    trainer = build_trainer("zk-gandef", cfg, seed=seed)
+    trainer.epochs = epochs
+    trainer.fit(split.train)
+    return trainer, split
+
+
+def build_http(trainer, *, max_batch, queue_limit):
+    registry = ModelRegistry()
+    registry.add("gandef", trainer.model,
+                 discriminator=trainer.discriminator, backend="numpy")
+    server = Server(registry, max_batch=max_batch, deadline_ms=2.0,
+                    gate="disc", cache=None)
+    frontend = HttpFrontend(server, auth=ApiKeyAuth({"bench": "key"}),
+                            queue_limit=queue_limit)
+    return HttpServer(frontend, host="127.0.0.1", port=0)
+
+
+def equality_phase(trainer, split, n_examples):
+    """HTTP rows vs direct Server rows, bitwise, at max_batch=1."""
+    stream = [split.test.images[i:i + 1] for i in range(n_examples)]
+
+    registry = ModelRegistry()
+    registry.add("gandef", trainer.model,
+                 discriminator=trainer.discriminator, backend="numpy")
+    direct = Server(registry, max_batch=1, deadline_ms=0.0, gate="disc")
+    direct_handles = [direct.submit("gandef", x) for x in stream]
+    direct.drain()
+
+    mismatches = 0
+    httpd = build_http(trainer, max_batch=1, queue_limit=1024)
+    with httpd:
+        host, port = httpd.address
+        with HttpClient(host, port, api_key="key") as client:
+            for x, want in zip(stream, direct_handles):
+                response = client.predict(x, model="gandef")
+                if response.status != 200:
+                    mismatches += 1
+                    continue
+                (row,) = response.payload["predictions"]
+                got = np.asarray(row["logits"], dtype=np.float32)
+                if not np.array_equal(got, want.logits[0]) or \
+                        row["label"] != int(want.labels[0]) or \
+                        row["score"] != float(want.scores[0]):
+                    mismatches += 1
+    return {"examples": n_examples, "mismatches": mismatches,
+            "bitwise_identical": mismatches == 0}
+
+
+def saturation_phase(trainer, split, *, num_requests, rps_ladder,
+                     queue_limit, concurrency, slow_forward_s):
+    """Closed-loop sweep: one rung per offered RPS, shared traffic."""
+    attack = get_config("fast").dataset("digits").budget \
+        .build(fast=False, seed=0)["pgd"]
+    pool = split.test.images[:64]
+    adv_pool = craft_adversarial_pool(trainer.model, pool,
+                                      split.test.labels[:64], attack)
+    traffic = build_mixed_load(pool, adv_pool, num_requests=num_requests,
+                               max_request_size=2, adv_fraction=0.5,
+                               seed=0)
+    if slow_forward_s:
+        # Pin per-batch cost so the saturation point is configuration,
+        # not hardware: the forward sleeps a fixed floor.
+        import time as time_module
+        inner = trainer.model.forward
+
+        def forward(x):
+            time_module.sleep(slow_forward_s)
+            return inner(x)
+
+        trainer.model.forward = forward
+    rungs = []
+    violations = []
+    for target_rps in rps_ladder:
+        httpd = build_http(trainer, max_batch=8, queue_limit=queue_limit)
+        with httpd:
+            host, port = httpd.address
+            report = run_http_load(host, port, traffic, model="gandef",
+                                   target_rps=target_rps,
+                                   concurrency=concurrency,
+                                   api_key="key", timeout=120.0)
+        summary = report.summary()
+        answered = report.completed + report.rejected_429
+        summary["answered"] = answered
+        rungs.append(summary)
+        print(f"offered {target_rps:7.1f} rps -> achieved "
+              f"{summary['achieved_rps']:7.1f} rps  "
+              f"429s {report.rejected_429:4d}  "
+              f"p50 {summary['latency_p50_ms']:8.2f}ms  "
+              f"p95 {summary['latency_p95_ms']:8.2f}ms")
+        if report.transport_errors:
+            violations.append(
+                f"rps={target_rps}: {report.transport_errors} transport "
+                "errors (requests dropped or hung)")
+        if answered != len(report.outcomes):
+            violations.append(
+                f"rps={target_rps}: {len(report.outcomes) - answered} "
+                "requests neither served nor explicitly rejected")
+    if not any(r["rejected_429"] for r in rungs):
+        violations.append(
+            "no rung produced 429s: the ladder never saturated the "
+            "admission queue, so backpressure went unexercised")
+    return rungs, violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_out = os.path.join(os.path.dirname(__file__), "..",
+                               "BENCH_http.json")
+    parser.add_argument("--output", default=os.path.normpath(default_out))
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller victim / shorter sweep (smoke run)")
+    args = parser.parse_args(argv)
+
+    epochs = 3 if args.quick else 8
+    train_size = 512 if args.quick else 1024
+    equality_examples = 32 if args.quick else 96
+    num_requests = 120 if args.quick else 400
+    rps_ladder = (50, 400) if args.quick else (25, 100, 400, 1600)
+    queue_limit = 8
+    slow_forward_s = 0.01
+
+    trainer, split = train_gandef(epochs, train_size)
+    print("== equality: HTTP rows vs direct Server rows (max_batch=1) ==")
+    equality = equality_phase(trainer, split, equality_examples)
+    print(f"{equality['examples']} examples, "
+          f"{equality['mismatches']} mismatches")
+
+    print(f"== saturation: queue_limit={queue_limit}, forward floor "
+          f"{slow_forward_s * 1e3:.0f}ms ==")
+    rungs, violations = saturation_phase(
+        trainer, split, num_requests=num_requests, rps_ladder=rps_ladder,
+        queue_limit=queue_limit, concurrency=16,
+        slow_forward_s=slow_forward_s)
+
+    if not equality["bitwise_identical"]:
+        violations.insert(0, f"{equality['mismatches']} HTTP rows "
+                             "differed from direct Server rows")
+
+    report = {
+        "config": {"epochs": epochs, "train_size": train_size,
+                   "num_requests": num_requests,
+                   "rps_ladder": list(rps_ladder),
+                   "queue_limit": queue_limit,
+                   "concurrency": 16,
+                   "forward_floor_s": slow_forward_s,
+                   "adv_fraction": 0.5},
+        "equality": equality,
+        "saturation": rungs,
+        "contract": "every request answered (200 or explicit 429); "
+                    "zero transport errors; overload rungs push back",
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"->  {args.output}")
+
+    for violation in violations:
+        print(f"FAIL: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

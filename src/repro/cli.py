@@ -140,8 +140,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "softmax fallback, 'auto' picks by "
                             "checkpoint, 'none' disables (default: auto)")
     serve.add_argument("--requests", type=int, default=256,
-                       help="synthetic requests in the measured load "
-                            "(default: 256)")
+                       help="synthetic requests in the measured load; for "
+                            "serve-http, 0 serves until interrupted "
+                            "instead of self-testing (default: 256)")
+    http = parser.add_argument_group(
+        "serve-http options",
+        "HTTP front on the serving subsystem (repro.serve.http): JSON "
+        "endpoints with API-key auth, per-client token-bucket rate "
+        "limiting, and bounded-queue backpressure (429 + Retry-After); "
+        "--procs runs N SO_REUSEPORT workers sharing one --cache-dir "
+        "prediction cache")
+    http.add_argument("--host", default="127.0.0.1",
+                      help="address to bind (default: 127.0.0.1)")
+    http.add_argument("--port", type=int, default=0,
+                      help="port to bind; 0 picks a free one "
+                           "(--procs > 1 needs an explicit port)")
+    http.add_argument("--api-keys", default=None,
+                      metavar="CLIENT:KEY[,CLIENT:KEY...]",
+                      help="accepted API keys with per-key client "
+                           "identities; omitting disables auth "
+                           "(development only)")
+    http.add_argument("--rate", type=float, default=None, metavar="RPS",
+                      help="per-client token-bucket rate limit in "
+                           "requests/second (default: unlimited)")
+    http.add_argument("--burst", type=float, default=None,
+                      help="token-bucket burst capacity "
+                           "(default: max(rate, 1))")
+    http.add_argument("--queue-limit", type=int, default=1024,
+                      metavar="EXAMPLES",
+                      help="admitted-but-unanswered examples before new "
+                           "requests get 429 + Retry-After "
+                           "(default: 1024)")
+    http.add_argument("--procs", type=int, default=1, metavar="N",
+                      help="worker processes sharing the port via "
+                           "SO_REUSEPORT (default: 1, in-process)")
+    http.add_argument("--target-rps", type=float, default=None,
+                      help="pace the self-test's offered load at this "
+                           "request rate (default: as fast as the "
+                           "closed loop goes)")
     return parser
 
 
@@ -151,6 +187,9 @@ def _print_listing() -> None:
     print(f"{'serve':22s} {'serving subsystem':28s} "
           "micro-batched, discriminator-gated inference serving of one "
           "defense checkpoint")
+    print(f"{'serve-http':22s} {'HTTP serving tier':28s} "
+          "the same server behind authenticated, rate-limited, "
+          "backpressured HTTP endpoints")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -163,6 +202,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             return _run_serve_command(args)
         except ValueError as error:
+            print(error)
+            return 2
+    if key == "serve-http":
+        try:
+            return _run_serve_http_command(args)
+        except (ValueError, OSError) as error:
             print(error)
             return 2
     try:
@@ -188,7 +233,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  ("--max-batch", args.max_batch, 32),
                                  ("--deadline-ms", args.deadline_ms, 5.0),
                                  ("--gate", args.gate, "auto"),
-                                 ("--requests", args.requests, 256)):
+                                 ("--requests", args.requests, 256),
+                                 ("--host", args.host, "127.0.0.1"),
+                                 ("--port", args.port, 0),
+                                 ("--api-keys", args.api_keys, None),
+                                 ("--rate", args.rate, None),
+                                 ("--burst", args.burst, None),
+                                 ("--queue-limit", args.queue_limit, 1024),
+                                 ("--procs", args.procs, 1),
+                                 ("--target-rps", args.target_rps, None)):
         if value != default:
             ignored.append(flag)
     if key != "eval-suite":
@@ -238,6 +291,43 @@ def _run_serve_command(args) -> int:
     print(f"  accuracy on served traffic {report.served_accuracy * 100:.2f}%"
           f"   prediction-cache hits {stats['cache_hits']}")
     print(f"  gate [{report.gate_kind}]: {report.gate_metrics}")
+    return 0
+
+
+def _run_serve_http_command(args) -> int:
+    # Deferred: the HTTP runner pulls in the trainer/attack stack.
+    from .serve.http_run import run_serve_http
+
+    report = run_serve_http(
+        model=args.model, dataset=args.dataset, preset=args.preset,
+        seed=args.seed, backend=args.backend, max_batch=args.max_batch,
+        deadline_ms=args.deadline_ms, gate=args.gate,
+        host=args.host, port=args.port, api_keys=args.api_keys,
+        rate=args.rate, burst=args.burst, queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir, procs=args.procs,
+        requests=args.requests, target_rps=args.target_rps, verbose=True)
+    if report is None:        # deployment mode ended by Ctrl-C
+        return 0
+    load = report.load
+    print(f"drove {len(load.outcomes)} requests against "
+          f"http://{report.host}:{report.port} "
+          f"({report.procs} worker{'s' if report.procs != 1 else ''})")
+    print(f"  completed {load.completed}  rate/capacity 429s "
+          f"{load.rejected_429}  transport errors {load.transport_errors}")
+    print(f"  throughput {load.throughput_eps:8.1f} examples/s   "
+          f"latency p50 {load.latency_percentile(50) * 1e3:.2f}ms  "
+          f"p95 {load.latency_percentile(95) * 1e3:.2f}ms")
+    print(f"  gate: detection {report.detection_rate:.2%}  "
+          f"false positives {report.false_positive_rate:.2%}")
+    accounted = load.completed + load.rejected_429
+    if load.transport_errors or accounted != len(load.outcomes):
+        # The smoke contract: every request answered, none dropped, the
+        # only allowed rejection is explicit backpressure.
+        print(f"FAIL: {load.transport_errors} transport errors, "
+              f"{len(load.outcomes) - accounted} non-200/429 responses "
+              f"(status counts: {load.summary()['status_counts']})")
+        return 1
+    print("clean shutdown")
     return 0
 
 

@@ -20,11 +20,17 @@ describes.  The pieces:
   pump deterministically (or on a background thread), collect
   per-request results bitwise-identical to direct forward passes,
 * :mod:`repro.serve.loadgen` / :func:`run_serve` — seeded clean+PGD
-  traffic generation and the ``repro serve`` CLI runner.
+  traffic generation and the ``repro serve`` CLI runner,
+* :mod:`repro.serve.http` / :func:`run_serve_http` — the network tier:
+  stdlib-only JSON-over-HTTP endpoints in front of the server with
+  API-key auth, per-client token-bucket rate limiting, bounded-queue
+  backpressure (429 + Retry-After), hot checkpoint reload, and an
+  ``SO_REUSEPORT`` multi-process deployment sharing one
+  :class:`DiskPredictionCache` directory.
 """
 
 from .batcher import MicroBatch, MicroBatcher, PendingPrediction, Prediction
-from .cache import PredictionCache
+from .cache import DiskPredictionCache, PredictionCache
 from .gate import (
     GATE_KINDS,
     ConfidenceGate,
@@ -34,11 +40,27 @@ from .gate import (
     NullGate,
     build_gate,
 )
+from .http import (
+    AdmissionController,
+    ApiKeyAuth,
+    HttpClient,
+    HttpFrontend,
+    HttpResponse,
+    HttpServer,
+    HttpStats,
+    RateLimiter,
+    TokenBucket,
+    parse_api_keys,
+)
+from .http_run import HttpServeReport, run_serve_http
 from .loadgen import (
+    HttpLoadReport,
+    HttpRequestOutcome,
     LoadReport,
     LoadRequest,
     build_mixed_load,
     craft_adversarial_pool,
+    run_http_load,
     run_load,
 )
 from .registry import ModelEntry, ModelRegistry
@@ -63,6 +85,22 @@ __all__ = [
     "build_mixed_load",
     "craft_adversarial_pool",
     "run_load",
+    "HttpRequestOutcome",
+    "HttpLoadReport",
+    "run_http_load",
+    "DiskPredictionCache",
+    "ApiKeyAuth",
+    "parse_api_keys",
+    "TokenBucket",
+    "RateLimiter",
+    "AdmissionController",
+    "HttpStats",
+    "HttpFrontend",
+    "HttpServer",
+    "HttpResponse",
+    "HttpClient",
+    "HttpServeReport",
+    "run_serve_http",
     "ModelEntry",
     "ModelRegistry",
     "ServeReport",

@@ -21,6 +21,7 @@ deadline logic with a fake clock and every flush decision is exact.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
@@ -57,12 +58,18 @@ class PendingPrediction:
         self.size = size
         self.submitted_at = submitted_at
         self.completed_at: Optional[float] = None
+        self.error: Optional[BaseException] = None
         self._predictions: List[Optional[Prediction]] = [None] * size
         self._filled = 0
+        self._settled = threading.Event()
 
     @property
     def done(self) -> bool:
         return self._filled == self.size
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def latency(self) -> Optional[float]:
@@ -83,9 +90,33 @@ class PendingPrediction:
         self._filled += len(predictions)
         if self.done:
             self.completed_at = now
+            self._settled.set()
+
+    def fail(self, error: BaseException) -> None:
+        """Mark the request as failed: serving died before (fully)
+        filling it.  ``result()`` then raises the recorded cause instead
+        of reporting the request as merely still pending, and waiters
+        blocked in :meth:`wait` are released.  Failing an
+        already-completed handle is a no-op (its results stand)."""
+        if self.done or self.error is not None:
+            return
+        self.error = error
+        self._settled.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the request settles (all examples served, or the
+        handle failed).  Returns ``True`` when settled in time; the
+        caller distinguishes success from failure via :attr:`failed` /
+        :meth:`result`."""
+        return self._settled.wait(timeout)
 
     def result(self) -> List[Prediction]:
         """All predictions in the request's own example order."""
+        if self.error is not None:
+            raise RuntimeError(
+                f"request {self.request_id} failed while being served "
+                f"({self._filled}/{self.size} examples had landed)"
+            ) from self.error
         if not self.done:
             raise RuntimeError(
                 f"request {self.request_id} is still pending "
@@ -199,6 +230,18 @@ class MicroBatcher:
     @property
     def pending_requests(self) -> int:
         return len(self._queue)
+
+    def fail_all(self, error: BaseException) -> int:
+        """Fail every queued request with ``error`` and empty the queue.
+
+        The server calls this when serving dies (the pump raised): the
+        queued handles would otherwise hang as "still pending" forever.
+        Returns the number of requests failed."""
+        failed = len(self._queue)
+        for request in self._queue:
+            request.pending.fail(error)
+        self._queue.clear()
+        return failed
 
     # ------------------------------------------------------------------ #
     # flush decisions

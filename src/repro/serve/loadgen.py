@@ -12,8 +12,10 @@ measured exactly (:func:`repro.eval.metrics.filter_rates`).
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -23,10 +25,12 @@ from .. import nn
 from ..attacks.base import Attack
 from ..eval.metrics import FilterMetrics, filter_rates
 from .batcher import PendingPrediction
-from .server import Server
+from .http import HttpClient
+from .server import Server, percentile
 
 __all__ = ["LoadRequest", "LoadReport", "craft_adversarial_pool",
-           "build_mixed_load", "run_load"]
+           "build_mixed_load", "run_load",
+           "HttpRequestOutcome", "HttpLoadReport", "run_http_load"]
 
 
 @dataclass
@@ -105,22 +109,31 @@ def run_load(server: Server, model_name: str,
              pump_every: Optional[int] = None) -> LoadReport:
     """Drive ``requests`` through ``server`` and measure the outcome.
 
-    Submissions interleave with pumps: by default the pump runs after
-    every submission (batches still only cut when full or overdue, so
-    this just keeps the queue drained); pass ``pump_every`` to pump
-    once per that many submissions instead.  A final drain serves the
-    stragglers.  The report carries wall-clock throughput, every
+    Submissions interleave with pumps: by default (``pump_every=None``)
+    the pump runs after every submission (batches still only cut when
+    full or overdue, so this just keeps the queue drained); pass
+    ``pump_every=k`` to pump once per ``k`` submissions, or
+    ``pump_every=0`` to never pump during submission — everything is
+    served by the final drain.  A final drain serves the stragglers in
+    every mode.  The report carries wall-clock throughput, every
     request handle, and the gate's detection / false-positive split by
     known provenance.
     """
+    if pump_every is not None and pump_every < 0:
+        raise ValueError(
+            f"pump_every must be >= 0 when given, got {pump_every} "
+            "(0 means drain-only, k means pump once per k submissions)")
     client = server.client(model_name)
     handles: List[PendingPrediction] = []
     start = time.perf_counter()
     for i, request in enumerate(requests):
         handles.append(client.predict(request.images))
-        if pump_every and (i + 1) % pump_every == 0:
+        # NOTE: 0 must not fall into the default branch — ``0`` is
+        # falsy, and ``elif not pump_every`` used to catch it, silently
+        # pumping every submission (the exact opposite of drain-only).
+        if pump_every is None:
             server.pump()
-        elif not pump_every:
+        elif pump_every and (i + 1) % pump_every == 0:
             server.pump()
     server.drain()
     wall = time.perf_counter() - start
@@ -140,3 +153,182 @@ def run_load(server: Server, model_name: str,
         gate_metrics=filter_rates(clean_scores, adv_scores, threshold),
         examples=examples,
     )
+
+
+# --------------------------------------------------------------------- #
+# closed-loop HTTP load
+# --------------------------------------------------------------------- #
+@dataclass
+class HttpRequestOutcome:
+    """One HTTP request's fate — every submitted request gets exactly
+    one outcome, so nothing can be dropped silently."""
+
+    index: int
+    status: int                 # HTTP status; 0 = transport error
+    latency_s: float
+    examples: int
+    predictions: Optional[List[dict]] = None    # rows when status == 200
+    error: Optional[str] = None
+
+
+@dataclass
+class HttpLoadReport:
+    """What one closed-loop HTTP load run measured."""
+
+    outcomes: List[HttpRequestOutcome]
+    wall_seconds: float
+    offered_rps: Optional[float]
+    concurrency: int
+
+    def count(self, status: int) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def status_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def completed(self) -> int:
+        return self.count(200)
+
+    @property
+    def rejected_429(self) -> int:
+        return self.count(429)
+
+    @property
+    def transport_errors(self) -> int:
+        return self.count(0)
+
+    @property
+    def served_examples(self) -> int:
+        return sum(o.examples for o in self.outcomes if o.status == 200)
+
+    @property
+    def achieved_rps(self) -> float:
+        """Completed *requests* per second of wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    @property
+    def throughput_eps(self) -> float:
+        """Served *examples* per second of wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.served_examples / self.wall_seconds
+
+    def latency_percentile(self, q: float) -> float:
+        served = [o.latency_s for o in self.outcomes if o.status == 200]
+        return percentile(served, q)
+
+    def summary(self) -> dict:
+        return {
+            "requests": len(self.outcomes),
+            "completed": self.completed,
+            "rejected_429": self.rejected_429,
+            "transport_errors": self.transport_errors,
+            "status_counts": {str(k): v
+                              for k, v in sorted(self.status_counts.items())},
+            "offered_rps": self.offered_rps,
+            "achieved_rps": round(self.achieved_rps, 1),
+            "throughput_eps": round(self.throughput_eps, 1),
+            "latency_p50_ms": round(self.latency_percentile(50) * 1e3, 3),
+            "latency_p95_ms": round(self.latency_percentile(95) * 1e3, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+@dataclass
+class _PacedStream:
+    """Shared work list: request index -> due time offset."""
+
+    requests: List[LoadRequest]
+    interval_s: Optional[float]
+    _queue: "queue.Queue" = field(default_factory=queue.Queue)
+
+    def __post_init__(self) -> None:
+        for i in range(len(self.requests)):
+            self._queue.put(i)
+
+    def next_index(self) -> Optional[int]:
+        try:
+            return self._queue.get_nowait()
+        except queue.Empty:
+            return None
+
+    def due_at(self, index: int) -> float:
+        return 0.0 if self.interval_s is None else index * self.interval_s
+
+
+def run_http_load(host: str, port: int, requests: List[LoadRequest],
+                  model: Optional[str] = None,
+                  target_rps: Optional[float] = None,
+                  concurrency: int = 8,
+                  api_key: Optional[str] = None,
+                  timeout: float = 30.0) -> HttpLoadReport:
+    """Drive ``requests`` against a live HTTP server, closed-loop.
+
+    ``target_rps`` paces *offered* load: request ``i`` is sent no
+    earlier than ``i / target_rps`` seconds into the run (``None``
+    sends as fast as ``concurrency`` workers can).  Workers block on
+    each response (closed loop), so when the server saturates, workers
+    stop keeping up with the pacing schedule and the **achieved** rate
+    flattens below the offered rate — that divergence, plus the 429
+    rate, is the saturation curve ``bench_http.py`` sweeps.
+
+    Every request produces exactly one :class:`HttpRequestOutcome`
+    (transport failures included, as status 0), so the report can
+    assert nothing was dropped or double-served.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if target_rps is not None and target_rps <= 0:
+        raise ValueError(f"target_rps must be positive, got {target_rps}")
+    stream = _PacedStream(
+        requests, None if target_rps is None else 1.0 / target_rps)
+    outcomes: List[Optional[HttpRequestOutcome]] = [None] * len(requests)
+    start = time.perf_counter()
+
+    def worker() -> None:
+        with HttpClient(host, port, api_key=api_key,
+                        timeout=timeout) as client:
+            while True:
+                index = stream.next_index()
+                if index is None:
+                    return
+                delay = stream.due_at(index) - (time.perf_counter() - start)
+                if delay > 0:
+                    time.sleep(delay)
+                request = requests[index]
+                sent = time.perf_counter()
+                try:
+                    response = client.predict(request.images, model=model)
+                    latency = time.perf_counter() - sent
+                    rows = response.payload.get("predictions") \
+                        if response.status == 200 else None
+                    outcomes[index] = HttpRequestOutcome(
+                        index=index, status=response.status,
+                        latency_s=latency, examples=len(request.images),
+                        predictions=rows,
+                        error=response.payload.get("error"))
+                except Exception as error:  # noqa: BLE001 - transport
+                    outcomes[index] = HttpRequestOutcome(
+                        index=index, status=0,
+                        latency_s=time.perf_counter() - sent,
+                        examples=len(request.images),
+                        error=f"{type(error).__name__}: {error}")
+
+    threads = [threading.Thread(target=worker, daemon=True,
+                                name=f"http-load-{i}")
+               for i in range(min(concurrency, len(requests)))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    assert all(o is not None for o in outcomes)
+    return HttpLoadReport(outcomes=list(outcomes), wall_seconds=wall,
+                          offered_rps=target_rps, concurrency=len(threads))

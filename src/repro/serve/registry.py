@@ -60,7 +60,8 @@ class ModelRegistry:
     def load(self, name: str, checkpoint_path: Union[str, os.PathLike],
              dataset: str, preset: str = "fast", seed: int = 0,
              width: Optional[int] = None,
-             backend: Optional[str] = None) -> ModelEntry:
+             backend: Optional[str] = None,
+             replace: bool = False) -> ModelEntry:
         """Register the model inside a training checkpoint under ``name``.
 
         The archive metadata names the producing trainer, so this builds
@@ -73,6 +74,11 @@ class ModelRegistry:
         it is not registered here, e.g. a ``cupy`` checkpoint on a
         CPU-only box); an explicit ``backend`` argument overrides the
         recorded one (the CLI's ``--backend``).
+
+        ``replace`` swaps an existing registration of the same name for
+        the freshly-loaded entry (hot checkpoint reload); the old entry
+        stays registered if loading fails partway, so a bad reload
+        never leaves the name unservable.
         """
         # Deferred: the experiment factories pull in every trainer; the
         # registry itself should import light.
@@ -114,12 +120,12 @@ class ModelRegistry:
                 dataset=dataset,
                 checkpoint_path=os.fspath(checkpoint_path),
             )
-        return self._install(entry)
+        return self._install(entry, replace=replace)
 
     def add(self, name: str, model: nn.Module,
             discriminator: Optional[Discriminator] = None,
             backend: Optional[str] = None,
-            dataset: str = "") -> ModelEntry:
+            dataset: str = "", replace: bool = False) -> ModelEntry:
         """Register an in-memory model (no checkpoint round-trip); the
         backend defaults to whatever is active right now.  An explicit
         ``backend`` must name a registered one."""
@@ -133,13 +139,15 @@ class ModelRegistry:
                 name=name, model=model, discriminator=discriminator,
                 backend=backend_name, fingerprint=fingerprint_model(model),
                 dataset=dataset)
-        return self._install(entry)
+        return self._install(entry, replace=replace)
 
-    def _install(self, entry: ModelEntry) -> ModelEntry:
-        if entry.name in self._entries:
+    def _install(self, entry: ModelEntry, replace: bool = False) \
+            -> ModelEntry:
+        if entry.name in self._entries and not replace:
             raise ValueError(
                 f"model {entry.name!r} is already registered; "
-                "unregister it first or pick another name")
+                "unregister it first, pick another name, or pass "
+                "replace=True (hot reload)")
         self._entries[entry.name] = entry
         return entry
 

@@ -85,6 +85,7 @@ class ServerStats:
     def summary(self) -> Dict[str, float]:
         return {
             "requests": self.requests,
+            "requests_completed": self.requests_completed,
             "examples": self.examples,
             "batches": self.batches,
             "mean_batch_size": round(self.mean_batch_size, 2),
@@ -167,6 +168,10 @@ class Server:
         self._pump_lock = threading.RLock()
         self._thread: Optional[threading.Thread] = None
         self._running = threading.Event()
+        #: First exception the pump hit; once set the server is dead —
+        #: every entry point re-raises it instead of silently accepting
+        #: work nothing will ever serve.
+        self._pump_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------ #
     # request entry points
@@ -179,6 +184,7 @@ class Server:
                images: np.ndarray) -> PendingPrediction:
         """Enqueue a request (single example or small batch)."""
         with self._lock:
+            self._check_alive()
             lane = self._lane(model_name)
             pending = lane.batcher.submit(images)
             self.stats.requests += 1
@@ -230,7 +236,15 @@ class Server:
         Returns the number of batches served.  With ``force`` every
         pending example is flushed regardless of fill level or deadline
         (drain semantics).
+
+        A raise out of a model forward is fatal for the server: the
+        in-flight batch's handles are failed (their ``result()`` raises
+        the cause), every still-queued handle is failed too, the error
+        is recorded, and this call — plus every later ``submit`` /
+        ``pump`` / ``stop`` — re-raises it.  Without that, a dead pump
+        left queued requests "still pending" forever.
         """
+        self._check_alive()
         served = 0
         with self._pump_lock:
             with self._lock:
@@ -245,7 +259,13 @@ class Server:
                                                         force=force)
                     if batch is None:
                         break
-                    self._process(lane, batch)
+                    try:
+                        self._process(lane, batch, now=now)
+                    except BaseException as error:
+                        for pending, _, _ in batch.parts:
+                            pending.fail(error)
+                        self._die(error)
+                        raise
                     served += 1
                 with self._lock:
                     # A drained lane whose model left the registry is
@@ -261,6 +281,28 @@ class Server:
         """Force-flush everything pending; returns batches served."""
         return self.pump(force=True)
 
+    # ------------------------------------------------------------------ #
+    # failure propagation
+    # ------------------------------------------------------------------ #
+    @property
+    def pump_error(self) -> Optional[BaseException]:
+        """The exception that killed serving, or ``None`` while healthy."""
+        return self._pump_error
+
+    def _check_alive(self) -> None:
+        if self._pump_error is not None:
+            raise RuntimeError(
+                "server pump died; no further requests will be served"
+            ) from self._pump_error
+
+    def _die(self, error: BaseException) -> None:
+        """Record the fatal error and fail every queued handle."""
+        with self._lock:
+            if self._pump_error is None:
+                self._pump_error = error
+            for lane in self._lanes.values():
+                lane.batcher.fail_all(error)
+
     def stats_summary(self) -> Dict[str, float]:
         """Consistent snapshot of :attr:`stats` taken under the lock.
 
@@ -271,7 +313,14 @@ class Server:
         yet appended).
         """
         with self._lock:
-            return self.stats.summary()
+            summary = self.stats.summary()
+            # Queue depth rides along: admission control and the HTTP
+            # /v1/stats endpoint both need a backpressure signal, and
+            # the counters alone can't express "how far behind".
+            summary["pending_examples"] = sum(
+                lane.batcher.pending_examples
+                for lane in self._lanes.values())
+            return summary
 
     @property
     def pending_examples(self) -> int:
@@ -280,7 +329,8 @@ class Server:
                        for lane in self._lanes.values())
 
     # ------------------------------------------------------------------ #
-    def _process(self, lane: _Lane, batch: MicroBatch) -> None:
+    def _process(self, lane: _Lane, batch: MicroBatch,
+                 now: Optional[float] = None) -> None:
         entry = lane.entry
         n = len(batch)
         predictions: List[Optional[Prediction]] = [None] * n
@@ -310,8 +360,12 @@ class Server:
                     if self.cache is not None:
                         self.cache.store(lane.cache_fingerprint,
                                          batch.images[i], prediction)
-        # Reassemble per request, in admission order.
-        now = self.clock()
+        # Reassemble per request, in admission order.  Completion is
+        # stamped in the *caller's* timebase: a pump driven with an
+        # explicit ``now`` (fake-clock tests) must not mix it with
+        # ``self.clock()`` here, or latencies span two clocks (and can
+        # go negative).
+        now = self.clock() if now is None else now
         cursor = 0
         completed = 0
         latencies = []
@@ -339,7 +393,14 @@ class Server:
     # background pumping (optional; the deterministic path is pump())
     # ------------------------------------------------------------------ #
     def start(self, poll_interval_s: Optional[float] = None) -> "Server":
-        """Run the pump on a daemon thread until :meth:`stop`."""
+        """Run the pump on a daemon thread until :meth:`stop`.
+
+        The loop does not die silently: an exception out of ``pump``
+        (already recorded on the server and propagated to every
+        outstanding handle by ``pump`` itself) ends the loop, and the
+        next ``submit`` / ``pump`` / ``stop`` re-raises the cause.
+        """
+        self._check_alive()
         if self._thread is not None:
             return self
         interval = poll_interval_s if poll_interval_s is not None \
@@ -348,7 +409,13 @@ class Server:
 
         def loop() -> None:
             while self._running.is_set():
-                self.pump()
+                try:
+                    self.pump()
+                except BaseException:
+                    # pump() already failed the handles and recorded
+                    # the error for the foreground to re-raise; keeping
+                    # the corpse looping would just re-raise per tick.
+                    return
                 time.sleep(interval)
 
         self._thread = threading.Thread(target=loop, daemon=True,
@@ -357,12 +424,19 @@ class Server:
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the background pump (serving any stragglers by default)."""
+        """Stop the background pump (serving any stragglers by default).
+
+        If the pump died while running, this re-raises its error after
+        joining the thread — a silent ``stop()`` on a corpse is how
+        queued requests used to vanish without a trace.
+        """
         if self._thread is None:
+            self._check_alive()
             return
         self._running.clear()
         self._thread.join()
         self._thread = None
+        self._check_alive()
         if drain:
             self.drain()
 

@@ -1,0 +1,234 @@
+"""The HTTP tier under real concurrency, over real sockets.
+
+What the deployment story promises and these tests pin:
+
+* many parallel clients, zero dropped and zero double-served requests;
+* overload turns into explicit 429 backpressure, never hangs;
+* a hot checkpoint reload mid-load loses nothing — every response is
+  bitwise one model's answer (old or new), never a mix;
+* two SO_REUSEPORT servers sharing one port and one on-disk prediction
+  cache warm each other.
+"""
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import load_split
+from repro.experiments.config import get_config
+from repro.experiments.runners import build_trainer
+from repro.models import build_classifier
+from repro.serve import (
+    ApiKeyAuth,
+    DiskPredictionCache,
+    HttpClient,
+    HttpFrontend,
+    HttpServer,
+    ModelRegistry,
+    Server,
+    build_mixed_load,
+    run_http_load,
+)
+from repro.train import save_checkpoint
+
+WIDTH = 4
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_split("digits", 96, 64, seed=7)
+
+
+def tiny_cfg():
+    return dataclasses.replace(get_config("fast").dataset("digits"),
+                               model_width=WIDTH, batch_size=32)
+
+
+def build_http(registry=None, *, max_batch=8, queue_limit=1024,
+               cache=None, reuse_port=False, port=0, **frontend_kwargs):
+    if registry is None:
+        registry = ModelRegistry()
+        registry.add("m", build_classifier("digits", width=WIDTH, seed=0),
+                     backend="numpy")
+    server = Server(registry, max_batch=max_batch, deadline_ms=1.0,
+                    gate="confidence", gate_threshold=0.5, cache=cache)
+    frontend = HttpFrontend(server, auth=ApiKeyAuth({"ci": "key"}),
+                            queue_limit=queue_limit, **frontend_kwargs)
+    return HttpServer(frontend, host="127.0.0.1", port=port,
+                      reuse_port=reuse_port)
+
+
+def test_parallel_clients_nothing_dropped_or_double_served(split):
+    httpd = build_http()
+    with httpd:
+        host, port = httpd.address
+        traffic = build_mixed_load(split.test.images[:32],
+                                   split.test.images[32:64],
+                                   num_requests=80, max_request_size=4,
+                                   seed=5)
+        report = run_http_load(host, port, traffic, model="m",
+                               concurrency=12, api_key="key")
+        # Exactly one outcome per request, all served, none rejected.
+        assert len(report.outcomes) == 80
+        assert sorted(o.index for o in report.outcomes) == list(range(80))
+        assert report.completed == 80
+        assert report.transport_errors == 0
+        examples = sum(len(r.images) for r in traffic)
+        assert report.served_examples == examples
+        # The server's own accounting agrees: no request was served
+        # twice (completions == admissions == HTTP requests).
+        frontend = httpd.frontend
+        summary = frontend.server.stats_summary()
+        assert summary["requests"] == 80
+        assert summary["requests_completed"] == 80
+        assert summary["examples"] == examples
+        assert frontend.stats.summary()["served_requests"] == 80
+        assert frontend.admission.inflight == 0
+
+
+def test_overload_gets_429s_and_every_request_an_answer(split):
+    """A tiny admission window + a slowed forward: offered load beyond
+    capacity must come back as explicit 429s, with zero hangs and zero
+    drops, and the rejections counted."""
+    registry = ModelRegistry()
+    model = build_classifier("digits", width=WIDTH, seed=0)
+    registry.add("m", model, backend="numpy")
+    slow_forward = model.forward
+
+    def forward(x):
+        time.sleep(0.01)
+        return slow_forward(x)
+
+    model.forward = forward
+    httpd = build_http(registry, max_batch=4, queue_limit=8)
+    with httpd:
+        host, port = httpd.address
+        traffic = build_mixed_load(split.test.images[:16],
+                                   split.test.images[16:32],
+                                   num_requests=60, max_request_size=4,
+                                   seed=6)
+        report = run_http_load(host, port, traffic, model="m",
+                               concurrency=16, api_key="key",
+                               timeout=60.0)
+        assert report.transport_errors == 0
+        assert report.completed + report.rejected_429 == 60
+        assert report.rejected_429 > 0, "overload never pushed back"
+        stats = httpd.frontend.stats.summary()
+        assert stats["rejected_over_capacity"] == report.rejected_429
+        # Backpressure carried a hint.
+        assert all(o.status in (200, 429) for o in report.outcomes)
+
+
+def test_hot_reload_mid_load_keeps_responses_bitwise_correct(split, tmp_path):
+    """Requests in flight across a checkpoint swap: every 200 row must
+    be bitwise one model's direct answer — the old or the new — and
+    after the swap only the new model answers.  max_batch=1 makes the
+    direct per-example forward the exact expected composition."""
+    old_path, new_path = tmp_path / "old.npz", tmp_path / "new.npz"
+    trainer_old = build_trainer("vanilla", tiny_cfg(), seed=3)
+    trainer_old.epochs = 1
+    trainer_old.fit(split.train)
+    save_checkpoint(trainer_old, old_path)
+    trainer_new = build_trainer("vanilla", tiny_cfg(), seed=9)
+    trainer_new.epochs = 1
+    trainer_new.fit(split.train)
+    save_checkpoint(trainer_new, new_path)
+
+    registry = ModelRegistry()
+    registry.load("m", old_path, dataset="digits", width=WIDTH)
+    httpd = build_http(registry, max_batch=1)
+    with httpd:
+        host, port = httpd.address
+        stream = [split.test.images[i % 48:i % 48 + 1] for i in range(120)]
+        results = [None] * len(stream)
+
+        def drive(worker, begin, end):
+            with HttpClient(host, port, api_key="key") as client:
+                for i in range(begin, end):
+                    results[i] = client.predict(stream[i], model="m")
+
+        threads = [threading.Thread(target=drive, args=(w, w * 30,
+                                                        (w + 1) * 30))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)                 # mid-load
+        with HttpClient(host, port, api_key="key") as admin:
+            reply = admin.reload("m", checkpoint=str(new_path),
+                                 dataset="digits", width=WIDTH)
+            assert reply.status == 200
+            assert reply.payload["fingerprint"] != \
+                reply.payload["old_fingerprint"]
+        for thread in threads:
+            thread.join()
+
+        from repro import nn
+
+        def direct(trainer, x):
+            with nn.inference_mode(trainer.model), nn.no_grad():
+                return trainer.model(nn.Tensor(x)).data
+
+        served_new = 0
+        for i, response in enumerate(results):
+            assert response.status == 200, response.payload
+            (row,) = response.payload["predictions"]
+            got = np.asarray(row["logits"], dtype=np.float32)
+            want_old = direct(trainer_old, stream[i])[0]
+            want_new = direct(trainer_new, stream[i])[0]
+            if np.array_equal(got, want_new):
+                served_new += 1
+            else:
+                np.testing.assert_array_equal(got, want_old)
+        # The swap happened mid-run: the tail must be the new model.
+        with HttpClient(host, port, api_key="key") as probe:
+            after = probe.predict(split.test.images[:1], model="m")
+            (row,) = after.payload["predictions"]
+            np.testing.assert_array_equal(
+                np.asarray(row["logits"], dtype=np.float32),
+                direct(trainer_new, split.test.images[:1])[0])
+
+
+def test_reuse_port_workers_share_a_disk_cache(split, tmp_path):
+    """Two in-process HttpServers bound to the same port via
+    SO_REUSEPORT, sharing one DiskPredictionCache: all traffic is
+    served, and an example first answered by either worker replays
+    bitwise from the shared cache on both."""
+    import socket as socket_module
+
+    if not hasattr(socket_module, "SO_REUSEPORT"):
+        pytest.skip("platform lacks SO_REUSEPORT")
+    # Two servers over *identical* weights (same seed) — exactly the
+    # multi-worker deployment, which requires identical checkpoints.
+    first = build_http(cache=DiskPredictionCache(tmp_path), reuse_port=True)
+    first.start()
+    host, port = first.address
+    second = build_http(cache=DiskPredictionCache(tmp_path),
+                        reuse_port=True, port=port)
+    second.start()
+    try:
+        pool = split.test.images[:8]       # tiny pool: heavy repeats
+        traffic = build_mixed_load(pool, pool, num_requests=120,
+                                   max_request_size=2, seed=8)
+        report = run_http_load(host, port, traffic, model="m",
+                               concurrency=8, api_key="key")
+        assert report.completed == 120
+        assert report.transport_errors == 0
+        # Cache effectiveness: far fewer distinct examples than served
+        # rows, so most lookups were hits — across both workers'
+        # stores combined.
+        cache = DiskPredictionCache(tmp_path)
+        assert 0 < len(cache) <= 16        # distinct (example, fp) keys
+        # Replays are bitwise: one worker's stored answer is returned
+        # by whichever worker serves the repeat.
+        with HttpClient(host, port, api_key="key") as probe:
+            a = probe.predict(pool[:1], model="m")
+            b = probe.predict(pool[:1], model="m")
+            assert a.payload["predictions"][0]["logits"] == \
+                b.payload["predictions"][0]["logits"]
+            assert b.payload["predictions"][0]["from_cache"]
+    finally:
+        second.stop()
+        first.stop()

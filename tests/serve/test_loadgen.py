@@ -73,3 +73,61 @@ def test_run_load_reports_gate_split_and_throughput(split):
     labels_for = {i: int(label)
                   for i, label in enumerate(split.test.labels[:16])}
     assert 0.0 <= report.accuracy(labels_for) <= 1.0
+
+
+# --------------------------------------------------------------------- #
+# pump_every boundaries (0 used to silently mean "every submission")
+# --------------------------------------------------------------------- #
+def _counting_server():
+    registry = ModelRegistry()
+    registry.add("m", build_classifier("digits", width=4, seed=0))
+    # Huge batch + deadline: nothing flushes unless forced, so pump
+    # *calls* (not flushes) are what the wrapper observes.
+    server = Server(registry, max_batch=256, deadline_ms=1e9)
+    forced = []
+    original = server.pump
+
+    def pump(force=False):
+        forced.append(force)
+        return original(force=force)
+
+    server.pump = pump
+    return server, forced
+
+
+def test_run_load_pump_every_zero_is_drain_only(split):
+    """Regression: ``pump_every=0`` fell through ``not pump_every`` and
+    pumped after every submission — the exact opposite of drain-only."""
+    clean, adv = pools(split)
+    server, forced = _counting_server()
+    traffic = build_mixed_load(clean, adv, num_requests=6, seed=2)
+    report = run_load(server, "m", traffic, pump_every=0)
+    # Only the final drain pumped (force=True via server.drain()).
+    assert forced == [True]
+    assert all(h.done for h in report.handles)
+
+
+def test_run_load_pump_every_one_pumps_per_submission(split):
+    clean, adv = pools(split)
+    server, forced = _counting_server()
+    traffic = build_mixed_load(clean, adv, num_requests=6, seed=2)
+    run_load(server, "m", traffic, pump_every=1)
+    assert forced == [False] * 6 + [True]
+
+
+def test_run_load_default_pumps_per_submission(split):
+    clean, adv = pools(split)
+    server, forced = _counting_server()
+    traffic = build_mixed_load(clean, adv, num_requests=4, seed=2)
+    run_load(server, "m", traffic)
+    assert forced == [False] * 4 + [True]
+
+
+def test_run_load_pump_every_k_and_negative(split):
+    clean, adv = pools(split)
+    server, forced = _counting_server()
+    traffic = build_mixed_load(clean, adv, num_requests=5, seed=2)
+    run_load(server, "m", traffic, pump_every=2)
+    assert forced == [False, False, True]   # after #2, #4, then drain
+    with pytest.raises(ValueError, match="pump_every"):
+        run_load(server, "m", traffic, pump_every=-1)

@@ -341,3 +341,94 @@ def test_background_pump_serves_without_manual_pumping(split):
             time.sleep(0.002)
     assert handle.done
     assert handle.latency is not None and handle.latency < 5.0
+
+
+# --------------------------------------------------------------------- #
+# failure propagation: a dead pump must be loud
+# --------------------------------------------------------------------- #
+class _Boom(RuntimeError):
+    pass
+
+
+def _arm_raising_forward(server, model):
+    """Make the served model's next forward pass raise."""
+    def forward(x):
+        raise _Boom("forward exploded")
+    model.forward = forward
+
+
+def test_pump_death_fails_handles_and_poisons_server(split):
+    """A raising forward must not vanish: the in-flight batch's handles
+    fail with the cause, queued handles fail too, and every subsequent
+    submit/pump/stop re-raises instead of silently serving nothing."""
+    server, model = make_server("numpy", split, max_batch=2, gate="none")
+    inflight = server.submit("m", split.test.images[:2])   # full: cut next
+    queued = server.submit("m", split.test.images[2:3])
+    _arm_raising_forward(server, model)
+    with pytest.raises(_Boom):
+        server.pump()
+    assert isinstance(server.pump_error, _Boom)
+    for handle in (inflight, queued):
+        assert handle.failed and not handle.done
+        with pytest.raises(RuntimeError, match="failed while being served"):
+            handle.result()
+    # result() chains the original cause for debuggability.
+    try:
+        inflight.result()
+    except RuntimeError as error:
+        assert isinstance(error.__cause__, _Boom)
+    # The corpse refuses further work, loudly.
+    with pytest.raises(RuntimeError, match="pump died"):
+        server.submit("m", split.test.images[:1])
+    with pytest.raises(RuntimeError, match="pump died"):
+        server.pump()
+    with pytest.raises(RuntimeError, match="pump died"):
+        server.stop()
+
+
+def test_background_pump_death_reraises_in_stop(split):
+    """The regression that motivated the fix: with the pump on a daemon
+    thread, a raising forward used to kill the thread silently and
+    result() would block forever.  Now the handle fails promptly and
+    stop() re-raises the cause in the foreground."""
+    server, model = make_server("numpy", split, max_batch=4,
+                                deadline_ms=1.0, clock=time.monotonic)
+    server.start(poll_interval_s=0.001)
+    _arm_raising_forward(server, model)
+    handle = server.submit("m", split.test.images[:2])
+    assert handle.wait(5.0), "handle neither served nor failed"
+    assert handle.failed
+    with pytest.raises(RuntimeError, match="pump died") as exc_info:
+        server.stop()
+    assert isinstance(exc_info.value.__cause__, _Boom)
+
+
+def test_latencies_use_one_timebase_under_injected_clock(split):
+    """Admission and completion stamps must come from the same clock:
+    submit at t=1, serve at t=3 -> latency exactly 2 (a mixed timebase
+    made these nonsense — even negative — under a fake clock)."""
+    clock = FakeClock()
+    server, _ = make_server("numpy", split, max_batch=8, gate="none",
+                            clock=clock)
+    clock.t = 1.0
+    handle = server.submit("m", split.test.images[:2])
+    clock.t = 3.0
+    assert server.drain() == 1
+    assert handle.latency == pytest.approx(2.0)
+    assert list(server.stats.latencies) == [pytest.approx(2.0)]
+
+
+def test_stats_summary_reports_completion_and_queue_depth(split):
+    """summary() regression: requests_completed was dropped and there
+    was no pending-depth signal for admission control to read."""
+    server, _ = make_server("numpy", split, max_batch=64, gate="none",
+                            deadline_ms=1e9)
+    server.submit("m", split.test.images[:3])
+    summary = server.stats_summary()
+    assert summary["requests_completed"] == 0
+    assert summary["pending_examples"] == 3
+    server.drain()
+    summary = server.stats_summary()
+    assert summary["requests_completed"] == 1
+    assert summary["pending_examples"] == 0
+    assert summary["requests"] == 1

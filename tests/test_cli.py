@@ -164,3 +164,46 @@ class TestTrainCommand:
     def test_figure5_resume_without_dir_is_error(self, capsys):
         assert main(["figure5-time", "--resume"]) == 2
         assert "resume requires" in capsys.readouterr().out
+
+
+class TestServeHttpCommand:
+    def test_serve_http_options_parse(self):
+        args = build_parser().parse_args(
+            ["serve-http", "--host", "0.0.0.0", "--port", "8080",
+             "--api-keys", "a:1,b:2", "--rate", "200", "--burst", "50",
+             "--queue-limit", "64", "--procs", "2",
+             "--target-rps", "100", "--requests", "0"])
+        assert args.host == "0.0.0.0" and args.port == 8080
+        assert args.api_keys == "a:1,b:2"
+        assert args.rate == 200.0 and args.burst == 50.0
+        assert args.queue_limit == 64 and args.procs == 2
+        assert args.target_rps == 100.0 and args.requests == 0
+
+    def test_serve_http_defaults(self):
+        args = build_parser().parse_args(["serve-http"])
+        assert args.host == "127.0.0.1" and args.port == 0
+        assert args.api_keys is None and args.rate is None
+        assert args.queue_limit == 1024 and args.procs == 1
+
+    def test_listing_names_serve_http(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-http" in out
+
+    def test_serve_http_multiproc_without_port_is_error(self, capsys):
+        assert main(["serve-http", "--procs", "2", "--requests", "1"]) == 2
+        assert "explicit --port" in capsys.readouterr().out
+
+    def test_serve_http_bad_api_keys_is_error(self, capsys):
+        assert main(["serve-http", "--api-keys", "nope",
+                     "--requests", "1"]) == 2
+        assert "client:key" in capsys.readouterr().out
+
+    def test_http_flags_flagged_when_inapplicable(self, capsys,
+                                                  monkeypatch):
+        monkeypatch.setitem(
+            registry.REGISTRY, "table3",
+            registry.Experiment("t", "d", lambda *a, **k: []))
+        main(["table3", "--port", "8080", "--rate", "5"])
+        out = capsys.readouterr().out
+        assert "--port" in out and "--rate" in out and "ignored" in out

@@ -28,6 +28,11 @@ PUBLIC_MODULES = [
     "repro.eval",
     "repro.eval.transfer",
     "repro.experiments",
+    "repro.serve",
+    "repro.serve.http",
+    "repro.serve.cache",
+    "repro.serve.loadgen",
+    "repro.serve.http_run",
     "repro.cli",
     "repro.utils",
 ]
