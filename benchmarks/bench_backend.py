@@ -6,6 +6,9 @@ timing needs different methodology):
 * **attack-suite wall-clock** — the PGD/BIM/MIM grid at the paper's
   Sec. IV-C budgets (40-iteration PGD etc.) against a briefly-trained
   digits classifier, through the batched evaluation engine,
+* **hot-loop wall-clock** — naive (``early_stop=False``) PGD/BIM/MIM on
+  one fixed-shape batch, where every iteration is a same-shape gradient
+  call,
 * **training epoch wall-clock** — vanilla trainer epochs on the digits
   stand-in,
 * **im2col / col2im microbenchmarks** — the conv workspace kernels in
@@ -13,10 +16,28 @@ timing needs different methodology):
 
 Results land in ``BENCH_backend.json`` (repo root by default) so the perf
 trajectory is tracked from PR to PR; the ``speedup`` block records
-reference-vs-fast ratios.  The script exits non-zero if the fast backend's
-attack-suite speedup falls below the pinned floor (1.3x) so the CI bench
-lane catches regressions, and cross-checks that both backends measured the
-same accuracies while doing so.
+reference-vs-fast ratios and the ``speedup_compiled`` block records the
+compiled backend's cold-trace and steady-state ratios against the fast
+backend (capture cost and replay payoff are different claims, so they are
+reported separately).
+
+The compiled floor is enforced on the **hot loop**, not the early-stop
+suite: graph capture eliminates per-iteration fixed costs (tape
+construction, closure dispatch, allocator traffic), so its payoff lives
+where those costs dominate — the fixed-shape gradient loop the plan was
+traced for, at a batch size small enough that BLAS/fold kernel time (a
+cost replay shares bit-for-bit with eager, by the parity contract) does
+not drown the eliminated overhead.  The early-stop suite spends most of
+its wall-clock in forward-only success probes and per-sample attack
+bookkeeping that replay by design cannot touch; its compiled ratio is
+reported for honesty but not gated.
+
+The script exits non-zero if the fast backend's attack-suite speedup
+falls below the pinned floor (1.3x) or the compiled backend's
+*steady-state* hot-loop speedup over fast falls below its own floor
+(1.5x), so the CI bench lane catches regressions; it also cross-checks
+that every backend measured identical accuracies and byte-identical
+adversarial examples.
 
 Usage::
 
@@ -24,6 +45,7 @@ Usage::
 """
 
 import argparse
+import hashlib
 import json
 import os
 import sys
@@ -41,7 +63,18 @@ from repro.experiments.config import get_config  # noqa: E402
 from repro.models import build_classifier  # noqa: E402
 
 SPEEDUP_FLOOR = 1.3
-BACKENDS = ("numpy", "fast")
+#: Steady-state compiled-vs-fast floor on the fixed-shape hot loop:
+#: replaying a captured plan must beat eager pooled execution by at
+#: least this much (see the module docstring for why the hot loop, not
+#: the early-stop suite, is the gated workload).
+COMPILED_STEADY_FLOOR = 1.5
+#: Hot-loop batch size.  Capture/replay eliminates per-iteration fixed
+#: costs; the kernels themselves are bit-for-bit the eager ones, so the
+#: payoff is largest where fixed costs are the biggest slice of an
+#: iteration — small batches.  Large batches are BLAS/fold-bound on both
+#: backends and converge toward 1x.
+HOT_LOOP_BATCH = 2
+BACKENDS = ("numpy", "fast", "compiled")
 
 
 def train_victim(epochs, train_size, seed=0):
@@ -84,6 +117,42 @@ def bench_attack_suite(model, split, eval_size):
     return runs[-1], runs[0], accuracy
 
 
+def bench_hot_loop(model, split, batch, repeats):
+    """Naive fixed-shape PGD/BIM/MIM: the workload plan replay targets.
+
+    With ``early_stop=False`` every iteration of every attack is a
+    same-shape ``logits_and_input_grad`` call — trace once, replay for
+    the rest.  The first ``generate`` per attack is the cold number
+    (includes the capture run); steady state is the best of ``repeats``
+    further runs.  Returns per-attack steady/cold seconds plus a digest
+    of the adversarial batches so the caller can assert byte-identical
+    outputs across backends.
+    """
+    cfg = get_config("fast").dataset("digits")
+    pool = cfg.budget.build(fast=False, seed=0, early_stop=False)
+    from repro.attacks import MIM
+
+    attacks = {"pgd": pool["pgd"], "bim": pool["bim"],
+               "mim": MIM(eps=cfg.budget.eps, step=pool["bim"].step,
+                          iterations=pool["bim"].iterations,
+                          early_stop=False)}
+    images = split.test.images[:batch]
+    labels = split.test.labels[:batch]
+    steady, cold, digests = {}, {}, {}
+    for name, attack in attacks.items():
+        start = time.perf_counter()
+        adv = attack.generate(model, images, labels)
+        cold[name] = time.perf_counter() - start
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            adv = attack.generate(model, images, labels)
+            best = min(best, time.perf_counter() - start)
+        steady[name] = best
+        digests[name] = hashlib.sha256(adv.tobytes()).hexdigest()
+    return steady, cold, digests
+
+
 def bench_im2col(repeats):
     b = backend.active()
     rng = np.random.default_rng(0)
@@ -121,55 +190,112 @@ def main(argv=None):
     train_size = 512 if args.quick else 1024
     eval_size = 32 if args.quick else 64
     repeats = 10 if args.quick else 30
+    hot_repeats = 2 if args.quick else 4
 
     report = {"config": {"epochs": epochs, "train_size": train_size,
                          "eval_size": eval_size, "im2col_repeats": repeats,
+                         "hot_loop_batch": HOT_LOOP_BATCH,
+                         "hot_loop_repeats": hot_repeats,
                          "attack_budgets": "paper (Sec. IV-C)"},
               "per_backend": {}}
     accuracies = {}
+    adv_digests = {}
     for name in BACKENDS:
         with backend.use(name):
             model, split, epoch_s = train_victim(epochs, train_size)
             suite_s, cold_s, accuracy = bench_attack_suite(model, split,
                                                            eval_size)
+            hot_s, hot_cold_s, digests = bench_hot_loop(
+                model, split, HOT_LOOP_BATCH, hot_repeats)
             im2col_s, col2im_s, cols_shape = bench_im2col(repeats)
         accuracies[name] = accuracy
+        adv_digests[name] = digests
         report["per_backend"][name] = {
             "attack_suite_seconds": round(suite_s, 4),
             "attack_suite_cold_seconds": round(cold_s, 4),
+            "hot_loop_seconds": {k: round(v, 4) for k, v in hot_s.items()},
+            "hot_loop_cold_seconds": {k: round(v, 4)
+                                      for k, v in hot_cold_s.items()},
+            "hot_loop_total_seconds": round(sum(hot_s.values()), 4),
+            "adversarial_digests": digests,
             "epoch_seconds": round(epoch_s, 4),
             "im2col_seconds": round(im2col_s, 6),
             "col2im_seconds": round(col2im_s, 6),
             "im2col_workspace": list(cols_shape),
         }
         print(f"[{name:5s}] attack-suite {suite_s:7.3f}s "
-              f"(cold {cold_s:6.3f}s)   epoch {epoch_s:6.3f}s   "
+              f"(cold {cold_s:6.3f}s)   "
+              f"hot-loop {sum(hot_s.values()) * 1e3:7.1f}ms   "
+              f"epoch {epoch_s:6.3f}s   "
               f"im2col {im2col_s * 1e3:6.2f}ms   "
               f"col2im {col2im_s * 1e3:6.2f}ms")
 
     ref = report["per_backend"]["numpy"]
     fast = report["per_backend"]["fast"]
+    compiled = report["per_backend"]["compiled"]
     report["speedup"] = {
         key.replace("_seconds", ""): round(ref[key] / fast[key], 3)
-        for key in ("attack_suite_seconds", "epoch_seconds",
-                    "im2col_seconds", "col2im_seconds")
+        for key in ("attack_suite_seconds", "hot_loop_total_seconds",
+                    "epoch_seconds", "im2col_seconds", "col2im_seconds")
+    }
+    # Capture cost vs replay payoff, reported separately: the cold number
+    # includes every trace the run provokes, the steady number is pure
+    # replay over warm plans.  ``hot_loop_steady`` is the gated claim;
+    # the early-stop suite ratios are informational (see docstring).
+    report["speedup_compiled"] = {
+        "hot_loop_steady": round(
+            fast["hot_loop_total_seconds"]
+            / compiled["hot_loop_total_seconds"], 3),
+        "hot_loop_cold": round(
+            sum(fast["hot_loop_cold_seconds"].values())
+            / sum(compiled["hot_loop_cold_seconds"].values()), 3),
+        "hot_loop_steady_vs_numpy": round(
+            ref["hot_loop_total_seconds"]
+            / compiled["hot_loop_total_seconds"], 3),
+        "hot_loop_per_attack_steady": {
+            k: round(fast["hot_loop_seconds"][k]
+                     / compiled["hot_loop_seconds"][k], 3)
+            for k in fast["hot_loop_seconds"]},
+        "attack_suite_steady": round(
+            fast["attack_suite_seconds"]
+            / compiled["attack_suite_seconds"], 3),
+        "attack_suite_cold": round(
+            fast["attack_suite_cold_seconds"]
+            / compiled["attack_suite_cold_seconds"], 3),
+        "attack_suite_steady_vs_numpy": round(
+            ref["attack_suite_seconds"]
+            / compiled["attack_suite_seconds"], 3),
     }
     report["speedup_floor"] = SPEEDUP_FLOOR
-    report["accuracies_identical"] = accuracies["numpy"] == accuracies["fast"]
+    report["compiled_steady_floor"] = COMPILED_STEADY_FLOOR
+    report["accuracies_identical"] = all(
+        accuracies[name] == accuracies["numpy"] for name in BACKENDS)
+    report["adversarial_identical"] = all(
+        adv_digests[name] == adv_digests["numpy"] for name in BACKENDS)
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"speedups {report['speedup']}  ->  {args.output}")
+    print(f"speedups {report['speedup']}  "
+          f"compiled {report['speedup_compiled']}  ->  {args.output}")
 
     failures = []
     if not report["accuracies_identical"]:
         failures.append(
             f"backend accuracy mismatch: {accuracies}")
+    if not report["adversarial_identical"]:
+        failures.append(
+            f"hot-loop adversarial outputs differ across backends: "
+            f"{adv_digests}")
     if report["speedup"]["attack_suite"] < SPEEDUP_FLOOR:
         failures.append(
             f"attack-suite speedup {report['speedup']['attack_suite']} "
             f"below the {SPEEDUP_FLOOR}x floor")
+    steady = report["speedup_compiled"]["hot_loop_steady"]
+    if steady < COMPILED_STEADY_FLOOR:
+        failures.append(
+            f"compiled steady-state hot-loop speedup {steady} over "
+            f"fast below the {COMPILED_STEADY_FLOOR}x floor")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -30,17 +30,28 @@ __all__ = ["Attack", "input_gradient", "project_linf", "logits_and_input_grad",
 def input_gradient(model: nn.Module, images: np.ndarray,
                    labels: np.ndarray) -> np.ndarray:
     """Gradient of the softmax cross-entropy w.r.t. the input pixels."""
-    x = nn.Tensor(images, requires_grad=True)
-    logits = model(x)
-    loss = nn.softmax_cross_entropy(logits, labels)
-    loss.backward()
-    assert x.grad is not None
-    return x.grad
+    grad = logits_and_input_grad(model, images, labels)[1]
+    assert grad is not None
+    return grad
 
 
 def logits_and_input_grad(model: nn.Module, images: np.ndarray,
                           labels: np.ndarray):
-    """Forward logits plus the input gradient (for attacks that need both)."""
+    """Forward logits plus the input gradient (for attacks that need both).
+
+    A backend exposing ``loss_and_input_grad`` (the compiled backend's
+    capture/replay seam) serves the pair from its plan cache when it can —
+    bit-identical to the eager tape by the compiled backend's contract —
+    and signals ``None`` to run the ordinary eager pass here.  The
+    returned arrays may live in plan-owned buffers valid until the next
+    gradient call on the same (model, shape): the attack loops consume
+    them within the iteration.
+    """
+    hook = getattr(_backend.active(), "loss_and_input_grad", None)
+    if hook is not None:
+        result = hook(model, images, labels)
+        if result is not None:
+            return result
     x = nn.Tensor(images, requires_grad=True)
     logits = model(x)
     loss = nn.softmax_cross_entropy(logits, labels)
@@ -82,10 +93,12 @@ def masked_signed_ascent(model: nn.Module, adv: np.ndarray,
     re-projected.  ``adv`` is updated in place and returned.
 
     ``direction(active, grad)`` maps the surviving examples' gradient batch
-    to a step direction (default: ``sign(grad)``); MIM passes a closure
-    that folds the gradient into its per-example momentum state.
+    to an *ascent source* whose sign is the step direction (default: the
+    gradient itself); MIM passes a closure that folds the gradient into
+    its per-example momentum state and returns the momentum.
     """
-    xp = _backend.active().xp
+    b = _backend.active()
+    xp = b.xp
     active = xp.arange(len(images))
     for _ in range(iterations):
         logits, grad = logits_and_input_grad(model, adv[active],
@@ -95,9 +108,13 @@ def masked_signed_ascent(model: nn.Module, adv: np.ndarray,
         if active.size == 0:
             break
         grad = grad[keep]
-        d = xp.sign(grad) if direction is None else direction(active, grad)
-        adv[active] = project_linf(adv[active] + step * d,
-                                   images[active], eps)
+        src = grad if direction is None else direction(active, grad)
+        # Fused sign -> mul -> add -> clip -> clip (same expressions as the
+        # inline ``project_linf(adv + step * sign(src))`` this replaces).
+        stepped = b.signed_ascent(adv[active], src, step,
+                                  images[active], eps, BOX_LOW, BOX_HIGH)
+        adv[active] = stepped
+        b.release(stepped)
     return adv
 
 

@@ -14,7 +14,8 @@ import numpy as np
 
 from .. import backend as _backend
 from .. import nn
-from .base import Attack, input_gradient, masked_signed_ascent, project_linf
+from ..data.preprocessing import BOX_HIGH, BOX_LOW
+from .base import Attack, input_gradient, masked_signed_ascent
 
 __all__ = ["BIM"]
 
@@ -32,14 +33,19 @@ class BIM(Attack):
                   labels: np.ndarray) -> np.ndarray:
         if self.iterations <= 0:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
-        xp = _backend.active().xp
-        labels = xp.asarray(labels)
+        b = _backend.active()
+        labels = b.xp.asarray(labels)
         adv = images.copy()
         if not self.early_stop:
             for _ in range(self.iterations):
                 grad = input_gradient(model, adv, labels)
-                adv = adv + self.step * xp.sign(grad)
-                adv = project_linf(adv, images, self.eps)
+                # Fused step+projection; the superseded iterate (a plain
+                # copy on the first pass, else the previous step's pooled
+                # buffer) is donated back to the pool.
+                new = b.signed_ascent(adv, grad, self.step, images,
+                                      self.eps, BOX_LOW, BOX_HIGH)
+                b.release(adv)
+                adv = new
             return adv
         return masked_signed_ascent(model, adv, images, labels,
                                     self.step, self.iterations, self.eps)

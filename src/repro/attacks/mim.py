@@ -15,7 +15,8 @@ import numpy as np
 
 from .. import backend as _backend
 from .. import nn
-from .base import Attack, input_gradient, masked_signed_ascent, project_linf
+from ..data.preprocessing import BOX_HIGH, BOX_LOW
+from .base import Attack, input_gradient, masked_signed_ascent
 
 __all__ = ["MIM"]
 
@@ -42,7 +43,8 @@ class MIM(Attack):
                   labels: np.ndarray) -> np.ndarray:
         if self.iterations <= 0:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
-        xp = _backend.active().xp
+        b = _backend.active()
+        xp = b.xp
         labels = xp.asarray(labels)
         adv = images.copy()
         velocity = xp.zeros_like(images)
@@ -50,13 +52,18 @@ class MIM(Attack):
             for _ in range(self.iterations):
                 grad = input_gradient(model, adv, labels)
                 velocity = self.decay * velocity + _l1_normalized(grad)
-                adv = adv + self.step * xp.sign(velocity)
-                adv = project_linf(adv, images, self.eps)
+                # Fused step+projection on the momentum's sign; the
+                # superseded iterate is donated back to the pool.
+                new = b.signed_ascent(adv, velocity, self.step, images,
+                                      self.eps, BOX_LOW, BOX_HIGH)
+                b.release(adv)
+                adv = new
             return adv
         def momentum_direction(active, grad):
             velocity[active] = self.decay * velocity[active] \
                 + _l1_normalized(grad)
-            return xp.sign(velocity[active])
+            # The ascent source: masked_signed_ascent takes its sign.
+            return velocity[active]
 
         return masked_signed_ascent(model, adv, images, labels,
                                     self.step, self.iterations, self.eps,

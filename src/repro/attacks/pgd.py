@@ -16,6 +16,7 @@ import numpy as np
 
 from .. import backend as _backend
 from .. import nn
+from ..data.preprocessing import BOX_HIGH, BOX_LOW
 from ..utils.rng import derive_rng
 from .base import Attack, input_gradient, masked_signed_ascent, project_linf
 
@@ -108,8 +109,13 @@ class PGD(Attack):
             adv = project_linf(start, images, self.eps)
             for _ in range(self.iterations):
                 grad = input_gradient(model, adv, labels)
-                adv = adv + self.step * xp.sign(grad)
-                adv = project_linf(adv, images, self.eps)
+                # Fused step+projection; the superseded iterate (the fresh
+                # projection above on the first pass, else the previous
+                # step's pooled buffer) is donated back to the pool.
+                new = b.signed_ascent(adv, grad, self.step, images,
+                                      self.eps, BOX_LOW, BOX_HIGH)
+                b.release(adv)
+                adv = new
             if self.restarts == 1:
                 # Single restart: the ascent result wins unconditionally
                 # (losses are finite, best_loss is -inf), so the selection
@@ -119,6 +125,8 @@ class PGD(Attack):
             improved = losses > best_loss
             best_adv[improved] = adv[improved]
             best_loss[improved] = losses[improved]
+            # The selection copied what it keeps; recycle the iterate.
+            b.release(adv)
         return best_adv
 
     def _generate_early_stop(self, model: nn.Module, images: np.ndarray,

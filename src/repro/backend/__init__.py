@@ -2,13 +2,18 @@
 
 The autodiff tensor, the conv kernels, the attacks and the trainers all
 dispatch their array work through the **active backend**, an object
-satisfying the :class:`~repro.backend.base.ArrayOps` protocol.  Three
+satisfying the :class:`~repro.backend.base.ArrayOps` protocol.  Four
 implementations ship:
 
 * ``numpy`` — the reference; bit-identical to the pre-seam code (default),
 * ``fast`` — same numerics, allocation-avoiding (pooled im2col workspaces,
   cached einsum paths, fused in-place optimizer steps, in-place gradient
   accumulation); see :class:`~repro.backend.fast.FastNumpyBackend`,
+* ``compiled`` — ``fast`` plus graph capture: the attack hot loop's
+  forward/backward is traced once per (model, shape, mode) into a static
+  buffer-reusing plan and replayed with no tape or per-op dispatch,
+  falling back to eager for anything untraceable; see
+  :class:`~repro.backend.compiled.CompiledBackend`,
 * ``cupy`` — GPU execution, auto-registered only when cupy is installed.
 
 Selection::
@@ -37,6 +42,7 @@ import os
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from .base import ArrayOps, conv_output_size
+from .compiled import CompiledBackend
 from .fast import FastNumpyBackend
 from .numpy_backend import NumpyBackend
 
@@ -44,6 +50,7 @@ __all__ = [
     "ArrayOps",
     "NumpyBackend",
     "FastNumpyBackend",
+    "CompiledBackend",
     "conv_output_size",
     "register",
     "get_backend",
@@ -137,6 +144,7 @@ class use:
 
 register("numpy", NumpyBackend)
 register("fast", FastNumpyBackend)
+register("compiled", CompiledBackend)
 
 # cupy rides along as a drop-in third backend when (and only when) it is
 # installed; a CPU-only environment never imports it.

@@ -115,6 +115,16 @@ class ArrayOps(Protocol):
         in place of copying."""
 
     # ------------------------------------------------------------------ #
+    # fused attack step
+    # ------------------------------------------------------------------ #
+    def signed_ascent(self, adv: Any, grad: Any, step: float, origin: Any,
+                      eps: float, low: float, high: float) -> Any:
+        """One signed-gradient ascent step with projection:
+        ``clip(clip(adv + step * sign(grad), origin ± eps), [low, high])``
+        as a single fused pass.  May return a pooled buffer — callers
+        release it after consuming it."""
+
+    # ------------------------------------------------------------------ #
     # fused optimizer steps
     # ------------------------------------------------------------------ #
     def sgd_step(self, param: Any, grad: Any, velocity: Optional[Any],

@@ -1,0 +1,1332 @@
+"""Graph capture + fused replay: the ``compiled`` backend.
+
+The hot loop of every iterative attack (PGD/BIM/MIM at the paper's
+Sec. IV-C budgets) re-runs the *identical* forward/backward at a fixed
+batch shape dozens of times.  Eagerly, each run pays for tape
+construction, one closure dispatch per op, a topological sort, and a
+fresh output allocation per op.  :class:`CompiledBackend` removes all of
+that: the first run at a given (model, shape, mode) key executes eagerly
+under a recording hook (:data:`repro.nn.tensor._TRACER`) — so the cold
+call returns bit-exact eager results — and compiles the captured graph
+into a :class:`Plan`, a flat list of closures that write into
+preallocated buffers drawn from the :class:`FastNumpyBackend` pool.
+Replays then run the plan: no :class:`~repro.nn.tensor.Tensor` objects,
+no tape, no sort, and elementwise chains (ReLU forward masking + backward
+masking, the softmax-cross-entropy gradient head) fused into single
+in-place passes over those buffers.
+
+Bitwise contract
+----------------
+Every plan step replays the reference backend's *exact* expression
+sequence (same ufuncs, same operand order, same dtypes) with ``out=``
+variants writing into the preallocated buffers — IEEE-754 results are
+unchanged by the destination, so replayed logits and input gradients are
+bit-identical to eager execution (pinned by ``tests/backend/``).
+
+Invalidation / fallback rules
+-----------------------------
+* **Plans never go stale.**  Parameter arrays are *re-read from the live
+  ``Parameter`` objects on every replay*, so in-place weight mutation
+  (the fused SGD/Adam steps) and rebinding (``load_state_dict`` during a
+  checkpoint hot-reload) are picked up immediately; a parameter whose
+  shape or dtype changed invalidates the plan and forces a re-trace.
+* **Keys**: plans cache per model object (weakly — a hot-reloaded
+  ``ModelRegistry`` entry is a new model and so a new cache), keyed by
+  (input shape, input dtype, per-module training flags).  A ragged final
+  batch is simply a different key: it traces its own plan or, below the
+  worthwhile size, falls back to eager.
+* **Eager fallback is transparent**: graphs containing untraceable ops
+  (data-dependent indexing — DeepFool's per-class loops, CW's
+  formulation, active dropout) poison their key and run eagerly forever
+  after; so does any call where a parameter still requires gradients
+  (the attack seam freezes them).  The fallback path *is* the eager
+  path, so results are identical by construction.
+
+The single-process assumption of the eager substrate carries over:
+plans and their buffers are not thread-safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from .fast import FastNumpyBackend
+from .numpy_backend import conv_output_size
+
+__all__ = ["CompiledBackend", "Plan", "TraceUnsupported", "trace"]
+
+
+class TraceUnsupported(RuntimeError):
+    """The captured graph contains an op the plan compiler cannot replay."""
+
+
+# --------------------------------------------------------------------- #
+# capture
+# --------------------------------------------------------------------- #
+class _Recorder:
+    """Collects ``(out, parents, op)`` triples in creation order — which is
+    also eager evaluation order, so the forward plan just replays it."""
+
+    __slots__ = ("nodes",)
+
+    def __init__(self) -> None:
+        self.nodes: List[Tuple[Any, Tuple[Any, ...], Any]] = []
+
+    def record(self, out, parents, op) -> None:
+        self.nodes.append((out, parents, op))
+
+
+class _recording:
+    """Install a :class:`_Recorder` on the tensor layer for one eager run."""
+
+    def __init__(self) -> None:
+        self.recorder = _Recorder()
+
+    def __enter__(self) -> _Recorder:
+        from ..nn import tensor as tensor_mod
+        self._mod = tensor_mod
+        if tensor_mod._TRACER[0] is not None:
+            raise RuntimeError("nested graph capture is not supported")
+        tensor_mod._TRACER[0] = self.recorder
+        return self.recorder
+
+    def __exit__(self, *exc) -> None:
+        self._mod._TRACER[0] = None
+
+
+# --------------------------------------------------------------------- #
+# the compiled plan
+# --------------------------------------------------------------------- #
+class Plan:
+    """A captured forward/backward as a flat list of buffer-writing steps.
+
+    ``vals[slot]`` holds every node's forward array: plan-owned buffers
+    for op outputs, the caller's arrays for inputs, live ``p.data`` reads
+    for parameters (refreshed each replay — that is the weight-mutation
+    invalidation story), and baked arrays for traced constants.
+    ``grads[slot]`` holds backward arrays, reset each replay.
+
+    Arrays returned by :meth:`replay` (the output and the input
+    gradients) may live in plan-owned buffers: they are valid until the
+    next replay of the same plan.  Every caller on the attack hot loop
+    consumes them within the iteration.
+    """
+
+    def __init__(self, backend: "FastNumpyBackend") -> None:
+        self._b = backend
+        self._vals: List[Any] = []
+        self._grads: List[Any] = []
+        self._fwd: List[Callable[[], None]] = []
+        self._bwd: List[Callable[[], None]] = []
+        # (slot, Parameter, shape, dtype) — read live each replay.
+        self._params: List[Tuple[int, Any, Tuple[int, ...], Any]] = []
+        self._input_slots: List[int] = []
+        self._input_shapes: List[Tuple[int, ...]] = []
+        self._grad_slots: List[int] = []
+        self._out_slot: int = -1
+        # Labels for the fused cross-entropy head (loss-grad plans only).
+        self._label_cell: List[Any] = [None]
+        #: Total bytes of plan-owned workspace (drives the LRU byte cap).
+        self.buffer_bytes = 0
+        self.replays = 0
+
+    # -- validity ------------------------------------------------------ #
+    def params_valid(self) -> bool:
+        """Whether every bound parameter still has its traced geometry.
+
+        Values are read live, so weight *mutation* never invalidates; a
+        parameter rebound to a different shape or dtype does.
+        """
+        for _, p, shape, dtype in self._params:
+            d = p.data
+            if d.shape != shape or d.dtype != dtype:
+                return False
+        return True
+
+    def matches(self, *arrays) -> bool:
+        if len(arrays) != len(self._input_slots):
+            return False
+        return all(a.shape == s for a, s in zip(arrays, self._input_shapes))
+
+    # -- execution ----------------------------------------------------- #
+    def replay(self, *arrays):
+        """Run the plan on same-shaped inputs; returns the output array.
+
+        Input gradients are available via :meth:`input_grads` afterwards.
+        """
+        if not self.matches(*arrays):
+            raise ValueError(
+                f"plan traced for shapes {self._input_shapes}, got "
+                f"{[a.shape for a in arrays]}")
+        vals = self._vals
+        for slot, p, _, _ in self._params:
+            vals[slot] = p.data
+        for slot, arr in zip(self._input_slots, arrays):
+            vals[slot] = arr
+        for step in self._fwd:
+            step()
+        grads = self._grads
+        for slot in self._grad_slots:
+            grads[slot] = None
+        for step in self._bwd:
+            step()
+        self.replays += 1
+        return vals[self._out_slot]
+
+    def input_grads(self) -> Tuple[Any, ...]:
+        """Gradients w.r.t. the traced inputs, in input order (valid until
+        the next replay)."""
+        return tuple(self._grads[slot] for slot in self._input_slots)
+
+
+_UNSUPPORTED = object()   # poison marker: this key runs eagerly forever
+
+
+# --------------------------------------------------------------------- #
+# plan compiler
+# --------------------------------------------------------------------- #
+class _PlanBuilder:
+    """Compile a recorded graph into a :class:`Plan`.
+
+    Forward steps are emitted in creation (= eager evaluation) order over
+    the ancestors of the output; backward steps replay *exactly* the
+    eager tape walk — ``reversed(output._topological_order())`` — with
+    per-edge contribution order preserved, so gradient accumulation is
+    associativity-identical to the eager pass.
+    """
+
+    def __init__(self, backend: "FastNumpyBackend", recorder: _Recorder,
+                 inputs: Sequence[Any], output: Any) -> None:
+        from ..nn.modules import Parameter
+        self._Parameter = Parameter
+        self.b = backend
+        self.plan = Plan(backend)
+        self.recorder = recorder
+        self.inputs = list(inputs)
+        self.output = output
+        self.slots: Dict[int, int] = {}          # id(tensor) -> slot
+        # slot -> the plan-owned array that holds that node's forward
+        # value on every replay (see _register_static).
+        self.static_bufs: Dict[int, Any] = {}
+
+    # -- slot management ----------------------------------------------- #
+    def _new_slot(self) -> int:
+        self.plan._vals.append(None)
+        self.plan._grads.append(None)
+        return len(self.plan._vals) - 1
+
+    def _define(self, tensor) -> int:
+        """Slot for an interior node (an op output being compiled)."""
+        key = id(tensor)
+        slot = self.slots.get(key)
+        if slot is None:
+            slot = self._new_slot()
+            self.slots[key] = slot
+        return slot
+
+    def _slot(self, tensor) -> int:
+        """Slot of ``tensor``, classifying unseen tensors as leaves.
+
+        Interior nodes are always registered via :meth:`_define` before
+        any consumer resolves them (compilation runs in creation order),
+        so an unseen tensor here really is a graph leaf.
+        """
+        key = id(tensor)
+        slot = self.slots.get(key)
+        if slot is not None:
+            return slot
+        slot = self._new_slot()
+        self.slots[key] = slot
+        if any(tensor is t for t in self.inputs):
+            return slot           # input: bound per replay (handled below)
+        if isinstance(tensor, self._Parameter):
+            if tensor.requires_grad:
+                raise TraceUnsupported(
+                    "parameter gradients are not compiled (the attack seam "
+                    "freezes parameters; train-time graphs run eagerly)")
+            self.plan._params.append(
+                (slot, tensor, tensor.data.shape, tensor.data.dtype))
+            return slot
+        if tensor.requires_grad:
+            raise TraceUnsupported(
+                f"leaf {tensor!r} requires grad but is not a traced input")
+        # Constant (e.g. the 1/count factor mean() bakes): hold the array.
+        self.plan._vals[slot] = tensor.data
+        return slot
+
+    def _buffer(self, shape, dtype=np.float32):
+        """A plan-owned buffer drawn from the backend pool (never
+        released: the plan is its owner for life)."""
+        buf = self.b.scratch(tuple(shape), dtype)
+        self.plan.buffer_bytes += buf.nbytes
+        return buf
+
+    def _register_static(self, slot: int, buf) -> None:
+        """Declare that ``slot``'s forward value lives in ``buf`` — the
+        *same array object* on every replay.  Downstream kernels may then
+        prebuild strided views of it at compile time instead of paying
+        per-replay index machinery."""
+        self.static_bufs[slot] = buf
+
+    def _static(self, slot: int):
+        return self.static_bufs.get(slot)
+
+    def _adder(self, slot: int) -> Callable[[Any], None]:
+        """Accumulator closure for one gradient contribution into ``slot``.
+
+        Mirrors ``backend.accumulate``: the first contribution to land (in
+        backward *run* order — the eager tape's accumulation order) adopts
+        the array, later ones ``+=`` into it.  Replay resets every grad
+        slot to ``None`` first, so the run-time check is what keeps
+        multi-consumer accumulation in the eager order regardless of the
+        order the consumers were *compiled* in.
+        """
+        grads = self.plan._grads
+
+        def put(arr, s=slot):
+            if grads[s] is None:
+                grads[s] = arr
+            else:
+                grads[s] += arr
+        return put
+
+    # -- graph walk ---------------------------------------------------- #
+    def build(self) -> Plan:
+        recorded = {id(out): (out, parents, op)
+                    for out, parents, op in self.recorder.nodes}
+        if id(self.output) not in recorded:
+            raise TraceUnsupported("output is not a traced op")
+
+        # Ancestors of the output, in creation order (dead branches and
+        # anything computed outside the recording window are dropped).
+        ancestors = set()
+        stack = [self.output]
+        while stack:
+            node = stack.pop()
+            if id(node) in ancestors:
+                continue
+            ancestors.add(id(node))
+            entry = recorded.get(id(node))
+            if entry is not None:
+                stack.extend(entry[1])
+        fwd_nodes = [entry for entry in self.recorder.nodes
+                     if id(entry[0]) in ancestors]
+
+        # Which slots need gradients: the inputs, plus anything that
+        # (transitively) consumes them.
+        needs: set = {id(t) for t in self.inputs}
+        for out, parents, _ in fwd_nodes:
+            if any(id(p) in needs for p in parents):
+                needs.add(id(out))
+        if id(self.output) not in needs:
+            raise TraceUnsupported("output does not depend on any input")
+
+        compilers = _OP_COMPILERS
+        emitted: Dict[int, Tuple[Callable, Optional[Callable]]] = {}
+        for out, parents, op in fwd_nodes:
+            name, attrs = (op, ()) if isinstance(op, str) else \
+                (op[0], op[1]) if isinstance(op, tuple) else (None, ())
+            compile_fn = compilers.get(name)
+            if compile_fn is None:
+                raise TraceUnsupported(f"op {op!r} has no compiled kernel")
+            node = _NodeCtx(self, out, parents, attrs, needs)
+            emitted[id(out)] = compile_fn(self, node)
+            self.plan._fwd.append(emitted[id(out)][0])
+
+        # Backward: replicate the eager walk exactly.  The tape on the
+        # traced tensors is still live, so the very DFS the eager
+        # backward would run gives the step order (and thereby the
+        # accumulation order) bit-for-bit.
+        for node in reversed(self.output._topological_order()):
+            entry = emitted.get(id(node))
+            if entry is not None and entry[1] is not None:
+                self.plan._bwd.append(entry[1])
+
+        for t in self.inputs:
+            slot = self.slots.get(id(t))
+            if slot is None:
+                raise TraceUnsupported("input does not reach the output")
+            self.plan._input_slots.append(slot)
+            self.plan._input_shapes.append(t.data.shape)
+        self.plan._out_slot = self.slots[id(self.output)]
+        self.plan._grad_slots = [i for i in range(len(self.plan._grads))]
+        return self.plan
+
+
+class _NodeCtx:
+    """Per-node compile context handed to the op kernel compilers."""
+
+    __slots__ = ("out", "parents", "attrs", "slot", "parent_slots",
+                 "shape", "dtype", "needs_grad", "parent_needs")
+
+    def __init__(self, builder: _PlanBuilder, out, parents, attrs, needs):
+        self.out = out
+        self.parents = parents
+        self.attrs = attrs
+        self.parent_slots = tuple(builder._slot(p) for p in parents)
+        self.slot = builder._define(out)
+        self.shape = out.data.shape
+        self.dtype = out.data.dtype
+        self.needs_grad = id(out) in needs
+        self.parent_needs = tuple(id(p) in needs for p in parents)
+
+
+# --------------------------------------------------------------------- #
+# compile-time machinery for the conv/pool workspace kernels
+# --------------------------------------------------------------------- #
+def _patch_view(x, n, c, kh, kw, oh, ow, sh, sw):
+    """The (N, C, kh, kw, oh, ow) sliding-window view im2col copies from —
+    identical strides to the eager backends' as_strided call."""
+    s = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, oh, ow),
+        strides=(s[0], s[1], s[2], s[3], s[2] * sh, s[3] * sw),
+        writeable=False,
+    )
+
+
+def _filler(shape):
+    """Deterministic rounding-sensitive sample data for compile-time
+    contraction verification when no captured array is available (an
+    integer ramp would sum exactly and mask kernel-order divergence)."""
+    size = int(np.prod(shape))
+    return np.sin(np.arange(size, dtype=np.float64)) \
+        .astype(np.float32).reshape(shape)
+
+
+def _frozen_contraction(b, subscripts, a_sample, b_sample):
+    """Resolve fast.einsum's verify-then-trust at compile time.
+
+    Every replay must serve exactly what the eager fast path converges
+    to for this (subscripts, shapes) key: the BLAS shortcut once proven
+    bit-identical to the reference contraction, the reference otherwise.
+    The verdict is computed here — on the capture run's real arrays —
+    and shared with the backend's own cache so eager and replayed calls
+    can never disagree.  Returns ``run(a, b, out)``.
+    """
+    bk = b.b
+    shortcut = bk._SHORTCUTS[subscripts]
+    key = (subscripts, (a_sample.shape, b_sample.shape))
+    reference = None
+    ok = bk._matmul_ok.get(key)
+    if not isinstance(ok, bool):
+        reference = np.einsum(subscripts, a_sample, b_sample, optimize=True)
+        ok = np.array_equal(reference, shortcut(a_sample, b_sample))
+        bk._matmul_ok[key] = ok
+    if ok:
+        if subscripts == "ok,nkl->nol":
+            def run(a, b2, o):
+                np.matmul(a, b2, out=o)
+        else:  # "ok,nol->nkl": the weight-transposed input-grad fold
+            def run(a, b2, o):
+                np.matmul(a.T, b2, out=o)
+        return run
+    # Broadcast-matmul and the reference disagree for this geometry: the
+    # reference collapses the batch into one flattened GEMM (different
+    # blocking, different bits).  Replicate that exact preparation —
+    # gather the batch-last operand into a (contracted, batch*cols)
+    # buffer, one 2-D GEMM, permute back — with plan-owned buffers, and
+    # keep it only if it proves bit-identical on the captured data;
+    # otherwise replay the einsum itself with its path frozen.
+    if reference is None:
+        reference = np.einsum(subscripts, a_sample, b_sample, optimize=True)
+    o_dim, k_dim = a_sample.shape
+    n_dim, _, l_dim = b_sample.shape
+    if subscripts == "ok,nkl->nol":
+        rows, transpose_a = o_dim, False
+    else:  # "ok,nol->nkl"
+        rows, transpose_a = k_dim, True
+    rhs = b._buffer((b_sample.shape[1], n_dim * l_dim))
+    rhs3 = rhs.reshape(b_sample.shape[1], n_dim, l_dim)
+    prod = b._buffer((rows, n_dim * l_dim))
+    prod_t = prod.reshape(rows, n_dim, l_dim).transpose(1, 0, 2)
+
+    if transpose_a:
+        def run(a, b2, o):
+            np.copyto(rhs3, b2.transpose(1, 0, 2))
+            np.matmul(a.T, rhs, out=prod)
+            np.copyto(o, prod_t)
+    else:
+        def run(a, b2, o):
+            np.copyto(rhs3, b2.transpose(1, 0, 2))
+            np.matmul(a, rhs, out=prod)
+            np.copyto(o, prod_t)
+    check = np.empty_like(reference)
+    run(a_sample, b_sample, check)
+    if np.array_equal(reference, check):
+        return run
+    path = np.einsum_path(subscripts, a_sample, b_sample, optimize=True)[0]
+
+    def run_einsum(a, b2, o, subs=subscripts, p=path):
+        np.einsum(subs, a, b2, out=o, optimize=p)
+    return run_einsum
+
+
+def _static_col2im(b: "_PlanBuilder", gcols6, xsh, kh, kw, sh, sw,
+                   ph, pw, oh, ow):
+    """Compile-time col2im: a preallocated padded accumulator plus
+    prebuilt slice-view pairs replaying the reference kh*kw accumulation
+    loop in the identical order (or, for exact non-overlapping tiling,
+    the pure-permutation transpose copy — no sums, so bit-trivial).
+
+    Returns ``(run, grad_view)``: ``run()`` folds ``gcols6`` into the
+    accumulator, after which ``grad_view`` holds the input gradient.
+    """
+    n, c, h, w = xsh
+    ph2, pw2 = h + 2 * ph, w + 2 * pw
+    folded = b._buffer((n, c, ph2, pw2))
+    if sh == kh and sw == kw and oh * kh == ph2 and ow * kw == pw2:
+        dst6 = folded.reshape(n, c, oh, kh, ow, kw)
+        src_t = gcols6.transpose(0, 1, 4, 2, 5, 3)
+
+        def run():
+            np.copyto(dst6, src_t)
+    else:
+        pairs = []
+        for ki in range(kh):
+            i_end = ki + sh * oh
+            for kj in range(kw):
+                j_end = kj + sw * ow
+                pairs.append((folded[:, :, ki:i_end:sh, kj:j_end:sw],
+                              gcols6[:, :, ki, kj]))
+
+        def run():
+            folded.fill(0.0)
+            for dst, src in pairs:
+                np.add(dst, src, out=dst)   # == reference `+=`, same order
+    if ph or pw:
+        return run, folded[:, :, ph:ph + h, pw:pw + w]
+    return run, folded
+
+
+# --------------------------------------------------------------------- #
+# op kernels
+#
+# Each compiler returns ``(fwd, bwd_or_None)`` closures over the plan's
+# ``vals``/``grads`` lists and preallocated buffers.  Every kernel
+# replays the eager op's reference expressions with ``out=`` variants —
+# see the module docstring's bitwise contract.
+# --------------------------------------------------------------------- #
+def _passthrough_edge(b: _PlanBuilder, node: _NodeCtx, pi: int):
+    """Copy-through gradient edge (add/sub left side): eager accumulates
+    the child's (shared, non-owned) grad, which the backends copy."""
+    pslot = node.parent_slots[pi]
+    pshape = node.parents[pi].data.shape
+    if pshape != node.shape:
+        raise TraceUnsupported("broadcast gradient onto a traced-input "
+                               "path is not compiled")
+    edge = b._buffer(pshape)
+    put = b._adder(pslot)
+    grads = b.plan._grads
+    i = node.slot
+
+    def bwd_part():
+        np.copyto(edge, grads[i])
+        put(edge)
+    return bwd_part
+
+
+def _check_same_shape(node: _NodeCtx, pi: int) -> None:
+    if node.parents[pi].data.shape != node.shape:
+        raise TraceUnsupported("broadcast gradient onto a traced-input "
+                               "path is not compiled")
+
+
+def _compile_add(b: _PlanBuilder, node: _NodeCtx):
+    pa, pb = node.parent_slots
+    vals, i = b.plan._vals, node.slot
+    out = b._buffer(node.shape)
+    b._register_static(i, out)
+
+    def fwd():
+        np.add(vals[pa], vals[pb], out=out)
+        vals[i] = out
+
+    parts = []
+    if node.parent_needs[0]:
+        parts.append(_passthrough_edge(b, node, 0))
+    if node.parent_needs[1]:
+        parts.append(_passthrough_edge(b, node, 1))
+    return fwd, _combine(parts)
+
+
+def _compile_sub(b: _PlanBuilder, node: _NodeCtx):
+    pa, pb = node.parent_slots
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    out = b._buffer(node.shape)
+    b._register_static(i, out)
+
+    def fwd():
+        np.subtract(vals[pa], vals[pb], out=out)
+        vals[i] = out
+
+    parts = []
+    if node.parent_needs[0]:
+        parts.append(_passthrough_edge(b, node, 0))
+    if node.parent_needs[1]:
+        _check_same_shape(node, 1)
+        edge = b._buffer(node.parents[1].data.shape)
+        put = b._adder(pb)
+
+        def neg_part():
+            np.negative(grads[i], out=edge)
+            put(edge)
+        parts.append(neg_part)
+    return fwd, _combine(parts)
+
+
+def _compile_neg(b: _PlanBuilder, node: _NodeCtx):
+    (pa,) = node.parent_slots
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    out = b._buffer(node.shape)
+    b._register_static(i, out)
+
+    def fwd():
+        np.negative(vals[pa], out=out)
+        vals[i] = out
+
+    bwd = None
+    if node.parent_needs[0]:
+        _check_same_shape(node, 0)
+        edge = b._buffer(node.shape)
+        put = b._adder(pa)
+
+        def bwd():
+            np.negative(grads[i], out=edge)
+            put(edge)
+    return fwd, bwd
+
+
+def _compile_mul(b: _PlanBuilder, node: _NodeCtx):
+    pa, pb = node.parent_slots
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    out = b._buffer(node.shape)
+    b._register_static(i, out)
+
+    def fwd():
+        np.multiply(vals[pa], vals[pb], out=out)
+        vals[i] = out
+
+    parts = []
+    for pi, pslot, other in ((0, pa, pb), (1, pb, pa)):
+        if not node.parent_needs[pi]:
+            continue
+        _check_same_shape(node, pi)
+        edge = b._buffer(node.shape)
+        put = b._adder(pslot)
+
+        def mul_part(e=edge, p=put, o=other):
+            np.multiply(grads[i], vals[o], out=e)
+            p(e)
+        parts.append(mul_part)
+    return fwd, _combine(parts)
+
+
+def _compile_div(b: _PlanBuilder, node: _NodeCtx):
+    pa, pb = node.parent_slots
+    if node.parent_needs[1]:
+        raise TraceUnsupported("gradient through a division denominator "
+                               "is not compiled")
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    out = b._buffer(node.shape)
+    b._register_static(i, out)
+
+    def fwd():
+        np.divide(vals[pa], vals[pb], out=out)
+        vals[i] = out
+
+    bwd = None
+    if node.parent_needs[0]:
+        _check_same_shape(node, 0)
+        edge = b._buffer(node.shape)
+        put = b._adder(pa)
+
+        def bwd():
+            np.divide(grads[i], vals[pb], out=edge)
+            put(edge)
+    return fwd, bwd
+
+
+def _compile_matmul(b: _PlanBuilder, node: _NodeCtx):
+    pa, pb = node.parent_slots
+    if node.parent_needs[1]:
+        raise TraceUnsupported("matmul weight gradients are not compiled")
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    out = b._buffer(node.shape)
+    b._register_static(i, out)
+
+    def fwd():
+        np.matmul(vals[pa], vals[pb], out=out)
+        vals[i] = out
+
+    bwd = None
+    if node.parent_needs[0]:
+        edge = b._buffer(node.parents[0].data.shape)
+        put = b._adder(pa)
+
+        def bwd():
+            # eager: grad @ swapaxes(other, -1, -2)
+            np.matmul(grads[i], vals[pb].swapaxes(-1, -2), out=edge)
+            put(edge)
+    return fwd, bwd
+
+
+def _compile_reshape(b: _PlanBuilder, node: _NodeCtx):
+    (pa,) = node.parent_slots
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    shape = node.shape
+    pshape = node.parents[0].data.shape
+
+    src = b._static(pa)
+    if src is not None:
+        view = src.reshape(shape)             # stable view of a static buf
+        b._register_static(i, view)
+
+        def fwd():
+            vals[i] = view
+    else:
+        def fwd():
+            vals[i] = vals[pa].reshape(shape)  # view, exactly like eager
+
+    bwd = None
+    if node.parent_needs[0]:
+        edge = b._buffer(pshape)
+        put = b._adder(pa)
+
+        def bwd():
+            np.copyto(edge, grads[i].reshape(pshape))
+            put(edge)
+    return fwd, bwd
+
+
+def _compile_sum(b: _PlanBuilder, node: _NodeCtx):
+    (pa,) = node.parent_slots
+    axis, keepdims = node.attrs
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    pshape = node.parents[0].data.shape
+    out = b._buffer(node.shape, node.dtype)
+    b._register_static(i, out)
+
+    def fwd():
+        np.sum(vals[pa], axis=axis, keepdims=keepdims, out=out)
+        vals[i] = out
+
+    bwd = None
+    if node.parent_needs[0]:
+        edge = b._buffer(pshape)
+        put = b._adder(pa)
+        expand = axis is not None and not keepdims
+
+        def bwd():
+            g = grads[i]
+            if expand:
+                g = np.expand_dims(g, axis)
+            np.copyto(edge, g)                # broadcast copy, as eager
+            put(edge)
+    return fwd, bwd
+
+
+def _compile_relu(b: _PlanBuilder, node: _NodeCtx):
+    (pa,) = node.parent_slots
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    maskb = b._buffer(node.shape, np.bool_)
+    mask = b._buffer(node.shape)
+    out = b._buffer(node.shape)
+    b._register_static(i, out)
+
+    def fwd():
+        # eager: mask = (x > 0).astype(float32); out = x * mask — fused
+        # into one pass over preallocated buffers.
+        x = vals[pa]
+        np.greater(x, 0, out=maskb)
+        np.copyto(mask, maskb, casting="unsafe")
+        np.multiply(x, mask, out=out)
+        vals[i] = out
+
+    bwd = None
+    if node.parent_needs[0]:
+        edge = b._buffer(node.shape)
+        put = b._adder(pa)
+
+        def bwd():
+            np.multiply(grads[i], mask, out=edge)   # fused ReLU backward
+            put(edge)
+    return fwd, bwd
+
+
+def _compile_leaky_relu(b: _PlanBuilder, node: _NodeCtx):
+    (pa,) = node.parent_slots
+    (slope,) = node.attrs
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    maskb = b._buffer(node.shape, np.bool_)
+    mask = b._buffer(node.shape)
+    scale = b._buffer(node.shape)
+    out = b._buffer(node.shape)
+    b._register_static(i, out)
+
+    def fwd():
+        # eager: scale = mask + slope * (1 - mask); out = x * scale
+        x = vals[pa]
+        np.greater(x, 0, out=maskb)
+        np.copyto(mask, maskb, casting="unsafe")
+        np.subtract(1.0, mask, out=scale)
+        np.multiply(slope, scale, out=scale)
+        np.add(mask, scale, out=scale)
+        np.multiply(x, scale, out=out)
+        vals[i] = out
+
+    bwd = None
+    if node.parent_needs[0]:
+        edge = b._buffer(node.shape)
+        put = b._adder(pa)
+
+        def bwd():
+            np.multiply(grads[i], scale, out=edge)
+            put(edge)
+    return fwd, bwd
+
+
+def _compile_sigmoid(b: _PlanBuilder, node: _NodeCtx):
+    from ..nn.functional import _stable_sigmoid   # compile time, not import
+    (pa,) = node.parent_slots
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    tmp = b._buffer(node.shape)
+
+    def fwd():
+        vals[i] = _stable_sigmoid(vals[pa])   # same helper as eager
+
+    bwd = None
+    if node.parent_needs[0]:
+        edge = b._buffer(node.shape)
+        put = b._adder(pa)
+
+        def bwd():
+            # eager: grad * out * (1 - out), left-associated
+            o = vals[i]
+            np.multiply(grads[i], o, out=edge)
+            np.subtract(1.0, o, out=tmp)
+            edge *= tmp
+            put(edge)
+    return fwd, bwd
+
+
+def _compile_tanh(b: _PlanBuilder, node: _NodeCtx):
+    (pa,) = node.parent_slots
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    out = b._buffer(node.shape)
+    tmp = b._buffer(node.shape)
+    b._register_static(i, out)
+
+    def fwd():
+        np.tanh(vals[pa], out=out)
+        vals[i] = out
+
+    bwd = None
+    if node.parent_needs[0]:
+        edge = b._buffer(node.shape)
+        put = b._adder(pa)
+
+        def bwd():
+            # eager: grad * (1 - out ** 2)
+            np.power(out, 2, out=tmp)
+            np.subtract(1.0, tmp, out=tmp)
+            np.multiply(grads[i], tmp, out=edge)
+            put(edge)
+    return fwd, bwd
+
+
+def _compile_conv2d(b: _PlanBuilder, node: _NodeCtx):
+    sh, sw, ph, pw = node.attrs
+    px = node.parent_slots[0]
+    pwslot = node.parent_slots[1]
+    pbias = node.parent_slots[2] if len(node.parents) > 2 else None
+    if any(node.parent_needs[1:]):
+        raise TraceUnsupported("conv weight/bias gradients are not compiled")
+    weight = node.parents[1]
+    out_c, _, kh, kw = weight.data.shape
+    xsh = node.parents[0].data.shape
+    n, c, h, w = xsh
+    oh = conv_output_size(h, kh, sh, ph)
+    ow = conv_output_size(w, kw, sw, pw)
+    length = oh * ow
+    k = c * kh * kw
+    oshape = node.shape
+    bk = b.b
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+    track_grad = node.parent_needs[0]
+
+    # Plan-static im2col: the zero border of ``padded`` is written once
+    # here; each replay refreshes only the interior and runs the two
+    # copies eager im2col performs (pad fill, patch gather) straight
+    # through prebuilt views — no allocation, no index machinery.
+    padded = b._buffer((n, c, h + 2 * ph, w + 2 * pw))
+    padded.fill(0.0)
+    interior = padded[:, :, ph:ph + h, pw:pw + w]
+    patches = _patch_view(padded, n, c, kh, kw, oh, ow, sh, sw)
+    cols = b._buffer((n, k, length))
+    cols6 = cols.reshape(n, c, kh, kw, oh, ow)
+    out = b._buffer(oshape)
+    out3 = out.reshape(n, out_c, length)
+    b._register_static(i, out)
+
+    # Prime the workspace with the capture run's real activation so the
+    # contraction verdicts below are computed on real data.
+    np.copyto(interior, node.parents[0].data)
+    np.copyto(cols6, patches)
+    mm_fwd = _frozen_contraction(b, "ok,nkl->nol",
+                                 weight.data.reshape(out_c, k), cols)
+
+    # Weights are read live (rebinding-safe), but the reshaped views are
+    # cached by array identity: in-place optimizer steps keep the same
+    # array, so the steady state pays an `is` check instead of a reshape.
+    wcache: List[Any] = [None, None]
+
+    def w_mat():
+        wd = vals[pwslot]
+        if wd is not wcache[0]:
+            wcache[0] = wd
+            wcache[1] = wd.reshape(out_c, k)
+        return wcache[1]
+
+    bcache: List[Any] = [None, None]
+
+    def fwd():
+        np.copyto(interior, vals[px])
+        np.copyto(cols6, patches)
+        mm_fwd(w_mat(), cols, out3)
+        if pbias is not None:
+            bd = vals[pbias]
+            if bd is not bcache[0]:
+                bcache[0] = bd
+                bcache[1] = bd.reshape(1, out_c, 1, 1)
+            np.add(out, bcache[1], out=out)
+        vals[i] = out
+
+    bwd = None
+    if track_grad:
+        gcols = b._buffer((n, k, length))
+        gcols6 = gcols.reshape(n, c, kh, kw, oh, ow)
+        fold, gx_view = _static_col2im(b, gcols6, xsh, kh, kw, sh, sw,
+                                       ph, pw, oh, ow)
+        # With padding the fold leaves the input grad as a strided slice;
+        # compact it so downstream reshapes stay copy-free views (eager
+        # materialises a contiguous grad too, via accumulate's copy).
+        gxbuf = b._buffer(xsh) if (ph or pw) else None
+        g_cap = node.out.grad
+        g_sample = (g_cap.reshape(n, out_c, length) if g_cap is not None
+                    else _filler((n, out_c, length)))
+        mm_bwd = _frozen_contraction(b, "ok,nol->nkl",
+                                     weight.data.reshape(out_c, k), g_sample)
+        put = b._adder(px)
+        gcache: List[Any] = [None, None]
+
+        def bwd():
+            g = grads[i]
+            if g is not gcache[0]:
+                gcache[0] = g
+                gcache[1] = g.reshape(n, out_c, length)
+            mm_bwd(w_mat(), gcache[1], gcols)
+            fold()
+            if gxbuf is not None:
+                np.copyto(gxbuf, gx_view)
+                put(gxbuf)
+            else:
+                put(gx_view)
+    return fwd, bwd
+
+
+def _compile_maxpool2d(b: _PlanBuilder, node: _NodeCtx):
+    kh, kw, sh, sw = node.attrs
+    (px,) = node.parent_slots
+    xsh = node.parents[0].data.shape
+    n, c, h, w = xsh
+    oshape = node.shape
+    oh, ow = oshape[2], oshape[3]
+    length = oh * ow
+    k2 = kh * kw
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+
+    # Static workspace: when the parent's value lives in a plan-owned
+    # buffer the sliding-window view is prebuilt here; the argmax result
+    # and the gather grids (what take/put_along_axis rebuild per call)
+    # are plan-owned as well.
+    src = b._static(px)
+    patches = (None if src is None else
+               _patch_view(src, n, c, kh, kw, oh, ow, sh, sw))
+    cols = b._buffer((n, c, k2, length))
+    cols6 = cols.reshape(n, c, kh, kw, oh, ow)
+    arg = b._buffer((n, c, length), np.intp)
+    out = b._buffer(oshape)
+    out3 = out.reshape(n, c, length)
+    b._register_static(i, out)
+    n_g = np.arange(n).reshape(n, 1, 1)
+    c_g = np.arange(c).reshape(1, c, 1)
+    l_g = np.arange(length).reshape(1, 1, length)
+
+    def fwd():
+        p = patches if patches is not None else \
+            _patch_view(vals[px], n, c, kh, kw, oh, ow, sh, sw)
+        np.copyto(cols6, p)
+        cols.argmax(axis=2, out=arg)   # == np.argmax, minus the wrapper
+        # eager: take_along_axis == this prebuilt-grid gather
+        np.copyto(out3, cols[n_g, c_g, arg, l_g])
+        vals[i] = out
+
+    bwd = None
+    if node.parent_needs[0]:
+        gcols = b._buffer((n, c, k2, length))
+        gcols6 = gcols.reshape(n, c, kh, kw, oh, ow)
+        fold, gx_view = _static_col2im(b, gcols6, xsh, kh, kw, sh, sw,
+                                       0, 0, oh, ow)
+        put = b._adder(px)
+        gcache: List[Any] = [None, None]
+
+        def bwd():
+            g = grads[i]
+            if g is not gcache[0]:
+                gcache[0] = g
+                gcache[1] = g.reshape(n, c, length)
+            gcols.fill(0.0)
+            # eager: put_along_axis == this prebuilt-grid scatter
+            gcols[n_g, c_g, arg, l_g] = gcache[1]
+            fold()
+            put(gx_view)
+    return fwd, bwd
+
+
+def _compile_avgpool2d(b: _PlanBuilder, node: _NodeCtx):
+    kh, kw, sh, sw = node.attrs
+    (px,) = node.parent_slots
+    xsh = node.parents[0].data.shape
+    n, c, h, w = xsh
+    oshape = node.shape
+    oh, ow = oshape[2], oshape[3]
+    length = oh * ow
+    k2 = kh * kw
+    area = float(k2)
+    bk = b.b
+    vals, grads, i = b.plan._vals, b.plan._grads, node.slot
+
+    src = b._static(px)
+    patches = (None if src is None else
+               _patch_view(src, n, c, kh, kw, oh, ow, sh, sw))
+    cols = b._buffer((n, c, k2, length))
+    cols6 = cols.reshape(n, c, kh, kw, oh, ow)
+    out = b._buffer(oshape)
+    out3 = out.reshape(n, c, length)
+    b._register_static(i, out)
+
+    def fwd():
+        p = patches if patches is not None else \
+            _patch_view(vals[px], n, c, kh, kw, oh, ow, sh, sw)
+        np.copyto(cols6, p)
+        np.mean(cols, axis=2, out=out3)
+        vals[i] = out
+
+    bwd = None
+    if node.parent_needs[0]:
+        put = b._adder(px)
+
+        def bwd():
+            g = np.repeat(grads[i].reshape(n, c, 1, -1) / area, k2, axis=2)
+            g = g.reshape(n, c * k2, length)
+            put(bk.col2im(g, xsh, kh, kw, sh, sw, 0, 0))
+    return fwd, bwd
+
+
+def _combine(parts: List[Callable[[], None]]) -> Optional[Callable[[], None]]:
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+
+    def bwd():
+        for part in parts:
+            part()
+    return bwd
+
+
+_OP_COMPILERS: Dict[Optional[str], Callable] = {
+    "add": _compile_add,
+    "sub": _compile_sub,
+    "neg": _compile_neg,
+    "mul": _compile_mul,
+    "div": _compile_div,
+    "matmul": _compile_matmul,
+    "reshape": _compile_reshape,
+    "sum": _compile_sum,
+    "relu": _compile_relu,
+    "leaky_relu": _compile_leaky_relu,
+    "sigmoid": _compile_sigmoid,
+    "tanh": _compile_tanh,
+    "conv2d": _compile_conv2d,
+    "maxpool2d": _compile_maxpool2d,
+    "avgpool2d": _compile_avgpool2d,
+}
+
+
+# --------------------------------------------------------------------- #
+# backward seeds
+# --------------------------------------------------------------------- #
+def _attach_ones_seed(plan: Plan) -> None:
+    """Generic trace: seed the output gradient with ones, exactly like
+    ``Tensor.backward()`` with no argument."""
+    out_slot = plan._out_slot
+    seed = np.ones(plan._seed_shape,              # type: ignore[attr-defined]
+                   dtype=np.float32)
+    grads = plan._grads
+
+    def inject():
+        grads[out_slot] = seed
+    plan._bwd.insert(0, inject)
+
+
+def _attach_ce_seed(plan: Plan, backend: "FastNumpyBackend") -> None:
+    """Fused softmax-cross-entropy gradient head.
+
+    Replays, ufunc for ufunc, what the eager chain
+    ``softmax_cross_entropy(logits, labels).backward()`` feeds into the
+    logits node: ``d(mean(-log_softmax(z)[rows, labels]))/dz``, i.e. the
+    log-softmax backward applied to the scatter of ``-1/n`` — see the
+    step comments for the exact eager correspondence.  One fused pass
+    over six preallocated (n, k) / (n, 1) buffers replaces ~10 tape
+    nodes per iteration.
+    """
+    out_slot = plan._out_slot
+    n, k = plan._seed_shape                       # type: ignore[attr-defined]
+    vals, grads = plan._vals, plan._grads
+    label_cell = plan._label_cell
+    mx = backend.scratch((n, 1), np.float32)
+    shifted = backend.scratch((n, k), np.float32)
+    se = backend.scratch((n, 1), np.float32)
+    logp = backend.scratch((n, k), np.float32)
+    soft = backend.scratch((n, k), np.float32)
+    full = backend.scratch((n, k), np.float32)
+    rs = backend.scratch((n, 1), np.float32)
+    tmp = backend.scratch((n, k), np.float32)
+    gz = backend.scratch((n, k), np.float32)
+    rows = np.arange(n)
+    # The scatter value: eager seeds backward with ones(()), multiplies by
+    # the baked float32(1/n) mean factor, broadcasts over the batch and
+    # negates — all exact float32 ops, baked here once.
+    c = np.ones((), np.float32) * np.asarray(1.0 / n).astype(np.float32)
+    negc = -(np.broadcast_to(c, (n,)).copy())
+
+    def inject():
+        z = vals[out_slot]
+        # log_softmax forward (only `soft` is needed by the gradient);
+        # np.max/np.sum dispatch to exactly these ufunc reductions — the
+        # direct calls serve the same kernels minus the wrapper layer.
+        np.maximum.reduce(z, axis=-1, keepdims=True, out=mx)
+        np.subtract(z, mx, out=shifted)
+        np.exp(shifted, out=tmp)
+        np.add.reduce(tmp, axis=-1, keepdims=True, out=se)
+        np.log(se, out=se)
+        np.subtract(shifted, se, out=logp)
+        np.exp(logp, out=soft)
+        # picked/neg/mean backward: scatter -1/n at (row, label).  Eager
+        # uses index_add on the zeroed buffer; one unique index per row,
+        # so plain fancy assignment lands the identical values without
+        # np.add.at's unbuffered-loop overhead.
+        full.fill(0.0)
+        full[rows, label_cell[0]] = negc
+        # log_softmax backward: full - soft * full.sum(-1, keepdims=True)
+        np.add.reduce(full, axis=-1, keepdims=True, out=rs)
+        np.multiply(soft, rs, out=tmp)
+        np.subtract(full, tmp, out=gz)
+        grads[out_slot] = gz
+    plan._bwd.insert(0, inject)
+
+
+# --------------------------------------------------------------------- #
+# public trace entry point
+# --------------------------------------------------------------------- #
+def trace(fn, *example_inputs, backend: Optional[Any] = None):
+    """Capture one eager run of ``fn`` into a replayable :class:`Plan`.
+
+    ``fn`` receives one :class:`~repro.nn.tensor.Tensor` per example
+    input (floating-point inputs get ``requires_grad=True``) and must
+    return a single Tensor.  The returned ``(output, plan)`` pair holds
+    the eager result of the capture run and a plan whose
+    ``plan.replay(*arrays)`` recomputes the forward for same-shaped
+    inputs; ``plan.input_grads()`` then holds gradients of
+    ``sum(output)`` w.r.t. the inputs (the ones-seeded backward of
+    ``Tensor.backward()``).
+
+    Raises :class:`TraceUnsupported` when the captured graph contains an
+    op with no compiled kernel — callers fall back to eager execution.
+    """
+    from .. import backend as backend_registry
+    from ..nn.tensor import Tensor
+    b = backend or backend_registry.active()
+    tensors = []
+    for arr in example_inputs:
+        arr = b.asarray(arr)
+        tensors.append(Tensor(arr, requires_grad=arr.dtype.kind == "f"))
+    with _recording() as recorder:
+        out = fn(*tensors)
+    if not isinstance(out, Tensor):
+        raise TraceUnsupported("traced function must return a single Tensor")
+    grad_inputs = [t for t in tensors if t.requires_grad]
+    builder = _PlanBuilder(b, recorder, grad_inputs, out)
+    plan = builder.build()
+    plan._seed_shape = out.data.shape             # type: ignore[attr-defined]
+    _attach_ones_seed(plan)
+    return out, plan
+
+
+# --------------------------------------------------------------------- #
+# the backend
+# --------------------------------------------------------------------- #
+class CompiledBackend(FastNumpyBackend):
+    """``fast`` semantics everywhere, plus plan capture/replay on the
+    attack seam (``attacks.base.logits_and_input_grad``)."""
+
+    name = "compiled"
+
+    #: Early-stopping attacks shrink the active set, minting one plan per
+    #: surviving batch size; a bounded LRU keeps the hoard in check.
+    _MAX_PLANS_PER_MODEL = 64
+    #: Plans own their workspaces for life, so the LRU is also capped by
+    #: total workspace bytes per model (large-batch grids would otherwise
+    #: pin one conv workspace per surviving batch size).
+    _MAX_PLAN_BYTES_PER_MODEL = 512 * 1024 * 1024
+    #: Below this batch size tracing overhead is not worth recouping —
+    #: the tail of an early-stopping loop runs eagerly.
+    _MIN_COMPILE_BATCH = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._plans: "WeakKeyDictionary[Any, OrderedDict]" = \
+            WeakKeyDictionary()
+        # Flat (modules, parameters) per model: the replay-path guards
+        # must not pay a module-tree walk per attack iteration.  Refreshed
+        # on every cold build (which is when structure could have grown,
+        # e.g. lazily-materialised heads).
+        self._model_info: "WeakKeyDictionary[Any, Tuple[list, list]]" = \
+            WeakKeyDictionary()
+        self._tensor_mod = None
+        self.stats = {"plans_built": 0, "replays": 0, "eager_calls": 0,
+                      "invalidations": 0, "unsupported": 0}
+
+    # -- the attack seam ---------------------------------------------- #
+    def loss_and_input_grad(self, model, images, labels):
+        """Logits and input gradient of the mean softmax cross-entropy.
+
+        Returns ``(logits, grad)`` — replayed from a cached plan when one
+        matches, else computed eagerly under capture (building the plan
+        as a side effect).  Returns ``None`` when this call must run on
+        the caller's eager path (trainable parameters, grads disabled,
+        nested capture, poisoned graph, sub-threshold batch).
+
+        Returned arrays may be plan-owned buffers, valid until the next
+        call on the same (model, shape, mode) key — the attack loops
+        consume them within the iteration.
+        """
+        tensor_mod = self._tensor_mod
+        if tensor_mod is None:
+            from ..nn import tensor as tensor_mod
+            self._tensor_mod = tensor_mod
+        info = self._model_info.get(model)
+        if info is None:
+            info = (list(model.modules()), list(model.parameters()))
+            self._model_info[model] = info
+        modules, params = info
+        if not tensor_mod._GRAD_ENABLED[0] \
+                or tensor_mod._TRACER[0] is not None \
+                or images.shape[0] < self._MIN_COMPILE_BATCH \
+                or any(p.requires_grad for p in params):
+            self.stats["eager_calls"] += 1
+            return None
+        # The key pins the traced *program*, not just the shapes: training
+        # flags change layer behaviour, and a swapped ``forward`` (an
+        # instance override or a monkeypatched class) is a different graph
+        # — the function objects ride in the key so such a swap re-captures
+        # instead of serving the stale plan.
+        key = (images.shape, str(images.dtype),
+               tuple(m._training for m in modules),
+               tuple(m.__dict__.get("forward",
+                                    getattr(type(m), "forward", None))
+                     for m in modules))
+        plans = self._plans.get(model)
+        if plans is None:
+            plans = OrderedDict()
+            self._plans[model] = plans
+        entry = plans.get(key)
+        if entry is _UNSUPPORTED:
+            self.stats["eager_calls"] += 1
+            return None
+        if entry is not None and not entry.params_valid():
+            del plans[key]
+            self.stats["invalidations"] += 1
+            entry = None
+        if entry is not None:
+            plans.move_to_end(key)
+            self.stats["replays"] += 1
+            logits = entry._replay_loss_grad(images, labels)
+            return logits, entry.input_grads()[0]
+        return self._build(model, plans, key, images, labels)
+
+    def _build(self, model, plans, key, images, labels):
+        """Cold path: run eagerly under capture, then compile the plan.
+        The eager run's results are returned either way, so an
+        unsupported graph costs nothing beyond the poison marker."""
+        from ..nn.losses import softmax_cross_entropy
+        from ..nn.tensor import Tensor
+        x = Tensor(images, requires_grad=True)
+        with _recording() as recorder:
+            logits = model(x)
+        loss = softmax_cross_entropy(logits, labels)
+        loss.backward()
+        # The capture ran the full model, so any lazily-materialised
+        # structure now exists: refresh the flat guard lists.
+        self._model_info[model] = (list(model.modules()),
+                                   list(model.parameters()))
+        try:
+            builder = _PlanBuilder(self, recorder, [x], logits)
+            plan = builder.build()
+            plan._seed_shape = logits.data.shape  # type: ignore[attr-defined]
+            _attach_ce_seed(plan, self)
+        except TraceUnsupported:
+            plans[key] = _UNSUPPORTED
+            self.stats["unsupported"] += 1
+            return logits.data, x.grad
+        plans[key] = plan
+        plans.move_to_end(key)
+        self._trim(plans)
+        self.stats["plans_built"] += 1
+        return logits.data, x.grad
+
+    def _trim(self, plans) -> None:
+        """Evict least-recently-used plans past the count or byte caps
+        (poison markers hold no workspace but age out with the rest)."""
+        def workspace_bytes():
+            return sum(p.buffer_bytes for p in plans.values()
+                       if p is not _UNSUPPORTED)
+        while len(plans) > self._MAX_PLANS_PER_MODEL or (
+                len(plans) > 1
+                and workspace_bytes() > self._MAX_PLAN_BYTES_PER_MODEL):
+            plans.popitem(last=False)
+
+
+def _replay_loss_grad(self: Plan, images, labels) -> Any:
+    """Replay a loss-grad plan: stage the labels for the fused CE head,
+    then run the standard replay."""
+    labels = np.asarray(labels)
+    # eager _as_labels: one-hot rows -> argmax, else an int64 cast.  The
+    # labels only index the scatter, so the already-int64 hot path skips
+    # the defensive copy an astype would make.
+    if labels.ndim == 2:
+        labels = labels.argmax(axis=1)
+    elif labels.dtype != np.int64:
+        labels = labels.astype(np.int64)
+    self._label_cell[0] = labels
+    return self.replay(images)
+
+
+Plan._replay_loss_grad = _replay_loss_grad

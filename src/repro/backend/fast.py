@@ -64,6 +64,11 @@ class _BufferPool:
 
     def __init__(self) -> None:
         self._free: Dict[Any, List[np.ndarray]] = {}
+        #: Served from the free list vs. freshly allocated.  A steady-state
+        #: hot loop (e.g. compiled-plan replay) must stop growing
+        #: ``misses`` once warm — pinned by the backend test suite.
+        self.hits = 0
+        self.misses = 0
 
     def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
         dtype = np.dtype(dtype)
@@ -77,7 +82,13 @@ class _BufferPool:
             for i, buf in enumerate(stack):
                 if buf.size >= count:
                     del stack[i]
-                    return buf[:count].reshape(shape)
+                    self.hits += 1
+                    # Entries are whole owning allocations; a *donated*
+                    # one (release of a fresh gradient array or attack
+                    # iterate) keeps its original n-D shape, so flatten
+                    # before carving — C-contiguous, so it's a view.
+                    return buf.reshape(-1)[:count].reshape(shape)
+        self.misses += 1
         return np.empty(count, dtype=dtype).reshape(shape)
 
     def release(self, buf: np.ndarray) -> None:
@@ -92,9 +103,22 @@ class _BufferPool:
         buf = buf.reshape(-1)
         buf = buf.base if buf.base is not None else buf
         stack = self._free.setdefault(buf.dtype, [])
-        if len(stack) < _POOL_DEPTH and not any(b is buf for b in stack):
+        if any(b is buf for b in stack):
+            return
+        if len(stack) < _POOL_DEPTH:
             stack.append(buf)
-            stack.sort(key=lambda b: b.size)
+        elif stack[0].size < buf.size:
+            # Full: prefer keeping the largest buffers.  Acquire is
+            # size-tolerant (small requests carve views out of big
+            # buffers), so evicting the smallest entry loses nothing,
+            # while dropping a big workspace would doom every later
+            # large acquire to a fresh allocation — exactly what happens
+            # when compiled plans permanently adopt the big entries and
+            # small per-iteration gradient buffers flood the list.
+            stack[0] = buf
+        else:
+            return
+        stack.sort(key=lambda b: b.size)
 
 
 class FastNumpyBackend(NumpyBackend):
@@ -121,6 +145,11 @@ class FastNumpyBackend(NumpyBackend):
         if isinstance(buf, np.ndarray):
             # Views (reshapes of a pooled buffer) resolve to their base.
             self._pool.release(buf if buf.base is None else buf.base)
+
+    def pool_stats(self) -> Dict[str, int]:
+        """Free-list hit/miss counters (observability for the steady-state
+        no-allocation guarantee of compiled-plan replay)."""
+        return {"hits": self._pool.hits, "misses": self._pool.misses}
 
     # ------------------------------------------------------------------ #
     # contraction kernels
@@ -227,6 +256,30 @@ class FastNumpyBackend(NumpyBackend):
             return update.copy()
         current += update
         return current
+
+    # ------------------------------------------------------------------ #
+    # fused attack step
+    # ------------------------------------------------------------------ #
+    def signed_ascent(self, adv: np.ndarray, grad: np.ndarray, step: float,
+                      origin: np.ndarray, eps: float,
+                      low: float, high: float) -> np.ndarray:
+        # sign -> mul -> add -> ball clip -> box clip, one pass over a
+        # pooled buffer, replaying the reference's exact expression order
+        # (``adv + step * sign(grad)`` — scalar multiplication commutes
+        # bitwise; clip-with-``out=`` computes the same min/max chain).
+        out = self._pool.acquire(adv.shape, np.float32)
+        np.sign(grad, out=out)
+        np.multiply(out, step, out=out)   # == step * sign(grad)
+        np.add(adv, out, out=out)
+        lo = self._pool.acquire(adv.shape, np.float32)
+        hi = self._pool.acquire(adv.shape, np.float32)
+        np.subtract(origin, eps, out=lo)
+        np.add(origin, eps, out=hi)
+        np.clip(out, lo, hi, out=out)
+        np.clip(out, low, high, out=out)
+        self._pool.release(hi)
+        self._pool.release(lo)
+        return out
 
     # ------------------------------------------------------------------ #
     # fused optimizer steps

@@ -110,6 +110,26 @@ class NumpyBackend:
         return current
 
     # ------------------------------------------------------------------ #
+    # fused attack step
+    # ------------------------------------------------------------------ #
+    def signed_ascent(self, adv: np.ndarray, grad: np.ndarray, step: float,
+                      origin: np.ndarray, eps: float,
+                      low: float, high: float) -> np.ndarray:
+        """One signed-gradient ascent step with l-inf ball + box projection.
+
+        The reference spells out exactly the expression the attack loops
+        used inline — ``adv + step * sign(grad)`` clipped onto
+        ``[origin - eps, origin + eps]`` and then onto ``[low, high]`` —
+        so a backend's fused override must only change memory behaviour,
+        never the arithmetic.  The result may be a pooled buffer on such
+        backends: callers release it once they have consumed it.
+        """
+        xp = self.xp
+        out = adv + step * xp.sign(grad)
+        out = xp.clip(out, origin - eps, origin + eps)
+        return xp.clip(out, low, high).astype(np.float32, copy=False)
+
+    # ------------------------------------------------------------------ #
     # fused optimizer steps (reference: the seed's exact expressions)
     # ------------------------------------------------------------------ #
     def sgd_step(self, param: np.ndarray, grad: np.ndarray,

@@ -22,7 +22,7 @@ import numpy as np
 
 from .. import backend as _backend
 from ..backend import conv_output_size
-from .tensor import Tensor, is_grad_enabled
+from .tensor import _TRACER, Tensor, is_grad_enabled
 
 __all__ = ["conv2d", "max_pool2d", "avg_pool2d", "im2col", "col2im", "conv_output_size"]
 
@@ -113,7 +113,8 @@ def conv2d(
         cols_cell[0] = None
         bk.release(cols)
 
-    return Tensor._make(out, parents, backward)
+    op = ("conv2d", (sh, sw, ph, pw)) if _TRACER[0] is not None else None
+    return Tensor._make(out, parents, backward, op=op)
 
 
 def max_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor:
@@ -152,7 +153,8 @@ def max_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor
         bk.release(gcols)
         x._accumulate(folded, owned=True)
 
-    return Tensor._make(out, (x,), backward)
+    op = ("maxpool2d", (kh, kw, sh, sw)) if _TRACER[0] is not None else None
+    return Tensor._make(out, (x,), backward, op=op)
 
 
 def avg_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor:
@@ -175,7 +177,8 @@ def avg_pool2d(x: Tensor, kernel: IntPair = 2, stride: IntPair = None) -> Tensor
         g = g.reshape(n, c * kh * kw, out_h * out_w)
         x._accumulate(bk.col2im(g, x.shape, kh, kw, sh, sw, 0, 0), owned=True)
 
-    return Tensor._make(out, (x,), backward)
+    op = ("avgpool2d", (kh, kw, sh, sw)) if _TRACER[0] is not None else None
+    return Tensor._make(out, (x,), backward, op=op)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

@@ -44,6 +44,16 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = [True]
 
+#: Graph-capture hook (see :mod:`repro.backend.compiled`).  When a tracer
+#: is installed, every op created through :meth:`Tensor._make` is reported
+#: as ``tracer.record(out, parents, op)``, where ``op`` is a static
+#: descriptor (a string, or ``(name, attrs)`` for parameterized ops) that a
+#: plan compiler can replay without the tape.  ``None`` marks an op the
+#: compiler must treat as untraceable.  The hook is observation-only:
+#: eager execution, the tape and every numeric result are unchanged
+#: whether or not a tracer is installed.
+_TRACER: List[Optional[object]] = [None]
+
 
 class no_grad:
     """Context manager disabling graph construction (inference / attacks'
@@ -175,14 +185,23 @@ class Tensor:
         data,
         parents: Sequence["Tensor"],
         backward: Callable,
+        op=None,
     ) -> "Tensor":
         """Create the child node of an op, recording the tape only when
-        gradients are enabled and at least one parent needs them."""
+        gradients are enabled and at least one parent needs them.
+
+        ``op`` is the op's static replay descriptor, consumed only by an
+        installed graph tracer (``_TRACER``); it never affects eager
+        execution.
+        """
         needs = _GRAD_ENABLED[0] and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs)
         if needs:
             out._parents = tuple(parents)
             out._backward = backward
+        tracer = _TRACER[0]
+        if tracer is not None:
+            tracer.record(out, tuple(parents), op)
         return out
 
     def _accumulate(self, grad, owned: bool = False) -> None:
@@ -253,7 +272,7 @@ class Tensor:
             self._accumulate(grad)
             other._accumulate(grad)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="add")
 
     __radd__ = __add__
 
@@ -261,7 +280,7 @@ class Tensor:
         def backward(grad) -> None:
             self._accumulate(-grad, owned=True)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(-self.data, (self,), backward, op="neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
@@ -271,7 +290,7 @@ class Tensor:
             self._accumulate(grad)
             other._accumulate(-grad, owned=True)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="sub")
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other).__sub__(self)
@@ -284,7 +303,7 @@ class Tensor:
             self._accumulate(grad * other.data, owned=True)
             other._accumulate(grad * self.data, owned=True)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="mul")
 
     __rmul__ = __mul__
 
@@ -296,7 +315,7 @@ class Tensor:
             self._accumulate(grad / other.data, owned=True)
             other._accumulate(-grad * self.data / (other.data ** 2), owned=True)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other).__truediv__(self)
@@ -325,7 +344,7 @@ class Tensor:
                 other._accumulate(xp.swapaxes(self.data, -1, -2) @ grad,
                                   owned=True)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="matmul")
 
     # ------------------------------------------------------------------ #
     # comparisons (no gradient)
@@ -355,7 +374,7 @@ class Tensor:
             # A reshape view of the child's gradient slot — not owned.
             self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="reshape")
 
     def transpose(self, *axes: int) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -403,7 +422,8 @@ class Tensor:
             # A broadcast view — non-writeable, never owned.
             self._accumulate(xp.broadcast_to(g, self.data.shape))
 
-        return Tensor._make(out_data, (self,), backward)
+        op = ("sum", (axis, keepdims)) if _TRACER[0] is not None else None
+        return Tensor._make(out_data, (self,), backward, op=op)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:

@@ -1,0 +1,337 @@
+"""CompiledBackend: capture/replay parity, plan invalidation, eager fallback.
+
+The compiled backend's contract has three parts, each pinned here:
+
+* **Parity** — a replayed plan returns bitwise-identical logits and input
+  gradients to the eager tape (same ufunc sequence, same operand order,
+  same accumulation order), across many replays over recycled buffers.
+* **Freshness** — weight mutation (fused SGD/Adam steps), checkpoint hot
+  reload (``load_state_dict`` rebinding, ``ModelRegistry.load(replace=
+  True)``), and shape changes (ragged final batches) must never be served
+  a stale replay: parameters are read live, shapes key the plan cache.
+* **Fallback** — anything the tracer cannot express (data-dependent
+  control flow, untagged ops, sub-threshold batches) silently runs the
+  ordinary eager path, bit-identical to the pre-compiled code.
+"""
+
+import numpy as np
+import pytest
+
+import repro.backend as backend
+from repro import nn
+from repro.attacks import BIM, PGD, DeepFool
+from repro.attacks.base import logits_and_input_grad
+from repro.backend.compiled import CompiledBackend, trace
+from tests.conftest import TinyNet, make_blobs_dataset
+
+
+def fresh_compiled():
+    """A private instance so stats/plan caches never leak between tests."""
+    return CompiledBackend()
+
+
+def eager_pair(model, images, labels):
+    """Reference logits + input gradient on the numpy backend."""
+    with backend.use("numpy"):
+        x = nn.Tensor(images, requires_grad=True)
+        logits = model(x)
+        loss = nn.softmax_cross_entropy(logits, labels)
+        loss.backward()
+        return logits.data.copy(), np.asarray(x.grad).copy()
+
+
+class frozen_eval:
+    """Attack-style scope: eval mode + frozen parameters (the state in
+    which the gradient hook is allowed to compile)."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def __enter__(self):
+        self.was_training = self.model.training
+        self.model.eval()
+        self.frozen = [p for p in self.model.parameters() if p.requires_grad]
+        for p in self.frozen:
+            p.requires_grad = False
+        return self.model
+
+    def __exit__(self, *exc):
+        for p in self.frozen:
+            p.requires_grad = True
+        if self.was_training:
+            self.model.train()
+
+
+@pytest.fixture
+def blobs():
+    return make_blobs_dataset(n=12, num_classes=4, seed=9)
+
+
+@pytest.fixture
+def model(blobs):
+    m = TinyNet(num_classes=4, seed=7)
+    m(blobs.images[:1])  # materialize the lazy head
+    return m
+
+
+class TestTraceReplayParity:
+    def test_hook_matches_eager_bitwise_across_replays(self, model, blobs):
+        b = fresh_compiled()
+        ref_logits, ref_grad = eager_pair(model, blobs.images, blobs.labels)
+        with backend.use(b), frozen_eval(model):
+            for _ in range(4):
+                logits, grad = logits_and_input_grad(
+                    model, blobs.images, blobs.labels)
+                np.testing.assert_array_equal(logits, ref_logits)
+                np.testing.assert_array_equal(grad, ref_grad)
+        assert b.stats["plans_built"] == 1
+        assert b.stats["replays"] == 3
+        assert b.stats["eager_calls"] == 0
+
+    def test_trace_entry_point_replays_a_plain_function(self):
+        rng = np.random.default_rng(3)
+        w = nn.Tensor(rng.normal(size=(16, 4)).astype(np.float32))
+        x1 = rng.normal(size=(4, 16)).astype(np.float32)
+        x2 = rng.normal(size=(4, 16)).astype(np.float32)
+
+        def fn(t):
+            return nn.functional.relu(t @ w).sum()
+
+        b = fresh_compiled()
+        with backend.use(b):
+            out, plan = trace(fn, x1, backend=b)
+            with backend.use("numpy"):
+                ref = fn(nn.Tensor(x1, requires_grad=True))
+            np.testing.assert_array_equal(np.asarray(out.data),
+                                          np.asarray(ref.data))
+            # Replay on new data matches a fresh eager tape bitwise.
+            got = plan.replay(x2)
+            with backend.use("numpy"):
+                xt = nn.Tensor(x2, requires_grad=True)
+                ref2 = fn(xt)
+                ref2.backward()
+            np.testing.assert_array_equal(np.asarray(got),
+                                          np.asarray(ref2.data))
+            np.testing.assert_array_equal(plan.input_grads()[0], xt.grad)
+
+    def test_replays_do_not_allocate(self, model, blobs):
+        b = fresh_compiled()
+        with backend.use(b), frozen_eval(model):
+            logits_and_input_grad(model, blobs.images, blobs.labels)
+            logits_and_input_grad(model, blobs.images, blobs.labels)
+            misses_before = b.pool_stats()["misses"]
+            for _ in range(5):
+                logits_and_input_grad(model, blobs.images, blobs.labels)
+            # Steady state: every buffer is plan-owned; the pool never
+            # sees another allocation-miss from the replay loop.
+            assert b.pool_stats()["misses"] == misses_before
+        assert b.stats["replays"] >= 6
+
+
+class TestPlanInvalidation:
+    @pytest.mark.parametrize("make_opt", [
+        lambda params: nn.SGD(params, lr=0.05),
+        lambda params: nn.Adam(params, lr=0.01),
+    ], ids=["sgd", "adam"])
+    def test_fused_optimizer_step_is_never_stale(self, model, blobs,
+                                                 make_opt):
+        b = fresh_compiled()
+        with backend.use(b):
+            with frozen_eval(model):
+                logits_and_input_grad(model, blobs.images, blobs.labels)
+                logits_and_input_grad(model, blobs.images, blobs.labels)
+            opt = make_opt(model.parameters())
+            x = nn.Tensor(blobs.images, requires_grad=True)
+            loss = nn.softmax_cross_entropy(model(x), blobs.labels)
+            loss.backward()
+            opt.step()
+            with frozen_eval(model):
+                logits, grad = logits_and_input_grad(
+                    model, blobs.images, blobs.labels)
+                logits, grad = logits.copy(), grad.copy()
+        ref_logits, ref_grad = eager_pair(model, blobs.images, blobs.labels)
+        np.testing.assert_array_equal(logits, ref_logits,
+                                      err_msg="stale logits after step")
+        np.testing.assert_array_equal(grad, ref_grad,
+                                      err_msg="stale gradient after step")
+
+    def test_state_dict_hot_reload_is_never_stale(self, model, blobs):
+        b = fresh_compiled()
+        with backend.use(b):
+            with frozen_eval(model):
+                logits_and_input_grad(model, blobs.images, blobs.labels)
+                logits_and_input_grad(model, blobs.images, blobs.labels)
+            # Hot reload: load_state_dict rebinds every Parameter's array.
+            donor = TinyNet(num_classes=4, seed=23)
+            donor(blobs.images[:1])
+            model.load_state_dict(donor.state_dict())
+            with frozen_eval(model):
+                logits, grad = logits_and_input_grad(
+                    model, blobs.images, blobs.labels)
+                logits, grad = logits.copy(), grad.copy()
+        ref_logits, ref_grad = eager_pair(model, blobs.images, blobs.labels)
+        np.testing.assert_array_equal(logits, ref_logits,
+                                      err_msg="stale logits after reload")
+        np.testing.assert_array_equal(grad, ref_grad,
+                                      err_msg="stale gradient after reload")
+
+    def test_registry_hot_reload_gets_its_own_plan(self, tmp_path):
+        # ModelRegistry.load(replace=True) swaps in a freshly-built model
+        # object; plans are keyed by model identity, so the new entry
+        # must trace itself rather than inherit the old entry's plan.
+        import dataclasses
+
+        from repro.data import load_split
+        from repro.experiments.config import get_config
+        from repro.experiments.runners import build_trainer
+        from repro.serve import ModelRegistry
+        from repro.train import save_checkpoint
+
+        split = load_split("digits", 64, 16, seed=7)
+        cfg = dataclasses.replace(get_config("fast").dataset("digits"),
+                                  model_width=4, batch_size=32)
+        paths = []
+        for seed in (3, 5):
+            trainer = build_trainer("vanilla", cfg, seed=seed)
+            trainer.epochs = 1
+            trainer.fit(split.train)
+            path = tmp_path / f"ck{seed}.npz"
+            save_checkpoint(trainer, path)
+            paths.append(path)
+
+        b = fresh_compiled()
+        registry = ModelRegistry()
+        images = split.test.images[:8]
+        labels = split.test.labels[:8]
+        attack = BIM(eps=0.2, step=0.1, iterations=3)
+        with backend.use(b):
+            entry = registry.load("victim", paths[0], dataset="digits",
+                                  width=4)
+            adv_old = np.asarray(attack(entry.model, images, labels)).copy()
+            plans_before = b.stats["plans_built"]
+            entry = registry.load("victim", paths[1], dataset="digits",
+                                  width=4, replace=True)
+            adv_new = np.asarray(attack(entry.model, images, labels)).copy()
+        assert b.stats["plans_built"] > plans_before, \
+            "hot-reloaded model replayed a stale plan"
+        with backend.use("numpy"):
+            ref_new = np.asarray(attack(entry.model, images, labels)).copy()
+        np.testing.assert_array_equal(adv_new, ref_new)
+        assert not np.array_equal(adv_old, adv_new), \
+            "different checkpoints produced identical batches"
+
+    def test_swapped_forward_is_never_served_the_stale_plan(self, model,
+                                                            blobs):
+        # A monkeypatched ``forward`` (an instrumented wrapper, a defense
+        # shim) is a different program: the plan key carries the forward
+        # function identities, so the swap must re-capture, and restoring
+        # the original must return to the original plan — never replay
+        # the stale graph.
+        b = fresh_compiled()
+        cls = type(model)
+        original_forward = cls.forward
+        with backend.use(b), frozen_eval(model):
+            logits_and_input_grad(model, blobs.images, blobs.labels)
+            logits_and_input_grad(model, blobs.images, blobs.labels)
+            assert b.stats["plans_built"] == 1 and b.stats["replays"] == 1
+
+            def doubled_forward(self, t):
+                return original_forward(self, t) * 2.0
+
+            cls.forward = doubled_forward
+            try:
+                logits, _ = logits_and_input_grad(model, blobs.images,
+                                                  blobs.labels)
+                logits = logits.copy()
+            finally:
+                cls.forward = original_forward
+            back, _ = logits_and_input_grad(model, blobs.images,
+                                            blobs.labels)
+            back = back.copy()
+        assert b.stats["plans_built"] == 2      # the swap re-captured
+        ref_logits, _ = eager_pair(model, blobs.images, blobs.labels)
+        np.testing.assert_array_equal(logits, ref_logits * 2.0)
+        np.testing.assert_array_equal(back, ref_logits)
+
+    def test_ragged_final_batch_never_replays_full_batch_plan(self, model,
+                                                              blobs):
+        b = fresh_compiled()
+        full = blobs.images
+        ragged = blobs.images[:7]
+        with backend.use(b), frozen_eval(model):
+            logits_and_input_grad(model, full, blobs.labels)
+            logits, grad = logits_and_input_grad(model, ragged,
+                                                 blobs.labels[:7])
+            logits, grad = logits.copy(), grad.copy()
+        ref_logits, ref_grad = eager_pair(model, ragged, blobs.labels[:7])
+        np.testing.assert_array_equal(logits, ref_logits)
+        np.testing.assert_array_equal(grad, ref_grad)
+        # The ragged shape either compiled its own plan or ran eagerly —
+        # never a replay of the 12-row plan.
+        assert b.stats["plans_built"] == 2 or b.stats["eager_calls"] >= 1
+
+
+class TestEagerFallback:
+    def test_sub_threshold_batches_run_eagerly(self, model, blobs):
+        b = fresh_compiled()
+        one = blobs.images[:1]
+        with backend.use(b), frozen_eval(model):
+            logits, grad = logits_and_input_grad(model, one,
+                                                 blobs.labels[:1])
+            logits, grad = logits.copy(), grad.copy()
+        assert b.stats["eager_calls"] == 1
+        assert b.stats["plans_built"] == 0
+        ref_logits, ref_grad = eager_pair(model, one, blobs.labels[:1])
+        np.testing.assert_array_equal(logits, ref_logits)
+        np.testing.assert_array_equal(grad, ref_grad)
+
+    def test_untraceable_op_poisons_key_and_stays_eager(self, blobs):
+        class Pow(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = TinyNet(num_classes=4, seed=7)
+
+            def forward(self, x):
+                return self.inner(x) ** 1.0  # pow: untagged on the tape
+
+        m = Pow()
+        m(blobs.images[:1])
+        b = fresh_compiled()
+        with backend.use(b), frozen_eval(m):
+            first = logits_and_input_grad(m, blobs.images, blobs.labels)
+            first = (first[0].copy(), first[1].copy())
+            assert b.stats["unsupported"] == 1
+            second = logits_and_input_grad(m, blobs.images, blobs.labels)
+            second = (second[0].copy(), second[1].copy())
+        # The poisoned key is permanent: no second capture attempt.
+        assert b.stats["unsupported"] == 1
+        assert b.stats["plans_built"] == 0
+        ref_logits, ref_grad = eager_pair(m, blobs.images, blobs.labels)
+        for logits, grad in (first, second):
+            np.testing.assert_array_equal(logits, ref_logits)
+            np.testing.assert_array_equal(grad, ref_grad)
+
+    def test_deepfool_matches_reference_backend(self, model, blobs):
+        # DeepFool's data-dependent control flow never touches the hook;
+        # under the compiled backend it must equal the numpy path exactly.
+        attack = DeepFool(eps=0.25, iterations=4)
+        advs = {}
+        for name in ("numpy", "compiled"):
+            with backend.use(name):
+                advs[name] = np.asarray(
+                    attack(model, blobs.images, blobs.labels)).copy()
+        np.testing.assert_array_equal(advs["numpy"], advs["compiled"])
+
+    def test_pgd_with_ragged_tail_matches_reference(self, model, blobs):
+        # Shard-style crafting: a full batch then a ragged tail, both
+        # bit-identical to numpy whether replayed or run eagerly.
+        attack = PGD(eps=0.25, step=0.1, iterations=3, seed=0)
+        outs = {}
+        for name in ("numpy", "compiled"):
+            with backend.use(name):
+                full = attack(model, blobs.images, blobs.labels)
+                tail = attack(model, blobs.images[:5], blobs.labels[:5])
+                outs[name] = (np.asarray(full).copy(),
+                              np.asarray(tail).copy())
+        np.testing.assert_array_equal(outs["numpy"][0], outs["compiled"][0])
+        np.testing.assert_array_equal(outs["numpy"][1], outs["compiled"][1])

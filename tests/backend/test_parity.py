@@ -1,7 +1,8 @@
-"""Cross-backend equivalence: NumpyBackend ⇔ FastNumpyBackend.
+"""Cross-backend equivalence: NumpyBackend ⇔ FastNumpyBackend ⇔ CompiledBackend.
 
-The fast backend claims *same numerics, different memory behaviour*.  This
-suite pins that claim at every level of the stack:
+The fast backend claims *same numerics, different memory behaviour*; the
+compiled backend claims *same numerics, captured once and replayed*.  This
+suite pins both claims at every level of the stack:
 
 * gradcheck (autodiff gradients vs numeric derivatives) under every
   registered backend,
@@ -25,7 +26,7 @@ from repro.attacks import BIM, FGSM, MIM, PGD, CarliniWagner, DeepFool
 from repro.nn.gradcheck import check_gradient
 from tests.conftest import TinyNet, make_blobs_dataset
 
-CPU_BACKENDS = ("numpy", "fast")
+CPU_BACKENDS = ("numpy", "fast", "compiled")
 
 
 def _registered():
@@ -106,7 +107,8 @@ class TestBitwiseForwardBackward:
             with backend.use(name):
                 model = TinyNet(num_classes=4, seed=7)
                 outs[name] = model(blobs.images).numpy().copy()
-        np.testing.assert_array_equal(outs["numpy"], outs["fast"])
+        for other in CPU_BACKENDS[1:]:
+            np.testing.assert_array_equal(outs["numpy"], outs[other])
 
     def test_input_gradients_identical(self):
         blobs = make_blobs_dataset(n=16, num_classes=4, seed=3)
@@ -118,7 +120,8 @@ class TestBitwiseForwardBackward:
                 loss = nn.softmax_cross_entropy(model(x), blobs.labels)
                 loss.backward()
                 grads[name] = np.asarray(x.grad).copy()
-        np.testing.assert_array_equal(grads["numpy"], grads["fast"])
+        for other in CPU_BACKENDS[1:]:
+            np.testing.assert_array_equal(grads["numpy"], grads[other])
 
     def test_repeated_backward_on_one_graph_survives_pool_recycling(self):
         # Gradients accumulate across repeated backward() calls on the
@@ -143,8 +146,9 @@ class TestBitwiseForwardBackward:
                 out.backward(np.ones(out.shape, dtype=np.float32))
                 grads[name] = (np.asarray(x.grad).copy(),
                                np.asarray(w.grad).copy())
-        np.testing.assert_array_equal(grads["numpy"][0], grads["fast"][0])
-        np.testing.assert_array_equal(grads["numpy"][1], grads["fast"][1])
+        for other in CPU_BACKENDS[1:]:
+            np.testing.assert_array_equal(grads["numpy"][0], grads[other][0])
+            np.testing.assert_array_equal(grads["numpy"][1], grads[other][1])
 
     def test_repeated_fast_graphs_stay_identical(self):
         # The pool hands recycled (garbage-filled) buffers to later
@@ -169,11 +173,12 @@ class TestOptimizerTrajectoriesBitwise:
             name: _train_briefly(name, optimizer=optimizer).state_dict()
             for name in CPU_BACKENDS
         }
-        assert states["numpy"].keys() == states["fast"].keys()
-        for key in states["numpy"]:
-            np.testing.assert_array_equal(
-                states["numpy"][key], states["fast"][key],
-                err_msg=f"weight {key} diverged between backends")
+        for other in CPU_BACKENDS[1:]:
+            assert states["numpy"].keys() == states[other].keys()
+            for key in states["numpy"]:
+                np.testing.assert_array_equal(
+                    states["numpy"][key], states[other][key],
+                    err_msg=f"weight {key} diverged numpy vs {other}")
 
 
 class TestAttackParityBitwise:
@@ -204,7 +209,9 @@ class TestAttackParityBitwise:
                 attack = attack_cls(eps=0.25, **kwargs)
                 advs[name] = np.asarray(
                     attack(model, blobs.images, blobs.labels)).copy()
-        np.testing.assert_array_equal(advs["numpy"], advs["fast"])
+        for other in CPU_BACKENDS[1:]:
+            np.testing.assert_array_equal(advs["numpy"], advs[other],
+                                          err_msg=f"numpy vs {other}")
 
 
 @pytest.mark.slow
@@ -220,4 +227,5 @@ class TestTable3GridEquivalence:
                                  defenses=("vanilla", "cls"), seed=0,
                                  backend=name)
             grids[name] = {r.defense: r.accuracy for r in results}
-        assert grids["numpy"] == grids["fast"]
+        for other in CPU_BACKENDS[1:]:
+            assert grids["numpy"] == grids[other]

@@ -10,6 +10,7 @@ import pytest
 import repro.backend as backend
 from repro.backend import (
     ArrayOps,
+    CompiledBackend,
     FastNumpyBackend,
     NumpyBackend,
     active,
@@ -20,15 +21,23 @@ from repro.backend import (
 
 
 class TestRegistry:
-    def test_both_cpu_backends_registered(self):
+    def test_all_cpu_backends_registered(self):
         names = available_backends()
         assert "numpy" in names
         assert "fast" in names
+        assert "compiled" in names
 
     def test_instances_are_cached_and_typed(self):
         assert get_backend("numpy") is get_backend("numpy")
         assert isinstance(get_backend("numpy"), NumpyBackend)
         assert isinstance(get_backend("fast"), FastNumpyBackend)
+        assert isinstance(get_backend("compiled"), CompiledBackend)
+
+    def test_compiled_is_a_fast_backend(self):
+        # The compiled backend inherits the pooled kernels; everything that
+        # works against FastNumpyBackend (scratch, fused steps, release
+        # donation) must keep working when capture is layered on top.
+        assert isinstance(get_backend("compiled"), FastNumpyBackend)
 
     def test_instances_satisfy_protocol(self):
         for name in available_backends():
@@ -76,6 +85,47 @@ class TestUse:
         inst = get_backend("fast")
         with use(inst):
             assert active() is inst
+
+    def test_context_restores_when_body_raises(self):
+        # Regression: a crash inside the context (an attack blowing up
+        # mid-suite) must restore the previous backend, not leave the
+        # process pinned to the scoped one.
+        before = active()
+        with pytest.raises(RuntimeError, match="mid-attack"):
+            with use("fast"):
+                raise RuntimeError("mid-attack crash")
+        assert active() is before
+
+    def test_nested_contexts_restore_when_inner_raises(self):
+        before = active()
+        with pytest.raises(ValueError):
+            with use("fast"):
+                with use("compiled"):
+                    raise ValueError("inner crash")
+        assert active() is before
+
+    def test_attack_suite_crash_restores_backend(self):
+        # The engine-level counterpart: AttackSuite.run under a scoped
+        # backend dies mid-grid; the previous backend must come back.
+        from repro.eval.engine import AttackSuite
+        from tests.conftest import TinyNet, make_blobs_dataset
+
+        class Bomb:
+            name = "bomb"
+            eps = 0.1
+
+            def __call__(self, model, images, labels):
+                raise RuntimeError("crafting exploded")
+
+        blobs = make_blobs_dataset(n=8, num_classes=4, seed=2)
+        model = TinyNet(num_classes=4, seed=3)
+        model(blobs.images[:1])
+        before = active()
+        suite = AttackSuite({"bomb": Bomb()})
+        with pytest.raises(RuntimeError, match="crafting exploded"):
+            with use("fast"):
+                suite.run(model, blobs.images, blobs.labels)
+        assert active() is before
 
 
 def _probe_default_backend(extra_env):
@@ -186,3 +236,55 @@ class TestScratchPool:
         buf = b.scratch((4,), np.float32)
         b.release(buf)
         assert b.scratch((4,), np.float32) is not buf
+
+    def test_donated_ndim_array_is_carved_correctly(self):
+        # Donating a whole fresh n-D array (an attack iterate, a col2im
+        # gradient) stores the owning allocation; a later acquire of a
+        # different shape must flatten before carving, not slice axis 0.
+        b = FastNumpyBackend()
+        donated = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        b.release(donated)
+        got = b.scratch((4, 5), np.float32)
+        assert got.shape == (4, 5)
+        assert np.shares_memory(got, donated)
+
+    def test_full_pool_keeps_the_largest_buffers(self):
+        # When the free list is full, releasing a buffer bigger than the
+        # smallest retained entry must displace it: compiled plans adopt
+        # the big pooled workspaces permanently, and without this policy
+        # a flood of small per-iteration temporaries would evict nothing
+        # while every big eager acquire (im2col workspaces) missed.
+        from repro.backend.fast import _POOL_DEPTH
+        b = FastNumpyBackend()
+        for _ in range(_POOL_DEPTH):
+            b.release(np.empty(8, dtype=np.float32))
+        big = np.empty(1 << 16, dtype=np.float32)
+        b.release(big)
+        served = b.scratch((1 << 16,), np.float32)
+        assert np.shares_memory(served, big)
+
+    def test_full_pool_drops_release_smaller_than_all_entries(self):
+        # The converse: a small release into a full list of bigger
+        # buffers is dropped, never displacing a more useful entry.
+        from repro.backend.fast import _POOL_DEPTH
+        b = FastNumpyBackend()
+        keepers = [np.empty(4096, dtype=np.float32)
+                   for _ in range(_POOL_DEPTH)]
+        for buf in keepers:
+            b.release(buf)
+        tiny = np.empty(2, dtype=np.float32)
+        b.release(tiny)
+        for _ in range(_POOL_DEPTH):
+            served = b.scratch((4096,), np.float32)
+            assert any(np.shares_memory(served, k) for k in keepers)
+
+    def test_pool_counters_track_hits_and_misses(self):
+        b = FastNumpyBackend()
+        start = b.pool_stats()
+        first = b.scratch((6, 6), np.float32)
+        stats = b.pool_stats()
+        assert stats["misses"] == start["misses"] + 1
+        b.release(first)
+        b.scratch((6, 6), np.float32)
+        stats = b.pool_stats()
+        assert stats["hits"] == start["hits"] + 1
