@@ -70,14 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "keys per-shard batches, so switching "
                              "between them regenerates rather than "
                              "replays")
-    parser.add_argument("--workers", type=int, default=1, metavar="N",
-                        help="shard adversarial crafting over N spawned "
-                             "worker processes (table3, table4, "
-                             "eval-suite, train; figure5-time when "
-                             "--probe-every is set); results are "
-                             "identical to --workers 1 — the shard "
-                             "layout never depends on N (default: 1, "
-                             "fully single-process)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="shard adversarial crafting (table3, table4, "
+                             "eval-suite; figure5-time when --probe-every "
+                             "is set) and, for train, per-batch gradient "
+                             "computation over N spawned worker "
+                             "processes; results are identical at any N "
+                             "— the shard layout never depends on it. "
+                             "For train, --workers 1 runs the sharded "
+                             "engine in-process (the bit-identity "
+                             "baseline) while omitting the flag keeps "
+                             "the legacy eager path (default: "
+                             "single-process)")
     suite = parser.add_argument_group(
         "eval-suite options",
         "evaluate one defense against the attack grid through the batched "
@@ -227,7 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # figure5-time only crafts (and thus only parallelizes) when it
         # probes; without --probe-every the flag would be a silent no-op.
         workers_apply_to.append("figure5-time")
-    if args.workers != 1 and key not in workers_apply_to:
+    if args.workers is not None and key not in workers_apply_to:
         ignored.append("--workers")
     for flag, value, default in (("--model", args.model, "gandef"),
                                  ("--max-batch", args.max_batch, 32),
@@ -337,14 +341,14 @@ def _dispatch(key, args, experiment) -> int:
                                     seed=args.seed, verbose=True,
                                     cache_dir=args.cache_dir,
                                     backend=args.backend,
-                                    workers=args.workers)
+                                    workers=args.workers or 1)
         print(render_table3(results))
     elif key == "table4":
         result = experiment.runner(args.dataset, preset=args.preset,
                                    seed=args.seed, verbose=True,
                                    cache_dir=args.cache_dir,
                                    backend=args.backend,
-                                   workers=args.workers)
+                                   workers=args.workers or 1)
         for kind, value in result.accuracy.items():
             print(f"  {kind:10s} {value * 100:6.2f}%")
     elif key == "eval-suite":
@@ -355,7 +359,7 @@ def _dispatch(key, args, experiment) -> int:
                 attack_names=attack_names, seed=args.seed,
                 cache_dir=args.cache_dir,
                 early_stop=not args.no_early_stop, verbose=True,
-                backend=args.backend, workers=args.workers)
+                backend=args.backend, workers=args.workers or 1)
         except KeyError as error:
             print(error)
             return 2
@@ -401,7 +405,7 @@ def _dispatch(key, args, experiment) -> int:
                                     checkpoint_dir=args.checkpoint_dir,
                                     resume=args.resume,
                                     probe_every=args.probe_every or 0,
-                                    workers=args.workers)
+                                    workers=args.workers or 1)
         for name, seconds in timings.items():
             print(f"  {name:14s} {seconds:8.3f} s/epoch")
     elif key == "figure5-convergence":

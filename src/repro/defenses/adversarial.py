@@ -38,6 +38,11 @@ class AdversarialTrainer(Trainer):
             if len(images) > half else np.empty((0, *images.shape[1:]),
                                                 dtype=np.float32)
         x = np.concatenate([images[:half], adv], axis=0)
+        if self.parallel_engine is not None:
+            # Crafting stays in the parent (attack RNG and the victim's
+            # current weights live here); only the CE gradient shards out.
+            return self.parallel_engine.step(
+                "vanilla", {"images": x, "labels": labels})
         logits = self.model(nn.Tensor(x))
         loss = nn.softmax_cross_entropy(logits, labels)
         return self._step_classifier(loss)

@@ -120,6 +120,10 @@ class Trainer:
         self.epochs = epochs
         self.seed = seed
         self.optimizer = self._build_optimizer(optimizer, lr, momentum)
+        #: Set by :meth:`repro.train.parallel.ParallelTrainEngine.attach`;
+        #: when present, defense trainers route optimizer steps through the
+        #: sharded engine instead of the legacy eager path.
+        self.parallel_engine = None
         self.history = TrainingHistory()
         self.completed_epochs = 0
         self._rng_streams: Dict[str, np.random.Generator] = {}

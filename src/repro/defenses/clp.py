@@ -49,6 +49,13 @@ class CLPTrainer(Trainer):
         return losses, {}
 
     def _pair_step(self, xa, ta, xb, tb) -> float:
+        if self.parallel_engine is not None:
+            # Both pair halves are augmented in the parent (the noise
+            # stream cannot be windowed), in the legacy xa-then-xb order.
+            return self.parallel_engine.step(
+                "clp", {"xa": self.augment(xa), "ta": ta,
+                        "xb": self.augment(xb), "tb": tb},
+                extra={"lam": self.lam}, skip_non_finite=True)
         za = self.model(nn.Tensor(self.augment(xa)))
         zb = self.model(nn.Tensor(self.augment(xb)))
         loss = nn.clp_loss(za, ta, zb, tb, self.lam)

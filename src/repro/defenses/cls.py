@@ -35,6 +35,13 @@ class CLSTrainer(Trainer):
             self.register_rng("noise", "cls-noise"), sigma=sigma)
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
+        if self.parallel_engine is not None:
+            # Augment in the parent: ``rng.normal`` consumes a variable
+            # number of raw draws, so the noise stream cannot be windowed
+            # per shard the way dropout's uniform draws can.
+            return self.parallel_engine.step(
+                "cls", {"images": self.augment(images), "labels": labels},
+                extra={"lam": self.lam}, skip_non_finite=True)
         logits = self.model(nn.Tensor(self.augment(images)))
         loss = nn.cls_loss(logits, labels, self.lam)
         value = float(loss.item())

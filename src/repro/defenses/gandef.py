@@ -164,6 +164,10 @@ class GanDefTrainer(Trainer):
     def _discriminator_step(self, x: np.ndarray, s: np.ndarray) -> float:
         """Update D to predict the source bit; C frozen (its optimizer is
         not stepped and its gradients are discarded)."""
+        if self.parallel_engine is not None:
+            return self.parallel_engine.step(
+                "gandef-disc", {"images": x, "source": s},
+                grad_module="discriminator", optimizer="discriminator")
         with nn.no_grad():
             logits = self.model(nn.Tensor(x)).data
         probs = self.discriminator(nn.Tensor(logits))
@@ -178,6 +182,11 @@ class GanDefTrainer(Trainer):
         """Update C to classify correctly *and* fool D; D frozen."""
         if gamma is None:
             gamma = self.gamma
+        if self.parallel_engine is not None:
+            return self.parallel_engine.step(
+                "gandef-cls",
+                {"images": x, "labels": t, "source": s},
+                extra={"gamma": float(gamma)})
         logits = self.model(nn.Tensor(x))
         ce = nn.softmax_cross_entropy(logits, t)
         if gamma > 0:

@@ -16,6 +16,9 @@ class VanillaTrainer(Trainer):
     name = "vanilla"
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
+        if self.parallel_engine is not None:
+            return self.parallel_engine.step(
+                "vanilla", {"images": images, "labels": labels})
         logits = self.model(nn.Tensor(images))
         loss = nn.softmax_cross_entropy(logits, labels)
         return self._step_classifier(loss)

@@ -133,7 +133,8 @@ class AttackSuite:
                  early_stop: Optional[bool] = None,
                  batch_size: int = 256,
                  workers: int = 1,
-                 shard_size: Optional[int] = None) -> None:
+                 shard_size: Optional[int] = None,
+                 pool=None) -> None:
         # An empty grid is allowed: the suite then measures clean accuracy
         # only (the framework supports attack-free scenarios).
         self.attacks: Dict[str, Attack] = {}
@@ -143,7 +144,13 @@ class AttackSuite:
             self.attacks[name] = attack
         self.cache = cache
         self.batch_size = batch_size
-        crafter = ShardedCrafter(workers=workers, shard_size=shard_size)
+        # ``pool``: borrow an existing :class:`~repro.utils.pool.SpawnPool`
+        # (its worker count wins) instead of spawning one — this is how
+        # ``repro train --workers N`` drives training and async probe
+        # crafting through a single pool.  Borrowed pools survive
+        # :meth:`close`.
+        crafter = ShardedCrafter(workers=workers, shard_size=shard_size,
+                                 pool=pool)
         self.crafter: Optional[ShardedCrafter] = \
             crafter if crafter.enabled else None
 

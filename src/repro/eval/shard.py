@@ -23,21 +23,18 @@ single-process result:
   lock-guarded sidecar journal, so concurrent workers never tear or
   resurrect entries.
 
-Workers are **spawn**-started (fork is unsafe under threads and
-unavailable on some platforms), live in a persistent pool reused across
-suite runs, and receive the victim model pickled once per run (re-used
-across that run's tasks, memoized per worker by fingerprint).  The
-``repro`` package must therefore be importable in a fresh interpreter
-(``PYTHONPATH=src`` or an installed package), and pool-owning callers
-should ``close()`` when done — the engine and runners do.
+The parallel substrate — spawn pool, shard planning, blob depot — lives
+in :mod:`repro.utils.pool`, shared with the data-parallel training engine
+(:mod:`repro.train.parallel`); this module keeps only the crafting-side
+task/worker/merge logic.  A :class:`ShardedCrafter` can either own its
+pool or borrow a caller's :class:`~repro.utils.pool.SpawnPool` (``repro
+train --workers N`` drives training *and* async probe crafting through
+one pool); borrowed pools are left running at :meth:`close`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
 import pickle
-import tempfile
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, \
@@ -47,48 +44,12 @@ import numpy as np
 
 from .. import backend as _backend
 from ..attacks.base import Attack
+from ..utils.pool import BlobDepot, DEFAULT_SHARD_SIZE, Shard, SpawnPool, \
+    WORKER_STATE, blob_fingerprint, plan_shards
 from .cache import AdversarialCache, fingerprint_model
 
 __all__ = ["Shard", "plan_shards", "ShardedCrafter", "CraftOutcome",
            "DEFAULT_SHARD_SIZE"]
-
-#: Default rows per shard when the caller does not pin ``shard_size``.
-#: Chosen so typical eval batches (96-10000 rows) split into enough
-#: shards to feed several workers while each shard still amortizes its
-#: forward-pass and IPC overhead.  Independent of the worker count by
-#: design: the shard layout — and therefore the computation — must not
-#: change when the pool grows.
-DEFAULT_SHARD_SIZE = 64
-
-
-@dataclass(frozen=True)
-class Shard:
-    """One contiguous row range ``[start, stop)`` of a ``total``-row batch."""
-
-    index: int
-    start: int
-    stop: int
-    total: int
-
-    @property
-    def size(self) -> int:
-        return self.stop - self.start
-
-
-def plan_shards(n: int, shard_size: Optional[int] = None) -> List[Shard]:
-    """Deterministic contiguous partition of ``n`` rows.
-
-    The last shard is ragged when ``shard_size`` does not divide ``n``;
-    a ``shard_size >= n`` (including the ``workers > num_examples``
-    degenerate case upstream) yields a single full shard.
-    """
-    if n <= 0:
-        raise ValueError(f"cannot shard an empty batch (n={n})")
-    size = DEFAULT_SHARD_SIZE if shard_size is None else int(shard_size)
-    if size <= 0:
-        raise ValueError(f"shard_size must be positive, got {shard_size}")
-    return [Shard(index=i, start=start, stop=min(start + size, n), total=n)
-            for i, start in enumerate(range(0, n, size))]
 
 
 @dataclass
@@ -142,36 +103,27 @@ def _craft_cell(attack: Attack, model, images: np.ndarray,
 # --------------------------------------------------------------------- #
 # worker-process side (spawn target functions must be module-level)
 # --------------------------------------------------------------------- #
-_WORKER: Dict[str, Any] = {}
-
-
-def _init_worker(backend_name: str) -> None:
-    """Pool initializer: pin the parent's active backend in the child."""
-    _backend.use(backend_name)
-    _WORKER.clear()
-
-
 def _worker_model(path: str, fingerprint: str):
     """Load the published victim once per (worker, model) and reuse it."""
-    if _WORKER.get("model_fp") != fingerprint:
+    if WORKER_STATE.get("eval-model-fp") != fingerprint:
         with open(path, "rb") as handle:
-            _WORKER["model"] = pickle.loads(handle.read())
-        _WORKER["model_fp"] = fingerprint
-    return _WORKER["model"]
+            WORKER_STATE["eval-model"] = pickle.loads(handle.read())
+        WORKER_STATE["eval-model-fp"] = fingerprint
+    return WORKER_STATE["eval-model"]
 
 
 def _worker_cache(spec: Optional[dict]) -> Optional[AdversarialCache]:
     if spec is None:
         return None
     key = (spec["root"], spec.get("max_bytes"))
-    if _WORKER.get("cache_key") != key:
+    if WORKER_STATE.get("eval-cache-key") != key:
         # keep_in_memory=False: a worker sees each shard key at most once
         # per run, so the in-memory layer would only duplicate the batch.
-        _WORKER["cache"] = AdversarialCache(spec["root"],
-                                            keep_in_memory=False,
-                                            max_bytes=spec.get("max_bytes"))
-        _WORKER["cache_key"] = key
-    return _WORKER["cache"]
+        WORKER_STATE["eval-cache"] = AdversarialCache(
+            spec["root"], keep_in_memory=False,
+            max_bytes=spec.get("max_bytes"))
+        WORKER_STATE["eval-cache-key"] = key
+    return WORKER_STATE["eval-cache"]
 
 
 def _craft_in_worker(task: _CraftTask) -> CraftOutcome:
@@ -194,21 +146,23 @@ class ShardedCrafter:
     sharded computation in-process — the equality tests lean on this:
     worker count only changes *scheduling*, never results.  The pool is
     created lazily under the backend active at first use and respawned if
-    a later call runs under a different backend.
+    a later call runs under a different backend.  Passing ``pool`` makes
+    the crafter borrow an existing :class:`~repro.utils.pool.SpawnPool`
+    (its worker count wins); borrowed pools survive :meth:`close`.
     """
 
     def __init__(self, workers: int = 1,
-                 shard_size: Optional[int] = None) -> None:
+                 shard_size: Optional[int] = None,
+                 pool: Optional[SpawnPool] = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = int(workers)
+        self.pool = pool if pool is not None else SpawnPool(workers)
+        self._owns_pool = pool is None
+        self.workers = self.pool.workers
         self.shard_size = shard_size
-        self._pool = None
-        self._pool_backend: Optional[str] = None
-        # Model depot: fingerprint -> [temp path, refcount].  One pickled
-        # blob per run on disk (page-cached for the workers) instead of
-        # one copy per task through the pool pipe.
-        self._models: Dict[str, list] = {}
+        # Model depot: one pickled blob per run on disk (page-cached for
+        # the workers) instead of one copy per task through the pool pipe.
+        self._models = BlobDepot(prefix="repro-shard-model-")
 
     @property
     def parallel(self) -> bool:
@@ -222,31 +176,13 @@ class ShardedCrafter:
 
     # ------------------------------------------------------------------ #
     def _ensure_pool(self):
-        import multiprocessing
-
-        backend_name = _backend.active().name
-        if self._pool is not None and self._pool_backend != backend_name:
-            self.close()
-        if self._pool is None:
-            ctx = multiprocessing.get_context("spawn")
-            self._pool = ctx.Pool(self.workers, initializer=_init_worker,
-                                  initargs=(backend_name,))
-            self._pool_backend = backend_name
-        return self._pool
+        return self.pool.ensure()
 
     def close(self) -> None:
-        """Shut the worker pool down and drop published models
-        (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-            self._pool_backend = None
-        for path, _ in self._models.values():
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+        """Shut an owned worker pool down and drop published models
+        (idempotent).  Borrowed pools are the owner's to close."""
+        if self._owns_pool:
+            self.pool.close()
         self._models.clear()
 
     # ------------------------------------------------------------------ #
@@ -269,35 +205,14 @@ class ShardedCrafter:
             model_fp = fingerprint_model(model)
         else:
             model_fp = model_blob_fingerprint(blob) if blob else ""
-        path = self._acquire_model(blob, model_fp) if blob else None
+        path = self._models.acquire(blob, model_fp) if blob else None
         cache_spec = cache.spec() \
             if (cache is not None and self.parallel) else None
         return model_fp, blob, path, cache_spec
 
-    def _acquire_model(self, blob: bytes, fingerprint: str) -> str:
-        entry = self._models.get(fingerprint)
-        if entry is None:
-            fd, path = tempfile.mkstemp(
-                prefix=f"repro-shard-model-{fingerprint[:12]}-",
-                suffix=".pkl")
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            entry = self._models[fingerprint] = [path, 0]
-        entry[1] += 1
-        return entry[0]
-
     def release_model(self, fingerprint: str) -> None:
         """Drop one reference to a published model; unlink at zero."""
-        entry = self._models.get(fingerprint)
-        if entry is None:
-            return
-        entry[1] -= 1
-        if entry[1] <= 0:
-            try:
-                os.unlink(entry[0])
-            except OSError:
-                pass
-            del self._models[fingerprint]
+        self._models.release(fingerprint)
 
     def __enter__(self) -> "ShardedCrafter":
         return self
@@ -350,12 +265,12 @@ class ShardedCrafter:
                                    shard=task.shard, adv=adv,
                                    seconds=seconds, from_cache=hit)
             return
-        yield from self._ensure_pool().imap(_craft_in_worker, tasks)
+        yield from self.pool.imap(_craft_in_worker, tasks)
 
     def run_tasks_async(self, tasks: Sequence[_CraftTask]):
         """Submit the whole grid without blocking; returns the pool's
         ``AsyncResult`` (``ready()`` / ``get()``)."""
-        return self._ensure_pool().map_async(_craft_in_worker, tasks)
+        return self.pool.map_async(_craft_in_worker, tasks)
 
     # ------------------------------------------------------------------ #
     def craft_grid(self, attacks: Dict[str, Attack], model,
@@ -396,7 +311,7 @@ class ShardedCrafter:
 
 def model_blob_fingerprint(blob: bytes) -> str:
     """Cheap worker-memoization key when no cache fingerprint is needed."""
-    return hashlib.sha256(blob).hexdigest()
+    return blob_fingerprint(blob)
 
 
 def merge_outcomes(outcomes: Iterable[CraftOutcome]) -> np.ndarray:

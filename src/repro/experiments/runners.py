@@ -102,27 +102,31 @@ def build_probe(
     seed: int = 0,
     workers: int = 1,
     writer=None,
+    pool=None,
 ) -> RobustnessProbe:
     """A configured in-training robustness probe.
 
     ``workers > 1`` gives the probe's suite a worker pool: each probe
     snapshots the weights and crafts in the background, overlapping the
-    next epoch's training instead of stalling it.  Close the probe
+    next epoch's training instead of stalling it.  ``pool`` shares an
+    existing :class:`~repro.utils.pool.SpawnPool` (the parallel training
+    engine's) instead of spawning a second one.  Close the probe
     (:meth:`RobustnessProbe.close` via the caller) when the run ends.
     """
     schedule = cfg.schedule
-    pool = cfg.budget.build(fast=fast, seed=seed)
-    unknown = sorted(set(schedule.probe_attacks) - set(pool))
+    attack_pool = cfg.budget.build(fast=fast, seed=seed)
+    unknown = sorted(set(schedule.probe_attacks) - set(attack_pool))
     if unknown:
         raise KeyError(f"unknown probe attacks {unknown}; "
-                       f"choose from {sorted(pool)}")
-    attacks = {name: pool[name] for name in schedule.probe_attacks}
+                       f"choose from {sorted(attack_pool)}")
+    attacks = {name: attack_pool[name]
+               for name in schedule.probe_attacks}
     # Probe on the *tail* of the test split: the final evaluation
     # reads test[:eval_size], so the slices stay disjoint whenever
     # the split is big enough to allow it.
     n = min(schedule.probe_size, len(split.test))
     suite = AttackSuite(attacks, cache=build_cache(cache_dir),
-                        early_stop=None, workers=workers)
+                        early_stop=None, workers=workers, pool=pool)
     return RobustnessProbe(
         suite, split.test.images[-n:], split.test.labels[-n:],
         every=every, writer=writer)
@@ -140,6 +144,7 @@ def build_train_callbacks(
     seed: int = 0,
     guard: bool = True,
     workers: int = 1,
+    pool=None,
 ) -> List[Callback]:
     """Assemble the standard callback stack for a configured run.
 
@@ -170,7 +175,7 @@ def build_train_callbacks(
         callbacks.append(build_probe(cfg, split, every,
                                      cache_dir=cache_dir, fast=fast,
                                      seed=seed, workers=workers,
-                                     writer=writer))
+                                     writer=writer, pool=pool))
     if checkpointer is not None:
         callbacks.append(checkpointer)
     return callbacks

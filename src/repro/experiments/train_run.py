@@ -17,6 +17,8 @@ from typing import Dict, List, Optional, Union
 
 from ..defenses.base import TrainingHistory
 from ..train import Checkpointer, PrintProgress, RobustnessProbe
+from ..train.parallel import ParallelTrainEngine
+from ..utils.pool import SpawnPool
 from .config import get_config
 from .runners import backend_scope, build_train_callbacks, build_trainer, \
     load_config_split
@@ -55,7 +57,7 @@ def run_train(
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     verbose: bool = False,
     backend: Optional[str] = None,
-    workers: int = 1,
+    workers: Optional[int] = None,
 ) -> TrainRunResult:
     """Train ``defense`` on ``dataset`` with full run control.
 
@@ -67,9 +69,16 @@ def run_train(
     ``<checkpoint_dir>/metrics.jsonl`` when checkpointing is on.
     ``backend`` pins the array backend; checkpoints record which backend
     produced them, and the two CPU backends resume each other's runs
-    bit-for-bit.  ``workers > 1`` puts the robustness probes on a worker
-    pool: each probe snapshots the weights and crafts while the next
-    epoch trains, so probing stops stalling the run.
+    bit-for-bit.
+
+    ``workers`` is tri-state: ``None`` (default) keeps the legacy eager
+    training path byte-for-byte; ``1`` attaches the sharded
+    :class:`~repro.train.parallel.ParallelTrainEngine` in-process — the
+    bit-identity baseline; ``N > 1`` shards each mini-batch's gradients
+    across one shared :class:`~repro.utils.pool.SpawnPool` that also
+    runs the robustness probes' async crafting, so a probe overlaps the
+    next epoch instead of stalling it.  Results are invariant to the
+    worker count.
     """
     if resume and not checkpoint_dir:
         raise ValueError(
@@ -97,11 +106,18 @@ def run_train(
         if metrics_path is None and checkpoint_dir:
             metrics_path = os.path.join(os.fspath(checkpoint_dir),
                                         "metrics.jsonl")
+        # One pool serves both the training engine's gradient shards and
+        # the probes' async crafting; the engine owns nothing when
+        # workers is None (legacy path) or 1 (in-process sharding).
+        pool = SpawnPool(workers) if workers and workers > 1 else None
+        engine = ParallelTrainEngine(trainer, workers=workers or 1,
+                                     pool=pool).attach() \
+            if workers is not None else None
         callbacks = build_train_callbacks(
             cfg, trainer, split,
             checkpointer=checkpointer, metrics_path=metrics_path,
             probe_every=probe_every, cache_dir=cache_dir,
-            fast=config.fast, seed=seed, workers=workers)
+            fast=config.fast, seed=seed, workers=workers or 1, pool=pool)
         probe = next((c for c in callbacks
                       if isinstance(c, RobustnessProbe)), None)
         if verbose:
@@ -111,7 +127,11 @@ def run_train(
             history = trainer.fit(split.train, callbacks=callbacks)
         finally:
             if probe is not None:
-                probe.close()   # drain async probes, release the pool
+                probe.close()   # drain async probes first (shared pool)
+            if engine is not None:
+                engine.close()
+            if pool is not None:
+                pool.close()
         return TrainRunResult(
             defense=defense,
             dataset=cfg.name,

@@ -36,6 +36,7 @@ from .checkpoint import (
 )
 from .loop import TrainLoop
 from .metrics import JsonlWriter, MetricsLogger, read_jsonl
+from .parallel import DEFAULT_TRAIN_SHARD_SIZE, ParallelTrainEngine
 from .probe import RobustnessProbe
 from .schedulers import CosineLR, LRScheduler, StepLR, WarmupLR, build_scheduler
 
@@ -62,4 +63,6 @@ __all__ = [
     "MetricsLogger",
     "read_jsonl",
     "RobustnessProbe",
+    "ParallelTrainEngine",
+    "DEFAULT_TRAIN_SHARD_SIZE",
 ]

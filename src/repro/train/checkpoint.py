@@ -74,15 +74,21 @@ def save_checkpoint(trainer: "Trainer",
                     path: Union[str, os.PathLike]) -> str:
     """Write ``trainer.state_dict()`` to ``path`` atomically.
 
-    The archive records which array backend produced it (provenance for
-    perf forensics; the weights themselves are always host numpy and load
-    under any backend).
+    The archive records which array backend produced it and, when the
+    trainer has a parallel engine attached, the worker count (provenance
+    for perf forensics; the weights themselves are always host numpy and
+    load under any backend, and the worker count is never load-bearing —
+    resuming with a different one reproduces the uninterrupted run
+    bit-for-bit).
     """
     path = os.fspath(path)
     arrays: Dict[str, np.ndarray] = {}
+    engine = getattr(trainer, "parallel_engine", None)
     meta = _externalize({"version": CHECKPOINT_VERSION,
                          "trainer": trainer.name,
                          "backend": _backend.active().name,
+                         "workers": engine.workers
+                         if engine is not None else None,
                          "state": trainer.state_dict()}, arrays)
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8)

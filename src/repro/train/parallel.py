@@ -1,0 +1,497 @@
+"""Data-parallel training with a deterministic ordered all-reduce.
+
+Training was the last single-process stage in the pipeline (evaluation
+went multi-process in PR 5); this module shards each mini-batch across
+the same spawn-pool machinery (:mod:`repro.utils.pool`) and merges the
+per-shard gradients so that **worker count never changes results**:
+
+* **deterministic shard layout** — :func:`~repro.utils.pool.plan_shards`
+  over the mini-batch, depending only on the batch size and
+  ``shard_size``; 1, 2 or 16 workers schedule the same computation;
+* **windowed dropout streams** — the only trainer randomness consumed
+  *inside* a shard program is model-internal dropout; each shard draws
+  its masks through a :class:`_WindowedRNG` that advances a clone of the
+  stream to exactly the rows the full-batch draw assigns it (the
+  ``rng_window`` technique PGD's random starts use).  All other streams
+  (batch shuffling, Gaussian augmentation — whose ``rng.normal`` draws a
+  variable number of raws and therefore cannot be windowed — GanDef's
+  mix permutation and perturbations, adversarial crafting) stay in the
+  parent: trainers prepare the full batch before handing it to the
+  engine;
+* **ordered all-reduce** — shard gradients are summed on the parent in
+  fixed shard-index order, in the gradients' own single dtype (float32
+  throughout the substrate), exactly mirroring how the in-process tape
+  accumulates shard backwards run back-to-back; the merged gradient
+  then takes **one** fused optimizer step through the ``ArrayOps``
+  backend seam (the fused steps never mutate the gradient buffer — the
+  aliasing tests pin this — so adopting worker-returned arrays is safe).
+
+The bit-identity contract is *worker-count invariance*: ``workers=1``
+runs the identical sharded computation in-process and is the baseline
+the multi-process runs must match bit-for-bit (the same contract
+``repro.eval.shard`` pins).  The legacy eager path — no engine attached
+— remains byte-identical to previous releases; full-batch eager
+gradients differ from shard-summed ones in BLAS contraction order, so
+the engine never pretends to reproduce them.
+
+Checkpoints record the worker count for provenance but never depend on
+it: parent RNG streams advance by the same totals at any worker count,
+so kill-and-resume across a worker-count change reproduces the
+uninterrupted run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from math import prod
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import backend as _backend
+from .. import nn
+from ..utils.pool import BlobDepot, Shard, SpawnPool, WORKER_STATE, \
+    blob_fingerprint, plan_shards
+
+__all__ = ["ParallelTrainEngine", "GradOutcome",
+           "DEFAULT_TRAIN_SHARD_SIZE"]
+
+#: Default rows per gradient shard.  Training's unit of work is one
+#: mini-batch (typically 64 rows), so the default is small enough to
+#: split one across several workers; eval's larger default
+#: (:data:`repro.utils.pool.DEFAULT_SHARD_SIZE`) splits whole test sets.
+DEFAULT_TRAIN_SHARD_SIZE = 16
+
+
+# --------------------------------------------------------------------- #
+# windowed dropout streams
+# --------------------------------------------------------------------- #
+class _WindowedRNG:
+    """Replays exactly the rows of a full-batch uniform draw.
+
+    ``F.dropout`` draws ``rng.random(x.shape)`` — one raw 64-bit PCG64
+    step per float64 element, row-major — so the draws belonging to shard
+    rows ``[start, stop)`` of a ``(total, *rest)`` full-batch draw occupy
+    a contiguous window of the stream.  Each :meth:`random` call clones
+    the base state, advances past all previously completed full-batch
+    draws (``consumed``) plus this draw's preceding rows, and samples
+    only the shard's rows.  ``consumed`` then advances by the *full*
+    batch's draw so a program with several forwards (CLP runs two) keeps
+    windowing against the right offsets.
+
+    The final ``consumed`` is the stream's full-batch consumption for
+    the step — identical for every shard — which the engine uses to
+    advance the parent's real generator, keeping checkpointed stream
+    positions invariant to the worker count.
+    """
+
+    def __init__(self, state: dict, start_row: int, total_rows: int) -> None:
+        self._state = state
+        self._start = start_row
+        self._total = total_rows
+        self.consumed = 0
+
+    def random(self, shape) -> np.ndarray:
+        shape = tuple(shape) if not isinstance(shape, tuple) else shape
+        per_row = prod(shape[1:]) if len(shape) > 1 else 1
+        clone = np.random.Generator(np.random.PCG64())
+        clone.bit_generator.state = self._state
+        clone.bit_generator.advance(self.consumed + self._start * per_row)
+        out = clone.random(shape)
+        self.consumed += self._total * per_row
+        return out
+
+
+def _dropout_slots(modules: Dict[str, nn.Module]
+                   ) -> List[Tuple[str, nn.Dropout]]:
+    """``(stream name, layer)`` for every dropout generator, named exactly
+    as :meth:`repro.defenses.base.Trainer.rng_streams` names them — the
+    engine advances the parent streams through that checkpoint surface."""
+    slots: List[Tuple[str, nn.Dropout]] = []
+    for mod_name, module in modules.items():
+        for i, m in enumerate(module.modules()):
+            if isinstance(m, nn.Dropout):
+                slots.append((f"{mod_name}-dropout-{i}", m))
+    return slots
+
+
+# --------------------------------------------------------------------- #
+# shard programs — the per-defense loss math, decomposed per shard
+# --------------------------------------------------------------------- #
+# Each program maps (modules, shard arrays, extra) -> (loss, report):
+# ``loss`` is the tensor to differentiate (the shard's *mean*-reduced
+# objective, exactly the trainer's legacy formulation applied to the
+# shard rows), ``report`` the tensor whose scalar the trainer reports
+# (GanDef's classifier step reports CE, not the minimax loss).  The
+# engine scales both by shard.size / batch so shard sums reproduce the
+# batch means.
+
+def _program_vanilla(modules, arrays, extra):
+    logits = modules["model"](nn.Tensor(arrays["images"]))
+    loss = nn.softmax_cross_entropy(logits, arrays["labels"])
+    return loss, loss
+
+
+def _program_cls(modules, arrays, extra):
+    logits = modules["model"](nn.Tensor(arrays["images"]))
+    loss = nn.cls_loss(logits, arrays["labels"], extra["lam"])
+    return loss, loss
+
+
+def _program_clp(modules, arrays, extra):
+    za = modules["model"](nn.Tensor(arrays["xa"]))
+    zb = modules["model"](nn.Tensor(arrays["xb"]))
+    loss = nn.clp_loss(za, arrays["ta"], zb, arrays["tb"], extra["lam"])
+    return loss, loss
+
+
+def _program_gandef_disc(modules, arrays, extra):
+    # The model forward runs in train mode (dropout draws masks) but under
+    # no_grad — only D's parameters receive gradients, like the legacy step.
+    with nn.no_grad():
+        logits = modules["model"](nn.Tensor(arrays["images"])).data
+    probs = modules["discriminator"](nn.Tensor(logits))
+    loss = nn.bce_on_probs(probs, arrays["source"])
+    return loss, loss
+
+
+def _program_gandef_cls(modules, arrays, extra):
+    logits = modules["model"](nn.Tensor(arrays["images"]))
+    ce = nn.softmax_cross_entropy(logits, arrays["labels"])
+    gamma = extra["gamma"]
+    if gamma > 0:
+        probs = modules["discriminator"](logits)
+        disc_term = nn.bce_on_probs(probs, arrays["source"])
+        loss = ce - gamma * disc_term
+    else:
+        loss = ce
+    return loss, ce
+
+
+_PROGRAMS: Dict[str, Callable] = {
+    "vanilla": _program_vanilla,
+    "cls": _program_cls,
+    "clp": _program_clp,
+    "gandef-disc": _program_gandef_disc,
+    "gandef-cls": _program_gandef_cls,
+}
+
+
+# --------------------------------------------------------------------- #
+# task plumbing
+# --------------------------------------------------------------------- #
+def _flat_params(modules: Dict[str, nn.Module]) -> List[nn.Parameter]:
+    """One canonical packing order, shared by parent and workers."""
+    return [p for name in sorted(modules)
+            for p in modules[name].parameters()]
+
+
+@dataclass(frozen=True)
+class _GradTask:
+    """One shard's gradient computation.
+
+    ``modules_path`` points at the trainer's module set, published once
+    per engine lifetime (structure only — ``params`` carries the live
+    weights each step, packed in :func:`_flat_params` order).  Dropout
+    states are the parent streams' positions at the top of the step; the
+    worker windows them per shard and reports the full-batch consumption
+    back so the parent can advance its real generators.
+    """
+
+    kind: str
+    shard: Shard
+    arrays: Dict[str, np.ndarray]
+    extra: Dict[str, Any]
+    scale: float
+    grad_module: str
+    params: Tuple[np.ndarray, ...]
+    modes: Dict[str, bool]
+    dropout_states: Dict[str, dict]
+    modules_path: str
+    modules_fp: str
+
+
+@dataclass
+class GradOutcome:
+    """One shard's finished gradients.
+
+    ``grads`` follows ``modules[grad_module].parameters()`` order (an
+    entry is ``None`` when the program never touched the parameter);
+    ``report`` is the shard's scaled report scalar; ``consumed`` maps
+    dropout stream names to the step's full-batch raw-draw totals.
+    """
+
+    shard: Shard
+    grads: Tuple[Optional[np.ndarray], ...]
+    report: float
+    consumed: Dict[str, int]
+
+
+def _worker_modules(path: str, fingerprint: str) -> Dict[str, nn.Module]:
+    """Load the published module set once per (worker, engine)."""
+    if WORKER_STATE.get("train-modules-fp") != fingerprint:
+        with open(path, "rb") as handle:
+            WORKER_STATE["train-modules"] = pickle.loads(handle.read())
+        WORKER_STATE["train-modules-fp"] = fingerprint
+    return WORKER_STATE["train-modules"]
+
+
+def _run_shard(modules: Dict[str, nn.Module], task_kind: str,
+               arrays: Dict[str, np.ndarray], extra: Dict[str, Any],
+               scale: float) -> Tuple[nn.Tensor, float]:
+    """Run one shard program and backprop its scaled loss; the windowed
+    dropout proxies must already be installed by the caller."""
+    loss, report = _PROGRAMS[task_kind](modules, arrays, extra)
+    (loss * scale).backward()
+    return loss, float(report.item()) * scale
+
+
+def _grad_in_worker(task: _GradTask) -> GradOutcome:
+    modules = _worker_modules(task.modules_path, task.modules_fp)
+    b = _backend.active()
+    for p, arr in zip(_flat_params(modules), task.params):
+        p.data = b.asarray(arr)
+    for name, training in task.modes.items():
+        modules[name].train() if training else modules[name].eval()
+    proxies: Dict[str, _WindowedRNG] = {}
+    for stream, layer in _dropout_slots(modules):
+        proxies[stream] = layer._rng = _WindowedRNG(
+            task.dropout_states[stream], task.shard.start, task.shard.total)
+    for module in modules.values():
+        module.zero_grad()
+    _, report = _run_shard(modules, task.kind, task.arrays, task.extra,
+                           task.scale)
+    grads = tuple(
+        b.to_numpy(p.grad) if p.grad is not None else None
+        for p in modules[task.grad_module].parameters())
+    return GradOutcome(shard=task.shard, grads=grads, report=report,
+                       consumed={name: proxy.consumed
+                                 for name, proxy in proxies.items()})
+
+
+# --------------------------------------------------------------------- #
+# the engine
+# --------------------------------------------------------------------- #
+class ParallelTrainEngine:
+    """Shards each mini-batch's gradient across a worker pool.
+
+    Attach to a trainer (:meth:`attach`); the defense trainers route
+    their optimizer steps through :meth:`step` whenever an engine is
+    attached and keep their legacy eager path otherwise.  ``workers=1``
+    runs the identical sharded computation in-process — the baseline the
+    multi-process runs are bit-identical to.  Pass ``pool`` to share one
+    :class:`~repro.utils.pool.SpawnPool` with an
+    :class:`~repro.eval.engine.AttackSuite` (async robustness probes and
+    training interleave on the same workers instead of spawning two
+    pools); borrowed pools survive :meth:`close`.
+    """
+
+    def __init__(self, trainer, workers: int = 1,
+                 shard_size: Optional[int] = None,
+                 pool: Optional[SpawnPool] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.trainer = trainer
+        self.pool = pool if pool is not None \
+            else (SpawnPool(workers) if workers > 1 else None)
+        self._owns_pool = pool is None and self.pool is not None
+        self.workers = self.pool.workers if self.pool is not None else 1
+        self.shard_size = DEFAULT_TRAIN_SHARD_SIZE \
+            if shard_size is None else int(shard_size)
+        self._depot = BlobDepot(prefix="repro-train-modules-")
+        self._published: Optional[Tuple[str, str]] = None  # (fp, path)
+        self._merged: Optional[List[Optional[np.ndarray]]] = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def attach(self) -> "ParallelTrainEngine":
+        self.trainer.parallel_engine = self
+        return self
+
+    def close(self) -> None:
+        """Detach, drop the published module blob, close an owned pool."""
+        if self.trainer is not None \
+                and getattr(self.trainer, "parallel_engine", None) is self:
+            self.trainer.parallel_engine = None
+        self._depot.clear()
+        self._published = None
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "ParallelTrainEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def step(self, kind: str, arrays: Dict[str, np.ndarray],
+             extra: Optional[Dict[str, Any]] = None,
+             grad_module: str = "model", optimizer: str = "classifier",
+             skip_non_finite: bool = False) -> float:
+        """One sharded gradient step; returns the batch report scalar.
+
+        ``arrays`` is the fully-prepared batch (augmentation, mixing and
+        crafting already done by the trainer in the parent — those
+        streams cannot be windowed); every array shares the leading
+        batch dimension.  The merged gradient steps
+        ``trainer.named_optimizers()[optimizer]``; only
+        ``checkpoint_modules()[grad_module]``'s parameters receive
+        gradients (GanDef's two half-steps pass different pairs).  With
+        ``skip_non_finite``, a non-finite batch report skips the
+        optimizer step (the CLS/CLP divergence behavior) — dropout
+        streams still advance, as the forwards did run.
+        """
+        extra = extra or {}
+        modules = self.trainer.checkpoint_modules()
+        opt = self.trainer.named_optimizers()[optimizer]
+        n = len(next(iter(arrays.values())))
+        shards = plan_shards(n, self.shard_size)
+        slots = _dropout_slots(modules)
+        states = {name: layer._rng.bit_generator.state
+                  for name, layer in slots}
+
+        if not self.parallel:
+            total, consumed = self._step_in_process(
+                kind, arrays, extra, modules, shards, slots, states, n,
+                grad_module)
+        else:
+            total, consumed = self._step_pooled(
+                kind, arrays, extra, modules, shards, states, n,
+                grad_module)
+
+        # Advance the parent streams by the step's full-batch draws —
+        # the same totals at any worker count, so checkpointed stream
+        # positions never depend on the schedule.
+        for name, layer in slots:
+            layer._rng.bit_generator.advance(consumed[name])
+
+        if skip_non_finite and not np.isfinite(total):
+            self._merged = None
+            for module in modules.values():
+                module.zero_grad()
+            return total
+        self._apply_grads(modules[grad_module])
+        opt.step()
+        for module in modules.values():
+            module.zero_grad()
+        return total
+
+    # ------------------------------------------------------------------ #
+    def _step_in_process(self, kind, arrays, extra, modules, shards,
+                         slots, states, n, grad_module):
+        """Run every shard sequentially on the live modules.
+
+        Shards draw dropout through the same windowed proxies workers
+        use (a multi-forward program like CLP interleaves its draws
+        differently under naive sequential consumption), and each
+        shard's finished gradient enters the same ordered reduce the
+        pooled path uses.  Letting the tape accumulate *across* shards
+        instead would group the additions differently whenever a
+        parameter receives several updates within one backward (CLP's
+        two forwards) — ``((g0+u1a)+u1b)`` is not ``(g0+(u1a+u1b))`` in
+        floating point — so shard gradients are extracted per shard and
+        summed exactly like worker outcomes.
+        """
+        b = _backend.active()
+        originals = [layer._rng for _, layer in slots]
+        total = 0.0
+        consumed = {name: 0 for name, _ in slots}
+        acc: Optional[List[Optional[np.ndarray]]] = None
+        try:
+            for shard in shards:
+                proxies = {}
+                for name, layer in slots:
+                    proxies[name] = layer._rng = _WindowedRNG(
+                        states[name], shard.start, shard.total)
+                for module in modules.values():
+                    module.zero_grad()
+                sliced = {key: value[shard.start:shard.stop]
+                          for key, value in arrays.items()}
+                _, report = _run_shard(modules, kind, sliced, extra,
+                                       shard.size / n)
+                total += report
+                consumed = {name: proxy.consumed
+                            for name, proxy in proxies.items()}
+                # Copy: fast-path tapes hand gradients pooled buffers
+                # that the next shard's backward may reuse.
+                grads = [np.array(b.to_numpy(p.grad))
+                         if p.grad is not None else None
+                         for p in modules[grad_module].parameters()]
+                if acc is None:
+                    acc = grads
+                else:
+                    for i, grad in enumerate(grads):
+                        if grad is not None:
+                            acc[i] += grad
+        finally:
+            for (_, layer), rng in zip(slots, originals):
+                layer._rng = rng
+            for module in modules.values():
+                module.zero_grad()
+        self._merged = acc
+        return total, consumed
+
+    def _step_pooled(self, kind, arrays, extra, modules, shards, states,
+                     n, grad_module):
+        """Fan shards out to the pool; ordered all-reduce on the parent.
+
+        ``imap`` pickles tasks lazily, so shipping live parameter
+        buffers is safe only because the optimizer step happens *after*
+        every outcome of the step is consumed — by then all tasks were
+        pickled.  The all-reduce adopts shard 0's arrays (worker-owned
+        buffers stayed in the worker; these crossed the pipe) and sums
+        the rest in shard-index order, single dtype, matching the
+        in-process tape accumulation bit-for-bit.
+        """
+        fp, path = self._publish(modules)
+        b = _backend.active()
+        params = tuple(np.asarray(b.to_numpy(p.data))
+                       for p in _flat_params(modules))
+        modes = {name: bool(module._training)
+                 for name, module in modules.items()}
+        tasks = [
+            _GradTask(kind=kind, shard=shard,
+                      arrays={key: value[shard.start:shard.stop]
+                              for key, value in arrays.items()},
+                      extra=extra, scale=shard.size / n,
+                      grad_module=grad_module, params=params, modes=modes,
+                      dropout_states=states, modules_path=path,
+                      modules_fp=fp)
+            for shard in shards
+        ]
+        total = 0.0
+        acc: Optional[List[Optional[np.ndarray]]] = None
+        consumed: Dict[str, int] = {}
+        for outcome in self.pool.imap(_grad_in_worker, tasks):
+            total += outcome.report
+            if acc is None:
+                acc = list(outcome.grads)
+            else:
+                for i, grad in enumerate(outcome.grads):
+                    if grad is not None:
+                        acc[i] += grad
+            consumed = outcome.consumed
+        self._merged = acc
+        return total, consumed
+
+    def _apply_grads(self, module: nn.Module) -> None:
+        b = _backend.active()
+        for p, grad in zip(module.parameters(), self._merged):
+            if grad is not None:
+                p.grad = b.asarray(grad)
+        self._merged = None
+
+    # ------------------------------------------------------------------ #
+    def _publish(self, modules: Dict[str, nn.Module]) -> Tuple[str, str]:
+        """Publish the module set once per engine lifetime; the blob only
+        carries *structure* (params are overwritten per task), so it
+        never needs re-publishing as training advances the weights."""
+        if self._published is None:
+            blob = pickle.dumps(modules)
+            fp = blob_fingerprint(blob)
+            self._published = (fp, self._depot.acquire(blob, fp))
+        return self._published

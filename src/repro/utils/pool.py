@@ -1,0 +1,210 @@
+"""Spawn-pool and deterministic-shard machinery shared by the sharded
+evaluation engine (:mod:`repro.eval.shard`) and the data-parallel training
+engine (:mod:`repro.train.parallel`).
+
+The two subsystems fan different work out — (attack, shard) crafting cells
+versus per-shard gradient computations — but the parallel substrate is the
+same and lives here exactly once:
+
+* :func:`plan_shards` — the deterministic contiguous layout.  It depends
+  only on the batch size and ``shard_size``, never on the worker count,
+  which is the first half of the bit-identity guarantee both engines pin:
+  running with 1, 2 or 16 workers schedules the *same* computation.
+* :class:`SpawnPool` — a persistent **spawn**-started worker pool (fork is
+  unsafe under threads and unavailable on some platforms), pinned to the
+  backend active at first use and respawned if a later call runs under a
+  different one.  One pool can serve both engines at once: tasks carry
+  their own module-level worker function, and the shared
+  :data:`WORKER_STATE` dict namespaces each engine's per-worker memos.
+* :class:`BlobDepot` — refcounted publication of pickled payloads (victim
+  models, trainer module sets) to temp files, so weights ride the page
+  cache once per run instead of the task pipe once per task.
+
+The ``repro`` package must be importable in a fresh interpreter
+(``PYTHONPATH=src`` or an installed package), and pool owners should
+``close()`` when done — the engines and runners do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .. import backend as _backend
+
+__all__ = ["Shard", "plan_shards", "SpawnPool", "BlobDepot",
+           "WORKER_STATE", "blob_fingerprint", "DEFAULT_SHARD_SIZE"]
+
+#: Default rows per shard when an eval-side caller does not pin
+#: ``shard_size``.  Chosen so typical eval batches (96-10000 rows) split
+#: into enough shards to feed several workers while each shard still
+#: amortizes its forward-pass and IPC overhead.  Training uses its own,
+#: smaller default (:data:`repro.train.parallel.DEFAULT_TRAIN_SHARD_SIZE`)
+#: because its unit of work is one mini-batch, not one test set.
+DEFAULT_SHARD_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous row range ``[start, stop)`` of a ``total``-row batch."""
+
+    index: int
+    start: int
+    stop: int
+    total: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(n: int, shard_size: Optional[int] = None) -> List[Shard]:
+    """Deterministic contiguous partition of ``n`` rows.
+
+    The last shard is ragged when ``shard_size`` does not divide ``n``;
+    a ``shard_size >= n`` (including the ``workers > num_examples``
+    degenerate case upstream) yields a single full shard.
+    """
+    if n <= 0:
+        raise ValueError(f"cannot shard an empty batch (n={n})")
+    size = DEFAULT_SHARD_SIZE if shard_size is None else int(shard_size)
+    if size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    return [Shard(index=i, start=start, stop=min(start + size, n), total=n)
+            for i, start in enumerate(range(0, n, size))]
+
+
+# --------------------------------------------------------------------- #
+# worker-process side
+# --------------------------------------------------------------------- #
+#: Per-worker memoization namespace.  Spawned workers keep loaded models,
+#: trainer module sets and cache handles here between tasks; the pool
+#: initializer clears it so a respawned pool never serves stale state.
+#: Engines namespace their keys (``"eval-..."`` / ``"train-..."``) so one
+#: pool can interleave both kinds of work.
+WORKER_STATE: Dict[str, Any] = {}
+
+
+def _init_worker(backend_name: str) -> None:
+    """Pool initializer: pin the parent's active backend in the child."""
+    _backend.use(backend_name)
+    WORKER_STATE.clear()
+
+
+class SpawnPool:
+    """A lazily-started, backend-pinned, persistent spawn pool.
+
+    The pool is created under the backend active at first use
+    (:meth:`ensure`) and respawned if a later call runs under a different
+    backend — worker processes pin their backend once at initialization,
+    so a backend switch in the parent must recycle them.  Instances are
+    shareable: the training engine and an :class:`~repro.eval.engine.AttackSuite`
+    can drive the *same* pool (tasks carry their own worker functions),
+    which is how ``repro train --workers N`` overlaps async robustness
+    probes with epoch training without spawning a second pool.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._pool = None
+        self._pool_backend: Optional[str] = None
+
+    def ensure(self):
+        """The live ``multiprocessing`` pool, (re)spawned as needed."""
+        import multiprocessing
+
+        backend_name = _backend.active().name
+        if self._pool is not None and self._pool_backend != backend_name:
+            self.close()
+        if self._pool is None:
+            ctx = multiprocessing.get_context("spawn")
+            self._pool = ctx.Pool(self.workers, initializer=_init_worker,
+                                  initargs=(backend_name,))
+            self._pool_backend = backend_name
+        return self._pool
+
+    def imap(self, fn, tasks):
+        """Ordered streaming map — outcomes yield in task order."""
+        return self.ensure().imap(fn, tasks)
+
+    def map_async(self, fn, tasks):
+        """Submit without blocking; returns the pool's ``AsyncResult``."""
+        return self.ensure().map_async(fn, tasks)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_backend = None
+
+    def __enter__(self) -> "SpawnPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class BlobDepot:
+    """Refcounted temp-file publication of pickled payloads.
+
+    One blob per fingerprint on disk (page-cached for the workers)
+    instead of one copy per task through the pool pipe.  Acquire/release
+    are refcounted so overlapping runs (async probes against successive
+    weight snapshots) keep exactly the blobs still in flight.
+    """
+
+    def __init__(self, prefix: str = "repro-blob-") -> None:
+        self.prefix = prefix
+        self._entries: Dict[str, list] = {}   # fingerprint -> [path, refs]
+
+    def acquire(self, blob: bytes, fingerprint: str) -> str:
+        """Publish ``blob`` (or bump its refcount); returns the path."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            fd, path = tempfile.mkstemp(
+                prefix=f"{self.prefix}{fingerprint[:12]}-", suffix=".pkl")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            entry = self._entries[fingerprint] = [path, 0]
+        entry[1] += 1
+        return entry[0]
+
+    def release(self, fingerprint: str) -> None:
+        """Drop one reference; unlink the file at zero."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            try:
+                os.unlink(entry[0])
+            except OSError:
+                pass
+            del self._entries[fingerprint]
+
+    def clear(self) -> None:
+        """Unlink every published blob regardless of refcounts."""
+        for path, _ in self._entries.values():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._entries.clear()
+
+
+def blob_fingerprint(blob: bytes) -> str:
+    """Cheap worker-memoization key for a pickled payload."""
+    return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,162 @@
+"""In-process half of the data-parallel training engine's guarantees.
+
+Everything here runs without a worker pool: the windowed-RNG replay math,
+the ``workers=1`` engine path (the bit-identity baseline the
+multi-process suite compares against), the non-finite skip, and the
+checkpoint provenance.  The real spawn-pool equalities live in
+test_parallel_multiprocess.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.defenses.cls import CLSTrainer
+from repro.defenses.vanilla import VanillaTrainer
+from repro.train.checkpoint import read_checkpoint_meta, save_checkpoint
+from repro.train.parallel import ParallelTrainEngine, _WindowedRNG
+from repro.utils.pool import plan_shards
+from repro.utils.rng import derive_rng
+
+
+def dropout_model(seed=0):
+    """A small, fully-materialized classifier with an internal dropout
+    layer — the case where naive per-worker reseeding would diverge."""
+    rng = derive_rng(seed, "init")
+    return nn.Sequential(
+        nn.Flatten(),
+        nn.Dense(64, 16, rng=rng), nn.ReLU(),
+        nn.Dropout(0.5, rng=derive_rng(seed, "drop")),
+        nn.Dense(16, 4, rng=rng))
+
+
+def batch(n=20, seed=3):
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=(n, 1, 8, 8)).astype(np.float32),
+            rng.integers(0, 4, size=n))
+
+
+class TestWindowedRNG:
+    def test_shard_windows_replay_the_full_batch_draw(self):
+        base = derive_rng(0, "w")
+        full = derive_rng(0, "w").random((10, 3))
+        for shard in plan_shards(10, 4):
+            proxy = _WindowedRNG(base.bit_generator.state,
+                                 shard.start, shard.total)
+            got = proxy.random((shard.size, 3))
+            assert np.array_equal(got, full[shard.start:shard.stop])
+            assert proxy.consumed == 30   # the *full* batch's draws
+
+    def test_naive_reseed_diverges(self):
+        # The failure mode the windowing exists to prevent: a worker that
+        # just clones the stream state (no row advance) replays shard 0's
+        # draws for every shard.
+        base = derive_rng(0, "w")
+        full = derive_rng(0, "w").random((10, 3))
+        naive = np.random.Generator(np.random.PCG64())
+        naive.bit_generator.state = base.bit_generator.state
+        assert not np.array_equal(naive.random((4, 3)), full[4:8])
+
+    def test_second_draw_offsets_past_the_whole_first(self):
+        # Programs with several forwards (CLP) draw the same stream more
+        # than once per step; each shard's second draw must window into
+        # the full batch's *second* draw.
+        base = derive_rng(1, "w")
+        ref = derive_rng(1, "w")
+        first = ref.random((6, 2))
+        second = ref.random((6, 5))
+        proxy = _WindowedRNG(base.bit_generator.state, 2, 6)
+        assert np.array_equal(proxy.random((3, 2)), first[2:5])
+        assert np.array_equal(proxy.random((3, 5)), second[2:5])
+        assert proxy.consumed == 6 * 2 + 6 * 5
+
+
+class TestInProcessEngine:
+    def test_single_shard_matches_legacy_eager(self):
+        # With one shard covering the whole batch (scale exactly 1.0) the
+        # engine runs the legacy computation — including the dropout
+        # draws — so even the eager path is reproduced bit-for-bit.
+        x, y = batch()
+        legacy = VanillaTrainer(dropout_model(), epochs=1, seed=0)
+        legacy.model.train()
+        legacy_losses = [legacy.train_step(x, y) for _ in range(3)]
+
+        sharded = VanillaTrainer(dropout_model(), epochs=1, seed=0)
+        engine = ParallelTrainEngine(sharded, workers=1,
+                                     shard_size=len(x)).attach()
+        sharded.model.train()
+        engine_losses = [sharded.train_step(x, y) for _ in range(3)]
+
+        assert engine_losses == legacy_losses
+        for (name, a), (_, b) in zip(legacy.model.named_parameters(),
+                                     sharded.model.named_parameters()):
+            assert np.array_equal(np.asarray(a.data),
+                                  np.asarray(b.data)), name
+        for key in legacy.rng_streams():
+            assert legacy.rng_streams()[key].bit_generator.state == \
+                sharded.rng_streams()[key].bit_generator.state, key
+
+    def test_ragged_shards_train_and_advance_streams(self):
+        x, y = batch(n=20)
+        trainer = VanillaTrainer(dropout_model(), epochs=1, seed=0)
+        ParallelTrainEngine(trainer, workers=1, shard_size=6).attach()
+        trainer.model.train()
+        before = {k: g.bit_generator.state
+                  for k, g in trainer.rng_streams().items()}
+        loss = trainer.train_step(x, y)
+        assert np.isfinite(loss)
+        dropout_streams = [k for k in before if "dropout" in k]
+        assert dropout_streams
+        for key in dropout_streams:
+            assert trainer.rng_streams()[key].bit_generator.state != \
+                before[key]
+
+    def test_skip_non_finite_skips_the_step(self):
+        x, y = batch()
+        trainer = CLSTrainer(dropout_model(), lam=0.4, epochs=1, seed=0)
+        ParallelTrainEngine(trainer, workers=1, shard_size=8).attach()
+        trainer.model.train()
+        snap = [np.asarray(p.data).copy()
+                for p in trainer.model.parameters()]
+        steps_before = trainer.optimizer.steps
+        bad = np.full_like(x, np.nan)
+        value = trainer.train_step(bad, y)
+        assert not np.isfinite(value)
+        assert trainer.optimizer.steps == steps_before
+        for p, old in zip(trainer.model.parameters(), snap):
+            assert np.array_equal(np.asarray(p.data), old)
+            assert p.grad is None
+
+    def test_attach_and_close_detach(self):
+        trainer = VanillaTrainer(dropout_model(), epochs=1, seed=0)
+        engine = ParallelTrainEngine(trainer, workers=1).attach()
+        assert trainer.parallel_engine is engine
+        engine.close()
+        assert trainer.parallel_engine is None
+
+    def test_workers_validated(self):
+        trainer = VanillaTrainer(dropout_model(), epochs=1, seed=0)
+        with pytest.raises(ValueError):
+            ParallelTrainEngine(trainer, workers=0)
+
+
+class TestCheckpointProvenance:
+    def test_worker_count_recorded_but_not_load_bearing(self, tmp_path):
+        trainer = VanillaTrainer(dropout_model(), epochs=1, seed=0)
+        path = tmp_path / "plain.npz"
+        save_checkpoint(trainer, path)
+        assert read_checkpoint_meta(path)["workers"] is None
+
+        ParallelTrainEngine(trainer, workers=1, shard_size=8).attach()
+        path = tmp_path / "engine.npz"
+        save_checkpoint(trainer, path)
+        assert read_checkpoint_meta(path)["workers"] == 1
+
+        # Loading never consults the key: a fresh trainer with no engine
+        # restores an engine-produced checkpoint.
+        fresh = VanillaTrainer(dropout_model(1), epochs=1, seed=0)
+        fresh.load_state_dict(read_checkpoint_meta(path)["state"])
+        for (name, a), (_, b) in zip(trainer.model.named_parameters(),
+                                     fresh.model.named_parameters()):
+            assert np.array_equal(np.asarray(a.data),
+                                  np.asarray(b.data)), name
