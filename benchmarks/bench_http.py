@@ -13,10 +13,18 @@ Two phases against a live ``HttpServer`` on loopback:
   contract is asserted, not just plotted: beyond saturation the 429
   rate must rise while **every** request still gets an answer — zero
   transport errors, zero drops, at every rung.
+* **Observability overhead** — the same closed-loop load against a
+  server whose forward cost is pinned (so the comparison is about
+  instrumentation, not hardware): interleaved disabled/enabled passes,
+  each configuration scored by its minimum wall clock (stripping
+  scheduler noise, which on shared runners can rival the ceiling);
+  enabling span tracing must cost **< 3%** wall clock min-vs-min
+  (disabled is free by construction — tracing-off servers bind no
+  tracer; the disabled passes' spread is reported as the noise floor).
 
 Results land in ``BENCH_http.json``; the script exits non-zero if the
-equality phase sees any mismatch, if any request is dropped, or if the
-overloaded rungs never push back.
+equality phase sees any mismatch, if any request is dropped, if the
+overloaded rungs never push back, or if enabled tracing costs >= 3%.
 
 Usage::
 
@@ -100,6 +108,22 @@ def equality_phase(trainer, split, n_examples):
             "bitwise_identical": mismatches == 0}
 
 
+def pin_forward(trainer, slow_forward_s):
+    """Pin per-batch cost so measurements are configuration, not
+    hardware: the forward sleeps a fixed floor.  Idempotent."""
+    if not slow_forward_s or getattr(trainer, "_forward_pinned", False):
+        return
+    import time as time_module
+    inner = trainer.model.forward
+
+    def forward(x):
+        time_module.sleep(slow_forward_s)
+        return inner(x)
+
+    trainer.model.forward = forward
+    trainer._forward_pinned = True
+
+
 def saturation_phase(trainer, split, *, num_requests, rps_ladder,
                      queue_limit, concurrency, slow_forward_s):
     """Closed-loop sweep: one rung per offered RPS, shared traffic."""
@@ -111,17 +135,7 @@ def saturation_phase(trainer, split, *, num_requests, rps_ladder,
     traffic = build_mixed_load(pool, adv_pool, num_requests=num_requests,
                                max_request_size=2, adv_fraction=0.5,
                                seed=0)
-    if slow_forward_s:
-        # Pin per-batch cost so the saturation point is configuration,
-        # not hardware: the forward sleeps a fixed floor.
-        import time as time_module
-        inner = trainer.model.forward
-
-        def forward(x):
-            time_module.sleep(slow_forward_s)
-            return inner(x)
-
-        trainer.model.forward = forward
+    pin_forward(trainer, slow_forward_s)
     rungs = []
     violations = []
     for target_rps in rps_ladder:
@@ -156,6 +170,75 @@ def saturation_phase(trainer, split, *, num_requests, rps_ladder,
     return rungs, violations
 
 
+OVERHEAD_CEILING_PCT = 3.0
+
+
+def overhead_phase(trainer, split, *, num_requests, concurrency,
+                   slow_forward_s, trace_path, passes=3):
+    """Wall-clock cost of the obs layer on a pinned-forward server.
+
+    ``passes`` interleaved disabled/enabled pairs of identical traffic
+    (spans to ``trace_path`` when enabled).  Each configuration is
+    scored by its **minimum** wall clock — the standard estimator that
+    strips scheduler noise, which on small shared runners can exceed
+    the overhead ceiling itself — and the gate compares min to min.
+    The disabled passes' spread is reported as the noise floor.
+    """
+    from repro import obs
+
+    pin_forward(trainer, slow_forward_s)
+    pool = split.test.images[:64]
+    traffic = build_mixed_load(pool, pool, num_requests=num_requests,
+                               max_request_size=2, adv_fraction=0.0,
+                               seed=1)
+
+    def one_pass(traced):
+        if traced:
+            obs.enable(trace=trace_path)
+        else:
+            obs.disable()
+        try:
+            httpd = build_http(trainer, max_batch=8, queue_limit=4096)
+            with httpd:
+                host, port = httpd.address
+                report = run_http_load(host, port, traffic,
+                                       model="gandef",
+                                       concurrency=concurrency,
+                                       api_key="key", timeout=120.0)
+        finally:
+            obs.disable()
+        assert report.completed == num_requests, \
+            f"overhead pass dropped requests: {report.summary()}"
+        return report.wall_seconds
+
+    disabled_walls, enabled_walls = [], []
+    for _ in range(passes):
+        disabled_walls.append(one_pass(traced=False))
+        enabled_walls.append(one_pass(traced=True))
+    base = min(disabled_walls)
+    enabled = min(enabled_walls)
+    overhead_pct = (enabled - base) / base * 100.0 if base > 0 else 0.0
+    noise_pct = (max(disabled_walls) - base) / base * 100.0 \
+        if base > 0 else 0.0
+    result = {
+        "requests": num_requests,
+        "passes": passes,
+        "wall_disabled_s": round(base, 4),
+        "wall_enabled_s": round(enabled, 4),
+        "disabled_noise_pct": round(noise_pct, 2),
+        "enabled_overhead_pct": round(overhead_pct, 2),
+        "ceiling_pct": OVERHEAD_CEILING_PCT,
+    }
+    print(f"disabled {base:.3f}s (noise {noise_pct:.2f}%)  "
+          f"enabled {enabled:.3f}s  overhead {overhead_pct:+.2f}%")
+    violations = []
+    if overhead_pct >= OVERHEAD_CEILING_PCT:
+        violations.append(
+            f"span tracing costs {overhead_pct:.2f}% wall clock, at or "
+            f"above the {OVERHEAD_CEILING_PCT}% ceiling")
+    return result, violations
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     default_out = os.path.join(os.path.dirname(__file__), "..",
@@ -186,6 +269,19 @@ def main(argv=None):
         queue_limit=queue_limit, concurrency=16,
         slow_forward_s=slow_forward_s)
 
+    print(f"== observability overhead: forward floor "
+          f"{slow_forward_s * 1e3:.0f}ms, ceiling "
+          f"{OVERHEAD_CEILING_PCT}% ==")
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        overhead, overhead_violations = overhead_phase(
+            trainer, split,
+            num_requests=80 if args.quick else 200, concurrency=8,
+            passes=2 if args.quick else 3,
+            slow_forward_s=slow_forward_s,
+            trace_path=os.path.join(tmp, "trace.jsonl"))
+    violations.extend(overhead_violations)
+
     if not equality["bitwise_identical"]:
         violations.insert(0, f"{equality['mismatches']} HTTP rows "
                              "differed from direct Server rows")
@@ -200,8 +296,10 @@ def main(argv=None):
                    "adv_fraction": 0.5},
         "equality": equality,
         "saturation": rungs,
+        "obs_overhead": overhead,
         "contract": "every request answered (200 or explicit 429); "
-                    "zero transport errors; overload rungs push back",
+                    "zero transport errors; overload rungs push back; "
+                    "span tracing under the overhead ceiling",
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

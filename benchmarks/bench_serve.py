@@ -151,6 +151,35 @@ def main(argv=None):
                     f"{name}: micro-batched throughput {speedup:.2f}x "
                     f"baseline, below the {SPEEDUP_FLOOR}x floor")
 
+    # Observability overhead on the in-process serve loop, recorded for
+    # trajectory (not gated here — bench_http gates it on a server with
+    # a pinned forward cost; this unpinned number is hardware-noisy).
+    import tempfile
+
+    from repro import obs
+
+    obs.disable()
+    base_load, _ = serve_load(trainer, traffic, batch_sizes[-1], name)
+    with tempfile.TemporaryDirectory() as tmp:
+        obs.enable(trace=os.path.join(tmp, "trace.jsonl"))
+        try:
+            traced_load, _ = serve_load(trainer, traffic,
+                                        batch_sizes[-1], name)
+        finally:
+            obs.disable()
+    base_wall = base_load.wall_seconds
+    overhead_pct = (traced_load.wall_seconds - base_wall) / base_wall \
+        * 100.0 if base_wall > 0 else 0.0
+    report["obs_overhead"] = {
+        "backend": name,
+        "max_batch": batch_sizes[-1],
+        "wall_disabled_s": round(base_wall, 4),
+        "wall_enabled_s": round(traced_load.wall_seconds, 4),
+        "enabled_overhead_pct": round(overhead_pct, 2),
+    }
+    print(f"obs overhead [{name}]: disabled {base_wall:.3f}s  enabled "
+          f"{traced_load.wall_seconds:.3f}s  ({overhead_pct:+.2f}%)")
+
     report["speedup_floor"] = SPEEDUP_FLOOR
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Observability tour: traced serving, a live scrape, and the report CLI.
+
+Walks the `repro.obs` layer end to end:
+
+1. enable span tracing (`obs.enable`) *before* building anything — the
+   server, gate and caches bind the tracer at construction time;
+2. train a quick classifier and serve a seeded traffic mix through the
+   HTTP tier, so every request is traced admission -> queue wait ->
+   batch formation -> forward -> gate -> fill;
+3. scrape `GET /v1/metrics` mid-flight and show the Prometheus text a
+   real scraper would collect (HTTP outcomes, queue depth, batch-size
+   and latency histograms, gate flag rate, cache hit rates);
+4. aggregate the trace file into the per-stage latency/throughput
+   report — the same table `repro obs report <trace.jsonl>` prints.
+
+The equivalent environment-variable setup for a deployment:
+
+    REPRO_OBS=1 REPRO_OBS_TRACE=trace.jsonl \
+        python -m repro serve-http --requests 0 --port 8080 ...
+
+Run:  python examples/observe_serving.py
+"""
+
+import tempfile
+
+from repro import obs
+from repro.data import load_split
+from repro.models import build_classifier
+from repro.obs.report import aggregate_trace, format_report, load_spans
+from repro.serve import (
+    HttpClient,
+    HttpFrontend,
+    HttpServer,
+    ModelRegistry,
+    PredictionCache,
+    Server,
+    build_mixed_load,
+    run_http_load,
+)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = f"{tmp}/trace.jsonl"
+        print(f"[1] enabling span tracing -> {trace_path}")
+        obs.enable(trace=trace_path)
+
+        print("[2] training a small classifier and serving it over HTTP ...")
+        split = load_split("digits", train_size=64, test_size=64, seed=0)
+        registry = ModelRegistry()
+        registry.add("m", build_classifier("digits", width=8, seed=0),
+                     backend="numpy")
+        server = Server(registry, max_batch=8, deadline_ms=2.0,
+                        gate="confidence", gate_threshold=0.5,
+                        cache=PredictionCache(max_entries=512))
+        httpd = HttpServer(HttpFrontend(server), host="127.0.0.1", port=0)
+        with httpd:
+            host, port = httpd.address
+            traffic = build_mixed_load(split.test.images[:32],
+                                       split.test.images[32:],
+                                       num_requests=120,
+                                       max_request_size=4, seed=3)
+            report = run_http_load(host, port, traffic, model="m",
+                                   concurrency=8)
+            print(f"    {report.completed} requests served at "
+                  f"{report.throughput_eps:.0f} examples/s")
+
+            print("[3] scraping GET /v1/metrics (Prometheus text) ...")
+            with HttpClient(host, port) as client:
+                text = client.metrics().payload["raw"]
+        for line in text.splitlines():
+            if line.startswith(("repro_http_requests_total",
+                                "repro_serve_batch_size_count",
+                                "repro_serve_pending_examples",
+                                "repro_serve_gate_flag_ratio",
+                                "repro_serve_prediction_cache_hit_ratio")):
+                print(f"    {line}")
+
+        print("[4] aggregating the trace (== repro obs report) ...")
+        obs.disable()        # flushless writer: every span is on disk
+        agg = aggregate_trace(load_spans(trace_path))
+        print("    " + format_report(agg).replace("\n", "\n    "))
+
+
+if __name__ == "__main__":
+    main()

@@ -54,10 +54,17 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from .. import obs
 from .fast import FastNumpyBackend
 from .numpy_backend import conv_output_size
 
 __all__ = ["CompiledBackend", "Plan", "TraceUnsupported", "trace"]
+
+
+def _plan_hit_ratio(values):
+    replays = values.get("repro_backend_plan_replays_total", 0.0)
+    total = replays + values.get("repro_backend_plans_built_total", 0.0)
+    return replays / total if total else 0.0
 
 
 class TraceUnsupported(RuntimeError):
@@ -1213,6 +1220,52 @@ class CompiledBackend(FastNumpyBackend):
         self._tensor_mod = None
         self.stats = {"plans_built": 0, "replays": 0, "eager_calls": 0,
                       "invalidations": 0, "unsupported": 0}
+        obs.register(self, CompiledBackend._collect_metrics)
+        obs.derive("repro_backend_plan_cache_hit_ratio", _plan_hit_ratio,
+                   help="plan replays / (replays + cold builds)")
+
+    #: Scrape-series name per ``stats`` key (stable names are an API).
+    _STAT_METRICS = {
+        "plans_built": ("repro_backend_plans_built_total",
+                        "compiled plans built (cold captures)"),
+        "replays": ("repro_backend_plan_replays_total",
+                    "compiled-plan cache hits (replays)"),
+        "eager_calls": ("repro_backend_plan_eager_calls_total",
+                        "calls that ran eagerly (uncompilable or "
+                        "sub-threshold)"),
+        "invalidations": ("repro_backend_plan_invalidations_total",
+                          "plans dropped because parameters changed"),
+        "unsupported": ("repro_backend_plan_unsupported_total",
+                        "graphs poisoned as untraceable"),
+    }
+
+    def _collect_metrics(self) -> list:
+        """Scrape-time view of the plan cache: the ``stats`` counters
+        (GIL-atomic int reads; no lock needed) plus live plan count and
+        pinned workspace bytes."""
+        samples = [
+            obs.Sample.make(name, "counter", float(self.stats[key]),
+                            help=help_)
+            for key, (name, help_) in self._STAT_METRICS.items()
+        ]
+        plan_count = 0
+        plan_bytes = 0
+        try:
+            per_model = list(self._plans.values())
+        except RuntimeError:            # pragma: no cover - GC race
+            per_model = []
+        for plans in per_model:
+            for plan in list(plans.values()):
+                plan_count += 1
+                if plan is not _UNSUPPORTED:
+                    plan_bytes += plan.buffer_bytes
+        samples.append(obs.Sample.make(
+            "repro_backend_plans", "gauge", float(plan_count),
+            help="live compiled plans (poison markers included)"))
+        samples.append(obs.Sample.make(
+            "repro_backend_plan_bytes", "gauge", float(plan_bytes),
+            help="workspace bytes pinned by live plans"))
+        return samples
 
     # -- the attack seam ---------------------------------------------- #
     def loss_and_input_grad(self, model, images, labels):

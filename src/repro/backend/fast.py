@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from .base import conv_output_size
 from .numpy_backend import NumpyBackend
 
@@ -130,6 +131,19 @@ class FastNumpyBackend(NumpyBackend):
         self._pool = _BufferPool()
         self._matmul_ok: Dict[Tuple[str, Tuple[Tuple[int, ...], ...]],
                               bool] = {}
+        obs.register(self, FastNumpyBackend._collect_metrics)
+
+    def _collect_metrics(self) -> List[obs.Sample]:
+        """Scrape-time view of the buffer pool's hit/miss counters."""
+        return [
+            obs.Sample.make("repro_backend_pool_hits_total", "counter",
+                            float(self._pool.hits),
+                            help="scratch-buffer pool hits"),
+            obs.Sample.make("repro_backend_pool_misses_total", "counter",
+                            float(self._pool.misses),
+                            help="scratch-buffer pool misses "
+                                 "(fresh allocations)"),
+        ]
 
     # ------------------------------------------------------------------ #
     # scratch buffers

@@ -41,6 +41,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiment",
                         help="experiment id or 'list' to enumerate them")
+    parser.add_argument("extra", nargs="*", metavar="...",
+                        help="subcommand arguments (only 'obs' takes any: "
+                             "repro obs report <trace.jsonl>)")
     parser.add_argument("--dataset", default="digits",
                         choices=["digits", "fashion", "objects"],
                         help="dataset (stand-ins for MNIST / Fashion-MNIST "
@@ -194,6 +197,9 @@ def _print_listing() -> None:
     print(f"{'serve-http':22s} {'HTTP serving tier':28s} "
           "the same server behind authenticated, rate-limited, "
           "backpressured HTTP endpoints")
+    print(f"{'obs':22s} {'observability tools':28s} "
+          "aggregate a trace JSONL into a per-stage latency/throughput "
+          "report (repro obs report <trace.jsonl>)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -202,6 +208,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_listing()
         return 0
     key = args.experiment
+    if key == "obs":
+        # Deferred: the report reader is pure stdlib, but keep the CLI
+        # module import-light anyway.
+        from .obs.report import run_obs_cli
+        return run_obs_cli(args.extra)
+    if args.extra:
+        print(f"unexpected arguments for {key}: {' '.join(args.extra)} "
+              "(only 'obs' takes positional arguments)")
+        return 2
     if key == "serve":
         try:
             return _run_serve_command(args)
@@ -323,6 +338,12 @@ def _run_serve_http_command(args) -> int:
           f"p95 {load.latency_percentile(95) * 1e3:.2f}ms")
     print(f"  gate: detection {report.detection_rate:.2%}  "
           f"false positives {report.false_positive_rate:.2%}")
+    if report.metrics_missing is not None:
+        if report.metrics_missing:
+            print("FAIL: /v1/metrics scrape is missing required series: "
+                  + ", ".join(report.metrics_missing))
+            return 1
+        print("  /v1/metrics: all required series present")
     accounted = load.completed + load.rejected_429
     if load.transport_errors or accounted != len(load.outcomes):
         # The smoke contract: every request answered, none dropped, the

@@ -37,12 +37,13 @@ from __future__ import annotations
 import pickle
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, \
-    Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, \
+    Sequence, Tuple
 
 import numpy as np
 
 from .. import backend as _backend
+from .. import obs
 from ..attacks.base import Attack
 from ..utils.pool import BlobDepot, DEFAULT_SHARD_SIZE, Shard, SpawnPool, \
     WORKER_STATE, blob_fingerprint, plan_shards
@@ -88,16 +89,18 @@ class _CraftTask:
 
 def _craft_cell(attack: Attack, model, images: np.ndarray,
                 labels: np.ndarray, cache: Optional[AdversarialCache],
-                model_fp: Optional[str]) -> Tuple[np.ndarray, bool, float]:
+                model_fp: Optional[str],
+                clock: Callable[[], float] = time.perf_counter
+                ) -> Tuple[np.ndarray, bool, float]:
     """The one crafting code path, shared by parent and workers."""
-    start = time.perf_counter()
+    start = clock()
     if cache is not None:
         adv, hit = cache.get_or_generate(attack, model, images, labels,
                                          model_fingerprint=model_fp)
     else:
         adv = _backend.active().to_numpy(attack(model, images, labels))
         hit = False
-    return adv, hit, time.perf_counter() - start
+    return adv, hit, clock() - start
 
 
 # --------------------------------------------------------------------- #
@@ -153,16 +156,28 @@ class ShardedCrafter:
 
     def __init__(self, workers: int = 1,
                  shard_size: Optional[int] = None,
-                 pool: Optional[SpawnPool] = None) -> None:
+                 pool: Optional[SpawnPool] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.pool = pool if pool is not None else SpawnPool(workers)
         self._owns_pool = pool is None
         self.workers = self.pool.workers
         self.shard_size = shard_size
+        self.clock = clock or time.perf_counter
         # Model depot: one pickled blob per run on disk (page-cached for
         # the workers) instead of one copy per task through the pool pipe.
         self._models = BlobDepot(prefix="repro-shard-model-")
+        self._tracer = obs.tracer()
+        self._m_shards = obs.counter("repro_eval_shards_total",
+                                     help="(attack, shard) cells crafted")
+        self._m_cached = obs.counter(
+            "repro_eval_shard_cache_hits_total",
+            help="cells served from the adversarial cache")
+        self._h_shard = obs.histogram(
+            "repro_eval_shard_seconds",
+            help="crafting seconds per (attack, shard) cell",
+            buckets=obs.WORK_SECONDS_BUCKETS)
 
     @property
     def parallel(self) -> bool:
@@ -260,12 +275,29 @@ class ShardedCrafter:
             for task in tasks:
                 adv, hit, seconds = _craft_cell(task.attack, model,
                                                 task.images, task.labels,
-                                                cache, task.model_fp)
-                yield CraftOutcome(attack_name=task.attack_name,
-                                   shard=task.shard, adv=adv,
-                                   seconds=seconds, from_cache=hit)
+                                                cache, task.model_fp,
+                                                clock=self.clock)
+                outcome = CraftOutcome(attack_name=task.attack_name,
+                                       shard=task.shard, adv=adv,
+                                       seconds=seconds, from_cache=hit)
+                self._observe(outcome)
+                yield outcome
             return
-        yield from self.pool.imap(_craft_in_worker, tasks)
+        for outcome in self.pool.imap(_craft_in_worker, tasks):
+            self._observe(outcome)
+            yield outcome
+
+    def _observe(self, outcome: CraftOutcome) -> None:
+        self._m_shards.inc()
+        if outcome.from_cache:
+            self._m_cached.inc()
+        self._h_shard.observe(outcome.seconds)
+        if self._tracer is not None:
+            self._tracer.emit("eval.shard", outcome.seconds,
+                              attack=outcome.attack_name,
+                              shard=outcome.shard.index,
+                              examples=outcome.shard.size,
+                              cached=outcome.from_cache)
 
     def run_tasks_async(self, tasks: Sequence[_CraftTask]):
         """Submit the whole grid without blocking; returns the pool's

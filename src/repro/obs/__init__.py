@@ -1,0 +1,203 @@
+"""``repro.obs`` — the unified observability layer.
+
+One process-wide :class:`MetricsRegistry` plus an optional span
+:class:`Tracer`, shared by the serving tier, the training loop, the
+sharded evaluators and the backends.  Three exporters sit on top:
+
+* ``GET /v1/metrics`` on :class:`~repro.serve.http.HttpFrontend`
+  renders the registry in Prometheus text format,
+* :class:`MetricsSnapshotter` appends periodic JSONL snapshots,
+* ``repro obs report <trace.jsonl>`` aggregates a trace into a
+  per-stage latency/throughput report.
+
+Enablement contract
+-------------------
+
+Metrics are **always on**: they cost one lock-guarded add per event
+(the same arithmetic the ad-hoc ``stats.requests += 1`` counters paid
+before) and most series are collected lazily at scrape time from the
+subsystems' existing locked state.  Span tracing is **off by default**
+and costs nothing while off: objects bind ``obs.tracer()`` once at
+construction and hot paths guard every clock read and record on a
+single ``is not None`` check — no dict lookups, no RNG, no numerics.
+
+Enable tracing with ``obs.enable(trace=path)`` *before* constructing
+servers/loops, or process-wide via the environment:
+
+* ``REPRO_OBS=1`` — enable tracing at import time,
+* ``REPRO_OBS_TRACE=path`` — trace file (default ``repro_trace.jsonl``),
+* ``REPRO_OBS_SNAPSHOT=path`` — also start a periodic metrics
+  snapshotter onto this JSONL path,
+* ``REPRO_OBS_SNAPSHOT_PERIOD=secs`` — snapshot cadence (default 10).
+
+``set_registry`` swaps the process registry (tests use it for
+isolation); instruments created afterwards land in the new registry,
+and collectors registered on dead objects fall away via weakrefs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from .metrics import (
+    BATCH_SIZE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_WINDOW,
+    WORK_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshotter,
+    Sample,
+)
+from .trace import JsonlAppender, Tracer, new_trace_id
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_TRACE_PATH",
+    "DEFAULT_WINDOW",
+    "WORK_SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "JsonlAppender",
+    "MetricsRegistry",
+    "MetricsSnapshotter",
+    "Sample",
+    "Tracer",
+    "counter",
+    "derive",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "new_trace_id",
+    "register",
+    "registry",
+    "render_prometheus",
+    "set_registry",
+    "snapshot",
+    "tracer",
+]
+
+DEFAULT_TRACE_PATH = "repro_trace.jsonl"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_registry = MetricsRegistry()
+_tracer: Optional[Tracer] = None
+_enabled = False
+_snapshotter: Optional[MetricsSnapshotter] = None
+
+
+def enabled() -> bool:
+    """Is span tracing on?"""
+    return _enabled
+
+
+def enable(trace: Optional[Union[str, os.PathLike]] = None,
+           snapshot: Optional[Union[str, os.PathLike]] = None,
+           snapshot_period_s: float = 10.0) -> Tracer:
+    """Turn span tracing on (and optionally a periodic snapshotter).
+
+    Objects bind the tracer at construction time, so call this before
+    building the :class:`~repro.serve.server.Server`, train loop, etc.
+    """
+    global _enabled, _tracer, _snapshotter
+    path = os.fspath(trace) if trace is not None else (
+        os.environ.get("REPRO_OBS_TRACE") or DEFAULT_TRACE_PATH)
+    if _tracer is None or _tracer.path != path:
+        _tracer = Tracer(path)
+    _enabled = True
+    if snapshot is not None:
+        if _snapshotter is not None:
+            _snapshotter.stop()
+        _snapshotter = MetricsSnapshotter(snapshot, registry=_registry,
+                                          period_s=snapshot_period_s)
+        if snapshot_period_s > 0:
+            _snapshotter.start()
+    return _tracer
+
+
+def disable() -> None:
+    """Turn span tracing off; objects constructed afterwards bind no
+    tracer and pay zero instrumentation cost on hot paths."""
+    global _enabled, _tracer, _snapshotter
+    _enabled = False
+    _tracer = None
+    if _snapshotter is not None:
+        _snapshotter.stop()
+        _snapshotter = None
+
+
+def tracer() -> Optional[Tracer]:
+    """The process tracer, or ``None`` when tracing is disabled.
+
+    Hot paths bind this once (``self._tracer = obs.tracer()``) and guard
+    all span work on ``is not None``.
+    """
+    return _tracer if _enabled else None
+
+
+def registry() -> MetricsRegistry:
+    return _registry
+
+
+def set_registry(reg: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process registry, returning the old one (test seam).
+    The snapshotter, if running, keeps its registry until re-enabled."""
+    global _registry
+    old = _registry
+    _registry = reg
+    return old
+
+
+def counter(name: str, labels: Optional[Mapping[str, str]] = None,
+            help: str = "") -> Counter:
+    return _registry.counter(name, labels=labels, help=help)
+
+
+def gauge(name: str, labels: Optional[Mapping[str, str]] = None,
+          help: str = "") -> Gauge:
+    return _registry.gauge(name, labels=labels, help=help)
+
+
+def histogram(name: str, labels: Optional[Mapping[str, str]] = None,
+              help: str = "",
+              buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+              window: int = DEFAULT_WINDOW) -> Histogram:
+    return _registry.histogram(name, labels=labels, help=help,
+                               buckets=buckets, window=window)
+
+
+def register(owner: Any, collect: Callable[[Any], List[Sample]]) -> None:
+    _registry.register(owner, collect)
+
+
+def derive(name: str, fn: Callable[[Dict[str, float]], Optional[float]],
+           help: str = "") -> None:
+    _registry.derive(name, fn, help=help)
+
+
+def render_prometheus() -> str:
+    return _registry.render()
+
+
+def snapshot() -> Dict[str, float]:
+    return _registry.snapshot()
+
+
+def _init_from_env() -> None:
+    if os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY:
+        snap = os.environ.get("REPRO_OBS_SNAPSHOT") or None
+        period = float(os.environ.get("REPRO_OBS_SNAPSHOT_PERIOD", "10") or 10)
+        enable(snapshot=snap, snapshot_period_s=period)
+
+
+_init_from_env()

@@ -1,0 +1,136 @@
+"""``repro obs report`` — aggregate a trace JSONL into a per-stage
+latency/throughput report.
+
+The trace is the span stream :mod:`repro.obs.trace` writes (possibly
+interleaved from several SO_REUSEPORT worker processes); the report
+groups spans by ``name`` and prints count, total time, mean and
+nearest-rank p50/p95/p99 per stage, plus end-to-end request throughput
+derived from the ``http.request`` / ``serve.request`` spans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+__all__ = ["aggregate_trace", "format_report", "load_spans", "run_obs_cli"]
+
+#: Span names that represent one completed end-to-end request; the first
+#: one present in the trace drives the throughput figures.
+REQUEST_SPANS = ("http.request", "serve.request")
+
+
+def load_spans(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Read span records, skipping blank/corrupt lines and non-span
+    kinds (a shared file may also carry ``metrics`` snapshots)."""
+    spans: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and record.get("kind") == "span":
+                spans.append(record)
+    return spans
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q, method="nearest"))
+
+
+def aggregate_trace(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Group spans by name into per-stage latency stats + throughput."""
+    stages: Dict[str, List[float]] = {}
+    ts_min = ts_max = None
+    for span in spans:
+        name = span.get("name")
+        dur = span.get("dur_s")
+        if not isinstance(name, str) or not isinstance(dur, (int, float)):
+            continue
+        stages.setdefault(name, []).append(float(dur))
+        ts = span.get("ts")
+        if isinstance(ts, (int, float)):
+            ts_min = ts if ts_min is None else min(ts_min, ts)
+            ts_max = ts if ts_max is None else max(ts_max, ts)
+
+    stage_stats: Dict[str, Dict[str, float]] = {}
+    for name, durs in stages.items():
+        arr = np.asarray(durs, dtype=np.float64)
+        stage_stats[name] = {
+            "count": int(arr.size),
+            "total_s": float(arr.sum()),
+            "mean_ms": float(arr.mean()) * 1e3,
+            "p50_ms": _percentile(arr, 50) * 1e3,
+            "p95_ms": _percentile(arr, 95) * 1e3,
+            "p99_ms": _percentile(arr, 99) * 1e3,
+        }
+
+    window_s = (ts_max - ts_min) if ts_min is not None else 0.0
+    throughput: Dict[str, Any] = {}
+    for name in REQUEST_SPANS:
+        if name in stage_stats:
+            n = stage_stats[name]["count"]
+            throughput = {
+                "request_span": name,
+                "requests": n,
+                "requests_per_s": (n / window_s) if window_s > 0 else 0.0,
+            }
+            break
+
+    return {
+        "spans": len(spans),
+        "window_s": window_s,
+        "stages": stage_stats,
+        "throughput": throughput,
+    }
+
+
+def format_report(agg: Dict[str, Any]) -> str:
+    """Human-readable per-stage table for one aggregated trace."""
+    lines = [f"spans: {agg['spans']}   window: {agg['window_s']:.3f}s"]
+    tp = agg.get("throughput") or {}
+    if tp:
+        lines.append(
+            f"requests: {tp['requests']} ({tp['request_span']})   "
+            f"throughput: {tp['requests_per_s']:.1f} req/s")
+    stages = agg.get("stages") or {}
+    if stages:
+        header = (f"{'stage':<24} {'count':>8} {'total_s':>9} "
+                  f"{'mean_ms':>9} {'p50_ms':>9} {'p95_ms':>9} {'p99_ms':>9}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in sorted(stages):
+            s = stages[name]
+            lines.append(
+                f"{name:<24} {s['count']:>8d} {s['total_s']:>9.3f} "
+                f"{s['mean_ms']:>9.3f} {s['p50_ms']:>9.3f} "
+                f"{s['p95_ms']:>9.3f} {s['p99_ms']:>9.3f}")
+    else:
+        lines.append("no spans found")
+    return "\n".join(lines)
+
+
+def run_obs_cli(argv: List[str]) -> int:
+    """``repro obs report <trace.jsonl>`` entry point."""
+    usage = "usage: repro obs report <trace.jsonl>"
+    if not argv:
+        print(usage)
+        return 2
+    command, rest = argv[0], argv[1:]
+    if command != "report" or len(rest) != 1:
+        print(f"unknown obs invocation: {' '.join(argv)!r}\n{usage}")
+        return 2
+    path = rest[0]
+    if not os.path.exists(path):
+        print(f"trace file not found: {path}")
+        return 2
+    spans = load_spans(path)
+    print(format_report(aggregate_trace(spans)))
+    return 0

@@ -1,0 +1,123 @@
+"""Structured span tracing to JSONL.
+
+Every record is one JSON object on one line:
+
+``{"kind": "span", "name": "serve.forward", "pid": 1234,
+   "ts": 1719251123.4, "dur_s": 0.0021, "trace": "4d2-7", ...}``
+
+* ``name`` — the stage (``http.request``, ``serve.queue_wait``,
+  ``serve.forward``, ``train.epoch``, ``eval.shard``, ...),
+* ``ts`` — wall-clock epoch seconds at emit time,
+* ``dur_s`` — span duration measured on a monotonic clock,
+* ``trace`` — request correlation ID threading one HTTP request through
+  admission → queue wait → batch formation → forward → gate → fill,
+* any extra keyword fields ride along verbatim.
+
+The writer holds no open file handle: each batch of records opens the
+file in append mode, writes whole lines, and closes.  POSIX ``O_APPEND``
+makes each ``write`` land atomically at the end of the file, so the
+multi-process SO_REUSEPORT deployment can point every worker at the same
+trace path and get an interleaved-but-unbroken JSONL stream; a
+process-local lock serializes the server's own worker threads.
+
+Trace IDs come from ``pid`` plus a process-local ``itertools.count`` —
+unique across the process tree and, critically, drawn from **no RNG**:
+tracing must never advance a random stream the reproduction pins.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, Optional, Union
+
+__all__ = ["JsonlAppender", "Tracer", "new_trace_id"]
+
+_SEQ = itertools.count()
+
+
+def new_trace_id() -> str:
+    """Deterministic, RNG-free correlation ID: ``"<pid:x>-<seq:x>"``."""
+    return f"{os.getpid():x}-{next(_SEQ):x}"
+
+
+class JsonlAppender:
+    """Lock-guarded append-only JSON-lines writer (one flushed line per
+    record).  ``compact=True`` drops the spaces from separators (the
+    trace format); ``compact=False`` keeps ``json.dumps`` defaults (the
+    training-metrics format this class was rebased from).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], *,
+                 sort_keys: bool = False, compact: bool = True) -> None:
+        self.path = os.fspath(path)
+        self.sort_keys = sort_keys
+        self.compact = compact
+        self._lock = threading.Lock()
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+
+    def _dumps(self, record: Dict[str, Any]) -> str:
+        if self.compact:
+            return json.dumps(record, sort_keys=self.sort_keys,
+                              separators=(",", ":"))
+        return json.dumps(record, sort_keys=self.sort_keys)
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self.write_many((record,))
+
+    def write_many(self, records: Iterable[Dict[str, Any]]) -> None:
+        lines = [self._dumps(r) + "\n" for r in records]
+        if not lines:
+            return
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line)
+                handle.flush()
+
+    def reset(self) -> None:
+        """Truncate the file (start a fresh stream)."""
+        with self._lock:
+            open(self.path, "w", encoding="utf-8").close()
+
+
+class Tracer:
+    """Span emitter over one JSONL file.
+
+    ``record`` builds a span dict without touching the disk — hot loops
+    batch several and hand them to ``emit_many`` so one batch of
+    requests costs one appender write.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike],
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.writer = JsonlAppender(path)
+        self.path = self.writer.path
+        self.clock = clock if clock is not None else time.perf_counter
+
+    def record(self, name: str, dur_s: float,
+               trace: Optional[str] = None, **fields: Any) -> Dict[str, Any]:
+        span: Dict[str, Any] = {
+            "kind": "span",
+            "name": name,
+            "pid": os.getpid(),
+            "ts": time.time(),
+            "dur_s": float(dur_s),
+        }
+        if trace is not None:
+            span["trace"] = trace
+        if fields:
+            span.update(fields)
+        return span
+
+    def emit(self, name: str, dur_s: float,
+             trace: Optional[str] = None, **fields: Any) -> None:
+        self.writer.write(self.record(name, dur_s, trace=trace, **fields))
+
+    def emit_many(self, records: Iterable[Dict[str, Any]]) -> None:
+        self.writer.write_many(records)

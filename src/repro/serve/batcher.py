@@ -53,10 +53,13 @@ class PendingPrediction:
     """
 
     def __init__(self, request_id: int, size: int,
-                 submitted_at: float) -> None:
+                 submitted_at: float, trace: Optional[str] = None) -> None:
         self.request_id = request_id
         self.size = size
         self.submitted_at = submitted_at
+        #: Observability correlation ID (``repro.obs.new_trace_id``);
+        #: ``None`` unless the submitter threads one through.
+        self.trace = trace
         self.completed_at: Optional[float] = None
         self.error: Optional[BaseException] = None
         self._predictions: List[Optional[Prediction]] = [None] * size
@@ -201,8 +204,8 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #
-    def submit(self, images: np.ndarray,
-               now: Optional[float] = None) -> PendingPrediction:
+    def submit(self, images: np.ndarray, now: Optional[float] = None,
+               trace: Optional[str] = None) -> PendingPrediction:
         """Enqueue one request: a single example ``(C, H, W)`` or a small
         batch ``(N, C, H, W)``.  Returns the handle its results fill."""
         # Copy at admission: this is an asynchronous API, and a caller
@@ -219,7 +222,8 @@ class MicroBatcher:
         if len(images) == 0:
             raise ValueError("cannot submit an empty request")
         now = self.clock() if now is None else now
-        pending = PendingPrediction(next(self._ids), len(images), now)
+        pending = PendingPrediction(next(self._ids), len(images), now,
+                                    trace=trace)
         self._queue.append(_QueuedRequest(pending, images))
         return pending
 

@@ -38,10 +38,36 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..eval.cache import _DirectoryLock, fingerprint_array
 from .batcher import Prediction
 
 __all__ = ["PredictionCache", "DiskPredictionCache"]
+
+
+def _hit_ratio(values):
+    hits = values.get("repro_serve_prediction_cache_hits_total", 0.0)
+    total = hits + values.get("repro_serve_prediction_cache_misses_total",
+                              0.0)
+    return hits / total if total else 0.0
+
+
+def _cache_samples(hits: int, misses: int, evictions: int,
+                   entries: int) -> list:
+    return [
+        obs.Sample.make("repro_serve_prediction_cache_hits_total",
+                        "counter", float(hits),
+                        help="prediction-cache example hits"),
+        obs.Sample.make("repro_serve_prediction_cache_misses_total",
+                        "counter", float(misses),
+                        help="prediction-cache example misses"),
+        obs.Sample.make("repro_serve_prediction_cache_evictions_total",
+                        "counter", float(evictions),
+                        help="prediction-cache LRU evictions"),
+        obs.Sample.make("repro_serve_prediction_cache_entries",
+                        "gauge", float(entries),
+                        help="live prediction-cache entries"),
+    ]
 
 
 class PredictionCache:
@@ -67,6 +93,14 @@ class PredictionCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        obs.register(self, PredictionCache._collect_metrics)
+        obs.derive("repro_serve_prediction_cache_hit_ratio", _hit_ratio,
+                   help="prediction-cache hits / probes")
+
+    def _collect_metrics(self):
+        with self._lock:
+            return _cache_samples(self.hits, self.misses, self.evictions,
+                                  len(self._entries))
 
     @staticmethod
     def key(model_fingerprint: str, example: np.ndarray) -> tuple:
@@ -177,6 +211,17 @@ class DiskPredictionCache:
         #: Stores since the last over-cap check; scanning the directory
         #: on every store would serialize the hot path on disk IO.
         self._since_evict_check = 0
+        obs.register(self, DiskPredictionCache._collect_metrics)
+        obs.derive("repro_serve_prediction_cache_hit_ratio", _hit_ratio,
+                   help="prediction-cache hits / probes")
+
+    def _collect_metrics(self):
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+        # Directory scan outside the counter lock: the entries gauge may
+        # be a moment stale relative to the counters, which is fine.
+        return _cache_samples(hits, misses, evictions,
+                              len(self._live_keys()))
 
     def spec(self) -> dict:
         """Constructor kwargs re-opening this cache in another process."""

@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..defenses.discriminator import Discriminator
 from .registry import ModelEntry
 
@@ -35,6 +36,13 @@ __all__ = ["GateDecision", "DefenseGate", "DiscriminatorGate",
            "ConfidenceGate", "NullGate", "build_gate", "GATE_KINDS"]
 
 GATE_KINDS = ("auto", "disc", "confidence", "none")
+
+
+def _flag_ratio(values):
+    total = values.get("repro_serve_gate_examples_total", 0.0)
+    if not total:
+        return 0.0
+    return values.get("repro_serve_gate_flagged_total", 0.0) / total
 
 
 @dataclass
@@ -60,14 +68,28 @@ class DefenseGate:
             raise ValueError(
                 f"threshold must be in [0, 1], got {threshold}")
         self.threshold = threshold
+        # Bound once per gate: per-kind counters (shared across gates of
+        # the same kind via the registry's get-or-create) and the
+        # scrape-time flag ratio derived from them.
+        self._m_examples = obs.counter(
+            "repro_serve_gate_examples_total", labels={"gate": self.kind},
+            help="examples scored by the defense gate")
+        self._m_flagged = obs.counter(
+            "repro_serve_gate_flagged_total", labels={"gate": self.kind},
+            help="examples flagged as suspected-adversarial")
+        obs.derive("repro_serve_gate_flag_ratio", _flag_ratio,
+                   help="flagged / scored examples across all gates")
 
     def scores(self, logits: np.ndarray) -> np.ndarray:
         raise NotImplementedError  # pragma: no cover - abstract
 
     def decide(self, logits: np.ndarray) -> GateDecision:
         scores = np.asarray(self.scores(logits), dtype=np.float64)
+        flagged = scores > self.threshold
+        self._m_examples.inc(len(scores))
+        self._m_flagged.inc(int(flagged.sum()))
         return GateDecision(scores=scores,
-                            flagged=scores > self.threshold,
+                            flagged=flagged,
                             threshold=self.threshold)
 
 

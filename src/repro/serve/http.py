@@ -59,6 +59,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, \
 
 import numpy as np
 
+from .. import obs
 from .server import Server
 
 __all__ = ["ApiKeyAuth", "TokenBucket", "RateLimiter",
@@ -66,8 +67,10 @@ __all__ = ["ApiKeyAuth", "TokenBucket", "RateLimiter",
            "HttpServer", "HttpClient", "HttpResponse", "parse_api_keys"]
 
 #: (status, payload, extra headers) — what every endpoint handler
-#: returns and the socket layer serializes.
-Reply = Tuple[int, dict, Dict[str, str]]
+#: returns and the socket layer serializes.  A ``str`` payload is sent
+#: verbatim as ``text/plain`` (the Prometheus exposition format); dicts
+#: serialize to JSON as before.
+Reply = Tuple[int, Union[dict, str], Dict[str, str]]
 
 
 # --------------------------------------------------------------------- #
@@ -330,7 +333,8 @@ class HttpFrontend:
                  queue_limit: int = 1024,
                  max_request_examples: int = 64,
                  predict_timeout_s: float = 30.0,
-                 reload_grace_s: float = 10.0) -> None:
+                 reload_grace_s: float = 10.0,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.server = server
         self.auth = auth or ApiKeyAuth()
         self.limiter = limiter or RateLimiter(None)
@@ -338,7 +342,12 @@ class HttpFrontend:
         self.max_request_examples = max_request_examples
         self.predict_timeout_s = predict_timeout_s
         self.reload_grace_s = reload_grace_s
+        #: Injectable monotonic source for the reload-drain deadline and
+        #: request span timing (same seam as the batchers / buckets).
+        self.clock = clock or time.monotonic
         self.stats = HttpStats()
+        self._tracer = obs.tracer()
+        obs.register(self, HttpFrontend._collect_metrics)
         self._reload_lock = threading.Lock()
         #: Open = predict admissions flow; cleared during the drain
         #: window of a checkpoint swap so in-flight work finishes on
@@ -355,6 +364,7 @@ class HttpFrontend:
         ("GET", "/v1/models"): "models",
         ("GET", "/v1/health"): "health",
         ("GET", "/v1/stats"): "stats_endpoint",
+        ("GET", "/v1/metrics"): "metrics_endpoint",
         ("POST", "/v1/reload"): "reload",
     }
 
@@ -370,6 +380,11 @@ class HttpFrontend:
         try:
             if route == "health":       # unauthenticated (LB probes)
                 return self.health()
+            if route == "metrics_endpoint":
+                # Unauthenticated like /v1/health: scrapers (Prometheus)
+                # rarely carry app credentials, and the payload is
+                # operational counters, not predictions.
+                return self.metrics_endpoint()
             client = self._authenticate(headers, remote)
             if isinstance(client, tuple):
                 return client           # 401 / 403 reply
@@ -451,7 +466,69 @@ class HttpFrontend:
                                 "entries": len(cache)}
         return 200, payload, {}
 
+    def metrics_endpoint(self) -> Reply:
+        """Prometheus text exposition of the process-wide registry."""
+        return 200, obs.render_prometheus(), \
+            {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+
+    _REJECT_REASONS = ("unauthenticated", "forbidden", "rate_limited",
+                       "over_capacity", "unhealthy")
+
+    def _collect_metrics(self) -> List[obs.Sample]:
+        """Scrape-time collector: one locked :class:`HttpStats` snapshot
+        plus the live in-flight gauge."""
+        s = self.stats.summary()
+        samples = [
+            obs.Sample.make("repro_http_requests_total", "counter",
+                            float(s["http_requests"]),
+                            help="HTTP requests received"),
+            obs.Sample.make("repro_http_served_requests_total", "counter",
+                            float(s["served_requests"]),
+                            help="predict requests answered 200"),
+            obs.Sample.make("repro_http_served_examples_total", "counter",
+                            float(s["served_examples"]),
+                            help="examples answered 200"),
+            obs.Sample.make("repro_http_bad_requests_total", "counter",
+                            float(s["bad_requests"]),
+                            help="malformed requests (400/404/413)"),
+            obs.Sample.make("repro_http_timeouts_total", "counter",
+                            float(s["timeouts"]),
+                            help="predict waits that timed out (504)"),
+            obs.Sample.make("repro_http_errors_total", "counter",
+                            float(s["errors"]),
+                            help="internal errors (500)"),
+            obs.Sample.make("repro_http_reloads_total", "counter",
+                            float(s["reloads"]),
+                            help="successful checkpoint reloads"),
+            obs.Sample.make("repro_http_inflight_examples", "gauge",
+                            float(self.admission.inflight),
+                            help="admitted-but-unanswered examples"),
+        ]
+        for reason in self._REJECT_REASONS:
+            samples.append(obs.Sample.make(
+                "repro_http_rejected_total", "counter",
+                float(s[f"rejected_{reason}"]), labels={"reason": reason},
+                help="rejected requests by reason "
+                     "(401/403/429/429/503)"))
+        return samples
+
     def predict(self, body: bytes, client: str) -> Reply:
+        """Admission-controlled predict; with tracing enabled the whole
+        request gets a correlation ID plus ``http.request`` /
+        ``http.admission`` spans, and the ID rides the server handle so
+        the batch-side spans join back to it."""
+        tr = self._tracer
+        if tr is None:
+            return self._predict(body, client, None, None, 0.0)
+        trace = obs.new_trace_id()
+        t0 = self.clock()
+        reply = self._predict(body, client, trace, tr, t0)
+        tr.emit("http.request", self.clock() - t0, trace=trace,
+                status=reply[0], client=client)
+        return reply
+
+    def _predict(self, body: bytes, client: str, trace: Optional[str],
+                 tr, t0: float) -> Reply:
         if not self.healthy:
             self.stats.count("rejected_unhealthy")
             return 503, {"error": "server is not serving "
@@ -481,8 +558,15 @@ class HttpFrontend:
                                   "in flight)"}, \
                 {"Retry-After": f"{retry:.3f}"}
         try:
+            if tr is not None:
+                # Time from request entry to the submit boundary: auth
+                # happened in handle(), so this span covers parse + rate
+                # limit + admission control.
+                tr.emit("http.admission", self.clock() - t0, trace=trace,
+                        examples=len(images))
             try:
-                handle = self.server.submit(model_name, images)
+                handle = self.server.submit(model_name, images,
+                                            trace=trace)
             except KeyError as error:
                 self.stats.count("bad_requests")
                 return 404, {"error": str(error)}, {}
@@ -589,9 +673,9 @@ class HttpFrontend:
                 # swap below only happens on an empty queue, which is
                 # what keeps every in-flight response bitwise the old
                 # model's answer rather than a mid-request mix.
-                deadline = time.monotonic() + self.reload_grace_s
+                deadline = self.clock() + self.reload_grace_s
                 while self.server.pending_examples:
-                    if time.monotonic() >= deadline:
+                    if self.clock() >= deadline:
                         self.stats.count("errors")
                         return 503, {"error": "queued work did not "
                                               "drain within "
@@ -650,9 +734,17 @@ class _Handler(BaseHTTPRequestHandler):
         status, payload, extra = self.server.frontend.handle(
             method, self.path, body, self.headers,
             remote=self.client_address[0])
-        data = json.dumps(payload).encode("utf-8")
+        extra = dict(extra)
+        if isinstance(payload, str):
+            # Text endpoints (/v1/metrics): the payload is the body.
+            data = payload.encode("utf-8")
+            content_type = extra.pop("Content-Type",
+                                     "text/plain; charset=utf-8")
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = extra.pop("Content-Type", "application/json")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         for key, value in extra.items():
             self.send_header(key, value)
@@ -824,6 +916,11 @@ class HttpClient:
 
     def stats(self) -> HttpResponse:
         return self.request("GET", "/v1/stats")
+
+    def metrics(self) -> HttpResponse:
+        """GET /v1/metrics; the Prometheus text body lands in
+        ``payload["raw"]`` (it is not JSON)."""
+        return self.request("GET", "/v1/metrics")
 
     def reload(self, model: str, checkpoint: Optional[str] = None,
                **extra) -> HttpResponse:

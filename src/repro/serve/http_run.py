@@ -36,7 +36,20 @@ from .registry import ModelRegistry
 from .run import _resolve_model
 from .server import Server
 
-__all__ = ["HttpServeReport", "run_serve_http"]
+__all__ = ["HttpServeReport", "run_serve_http", "REQUIRED_METRIC_SERIES"]
+
+#: Series every healthy serving process must expose on ``/v1/metrics``
+#: after handling traffic — the self-test (and CI's smoke) fails loudly
+#: if any is missing from the scrape.
+REQUIRED_METRIC_SERIES = (
+    "repro_http_requests_total",
+    "repro_http_served_requests_total",
+    "repro_http_inflight_examples",
+    "repro_serve_requests_total",
+    "repro_serve_pending_examples",
+    "repro_serve_batch_size",
+    "repro_serve_request_latency_seconds",
+)
 
 
 @dataclass
@@ -55,6 +68,9 @@ class HttpServeReport:
     #: The ``/v1/stats`` payload fetched over HTTP at the end of the
     #: run (single-process mode; one worker's view under ``procs > 1``).
     stats: Optional[dict] = None
+    #: Required series absent from the final ``/v1/metrics`` scrape
+    #: (``None`` when no scrape ran; empty means all present).
+    metrics_missing: Optional[List[str]] = None
 
 
 def _build_cache(cache_dir: Optional[str], cache_entries: int):
@@ -74,6 +90,14 @@ def _build_frontend(server: Server, api_keys: Optional[Dict[str, str]],
         limiter=RateLimiter(rate, burst=burst),
         queue_limit=queue_limit,
         max_request_examples=max_request_examples)
+
+
+def _scrape_missing(probe) -> List[str]:
+    """Scrape ``/v1/metrics`` through ``probe`` and return the required
+    series the exposition text does not mention."""
+    text = probe.metrics().payload.get("raw", "")
+    return [series for series in REQUIRED_METRIC_SERIES
+            if series not in text]
 
 
 def _gate_split(report: HttpLoadReport,
@@ -208,9 +232,11 @@ def run_serve_http(
 
         with HttpClient(bound_host, bound_port, api_key=api_key) as probe:
             stats = probe.stats().payload
+            missing = _scrape_missing(probe)
         return HttpServeReport(host=bound_host, port=bound_port, procs=1,
                                load=report, detection_rate=detection,
-                               false_positive_rate=fpr, stats=stats)
+                               false_positive_rate=fpr, stats=stats,
+                               metrics_missing=missing)
     except KeyboardInterrupt:
         if verbose:
             print("interrupted; draining ...")
@@ -317,9 +343,16 @@ def _run_multiprocess(*, model, dataset, preset, seed, backend, max_batch,
                                target_rps=target_rps,
                                concurrency=concurrency, api_key=api_key)
         detection, fpr = _gate_split(report, traffic)
+        from .http import HttpClient
+
+        # One worker's view — SO_REUSEPORT picks it; the required series
+        # exist in every worker, so any worker satisfies the check.
+        with HttpClient(host, port, api_key=api_key) as probe:
+            missing = _scrape_missing(probe)
         return HttpServeReport(host=host, port=port, procs=procs,
                                load=report, detection_rate=detection,
-                               false_positive_rate=fpr, stats=None)
+                               false_positive_rate=fpr, stats=None,
+                               metrics_missing=missing)
     except KeyboardInterrupt:
         if verbose:
             print("interrupted; stopping workers ...")

@@ -16,7 +16,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -106,7 +106,8 @@ def build_mixed_load(clean_pool: np.ndarray, adv_pool: np.ndarray,
 
 def run_load(server: Server, model_name: str,
              requests: List[LoadRequest],
-             pump_every: Optional[int] = None) -> LoadReport:
+             pump_every: Optional[int] = None,
+             clock: Optional[Callable[[], float]] = None) -> LoadReport:
     """Drive ``requests`` through ``server`` and measure the outcome.
 
     Submissions interleave with pumps: by default (``pump_every=None``)
@@ -123,9 +124,10 @@ def run_load(server: Server, model_name: str,
         raise ValueError(
             f"pump_every must be >= 0 when given, got {pump_every} "
             "(0 means drain-only, k means pump once per k submissions)")
+    clock = clock or time.perf_counter
     client = server.client(model_name)
     handles: List[PendingPrediction] = []
-    start = time.perf_counter()
+    start = clock()
     for i, request in enumerate(requests):
         handles.append(client.predict(request.images))
         # NOTE: 0 must not fall into the default branch — ``0`` is
@@ -136,7 +138,7 @@ def run_load(server: Server, model_name: str,
         elif pump_every and (i + 1) % pump_every == 0:
             server.pump()
     server.drain()
-    wall = time.perf_counter() - start
+    wall = clock() - start
 
     clean_scores: List[float] = []
     adv_scores: List[float] = []
@@ -268,7 +270,9 @@ def run_http_load(host: str, port: int, requests: List[LoadRequest],
                   target_rps: Optional[float] = None,
                   concurrency: int = 8,
                   api_key: Optional[str] = None,
-                  timeout: float = 30.0) -> HttpLoadReport:
+                  timeout: float = 30.0,
+                  clock: Optional[Callable[[], float]] = None
+                  ) -> HttpLoadReport:
     """Drive ``requests`` against a live HTTP server, closed-loop.
 
     ``target_rps`` paces *offered* load: request ``i`` is sent no
@@ -287,10 +291,11 @@ def run_http_load(host: str, port: int, requests: List[LoadRequest],
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     if target_rps is not None and target_rps <= 0:
         raise ValueError(f"target_rps must be positive, got {target_rps}")
+    clock = clock or time.perf_counter
     stream = _PacedStream(
         requests, None if target_rps is None else 1.0 / target_rps)
     outcomes: List[Optional[HttpRequestOutcome]] = [None] * len(requests)
-    start = time.perf_counter()
+    start = clock()
 
     def worker() -> None:
         with HttpClient(host, port, api_key=api_key,
@@ -299,14 +304,14 @@ def run_http_load(host: str, port: int, requests: List[LoadRequest],
                 index = stream.next_index()
                 if index is None:
                     return
-                delay = stream.due_at(index) - (time.perf_counter() - start)
+                delay = stream.due_at(index) - (clock() - start)
                 if delay > 0:
                     time.sleep(delay)
                 request = requests[index]
-                sent = time.perf_counter()
+                sent = clock()
                 try:
                     response = client.predict(request.images, model=model)
-                    latency = time.perf_counter() - sent
+                    latency = clock() - sent
                     rows = response.payload.get("predictions") \
                         if response.status == 200 else None
                     outcomes[index] = HttpRequestOutcome(
@@ -317,7 +322,7 @@ def run_http_load(host: str, port: int, requests: List[LoadRequest],
                 except Exception as error:  # noqa: BLE001 - transport
                     outcomes[index] = HttpRequestOutcome(
                         index=index, status=0,
-                        latency_s=time.perf_counter() - sent,
+                        latency_s=clock() - sent,
                         examples=len(request.images),
                         error=f"{type(error).__name__}: {error}")
 
@@ -328,7 +333,7 @@ def run_http_load(host: str, port: int, requests: List[LoadRequest],
         thread.start()
     for thread in threads:
         thread.join()
-    wall = time.perf_counter() - start
+    wall = clock() - start
     assert all(o is not None for o in outcomes)
     return HttpLoadReport(outcomes=list(outcomes), wall_seconds=wall,
                           offered_rps=target_rps, concurrency=len(threads))

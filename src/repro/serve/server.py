@@ -29,14 +29,14 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from .. import backend as _backend
 from .. import nn
+from .. import obs
 from .batcher import MicroBatch, MicroBatcher, PendingPrediction, Prediction
 from .cache import PredictionCache
 from .gate import DefenseGate, build_gate
@@ -60,27 +60,46 @@ def percentile(values, q: float) -> float:
 STATS_WINDOW = 16384
 
 
+def _batch_size_histogram() -> obs.Histogram:
+    return obs.Histogram("repro_serve_batch_size",
+                         help="examples per cut micro-batch",
+                         buckets=obs.BATCH_SIZE_BUCKETS,
+                         window=STATS_WINDOW)
+
+
+def _latency_histogram() -> obs.Histogram:
+    return obs.Histogram("repro_serve_request_latency_seconds",
+                         help="submit-to-complete request latency",
+                         window=STATS_WINDOW)
+
+
 @dataclass
 class ServerStats:
-    """Counters the serve path accumulates (one instance per server)."""
+    """Counters the serve path accumulates (one instance per server).
+
+    The per-event series (``batch_sizes``, ``latencies``) are bounded
+    :class:`repro.obs.Histogram` instances: rolling ``STATS_WINDOW``
+    window for percentiles (so a long-running server's memory stays
+    flat) plus cumulative Prometheus buckets for the scrape endpoint.
+    They remain deque-compatible — ``len``, iteration, ``append`` and
+    ``extend`` see/feed the window exactly as before.
+    """
 
     requests: int = 0
     requests_completed: int = 0
     examples: int = 0
     batches: int = 0
-    batch_sizes: "deque" = field(
-        default_factory=lambda: deque(maxlen=STATS_WINDOW))
+    batch_sizes: obs.Histogram = field(default_factory=_batch_size_histogram)
     flagged_examples: int = 0
     cache_hits: int = 0
-    latencies: "deque" = field(
-        default_factory=lambda: deque(maxlen=STATS_WINDOW))
+    latencies: obs.Histogram = field(default_factory=_latency_histogram)
 
     @property
     def mean_batch_size(self) -> float:
-        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        return self.batch_sizes.window_mean
 
     def latency_percentile(self, q: float) -> float:
-        return percentile(self.latencies, q)
+        return self.latencies.percentile(q)
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -172,6 +191,23 @@ class Server:
         #: every entry point re-raises it instead of silently accepting
         #: work nothing will ever serve.
         self._pump_error: Optional[BaseException] = None
+        # Observability: the tracer is bound once here (None when
+        # disabled — hot paths guard on a single ``is not None``), the
+        # per-stage latency histograms are registered up front so the
+        # scrape always exposes the series (they only fill while tracing
+        # measures stage boundaries), and the counter surface is
+        # exported by a scrape-time collector reading under ``_lock``.
+        self._tracer = obs.tracer()
+        self._stage_hists: Dict[str, obs.Histogram] = {
+            stage: obs.histogram(
+                "repro_serve_stage_latency_seconds",
+                labels={"stage": stage},
+                help="per-stage serve-path latency (recorded while "
+                     "tracing is enabled)")
+            for stage in ("queue_wait", "batch_form", "cache_lookup",
+                          "forward", "gate", "fill")
+        }
+        obs.register(self, Server._collect_metrics)
 
     # ------------------------------------------------------------------ #
     # request entry points
@@ -180,13 +216,18 @@ class Server:
         self._lane(model_name)  # fail fast on unknown models
         return Client(self, model_name)
 
-    def submit(self, model_name: str,
-               images: np.ndarray) -> PendingPrediction:
-        """Enqueue a request (single example or small batch)."""
+    def submit(self, model_name: str, images: np.ndarray,
+               trace: Optional[str] = None) -> PendingPrediction:
+        """Enqueue a request (single example or small batch).
+
+        ``trace`` is an optional correlation ID (see
+        :func:`repro.obs.new_trace_id`) carried on the pending handle so
+        every span this request generates can be joined back to it.
+        """
         with self._lock:
             self._check_alive()
             lane = self._lane(model_name)
-            pending = lane.batcher.submit(images)
+            pending = lane.batcher.submit(images, trace=trace)
             self.stats.requests += 1
             self.stats.examples += pending.size
         return pending
@@ -246,6 +287,7 @@ class Server:
         """
         self._check_alive()
         served = 0
+        tracing = self._tracer is not None
         with self._pump_lock:
             with self._lock:
                 lanes = list(self._lanes.items())
@@ -254,13 +296,15 @@ class Server:
                     # Cut under the queue lock, forward outside it:
                     # next_batch already removed the rows, so admission
                     # proceeds concurrently with the model inference.
+                    cut_start = self.clock() if tracing else 0.0
                     with self._lock:
                         batch = lane.batcher.next_batch(now=now,
                                                         force=force)
+                    cut_s = (self.clock() - cut_start) if tracing else 0.0
                     if batch is None:
                         break
                     try:
-                        self._process(lane, batch, now=now)
+                        self._process(lane, batch, now=now, cut_s=cut_s)
                     except BaseException as error:
                         for pending, _, _ in batch.parts:
                             pending.fail(error)
@@ -330,14 +374,26 @@ class Server:
 
     # ------------------------------------------------------------------ #
     def _process(self, lane: _Lane, batch: MicroBatch,
-                 now: Optional[float] = None) -> None:
+                 now: Optional[float] = None, cut_s: float = 0.0) -> None:
         entry = lane.entry
         n = len(batch)
+        # All stage timing is gated on the construction-time tracer
+        # binding: with tracing off this method performs exactly the
+        # clock reads it always did (the single completion stamp below)
+        # and touches no observability state on the way — the bitwise
+        # serving pins hold identically with REPRO_OBS on or off.
+        tr = self._tracer
+        clk = self.clock
+        t_start = clk() if tr is not None else 0.0
+        t_cache = t_forward = t_gate = 0.0
+        missed: List[int] = []
         predictions: List[Optional[Prediction]] = [None] * n
         with _backend.use(entry.backend):
             if self.cache is not None:
                 predictions = self.cache.lookup(lane.cache_fingerprint,
                                                 batch.images)
+                if tr is not None:
+                    t_cache = clk() - t_start
             missed = [i for i, p in enumerate(predictions) if p is None]
             if missed:
                 # One forward for all misses (the whole batch when no
@@ -345,10 +401,15 @@ class Server:
                 # comes back with every submodule flag untouched.
                 sub = batch.images[missed] if len(missed) != n \
                     else batch.images
+                t_fwd0 = clk() if tr is not None else 0.0
                 with nn.inference_mode(entry.model), nn.no_grad():
                     logits = entry.model(nn.Tensor(sub)).data
                 logits = _backend.active().to_numpy(logits)
+                t_fwd1 = clk() if tr is not None else 0.0
+                t_forward = t_fwd1 - t_fwd0
                 decision = lane.gate.decide(logits)
+                if tr is not None:
+                    t_gate = clk() - t_fwd1
                 for j, i in enumerate(missed):
                     prediction = Prediction(
                         label=int(logits[j].argmax()),
@@ -360,6 +421,7 @@ class Server:
                     if self.cache is not None:
                         self.cache.store(lane.cache_fingerprint,
                                          batch.images[i], prediction)
+        t_fill0 = clk() if tr is not None else 0.0
         # Reassemble per request, in admission order.  Completion is
         # stamped in the *caller's* timebase: a pump driven with an
         # explicit ``now`` (fake-clock tests) must not mix it with
@@ -369,16 +431,26 @@ class Server:
         cursor = 0
         completed = 0
         latencies = []
+        queue_waits: List[float] = []
+        spans: List[Dict[str, Any]] = []
         for pending, offset, count in batch.parts:
             rows = predictions[cursor:cursor + count]
             assert all(p is not None for p in rows)
             pending.fill(offset, rows, now)  # type: ignore[arg-type]
             cursor += count
+            if tr is not None:
+                queue_waits.append(t_start - pending.submitted_at)
+                spans.append(tr.record("serve.queue_wait", queue_waits[-1],
+                                       trace=pending.trace))
             if pending.done:
                 completed += 1
                 latency = pending.latency
                 if latency is not None:
                     latencies.append(latency)
+                    if tr is not None:
+                        spans.append(tr.record("serve.request", latency,
+                                               trace=pending.trace,
+                                               examples=pending.size))
         with self._lock:
             self.stats.requests_completed += completed
             self.stats.latencies.extend(latencies)
@@ -388,6 +460,60 @@ class Server:
                 1 for p in predictions if p is not None and p.flagged)
             self.stats.cache_hits += sum(
                 1 for p in predictions if p is not None and p.from_cache)
+        if tr is not None:
+            t_fill = clk() - t_fill0
+            hists = self._stage_hists
+            hists["batch_form"].observe(cut_s)
+            if self.cache is not None:
+                hists["cache_lookup"].observe(t_cache)
+            if missed:
+                hists["forward"].observe(t_forward)
+                hists["gate"].observe(t_gate)
+            hists["fill"].observe(t_fill)
+            if queue_waits:
+                hists["queue_wait"].observe_many(queue_waits)
+            spans.append(tr.record(
+                "serve.batch", t_fill0 - t_start + t_fill,
+                model=entry.name, batch=n, misses=len(missed),
+                batch_form_s=cut_s, cache_lookup_s=t_cache,
+                forward_s=t_forward, gate_s=t_gate, fill_s=t_fill))
+            tr.emit_many(spans)
+
+    def _collect_metrics(self) -> List[obs.Sample]:
+        """Scrape-time collector: one consistent snapshot under ``_lock``
+        (the same consistency argument as :meth:`stats_summary`)."""
+        with self._lock:
+            s = self.stats
+            counters = (
+                ("repro_serve_requests_total", s.requests,
+                 "requests admitted"),
+                ("repro_serve_requests_completed_total",
+                 s.requests_completed, "requests fully served"),
+                ("repro_serve_examples_total", s.examples,
+                 "examples admitted"),
+                ("repro_serve_batches_total", s.batches,
+                 "micro-batches processed"),
+                ("repro_serve_flagged_examples_total", s.flagged_examples,
+                 "examples the defense gate flagged"),
+                ("repro_serve_cache_hits_total", s.cache_hits,
+                 "examples served from the prediction cache"),
+            )
+            pending = sum(lane.batcher.pending_examples
+                          for lane in self._lanes.values())
+            batch_sizes = s.batch_sizes.snapshot()
+            latencies = s.latencies.snapshot(percentiles=(50.0, 95.0, 99.0))
+        samples = [obs.Sample.make(name, "counter", float(value), help=help_)
+                   for name, value, help_ in counters]
+        samples.append(obs.Sample.make(
+            "repro_serve_pending_examples", "gauge", float(pending),
+            help="examples queued across all lanes (queue depth)"))
+        samples.append(obs.Sample.make(
+            "repro_serve_batch_size", "histogram", batch_sizes,
+            help="examples per cut micro-batch"))
+        samples.append(obs.Sample.make(
+            "repro_serve_request_latency_seconds", "histogram", latencies,
+            help="submit-to-complete request latency"))
+        return samples
 
     # ------------------------------------------------------------------ #
     # background pumping (optional; the deterministic path is pump())

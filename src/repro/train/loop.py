@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..utils.timing import Stopwatch
 from .callbacks import Callback, CallbackList, EpochLogs, HistoryCallback
 
@@ -50,6 +51,19 @@ class TrainLoop:
         self.callbacks = CallbackList(chain)
         self.stop_reason: Optional[str] = None
         self._stop_requested = False
+        # Observability: per-epoch counters/gauges are cheap (one
+        # increment per epoch/batch, far off any hot path); the span
+        # tracer is bound once and only consulted on epoch boundaries.
+        self._tracer = obs.tracer()
+        self._m_epochs = obs.counter("repro_train_epochs_total",
+                                     help="training epochs completed")
+        self._m_batches = obs.counter("repro_train_batches_total",
+                                      help="optimizer steps completed")
+        self._h_epoch = obs.histogram("repro_train_epoch_seconds",
+                                      help="wall-clock seconds per epoch",
+                                      buckets=obs.WORK_SECONDS_BUCKETS)
+        self._g_loss = obs.gauge("repro_train_last_loss",
+                                 help="most recent epoch's mean loss")
 
     # ------------------------------------------------------------------ #
     def request_stop(self, reason: str) -> None:
@@ -108,6 +122,13 @@ class TrainLoop:
                                  lr=float(trainer.optimizer.lr),
                                  extra=dict(extra))
                 trainer.completed_epochs = epoch + 1
+                self._m_epochs.inc()
+                self._h_epoch.observe(epoch_seconds)
+                self._g_loss.set(epoch_loss)
+                if self._tracer is not None:
+                    self._tracer.emit("train.epoch", epoch_seconds,
+                                      epoch=epoch, loss=epoch_loss,
+                                      trainer=trainer.name)
                 self.callbacks.on_epoch_end(self, epoch, logs)
                 trainer.on_epoch_end(epoch, epoch_loss)
             if self.stop_reason is not None:
@@ -121,4 +142,5 @@ class TrainLoop:
     def emit_batch_end(self, epoch: int, batch_index: int,
                        loss: float) -> None:
         """Called by ``Trainer.train_epoch`` after each optimizer step."""
+        self._m_batches.inc()
         self.callbacks.on_batch_end(self, epoch, batch_index, loss)

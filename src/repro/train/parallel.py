@@ -43,6 +43,7 @@ uninterrupted run bit-for-bit.
 from __future__ import annotations
 
 import pickle
+import time
 from dataclasses import dataclass
 from math import prod
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -51,6 +52,7 @@ import numpy as np
 
 from .. import backend as _backend
 from .. import nn
+from .. import obs
 from ..utils.pool import BlobDepot, Shard, SpawnPool, WORKER_STATE, \
     blob_fingerprint, plan_shards
 
@@ -219,13 +221,16 @@ class GradOutcome:
     ``grads`` follows ``modules[grad_module].parameters()`` order (an
     entry is ``None`` when the program never touched the parameter);
     ``report`` is the shard's scaled report scalar; ``consumed`` maps
-    dropout stream names to the step's full-batch raw-draw totals.
+    dropout stream names to the step's full-batch raw-draw totals;
+    ``seconds`` is the worker-measured compute time (utilization
+    accounting — the same convention as eval's ``CraftOutcome``).
     """
 
     shard: Shard
     grads: Tuple[Optional[np.ndarray], ...]
     report: float
     consumed: Dict[str, int]
+    seconds: float = 0.0
 
 
 def _worker_modules(path: str, fingerprint: str) -> Dict[str, nn.Module]:
@@ -248,6 +253,7 @@ def _run_shard(modules: Dict[str, nn.Module], task_kind: str,
 
 
 def _grad_in_worker(task: _GradTask) -> GradOutcome:
+    start = time.perf_counter()
     modules = _worker_modules(task.modules_path, task.modules_fp)
     b = _backend.active()
     for p, arr in zip(_flat_params(modules), task.params):
@@ -267,7 +273,8 @@ def _grad_in_worker(task: _GradTask) -> GradOutcome:
         for p in modules[task.grad_module].parameters())
     return GradOutcome(shard=task.shard, grads=grads, report=report,
                        consumed={name: proxy.consumed
-                                 for name, proxy in proxies.items()})
+                                 for name, proxy in proxies.items()},
+                       seconds=time.perf_counter() - start)
 
 
 # --------------------------------------------------------------------- #
@@ -302,6 +309,20 @@ class ParallelTrainEngine:
         self._depot = BlobDepot(prefix="repro-train-modules-")
         self._published: Optional[Tuple[str, str]] = None  # (fp, path)
         self._merged: Optional[List[Optional[np.ndarray]]] = None
+        # Observability: step/shard counters are one increment per
+        # optimizer step; wall/busy/reduce timing and the utilization
+        # gauge only run while tracing is enabled.
+        self._tracer = obs.tracer()
+        self._m_steps = obs.counter("repro_train_steps_total",
+                                    help="sharded optimizer steps")
+        self._m_shards = obs.counter("repro_train_shards_total",
+                                     help="gradient shards computed")
+        self._h_allreduce = obs.histogram(
+            "repro_train_allreduce_seconds",
+            help="parent-side ordered all-reduce seconds per traced step")
+        self._g_util = obs.gauge(
+            "repro_train_worker_utilization",
+            help="busy/(wall*workers) for the most recent traced step")
 
     @property
     def parallel(self) -> bool:
@@ -354,14 +375,26 @@ class ParallelTrainEngine:
         states = {name: layer._rng.bit_generator.state
                   for name, layer in slots}
 
+        tr = self._tracer
+        t0 = time.perf_counter() if tr is not None else 0.0
         if not self.parallel:
-            total, consumed = self._step_in_process(
+            total, consumed, busy_s, reduce_s = self._step_in_process(
                 kind, arrays, extra, modules, shards, slots, states, n,
                 grad_module)
         else:
-            total, consumed = self._step_pooled(
+            total, consumed, busy_s, reduce_s = self._step_pooled(
                 kind, arrays, extra, modules, shards, states, n,
                 grad_module)
+        self._m_steps.inc()
+        self._m_shards.inc(len(shards))
+        if tr is not None:
+            wall = time.perf_counter() - t0
+            util = busy_s / (wall * self.workers) if wall > 0 else 0.0
+            self._h_allreduce.observe(reduce_s)
+            self._g_util.set(util)
+            tr.emit("train.step", wall, kind=kind, shards=len(shards),
+                    workers=self.workers, allreduce_s=reduce_s,
+                    utilization=util)
 
         # Advance the parent streams by the step's full-batch draws —
         # the same totals at any worker count, so checkpointed stream
@@ -398,11 +431,16 @@ class ParallelTrainEngine:
         """
         b = _backend.active()
         originals = [layer._rng for _, layer in slots]
+        timing = self._tracer is not None
+        busy_s = 0.0
+        reduce_s = 0.0
+        t_red = 0.0
         total = 0.0
         consumed = {name: 0 for name, _ in slots}
         acc: Optional[List[Optional[np.ndarray]]] = None
         try:
             for shard in shards:
+                t_shard = time.perf_counter() if timing else 0.0
                 proxies = {}
                 for name, layer in slots:
                     proxies[name] = layer._rng = _WindowedRNG(
@@ -421,19 +459,24 @@ class ParallelTrainEngine:
                 grads = [np.array(b.to_numpy(p.grad))
                          if p.grad is not None else None
                          for p in modules[grad_module].parameters()]
+                if timing:
+                    t_red = time.perf_counter()
+                    busy_s += t_red - t_shard
                 if acc is None:
                     acc = grads
                 else:
                     for i, grad in enumerate(grads):
                         if grad is not None:
                             acc[i] += grad
+                if timing:
+                    reduce_s += time.perf_counter() - t_red
         finally:
             for (_, layer), rng in zip(slots, originals):
                 layer._rng = rng
             for module in modules.values():
                 module.zero_grad()
         self._merged = acc
-        return total, consumed
+        return total, consumed, busy_s, reduce_s
 
     def _step_pooled(self, kind, arrays, extra, modules, shards, states,
                      n, grad_module):
@@ -463,20 +506,27 @@ class ParallelTrainEngine:
                       modules_fp=fp)
             for shard in shards
         ]
+        timing = self._tracer is not None
+        busy_s = 0.0
+        reduce_s = 0.0
         total = 0.0
         acc: Optional[List[Optional[np.ndarray]]] = None
         consumed: Dict[str, int] = {}
         for outcome in self.pool.imap(_grad_in_worker, tasks):
+            busy_s += outcome.seconds
             total += outcome.report
+            t_red = time.perf_counter() if timing else 0.0
             if acc is None:
                 acc = list(outcome.grads)
             else:
                 for i, grad in enumerate(outcome.grads):
                     if grad is not None:
                         acc[i] += grad
+            if timing:
+                reduce_s += time.perf_counter() - t_red
             consumed = outcome.consumed
         self._merged = acc
-        return total, consumed
+        return total, consumed, busy_s, reduce_s
 
     def _apply_grads(self, module: nn.Module) -> None:
         b = _backend.active()

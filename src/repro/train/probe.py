@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from .callbacks import Callback
 from .metrics import JsonlWriter
 
@@ -83,6 +84,9 @@ class RobustnessProbe(Callback):
         self.probe_epochs: list = []  # epoch index of each probe
         # (epoch, trainer, pending) probes still crafting in the pool.
         self._pending: List[Tuple[int, object, "PendingSuiteResult"]] = []
+        self._tracer = obs.tracer()
+        self._m_probes = obs.counter("repro_train_probes_total",
+                                     help="robustness probes recorded")
 
     @property
     def overlapping(self) -> bool:
@@ -134,6 +138,13 @@ class RobustnessProbe(Callback):
             self._record(epoch, trainer, pending.result())
 
     def _record(self, epoch, trainer, result) -> None:
+        self._m_probes.inc()
+        if self._tracer is not None:
+            self._tracer.emit("train.probe", result.generation_seconds,
+                              epoch=epoch, trainer=trainer.name,
+                              clean=result.clean_accuracy,
+                              examples=int(len(self.images)),
+                              overlapped=self.overlapping)
         self.results.append(result)
         self.probe_epochs.append(epoch)
         history = trainer.history

@@ -1,0 +1,15 @@
+"""Obs-test isolation: every test gets a fresh registry and starts with
+tracing disabled, and leaves the process exactly as it found it."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    old = obs.set_registry(obs.MetricsRegistry())
+    obs.disable()
+    yield
+    obs.disable()
+    obs.set_registry(old)

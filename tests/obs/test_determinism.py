@@ -1,0 +1,81 @@
+"""The zero-perturbation guarantee: observability on vs off is bitwise
+invisible to served predictions and trained weights, on every backend."""
+
+import numpy as np
+import pytest
+
+import repro.backend as backend
+from repro import obs
+from repro.data import load_split
+from repro.defenses import VanillaTrainer
+from repro.models import build_classifier
+from repro.serve import ModelRegistry, Server
+from tests.conftest import TinyNet, make_blobs_dataset
+
+ALL_BACKENDS = backend.available_backends()
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_split("digits", 64, 48, seed=7)
+
+
+def serve_rows(backend_name, split, traced_to=None):
+    """One fixed request schedule through a fresh server; returns the
+    concatenated served logits."""
+    if traced_to is not None:
+        obs.enable(trace=traced_to)
+    else:
+        obs.disable()
+    with backend.use(backend_name):
+        model = build_classifier("digits", width=4, seed=0)
+        registry = ModelRegistry()
+        registry.add("m", model, backend=backend_name)
+    server = Server(registry, max_batch=8, gate="confidence",
+                    gate_threshold=0.5)
+    sizes = [3, 5, 4, 4, 7, 1]
+    cuts = np.cumsum([0] + sizes)
+    handles = [server.submit("m", split.test.images[a:b])
+               for a, b in zip(cuts, cuts[1:])]
+    server.drain()
+    flags = np.concatenate([h.flagged for h in handles])
+    return np.concatenate([h.logits for h in handles]), flags
+
+
+@pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+def test_served_rows_identical_obs_on_off(backend_name, split, tmp_path):
+    base_rows, base_flags = serve_rows(backend_name, split)
+    trace = tmp_path / "trace.jsonl"
+    traced_rows, traced_flags = serve_rows(backend_name, split,
+                                           traced_to=trace)
+    np.testing.assert_array_equal(base_rows, traced_rows)
+    np.testing.assert_array_equal(base_flags, traced_flags)
+    # and the traced run really did trace
+    content = trace.read_text()
+    assert '"serve.request"' in content
+    assert '"serve.batch"' in content
+
+
+def train_weights(backend_name, traced_to=None):
+    if traced_to is not None:
+        obs.enable(trace=traced_to)
+    else:
+        obs.disable()
+    data = make_blobs_dataset(n=64, num_classes=4)
+    with backend.use(backend_name) as b:
+        trainer = VanillaTrainer(TinyNet(num_classes=4, seed=3),
+                                 epochs=2, batch_size=16, seed=42)
+        trainer.fit(data)
+        return [np.array(b.to_numpy(p.data))
+                for p in trainer.model.parameters()]
+
+
+@pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+def test_training_identical_obs_on_off(backend_name, tmp_path):
+    base = train_weights(backend_name)
+    trace = tmp_path / "trace.jsonl"
+    traced = train_weights(backend_name, traced_to=trace)
+    assert len(base) == len(traced)
+    for want, got in zip(base, traced):
+        np.testing.assert_array_equal(want, got)
+    assert '"train.epoch"' in trace.read_text()

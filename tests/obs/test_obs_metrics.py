@@ -1,0 +1,206 @@
+"""Metrics registry semantics: instruments, merge, render, lifecycle."""
+
+import gc
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshotter, Sample
+
+
+class TestInstruments:
+    def test_counter_get_or_create_is_identity(self):
+        a = obs.counter("x_total", help="h")
+        b = obs.counter("x_total")
+        assert a is b
+        a.inc()
+        b.inc(2)
+        assert a.value == 3
+
+    def test_labels_key_distinct_series(self):
+        a = obs.counter("y_total", labels={"stage": "a"})
+        b = obs.counter("y_total", labels={"stage": "b"})
+        assert a is not b
+        # label order never splits a series
+        assert obs.counter("z_total", labels={"p": "1", "q": "2"}) is \
+            obs.counter("z_total", labels={"q": "2", "p": "1"})
+
+    def test_kind_mismatch_raises(self):
+        obs.counter("w_total")
+        with pytest.raises(TypeError):
+            obs.gauge("w_total")
+
+    def test_gauge_set_and_inc(self):
+        g = obs.gauge("depth")
+        g.set(5)
+        g.inc(-2)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_window_bounds_percentiles_not_totals(self):
+        h = obs.histogram("lat_seconds", window=4)
+        h.extend([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        # deque-compat surface: bounded window...
+        assert len(h) == 4
+        assert list(h) == [3.0, 4.0, 5.0, 6.0]
+        # ...but cumulative totals survive eviction
+        assert h.count == 6
+        assert h.sum == pytest.approx(21.0)
+
+    def test_percentile_nearest_rank(self):
+        h = obs.histogram("p_seconds")
+        h.extend([0.010, 0.020, 0.030, 0.040, 0.050])
+        assert h.percentile(50) == pytest.approx(0.030)
+        assert h.percentile(99) == pytest.approx(0.050)
+        assert obs.histogram("empty_seconds").percentile(50) == 0.0
+
+    def test_buckets_are_cumulative(self):
+        h = obs.histogram("b_seconds", buckets=(0.1, 1.0, 10.0))
+        h.extend([0.05, 0.5, 0.5, 5.0, 50.0])
+        snap = h.snapshot()
+        assert dict(snap.buckets) == {0.1: 1, 1.0: 3, 10.0: 4}
+        assert snap.count == 5
+
+    def test_snapshot_merge(self):
+        h1 = obs.histogram("m_seconds", buckets=(1.0, 2.0))
+        h2 = obs.histogram("m2_seconds", buckets=(1.0, 2.0))
+        h1.extend([0.5, 1.5])
+        h2.extend([1.5, 5.0])
+        merged = h1.snapshot().merge(h2.snapshot())
+        assert dict(merged.buckets) == {1.0: 1, 2.0: 3}
+        assert merged.count == 4
+        assert merged.total == pytest.approx(8.5)
+
+
+class TestRegistryCollect:
+    def test_collector_samples_merge_across_owners(self):
+        reg = obs.registry()
+
+        class Owner:
+            def __init__(self, n):
+                self.n = n
+
+            def collect(self):
+                return [Sample.make("shared_total", "counter", self.n)]
+
+        a, b = Owner(3), Owner(4)
+        reg.register(a, Owner.collect)
+        reg.register(b, Owner.collect)
+        samples = {(s.name, s.labels): s.value for s in reg.collect()}
+        assert samples[("shared_total", ())] == 7
+
+    def test_dead_owners_prune(self):
+        reg = obs.registry()
+
+        class Owner:
+            def collect(self):
+                return [Sample.make("alive_total", "counter", 1)]
+
+        owner = Owner()
+        reg.register(owner, Owner.collect)
+        assert any(s.name == "alive_total" for s in reg.collect())
+        del owner
+        gc.collect()
+        assert not any(s.name == "alive_total" for s in reg.collect())
+
+    def test_derived_gauge_from_totals(self):
+        obs.counter("hits_total").inc(3)
+        obs.counter("misses_total").inc(1)
+        obs.derive("hit_ratio",
+                   lambda v: v.get("hits_total", 0.0)
+                   / max(v.get("hits_total", 0.0)
+                         + v.get("misses_total", 0.0), 1.0))
+        samples = {s.name: s.value for s in obs.registry().collect()}
+        assert samples["hit_ratio"] == pytest.approx(0.75)
+
+    def test_derive_sums_labels_out(self):
+        obs.counter("lab_total", labels={"k": "a"}).inc(2)
+        obs.counter("lab_total", labels={"k": "b"}).inc(6)
+        seen = {}
+        obs.derive("lab_ratio", lambda v: seen.update(v) or 0.0)
+        obs.registry().collect()
+        assert seen["lab_total"] == 8
+
+
+class TestRender:
+    def test_prometheus_text_shape(self):
+        obs.counter("req_total", help="requests").inc(2)
+        obs.gauge("depth", labels={"lane": "a"}).set(1.5)
+        h = obs.histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.extend([0.05, 0.5])
+        text = obs.render_prometheus()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert "req_total 2" in text
+        assert 'depth{lane="a"} 1.5' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert "lat_seconds_sum 0.55" in text
+
+    def test_label_value_escaping(self):
+        obs.counter("esc_total", labels={"v": 'a"b\\c\nd'}).inc()
+        text = obs.render_prometheus()
+        assert 'v="a\\"b\\\\c\\nd"' in text
+
+    def test_snapshot_flat_keys(self):
+        obs.counter("c_total").inc(4)
+        h = obs.histogram("h_seconds")
+        h.observe(0.25)
+        snap = obs.snapshot()
+        assert snap["c_total"] == 4
+        assert snap["h_seconds_count"] == 1
+        assert snap["h_seconds_sum"] == pytest.approx(0.25)
+        assert snap["h_seconds_p50"] == pytest.approx(0.25)
+
+
+class TestScrapeUnderLoad:
+    def test_concurrent_inc_and_render_never_tears(self):
+        done = threading.Event()
+        c = obs.counter("hot_total")
+
+        def hammer():
+            while not done.is_set():
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(20):
+                text = obs.render_prometheus()
+                assert "hot_total" in text
+        finally:
+            done.set()
+            for t in threads:
+                t.join()
+        # every increment is eventually visible
+        final = c.value
+        assert obs.snapshot()["hot_total"] == final
+
+
+class TestSnapshotter:
+    def test_write_once_emits_parseable_line(self, tmp_path):
+        obs.counter("snap_total").inc(7)
+        path = tmp_path / "metrics.jsonl"
+        snapper = MetricsSnapshotter(path, registry=obs.registry(),
+                                     period_s=0.0)
+        snapper.write_once()
+        (line,) = path.read_text().splitlines()
+        record = json.loads(line)
+        assert record["kind"] == "metrics"
+        assert record["metrics"]["snap_total"] == 7
+
+    def test_registry_isolation_seam(self):
+        mine = MetricsRegistry()
+        old = obs.set_registry(mine)
+        try:
+            obs.counter("iso_total").inc()
+            assert "iso_total" in obs.render_prometheus()
+            assert not any(s.name == "iso_total" for s in old.collect())
+        finally:
+            obs.set_registry(old)

@@ -1,0 +1,102 @@
+"""Span tracing: id generation, JSONL appender safety, report CLI."""
+
+import json
+import os
+import threading
+
+from repro import obs
+from repro.obs.report import aggregate_trace, format_report, load_spans, \
+    run_obs_cli
+from repro.obs.trace import JsonlAppender, Tracer, new_trace_id
+
+
+class TestTraceIds:
+    def test_unique_and_rng_free(self):
+        ids = {new_trace_id() for _ in range(1000)}
+        assert len(ids) == 1000
+        prefix = f"{os.getpid():x}-"
+        assert all(i.startswith(prefix) for i in ids)
+
+
+class TestJsonlAppender:
+    def test_thread_safety_no_torn_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = JsonlAppender(path)
+        threads = [
+            threading.Thread(target=lambda k=k: [
+                writer.write({"t": k, "i": i, "pad": "x" * 200})
+                for i in range(200)])
+            for k in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1600
+        records = [json.loads(line) for line in lines]  # every line parses
+        assert sorted((r["t"], r["i"]) for r in records) == sorted(
+            (k, i) for k in range(8) for i in range(200))
+
+    def test_write_many_batches_and_reset_truncates(self, tmp_path):
+        path = tmp_path / "b.jsonl"
+        writer = JsonlAppender(path)
+        writer.write_many([{"i": i} for i in range(5)])
+        assert len(path.read_text().splitlines()) == 5
+        writer.reset()
+        assert path.read_text() == ""
+
+
+class TestTracer:
+    def test_emit_schema(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = Tracer(path)
+        tr.emit("serve.request", 0.25, trace="abc", examples=3)
+        tr.emit("train.epoch", 1.0, epoch=0)
+        spans = load_spans(path)
+        assert [s["name"] for s in spans] == ["serve.request", "train.epoch"]
+        first = spans[0]
+        assert first["kind"] == "span"
+        assert first["dur_s"] == 0.25
+        assert first["trace"] == "abc"
+        assert first["examples"] == 3
+        assert first["pid"] == os.getpid()
+        assert "trace" not in spans[1]  # only present when threaded
+
+    def test_enable_disable_binding(self, tmp_path):
+        assert obs.tracer() is None
+        tr = obs.enable(trace=tmp_path / "t.jsonl")
+        assert obs.tracer() is tr
+        assert obs.enabled()
+        obs.disable()
+        assert obs.tracer() is None
+
+
+class TestReport:
+    def test_aggregate_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = Tracer(path)
+        for i in range(4):
+            tr.emit("http.request", 0.010 * (i + 1), trace=f"t{i}")
+            tr.emit("serve.forward", 0.002)
+        with open(path, "a") as handle:
+            handle.write("NOT JSON\n")
+            handle.write('{"kind": "metrics", "metrics": {}}\n')
+        agg = aggregate_trace(load_spans(path))
+        assert agg["spans"] == 8
+        assert agg["stages"]["http.request"]["count"] == 4
+        assert agg["stages"]["serve.forward"]["total_s"] == \
+            __import__("pytest").approx(0.008)
+        assert agg["throughput"]["request_span"] == "http.request"
+        text = format_report(agg)
+        assert "http.request" in text and "serve.forward" in text
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        Tracer(path).emit("serve.request", 0.1)
+        assert run_obs_cli(["report", str(path)]) == 0
+        assert "serve.request" in capsys.readouterr().out
+        assert run_obs_cli([]) == 2
+        assert run_obs_cli(["report"]) == 2
+        assert run_obs_cli(["bogus", str(path)]) == 2
+        assert run_obs_cli(["report", str(tmp_path / "missing.jsonl")]) == 2
