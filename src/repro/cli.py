@@ -15,6 +15,8 @@ without writing code:
         --checkpoint-dir runs/gandef --resume --probe-every 2
     python -m repro serve --model runs/gandef/checkpoint.npz \
         --dataset objects --max-batch 32 --deadline-ms 5 --gate disc
+    python -m repro harden --model zk-gandef --dataset digits \
+        --cycles 2 --requests 64 --disc-passes 2 --harden-dir runs/harden
 """
 
 from __future__ import annotations
@@ -150,6 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic requests in the measured load; for "
                             "serve-http, 0 serves until interrupted "
                             "instead of self-testing (default: 256)")
+    serve.add_argument("--adv-fraction", type=float, default=0.5,
+                       metavar="F",
+                       help="fraction of generated requests drawn from "
+                            "the PGD pool instead of clean traffic "
+                            "(serve, serve-http, harden; default: 0.5)")
+    serve.add_argument("--quarantine-dir", default=None, metavar="DIR",
+                       help="store gate-flagged examples under DIR "
+                            "(content-addressed, multi-process safe) for "
+                            "later repro harden fine-tuning; omitting "
+                            "keeps the serve path byte-identical to a "
+                            "sink-less server")
     http = parser.add_argument_group(
         "serve-http options",
         "HTTP front on the serving subsystem (repro.serve.http): JSON "
@@ -185,6 +198,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="pace the self-test's offered load at this "
                            "request rate (default: as fast as the "
                            "closed loop goes)")
+    harden = parser.add_argument_group(
+        "harden options",
+        "the online hardening loop (repro.harden): serve seeded traffic "
+        "through the gate, quarantine what it flags, fine-tune the "
+        "discriminator on the quarantine, canary the candidate, and "
+        "promote or reject it; --model/--gate/--requests/--epochs/"
+        "--workers/--adv-fraction apply as for serve")
+    harden.add_argument("--cycles", type=int, default=1,
+                        help="full serve-quarantine-fine-tune-canary-swap "
+                             "cycles to run (default: 1)")
+    harden.add_argument("--harden-dir", default="harden", metavar="DIR",
+                        help="workdir for per-cycle artifacts: base "
+                             "checkpoint, cycle_NNN/quarantine, "
+                             "cycle_NNN/staging (default: harden)")
+    harden.add_argument("--finetune-epochs", type=int, default=1,
+                        metavar="E",
+                        help="continuation epochs on the clean split per "
+                             "cycle before discriminator anchoring "
+                             "(default: 1)")
+    harden.add_argument("--disc-passes", type=int, default=1, metavar="P",
+                        help="discriminator anchor passes over the "
+                             "quarantine per cycle (default: 1)")
+    harden.add_argument("--max-fpr-regression", type=float, default=0.05,
+                        metavar="B",
+                        help="canary bound: reject a candidate whose "
+                             "clean false-positive rate exceeds the "
+                             "baseline's by more than B (default: 0.05)")
+    harden.add_argument("--max-robust-regression", type=float,
+                        default=0.05, metavar="B",
+                        help="canary bound: reject a candidate whose "
+                             "robust accuracy falls more than B below "
+                             "the baseline's (default: 0.05)")
     return parser
 
 
@@ -197,6 +242,9 @@ def _print_listing() -> None:
     print(f"{'serve-http':22s} {'HTTP serving tier':28s} "
           "the same server behind authenticated, rate-limited, "
           "backpressured HTTP endpoints")
+    print(f"{'harden':22s} {'online hardening loop':28s} "
+          "serve, quarantine flagged traffic, fine-tune the "
+          "discriminator on it, canary, promote or reject")
     print(f"{'obs':22s} {'observability tools':28s} "
           "aggregate a trace JSONL into a per-stage latency/throughput "
           "report (repro obs report <trace.jsonl>)")
@@ -226,6 +274,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if key == "serve-http":
         try:
             return _run_serve_http_command(args)
+        except (ValueError, OSError) as error:
+            print(error)
+            return 2
+    if key == "harden":
+        try:
+            return _run_harden_command(args)
         except (ValueError, OSError) as error:
             print(error)
             return 2
@@ -260,7 +314,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  ("--burst", args.burst, None),
                                  ("--queue-limit", args.queue_limit, 1024),
                                  ("--procs", args.procs, 1),
-                                 ("--target-rps", args.target_rps, None)):
+                                 ("--target-rps", args.target_rps, None),
+                                 ("--adv-fraction", args.adv_fraction, 0.5),
+                                 ("--quarantine-dir", args.quarantine_dir,
+                                  None),
+                                 ("--cycles", args.cycles, 1),
+                                 ("--harden-dir", args.harden_dir,
+                                  "harden"),
+                                 ("--finetune-epochs",
+                                  args.finetune_epochs, 1),
+                                 ("--disc-passes", args.disc_passes, 1),
+                                 ("--max-fpr-regression",
+                                  args.max_fpr_regression, 0.05),
+                                 ("--max-robust-regression",
+                                  args.max_robust_regression, 0.05)):
         if value != default:
             ignored.append(flag)
     if key != "eval-suite":
@@ -299,7 +366,8 @@ def _run_serve_command(args) -> int:
         model=args.model, dataset=args.dataset, preset=args.preset,
         seed=args.seed, backend=args.backend, max_batch=args.max_batch,
         deadline_ms=args.deadline_ms, gate=args.gate,
-        requests=args.requests, verbose=True)
+        requests=args.requests, adv_fraction=args.adv_fraction,
+        quarantine_dir=args.quarantine_dir, verbose=True)
     stats = report.stats_snapshot
     print(f"served {stats['examples']} examples in {stats['batches']} "
           f"batches (mean size {stats['mean_batch_size']}) on "
@@ -323,8 +391,10 @@ def _run_serve_http_command(args) -> int:
         deadline_ms=args.deadline_ms, gate=args.gate,
         host=args.host, port=args.port, api_keys=args.api_keys,
         rate=args.rate, burst=args.burst, queue_limit=args.queue_limit,
-        cache_dir=args.cache_dir, procs=args.procs,
-        requests=args.requests, target_rps=args.target_rps, verbose=True)
+        cache_dir=args.cache_dir, quarantine_dir=args.quarantine_dir,
+        procs=args.procs, requests=args.requests,
+        target_rps=args.target_rps, adv_fraction=args.adv_fraction,
+        verbose=True)
     if report is None:        # deployment mode ended by Ctrl-C
         return 0
     load = report.load
@@ -354,6 +424,54 @@ def _run_serve_http_command(args) -> int:
         return 1
     print("clean shutdown")
     return 0
+
+
+def _run_harden_command(args) -> int:
+    # Deferred: the loop pulls in the trainer/attack/serve stack.
+    import os
+
+    from .harden import CanaryPolicy, run_harden
+
+    policy = CanaryPolicy(
+        max_fpr_regression=args.max_fpr_regression,
+        max_robust_regression=args.max_robust_regression)
+    report = run_harden(
+        model=args.model, dataset=args.dataset, preset=args.preset,
+        seed=args.seed, cycles=args.cycles, workdir=args.harden_dir,
+        backend=args.backend, gate=args.gate, requests=args.requests,
+        adv_fraction=args.adv_fraction, max_batch=args.max_batch,
+        deadline_ms=args.deadline_ms, base_epochs=args.epochs,
+        finetune_epochs=args.finetune_epochs,
+        disc_passes=args.disc_passes, workers=args.workers,
+        policy=policy, verbose=True)
+    failed = False
+    for c in report.cycles:
+        base, cand = c.canary.baseline, c.canary.candidate
+        print(f"cycle {c.index}: flagged {c.flagged}, "
+              f"quarantined {c.quarantined}, verdict {c.verdict}"
+              + (f" ({'; '.join(c.canary.reasons)})"
+                 if c.canary.reasons else ""))
+        print(f"  detection {base.detection_rate:.2%} -> "
+              f"{cand.detection_rate:.2%}   "
+              f"false positives {base.false_positive_rate:.2%} -> "
+              f"{cand.false_positive_rate:.2%}")
+        print(f"  clean {base.clean_accuracy:.2%} -> "
+              f"{cand.clean_accuracy:.2%}   "
+              f"robust {base.robust_accuracy:.2%} -> "
+              f"{cand.robust_accuracy:.2%}")
+        # The smoke contract: every cycle must stage a real candidate
+        # and reach an explicit verdict — anything else is a broken loop.
+        if not (c.finetune and os.path.exists(c.finetune.candidate_path)):
+            print(f"FAIL: cycle {c.index} produced no candidate archive")
+            failed = True
+        if c.verdict not in ("promote", "reject"):
+            print(f"FAIL: cycle {c.index} reached no explicit verdict "
+                  f"({c.verdict!r})")
+            failed = True
+    print(f"{report.promotions} of {len(report.cycles)} candidate(s) "
+          f"promoted; serving fingerprint "
+          f"{report.cycles[-1].fingerprint[:16]}")
+    return 1 if failed or len(report.cycles) != args.cycles else 0
 
 
 def _dispatch(key, args, experiment) -> int:

@@ -161,6 +161,20 @@ class GanDefTrainer(Trainer):
         order = rng.permutation(len(x))
         return x[order], t[order], s[order]
 
+    def discriminator_anchor_step(self, x: np.ndarray,
+                                  s: np.ndarray) -> float:
+        """One discriminator update on an externally-mixed ``(x, s)``
+        batch — the online-hardening seam.
+
+        The discriminator's training signal is the *source bit*, never a
+        class label, so quarantined serving traffic (whose true labels
+        are unknown by construction) can anchor it directly: quarantined
+        examples enter as source 1, clean training data as source 0.
+        The classifier is untouched, exactly as in the inner loop of
+        Algorithm 1.
+        """
+        return self._discriminator_step(x, s)
+
     def _discriminator_step(self, x: np.ndarray, s: np.ndarray) -> float:
         """Update D to predict the source bit; C frozen (its optimizer is
         not stepped and its gradients are discarded)."""

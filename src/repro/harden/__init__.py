@@ -1,0 +1,35 @@
+"""``repro.harden`` — the online hardening loop.
+
+The serve tier's :class:`~repro.serve.quarantine.QuarantineStore`
+captures gate-flagged traffic; this package closes the loop around it:
+
+* :func:`fine_tune` — resume the serving checkpoint and anchor the
+  GanDef discriminator on the quarantine's source bits (label-free, the
+  Sec. III-B signal), staging a candidate archive;
+* :func:`run_canary` / :class:`CanaryPolicy` — measure candidate vs
+  baseline (clean, robust, detection, false-positive) and decide;
+* :class:`HardeningLoop` / :func:`run_harden` — the ``repro harden``
+  orchestrator that serves, quarantines, fine-tunes, canaries and
+  hot-swaps promoted candidates through the registry's staged
+  promote/rollback, deterministically from one seed.
+"""
+
+from .canary import CanaryPolicy, CanaryReport, GateEval, decide, \
+    evaluate_entry, run_canary
+from .finetune import FineTuneResult, fine_tune
+from .loop import CycleResult, HardeningLoop, HardenReport, run_harden
+
+__all__ = [
+    "CanaryPolicy",
+    "CanaryReport",
+    "GateEval",
+    "decide",
+    "evaluate_entry",
+    "run_canary",
+    "FineTuneResult",
+    "fine_tune",
+    "CycleResult",
+    "HardenReport",
+    "HardeningLoop",
+    "run_harden",
+]

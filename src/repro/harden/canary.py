@@ -1,0 +1,181 @@
+"""Canary evaluation: is the fine-tuned candidate safe to serve?
+
+A hardening round must never make production worse to make the gate
+better.  The canary therefore measures **both** entries — the serving
+baseline and the staged candidate — on the same evaluation pools and
+applies an explicit promote/reject policy over four quantities:
+
+* clean accuracy (:func:`~repro.eval.metrics.test_accuracy`),
+* robust accuracy under the sharded :class:`~repro.eval.engine.AttackSuite`
+  (worst case over the attack grid — attacks are re-crafted against each
+  entry's own weights, the adaptive check),
+* the gate's detection rate and clean false-positive rate
+  (:func:`~repro.eval.metrics.filter_rates` over a fixed adversarial
+  pool — the traffic distribution the cycle actually observed).
+
+The policy's bounds are regressions *relative to the baseline*, not
+absolute targets, so the same policy works at the FAST preset's scale
+and the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import backend as _backend
+from .. import nn
+from ..attacks.base import Attack
+from ..eval.engine import AttackSuite
+from ..eval.metrics import filter_rates, test_accuracy
+from ..serve.gate import DefenseGate, build_gate
+from ..serve.registry import ModelEntry
+
+__all__ = ["CanaryPolicy", "GateEval", "CanaryReport", "decide",
+           "evaluate_entry", "run_canary"]
+
+
+@dataclass
+class CanaryPolicy:
+    """Promote/reject bounds, all expressed as candidate-vs-baseline.
+
+    ``min_detection_gain`` defaults to 0.0: a candidate must detect at
+    least as well as the baseline (the whole point of the round); the
+    bench tightens this to demand a strict improvement.
+    """
+
+    max_clean_regression: float = 0.02
+    max_robust_regression: float = 0.05
+    max_fpr_regression: float = 0.05
+    min_detection_gain: float = 0.0
+
+
+@dataclass
+class GateEval:
+    """One entry's canary measurements."""
+
+    clean_accuracy: float
+    robust_accuracy: float
+    detection_rate: float
+    false_positive_rate: float
+    attack_accuracy: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class CanaryReport:
+    """Baseline vs candidate, and the verdict the policy reached."""
+
+    baseline: GateEval
+    candidate: GateEval
+    verdict: str                     # "promote" | "reject"
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def promote(self) -> bool:
+        return self.verdict == "promote"
+
+
+def _gate_scores(model: nn.Module, gate: DefenseGate,
+                 images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """The gate's suspicion scores for ``images``, batched."""
+    out = []
+    b = _backend.active()
+    with nn.inference_mode(model):
+        for start in range(0, len(images), batch_size):
+            logits = model(nn.Tensor(images[start:start + batch_size])).data
+            out.append(gate.scores(b.to_numpy(logits)))
+    return np.concatenate(out) if out else np.empty(0, dtype=np.float64)
+
+
+def evaluate_entry(entry: ModelEntry, gate: DefenseGate,
+                   clean_images: np.ndarray, clean_labels: np.ndarray,
+                   adv_images: np.ndarray,
+                   attacks: Dict[str, Attack],
+                   workers: int = 1) -> GateEval:
+    """Measure one servable entry on the canary pools.
+
+    Gate rates use the **fixed** ``adv_images`` pool (what the attacker
+    actually sent this cycle); robust accuracy re-crafts every attack in
+    ``attacks`` against the entry's own weights via the sharded
+    :class:`AttackSuite` (``workers > 1`` fans the grid out).  All
+    forward passes run under the entry's pinned backend.
+    """
+    with _backend.use(entry.backend):
+        suite = AttackSuite(attacks, early_stop=None, workers=workers)
+        try:
+            result = suite.run(entry.model, clean_images, clean_labels,
+                               model_name=entry.name)
+        finally:
+            suite.close()
+        clean_scores = _gate_scores(entry.model, gate, clean_images)
+        adv_scores = _gate_scores(entry.model, gate, adv_images)
+    rates = filter_rates(clean_scores, adv_scores, gate.threshold)
+    per_attack = {r.attack: r.accuracy for r in result.records}
+    return GateEval(
+        clean_accuracy=result.clean_accuracy,
+        robust_accuracy=min(per_attack.values())
+        if per_attack else result.clean_accuracy,
+        detection_rate=rates.detection_rate,
+        false_positive_rate=rates.false_positive_rate,
+        attack_accuracy=per_attack,
+    )
+
+
+def run_canary(baseline: ModelEntry, candidate: ModelEntry,
+               clean_images: np.ndarray, clean_labels: np.ndarray,
+               adv_images: np.ndarray, attacks: Dict[str, Attack],
+               gate_kind: str = "auto",
+               gate_threshold: Optional[float] = None,
+               policy: Optional[CanaryPolicy] = None,
+               workers: int = 1) -> CanaryReport:
+    """Evaluate both entries and decide.
+
+    Each entry is gated by its **own** gate of the same kind and
+    threshold (a discriminator gate reads the entry's own discriminator
+    — that is what the fine-tune round changed).  Every violated bound
+    becomes a human-readable reason on the report; any reason rejects.
+    """
+    base = evaluate_entry(
+        baseline, build_gate(gate_kind, baseline, gate_threshold),
+        clean_images, clean_labels, adv_images, attacks, workers=workers)
+    cand = evaluate_entry(
+        candidate, build_gate(gate_kind, candidate, gate_threshold),
+        clean_images, clean_labels, adv_images, attacks, workers=workers)
+    return decide(base, cand, policy)
+
+
+def decide(base: GateEval, cand: GateEval,
+           policy: Optional[CanaryPolicy] = None) -> CanaryReport:
+    """Apply the promote/reject policy to a measured pair (pure)."""
+    policy = policy or CanaryPolicy()
+    reasons: List[str] = []
+    if cand.clean_accuracy < base.clean_accuracy \
+            - policy.max_clean_regression:
+        reasons.append(
+            f"clean accuracy regressed {base.clean_accuracy:.4f} -> "
+            f"{cand.clean_accuracy:.4f} (bound "
+            f"{policy.max_clean_regression})")
+    if cand.robust_accuracy < base.robust_accuracy \
+            - policy.max_robust_regression:
+        reasons.append(
+            f"robust accuracy regressed {base.robust_accuracy:.4f} -> "
+            f"{cand.robust_accuracy:.4f} (bound "
+            f"{policy.max_robust_regression})")
+    if cand.false_positive_rate > base.false_positive_rate \
+            + policy.max_fpr_regression:
+        reasons.append(
+            f"clean false-positive rate regressed "
+            f"{base.false_positive_rate:.4f} -> "
+            f"{cand.false_positive_rate:.4f} (bound "
+            f"{policy.max_fpr_regression})")
+    if cand.detection_rate < base.detection_rate \
+            + policy.min_detection_gain:
+        reasons.append(
+            f"detection rate {cand.detection_rate:.4f} did not gain "
+            f"{policy.min_detection_gain} over baseline "
+            f"{base.detection_rate:.4f}")
+    return CanaryReport(baseline=base, candidate=cand,
+                        verdict="reject" if reasons else "promote",
+                        reasons=reasons)

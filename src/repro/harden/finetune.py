@@ -1,0 +1,243 @@
+"""Fine-tune a served defense on its own quarantined traffic.
+
+The key observation that makes label-free hardening possible: GanDef's
+discriminator trains on the *source bit* (clean = 0, perturbed = 1),
+never on class labels (Sec. III-B).  Quarantined serving traffic has no
+trustworthy labels by construction — the gate flagged it as adversarial
+— but its provenance *is* its source bit, so it anchors the
+discriminator directly: quarantined examples enter as source 1 paired
+with clean training data as source 0, through the same inner-loop
+update Algorithm 1 uses (:meth:`GanDefTrainer.discriminator_anchor_step`).
+The classifier continues training only on the clean split — pseudo-
+labeling adversarial examples with the victim's own (attacked)
+predictions would entrench exactly the mistakes the attack caused.
+
+Defenses without a discriminator have no label-free seam; for them the
+fallback is pseudo-labeled continuation on the quarantine (documented
+limitation — the canary gate is the safety net that keeps a poisoned
+candidate out of production).
+
+Everything is deterministic: the quarantine store orders examples by
+content key, the anchor mix is drawn from a derived named RNG stream,
+and the candidate's provenance metadata carries no timestamps — the
+same base checkpoint plus the same quarantined traffic produce a
+bit-identical candidate.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .. import backend as _backend
+from .. import obs
+from ..eval.metrics import predict_labels
+from ..serve.quarantine import QuarantineStore
+from ..train.checkpoint import load_checkpoint, read_checkpoint_meta, \
+    save_checkpoint
+from ..utils.rng import derive_rng
+
+__all__ = ["FineTuneResult", "fine_tune"]
+
+
+@dataclass
+class FineTuneResult:
+    """What one fine-tune round produced."""
+
+    candidate_path: str
+    trainer_name: str
+    base_checkpoint: str
+    quarantined: int                 # examples the round trained against
+    epochs: int                      # continuation epochs on the clean split
+    disc_passes: int                 # anchor passes over the quarantine
+    anchor_steps: int                # discriminator (or fallback) updates
+    anchored: bool                   # True: source-bit seam; False: fallback
+    meta: Dict = None                # the candidate's checkpoint metadata
+
+
+def _anchor_discriminator(trainer, quarantine_x: np.ndarray,
+                          clean_x: np.ndarray, passes: int,
+                          seed: int, steps_counter) -> int:
+    """Source-bit anchoring: each pass pairs every quarantined example
+    (source 1) with a freshly-sampled clean example (source 0), shuffles,
+    and runs the batched discriminator inner-loop update."""
+    rng = derive_rng(seed, "harden-disc")
+    steps = 0
+    for _ in range(passes):
+        idx = rng.integers(0, len(clean_x), size=len(quarantine_x))
+        x = np.concatenate([clean_x[idx], quarantine_x], axis=0)
+        s = np.concatenate([
+            np.zeros(len(idx), dtype=np.float32),
+            np.ones(len(quarantine_x), dtype=np.float32),
+        ])
+        order = rng.permutation(len(x))
+        x, s = x[order], s[order]
+        for start in range(0, len(x), trainer.batch_size):
+            trainer.discriminator_anchor_step(
+                x[start:start + trainer.batch_size],
+                s[start:start + trainer.batch_size])
+            steps += 1
+            steps_counter.inc()
+    return steps
+
+
+def _pseudo_label_continuation(trainer, quarantine_x: np.ndarray,
+                               passes: int, seed: int,
+                               steps_counter) -> int:
+    """Fallback for discriminator-less defenses: continue training on the
+    quarantine under the current model's own predictions.  Documented
+    limitation — a successful attack makes those predictions wrong, so
+    the canary gate decides whether the result is servable."""
+    rng = derive_rng(seed, "harden-pseudo")
+    pseudo = predict_labels(trainer.model, quarantine_x)
+    steps = 0
+    for _ in range(passes):
+        order = rng.permutation(len(quarantine_x))
+        x, t = quarantine_x[order], pseudo[order]
+        for start in range(0, len(x), trainer.batch_size):
+            trainer.train_step(x[start:start + trainer.batch_size],
+                               t[start:start + trainer.batch_size])
+            steps += 1
+            steps_counter.inc()
+    return steps
+
+
+def fine_tune(
+    checkpoint_path: Union[str, os.PathLike],
+    quarantine: QuarantineStore,
+    *,
+    dataset: str,
+    staging_dir: Union[str, os.PathLike],
+    preset: str = "fast",
+    seed: int = 0,
+    width: Optional[int] = None,
+    backend: Optional[str] = None,
+    epochs: int = 1,
+    disc_passes: int = 1,
+    workers: Optional[int] = None,
+    candidate_name: str = "candidate.npz",
+    verbose: bool = False,
+) -> FineTuneResult:
+    """Resume the trainer inside ``checkpoint_path`` and harden it on the
+    quarantined traffic, writing a candidate checkpoint to ``staging_dir``.
+
+    The archive metadata names the producing trainer; the matching
+    defense is rebuilt for ``dataset``/``preset`` (``width`` overriding
+    the preset geometry, exactly as the serving registry does) and the
+    **full** state restored — optimizer moments, RNG streams, completed
+    epochs — so ``epochs`` continuation epochs on the clean split are
+    bit-identical to a training run that never stopped.  ``disc_passes``
+    anchor passes over the quarantine follow (see the module docstring
+    for the source-bit seam).  ``workers`` is the tri-state of
+    :func:`~repro.experiments.train_run.run_train`: ``None`` keeps the
+    legacy eager path, ``1`` attaches the in-process sharded engine,
+    ``N > 1`` shards across a spawn pool — the engine paths are
+    bit-identical at any worker count (the data-parallel contract).
+
+    The candidate's metadata records its full provenance (base
+    checkpoint, quarantine fingerprint and size, epochs, passes, seed)
+    with no timestamps, so the same inputs produce a bit-identical
+    candidate archive.
+    """
+    if epochs < 0:
+        raise ValueError(f"epochs must be non-negative, got {epochs}")
+    if disc_passes < 0:
+        raise ValueError(
+            f"disc_passes must be non-negative, got {disc_passes}")
+    # Deferred: the experiment factories pull in every trainer.
+    import dataclasses
+
+    from ..experiments.config import get_config
+    from ..experiments.runners import build_trainer, load_config_split
+    from ..train.parallel import ParallelTrainEngine
+    from ..utils.pool import SpawnPool
+
+    steps_counter = obs.counter(
+        "repro_harden_finetune_steps_total",
+        help="fine-tune update steps taken by the hardening loop")
+    tracer = obs.tracer()
+    checkpoint_path = os.fspath(checkpoint_path)
+    meta = read_checkpoint_meta(checkpoint_path)
+    trainer_name = meta.get("trainer", "")
+    config = get_config(preset)
+    cfg = config.dataset(dataset)
+    if width is not None:
+        cfg = dataclasses.replace(cfg, model_width=width)
+    if backend is not None:
+        _backend.get_backend(backend)
+        backend_name = backend
+    else:
+        backend_name = _backend.resolve(meta.get("backend"))
+
+    quarantine_x, _ = quarantine.examples()
+    with _backend.use(backend_name):
+        trainer = build_trainer(trainer_name, cfg, seed=seed)
+        load_checkpoint(trainer, checkpoint_path)
+        split = load_config_split(cfg, seed=seed)
+
+        start = tracer.clock() if tracer is not None else 0.0
+        pool = SpawnPool(workers) if workers and workers > 1 else None
+        engine = ParallelTrainEngine(trainer, workers=workers or 1,
+                                     pool=pool).attach() \
+            if workers is not None else None
+        try:
+            if epochs:
+                trainer.epochs = trainer.completed_epochs + epochs
+                if verbose:
+                    print(f"  continuing {trainer_name} for {epochs} "
+                          f"epoch(s) on the clean split ...")
+                trainer.fit(split.train, callbacks=())
+            anchored = hasattr(trainer, "discriminator_anchor_step")
+            anchor_steps = 0
+            if disc_passes and len(quarantine_x):
+                if verbose:
+                    mode = "anchoring discriminator on" if anchored \
+                        else "pseudo-label continuation over"
+                    print(f"  {mode} {len(quarantine_x)} quarantined "
+                          f"example(s), {disc_passes} pass(es) ...")
+                if anchored:
+                    anchor_steps = _anchor_discriminator(
+                        trainer, quarantine_x, split.train.images,
+                        disc_passes, seed, steps_counter)
+                else:
+                    anchor_steps = _pseudo_label_continuation(
+                        trainer, quarantine_x, disc_passes, seed,
+                        steps_counter)
+        finally:
+            if engine is not None:
+                engine.close()
+            if pool is not None:
+                pool.close()
+
+        os.makedirs(os.fspath(staging_dir), exist_ok=True)
+        candidate_path = os.path.join(os.fspath(staging_dir),
+                                      candidate_name)
+        save_checkpoint(trainer, candidate_path, extra_meta={"fine_tune": {
+            "base_checkpoint": checkpoint_path,
+            "quarantine_fingerprint": quarantine.fingerprint(),
+            "quarantined": int(len(quarantine_x)),
+            "epochs": int(epochs),
+            "disc_passes": int(disc_passes),
+            "anchored": anchored,
+            "seed": int(seed),
+        }})
+    if tracer is not None:
+        tracer.emit("harden.finetune", tracer.clock() - start,
+                    trainer=trainer_name, quarantined=len(quarantine_x),
+                    epochs=epochs, disc_passes=disc_passes)
+    return FineTuneResult(
+        candidate_path=candidate_path,
+        trainer_name=trainer_name,
+        base_checkpoint=checkpoint_path,
+        quarantined=int(len(quarantine_x)),
+        epochs=epochs,
+        disc_passes=disc_passes,
+        anchor_steps=anchor_steps,
+        anchored=anchored,
+        meta={key: value
+              for key, value in read_checkpoint_meta(candidate_path).items()
+              if key != "state"},
+    )

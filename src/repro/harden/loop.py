@@ -1,0 +1,333 @@
+"""The closed hardening loop: serve → quarantine → fine-tune → canary →
+hot-swap.
+
+One :class:`HardeningLoop` owns the long-lived pieces — the model
+registry (so staged promotion and rollback survive across cycles) and
+the evaluation pools — and each :meth:`cycle` composes the four
+subsystems end to end:
+
+1. **serve** — a fixed PGD attacker's traffic (mixed with clean
+   requests) runs through a gated :class:`~repro.serve.server.Server`
+   whose :class:`~repro.serve.quarantine.QuarantineStore` flag sink
+   captures everything the gate catches;
+2. **train** — :func:`~repro.harden.finetune.fine_tune` resumes the
+   serving checkpoint and anchors the discriminator on the quarantine,
+   staging a candidate archive;
+3. **eval** — :func:`~repro.harden.canary.run_canary` measures baseline
+   and candidate on the same pools and applies the promote/reject
+   policy;
+4. **serve** — a promoted candidate hot-swaps in through
+   :meth:`~repro.serve.registry.ModelRegistry.promote` (provenance
+   recorded in the candidate's own metadata); a rejected one leaves the
+   old weights serving.
+
+Everything derives from the loop's seed — traffic, quarantine order,
+anchor mixes, attack crafting — so the same seed and the same starting
+checkpoint reproduce bit-identical promoted weights.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from .. import backend as _backend
+from .. import obs
+from ..serve.cache import PredictionCache
+from ..serve.loadgen import LoadReport, build_mixed_load, \
+    craft_adversarial_pool, run_load
+from ..serve.quarantine import QuarantineStore
+from ..serve.registry import ModelEntry, ModelRegistry
+from ..serve.server import Server
+from .canary import CanaryPolicy, CanaryReport, run_canary
+from .finetune import FineTuneResult, fine_tune
+
+__all__ = ["CycleResult", "HardenReport", "HardeningLoop", "run_harden"]
+
+SERVING_NAME = "model"
+
+
+@dataclass
+class CycleResult:
+    """Everything one serve→quarantine→fine-tune→canary→swap cycle did."""
+
+    index: int
+    flagged: int                     # examples the gate flagged this cycle
+    quarantined: int                 # of those, stored (deduped, capped)
+    finetune: FineTuneResult
+    canary: CanaryReport
+    promoted: bool
+    fingerprint: str                 # serving fingerprint after the cycle
+    load: LoadReport = None
+
+    @property
+    def verdict(self) -> str:
+        return self.canary.verdict
+
+
+@dataclass
+class HardenReport:
+    """What one ``repro harden`` invocation produced."""
+
+    model: str
+    dataset: str
+    base_checkpoint: str
+    cycles: List[CycleResult] = field(default_factory=list)
+
+    @property
+    def promotions(self) -> int:
+        return sum(1 for c in self.cycles if c.promoted)
+
+
+class HardeningLoop:
+    """Owns the registry and pools; runs hardening cycles against them.
+
+    ``model`` is a training-checkpoint path or a defense name trained on
+    the fly at the preset's scale (``base_epochs`` overriding the preset
+    epoch count), exactly like ``repro serve``'s ``--model``.  Per-cycle
+    artifacts land under ``workdir/cycle_NNN/`` (``quarantine/`` and
+    ``staging/candidate.npz``); the serving registry carries staged
+    promotions across cycles, so :meth:`rollback` undoes the latest one.
+    """
+
+    def __init__(
+        self,
+        model: str = "zk-gandef",
+        dataset: str = "digits",
+        preset: str = "fast",
+        seed: int = 0,
+        backend: Optional[str] = None,
+        width: Optional[int] = None,
+        gate: str = "auto",
+        gate_threshold: Optional[float] = None,
+        requests: int = 128,
+        adv_fraction: float = 0.5,
+        max_request_size: int = 4,
+        max_batch: int = 32,
+        deadline_ms: float = 5.0,
+        base_epochs: Optional[int] = None,
+        finetune_epochs: int = 1,
+        disc_passes: int = 1,
+        workers: Optional[int] = None,
+        policy: Optional[CanaryPolicy] = None,
+        workdir: Union[str, os.PathLike] = "harden",
+        verbose: bool = False,
+    ) -> None:
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
+        self.model = model
+        self.dataset = dataset
+        self.preset = preset
+        self.seed = seed
+        self.backend = backend
+        self.width = width
+        self.gate = gate
+        self.gate_threshold = gate_threshold
+        self.requests = requests
+        self.adv_fraction = adv_fraction
+        self.max_request_size = max_request_size
+        self.max_batch = max_batch
+        self.deadline_ms = deadline_ms
+        self.base_epochs = base_epochs
+        self.finetune_epochs = finetune_epochs
+        self.disc_passes = disc_passes
+        self.workers = workers
+        self.policy = policy or CanaryPolicy()
+        self.workdir = os.fspath(workdir)
+        self.verbose = verbose
+
+        self.registry = ModelRegistry()
+        self.base_checkpoint: Optional[str] = None
+        self.completed_cycles = 0
+        self._split = None
+        self._attacks: Optional[Dict] = None
+        self._tracer = obs.tracer()
+        self._m_cycles = obs.counter(
+            "repro_harden_cycles_total",
+            help="hardening cycles completed")
+        self._m_promotions = obs.counter(
+            "repro_harden_promotions_total",
+            help="candidates promoted into serving")
+        self._m_rollbacks = obs.counter(
+            "repro_harden_rollbacks_total",
+            help="promotions rolled back")
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> ModelEntry:
+        """Resolve the base model into a served registry entry (idempotent).
+
+        A defense name trains at the preset's scale first — through
+        :func:`~repro.experiments.train_run.run_train` so ``workers``
+        applies and a real checkpoint archive exists for the fine-tune
+        stage to resume (the loop never fine-tunes weights it cannot
+        trace to an archive).
+        """
+        if self.base_checkpoint is not None:
+            return self.registry.get(SERVING_NAME)
+        from ..experiments.config import get_config
+        from ..experiments.runners import load_config_split
+
+        if self.model.endswith(".npz") or os.path.sep in self.model or \
+                os.path.exists(self.model):
+            if not os.path.exists(self.model):
+                raise ValueError(f"checkpoint {self.model!r} does not exist")
+            self.base_checkpoint = os.fspath(self.model)
+        else:
+            from ..experiments.train_run import run_train
+
+            if self.width is not None:
+                raise ValueError(
+                    "width overrides apply to checkpoint models only; "
+                    "on-the-fly base training uses the preset geometry")
+            if self.verbose:
+                print(f"training base {self.model} on {self.dataset} "
+                      f"({self.preset} preset) ...")
+            result = run_train(
+                self.dataset, preset=self.preset, defense=self.model,
+                seed=self.seed, epochs=self.base_epochs,
+                checkpoint_dir=os.path.join(self.workdir, "base"),
+                probe_every=0, backend=self.backend,
+                workers=self.workers, verbose=self.verbose)
+            self.base_checkpoint = result.checkpoint_path
+        entry = self.registry.load(
+            SERVING_NAME, self.base_checkpoint, dataset=self.dataset,
+            preset=self.preset, seed=self.seed, width=self.width,
+            backend=self.backend)
+
+        config = get_config(self.preset)
+        cfg = config.dataset(self.dataset)
+        self._split = load_config_split(cfg, seed=self.seed)
+        self._clean_x = self._split.test.images[:cfg.eval_size]
+        self._clean_y = self._split.test.labels[:cfg.eval_size]
+        pool = cfg.budget.build(fast=config.fast, seed=self.seed)
+        # The fixed attacker: PGD at the paper's Sec. IV-C budget.  One
+        # instance for traffic crafting and the canary's adaptive check.
+        self._attacks = {"pgd": pool["pgd"]}
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # one cycle
+    # ------------------------------------------------------------------ #
+    def cycle(self) -> CycleResult:
+        """Run one full serve→quarantine→fine-tune→canary→swap cycle."""
+        entry = self.prepare()
+        index = self.completed_cycles
+        cycle_dir = os.path.join(self.workdir, f"cycle_{index:03d}")
+        start = self._tracer.clock() if self._tracer is not None else 0.0
+
+        # serve: the attacker attacks what is deployed *now*.
+        attack = self._attacks["pgd"]
+        with _backend.use(entry.backend):
+            adv_pool = craft_adversarial_pool(
+                entry.model, self._clean_x, self._clean_y, attack)
+        store = QuarantineStore(os.path.join(cycle_dir, "quarantine"))
+        server = Server(self.registry, max_batch=self.max_batch,
+                        deadline_ms=self.deadline_ms, gate=self.gate,
+                        gate_threshold=self.gate_threshold,
+                        cache=PredictionCache(), flag_sink=store)
+        traffic = build_mixed_load(
+            self._clean_x, adv_pool, num_requests=self.requests,
+            max_request_size=self.max_request_size,
+            adv_fraction=self.adv_fraction, seed=self.seed + index)
+        if self.verbose:
+            print(f"[cycle {index}] serving {self.requests} requests "
+                  f"({self.adv_fraction:.0%} adversarial, "
+                  f"gate={server.gate_for(SERVING_NAME).kind}) ...")
+        load = run_load(server, SERVING_NAME, traffic)
+        flagged = int(sum(int(h.flagged.sum()) for h in load.handles))
+        if self.verbose:
+            print(f"[cycle {index}] flagged {flagged}, "
+                  f"quarantined {len(store)}")
+
+        # train: resume the serving checkpoint, anchor on the quarantine.
+        result = fine_tune(
+            entry.checkpoint_path, store, dataset=self.dataset,
+            staging_dir=os.path.join(cycle_dir, "staging"),
+            preset=self.preset, seed=self.seed, width=self.width,
+            backend=entry.backend, epochs=self.finetune_epochs,
+            disc_passes=self.disc_passes, workers=self.workers,
+            verbose=self.verbose)
+
+        # eval: candidate vs baseline on the same pools, attacks
+        # re-crafted against each entry's own weights.
+        staging = ModelRegistry()
+        candidate = staging.load(
+            "candidate", result.candidate_path, dataset=self.dataset,
+            preset=self.preset, seed=self.seed, width=self.width,
+            backend=entry.backend)
+        report = run_canary(
+            entry, candidate, self._clean_x, self._clean_y, adv_pool,
+            self._attacks, gate_kind=self.gate,
+            gate_threshold=self.gate_threshold, policy=self.policy,
+            workers=self.workers or 1)
+        obs.counter("repro_harden_canary_verdicts_total",
+                    labels={"verdict": report.verdict},
+                    help="canary verdicts by outcome").inc()
+
+        # swap (or not): the registry's staged promotion records
+        # provenance in the candidate archive and keeps the displaced
+        # entry for rollback.
+        if report.promote:
+            entry = self.registry.promote(
+                SERVING_NAME, result.candidate_path, dataset=self.dataset,
+                preset=self.preset, seed=self.seed, width=self.width,
+                backend=entry.backend)
+            self._m_promotions.inc()
+        if self.verbose:
+            print(f"[cycle {index}] canary verdict: {report.verdict}"
+                  + (f" ({'; '.join(report.reasons)})"
+                     if report.reasons else ""))
+
+        self.completed_cycles += 1
+        self._m_cycles.inc()
+        if self._tracer is not None:
+            self._tracer.emit("harden.cycle",
+                              self._tracer.clock() - start,
+                              cycle=index, flagged=flagged,
+                              quarantined=len(store),
+                              verdict=report.verdict)
+        return CycleResult(
+            index=index, flagged=flagged, quarantined=len(store),
+            finetune=result, canary=report, promoted=report.promote,
+            fingerprint=self.registry.get(SERVING_NAME).fingerprint,
+            load=load)
+
+    def run(self, cycles: int = 1) -> HardenReport:
+        """Run ``cycles`` cycles; each one fine-tunes whatever is serving
+        *after* the previous cycle's verdict."""
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        self.prepare()
+        report = HardenReport(model=self.model, dataset=self.dataset,
+                              base_checkpoint=self.base_checkpoint)
+        for _ in range(cycles):
+            report.cycles.append(self.cycle())
+        return report
+
+    def rollback(self) -> ModelEntry:
+        """Undo the latest promotion (one step); counts the rollback."""
+        entry = self.registry.rollback(SERVING_NAME)
+        self._m_rollbacks.inc()
+        return entry
+
+
+def run_harden(
+    model: str = "zk-gandef",
+    dataset: str = "digits",
+    preset: str = "fast",
+    seed: int = 0,
+    cycles: int = 1,
+    workdir: Union[str, os.PathLike] = "harden",
+    verbose: bool = False,
+    **kwargs,
+) -> HardenReport:
+    """``repro harden``'s entry point: build a :class:`HardeningLoop`
+    and run ``cycles`` full cycles.  Keyword arguments pass through to
+    the loop's constructor."""
+    loop = HardeningLoop(model=model, dataset=dataset, preset=preset,
+                         seed=seed, workdir=workdir, verbose=verbose,
+                         **kwargs)
+    return loop.run(cycles)

@@ -24,9 +24,13 @@ describes.  The pieces:
 * :mod:`repro.serve.http` / :func:`run_serve_http` — the network tier:
   stdlib-only JSON-over-HTTP endpoints in front of the server with
   API-key auth, per-client token-bucket rate limiting, bounded-queue
-  backpressure (429 + Retry-After), hot checkpoint reload, and an
-  ``SO_REUSEPORT`` multi-process deployment sharing one
-  :class:`DiskPredictionCache` directory.
+  backpressure (429 + Retry-After), hot checkpoint reload, staged
+  promote/rollback, and an ``SO_REUSEPORT`` multi-process deployment
+  sharing one :class:`DiskPredictionCache` directory,
+* :class:`FlagSink` / :class:`QuarantineStore` — the serve → harden
+  seam: gate-flagged traffic lands in a shared, content-addressed
+  quarantine directory instead of being dropped, feeding the
+  :mod:`repro.harden` fine-tune → canary → promote loop.
 """
 
 from .batcher import MicroBatch, MicroBatcher, PendingPrediction, Prediction
@@ -63,7 +67,8 @@ from .loadgen import (
     run_http_load,
     run_load,
 )
-from .registry import ModelEntry, ModelRegistry
+from .quarantine import FlagSink, QuarantineStore
+from .registry import ModelEntry, ModelRegistry, entry_fingerprint
 from .run import ServeReport, run_serve
 from .server import Client, Server, ServerStats, percentile
 
@@ -101,8 +106,11 @@ __all__ = [
     "HttpClient",
     "HttpServeReport",
     "run_serve_http",
+    "FlagSink",
+    "QuarantineStore",
     "ModelEntry",
     "ModelRegistry",
+    "entry_fingerprint",
     "ServeReport",
     "run_serve",
     "Client",

@@ -13,7 +13,10 @@ HTTP server speaking JSON, layered as
 * **Endpoints**: ``POST /v1/predict`` (single example or small batch;
   per-row labels / logits / gate scores / flags), ``GET /v1/models``,
   ``GET /v1/health``, ``GET /v1/stats``, ``POST /v1/reload`` (hot
-  checkpoint reload without dropping in-flight requests).
+  checkpoint reload without dropping in-flight requests),
+  ``POST /v1/promote`` / ``POST /v1/rollback`` (staged candidate
+  promotion and its undo, behind the same drain-then-swap barrier —
+  the hardening loop's hot-swap surface).
 * **Auth**: static API keys with per-key client identity; comparisons
   are constant-time (:func:`hmac.compare_digest` over fixed-width
   digests, every registered key probed on every attempt) so a key
@@ -274,6 +277,8 @@ class HttpStats:
     timeouts: int = 0                       # 504
     errors: int = 0                         # 500
     reloads: int = 0
+    promotions: int = 0
+    rollbacks: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
 
@@ -296,6 +301,8 @@ class HttpStats:
                 "timeouts": self.timeouts,
                 "errors": self.errors,
                 "reloads": self.reloads,
+                "promotions": self.promotions,
+                "rollbacks": self.rollbacks,
             }
 
 
@@ -366,6 +373,8 @@ class HttpFrontend:
         ("GET", "/v1/stats"): "stats_endpoint",
         ("GET", "/v1/metrics"): "metrics_endpoint",
         ("POST", "/v1/reload"): "reload",
+        ("POST", "/v1/promote"): "promote",
+        ("POST", "/v1/rollback"): "rollback_model",
     }
 
     def handle(self, method: str, path: str, body: bytes,
@@ -394,6 +403,10 @@ class HttpFrontend:
                 return self.models()
             if route == "stats_endpoint":
                 return self.stats_endpoint()
+            if route == "promote":
+                return self.promote(body)
+            if route == "rollback_model":
+                return self.rollback_model(body)
             return self.reload(body)
         except Exception as error:      # noqa: BLE001 - boundary
             self.stats.count("errors")
@@ -500,6 +513,12 @@ class HttpFrontend:
             obs.Sample.make("repro_http_reloads_total", "counter",
                             float(s["reloads"]),
                             help="successful checkpoint reloads"),
+            obs.Sample.make("repro_http_promotions_total", "counter",
+                            float(s["promotions"]),
+                            help="successful staged promotions"),
+            obs.Sample.make("repro_http_rollbacks_total", "counter",
+                            float(s["rollbacks"]),
+                            help="successful promotion rollbacks"),
             obs.Sample.make("repro_http_inflight_examples", "gauge",
                             float(self.admission.inflight),
                             help="admitted-but-unanswered examples"),
@@ -632,6 +651,49 @@ class HttpFrontend:
                                   f"{self.max_request_examples}"}, {}
         return str(model_name), images
 
+    # ------------------------------------------------------------------ #
+    # the admission barrier shared by every model-swap endpoint
+    # ------------------------------------------------------------------ #
+    def _parse_model_body(self, body: bytes) -> Union[Reply, dict]:
+        """Parse a swap endpoint's JSON body; the named model must be
+        registered.  Returns the payload dict or the 400/404 reply."""
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            self.stats.count("bad_requests")
+            return 400, {"error": "body is not valid JSON"}, {}
+        name = payload.get("model")
+        if not name:
+            self.stats.count("bad_requests")
+            return 400, {"error": '"model" is required'}, {}
+        if name not in self.server.registry:
+            self.stats.count("bad_requests")
+            return 404, {"error": f"unknown model {name!r}; registered: "
+                                  f"{sorted(self.server.registry.names())}"},\
+                {}
+        return payload
+
+    def _drain_for_swap(self, action: str) -> Optional[Reply]:
+        """Wait (bounded) for queued work to finish on the old weights.
+
+        Must run with ``_admitting`` cleared: the lane swap only happens
+        on an empty queue, which is what keeps every in-flight response
+        bitwise one model's answer rather than a mid-request mix.  The
+        timeout reply is a retryable 503 — ``Retry-After`` rides on it
+        like every other temporary rejection (the 429 idiom), so a
+        client can distinguish "try again" from a dead server.
+        """
+        deadline = self.clock() + self.reload_grace_s
+        while self.server.pending_examples:
+            if self.clock() >= deadline:
+                self.stats.count("errors")
+                return 503, {"error": "queued work did not drain within "
+                                      f"{self.reload_grace_s}s; "
+                                      f"{action} aborted"}, \
+                    {"Retry-After": "1"}
+            time.sleep(0.002)
+        return None
+
     def reload(self, body: bytes) -> Reply:
         """Hot checkpoint reload, without dropping in-flight requests.
 
@@ -643,20 +705,11 @@ class HttpFrontend:
         weights — every response reflects exactly one model — and the
         old entry stays registered if loading fails.
         """
-        try:
-            payload = json.loads(body.decode("utf-8")) if body else {}
-        except (ValueError, UnicodeDecodeError):
-            self.stats.count("bad_requests")
-            return 400, {"error": "body is not valid JSON"}, {}
-        name = payload.get("model")
-        if not name:
-            self.stats.count("bad_requests")
-            return 400, {"error": '"model" is required'}, {}
+        payload = self._parse_model_body(body)
+        if not isinstance(payload, dict):
+            return payload
+        name = payload["model"]
         registry = self.server.registry
-        if name not in registry:
-            self.stats.count("bad_requests")
-            return 404, {"error": f"unknown model {name!r}; registered: "
-                                  f"{sorted(registry.names())}"}, {}
         checkpoint = payload.get("checkpoint")
         with self._reload_lock:
             old_fingerprint = registry.get(name).fingerprint
@@ -669,20 +722,9 @@ class HttpFrontend:
             old_entry = registry.get(name)
             self._admitting.clear()
             try:
-                # Drain the queue on the old weights first: the lane
-                # swap below only happens on an empty queue, which is
-                # what keeps every in-flight response bitwise the old
-                # model's answer rather than a mid-request mix.
-                deadline = self.clock() + self.reload_grace_s
-                while self.server.pending_examples:
-                    if self.clock() >= deadline:
-                        self.stats.count("errors")
-                        return 503, {"error": "queued work did not "
-                                              "drain within "
-                                              f"{self.reload_grace_s}s; "
-                                              "reload aborted"}, \
-                            {"Retry-After": "1"}
-                    time.sleep(0.002)
+                reply = self._drain_for_swap("reload")
+                if reply is not None:
+                    return reply
                 try:
                     entry = registry.load(
                         name, checkpoint,
@@ -702,6 +744,86 @@ class HttpFrontend:
                 return 200, {"model": name, "action": "reload",
                              "checkpoint": checkpoint,
                              "backend": entry.backend,
+                             "old_fingerprint": old_fingerprint[:16],
+                             "fingerprint": entry.fingerprint[:16]}, {}
+            finally:
+                self._admitting.set()
+
+    def promote(self, body: bytes) -> Reply:
+        """Staged candidate promotion (``POST /v1/promote``).
+
+        Same drain discipline as a checkpoint reload, but through
+        :meth:`ModelRegistry.promote`: the displaced entry is stashed
+        for :meth:`rollback_model` and the promotion provenance is
+        recorded in the candidate archive's metadata.  A failed load
+        keeps the old weights serving and stashes nothing.
+        """
+        payload = self._parse_model_body(body)
+        if not isinstance(payload, dict):
+            return payload
+        name = payload["model"]
+        checkpoint = payload.get("checkpoint")
+        if not checkpoint:
+            self.stats.count("bad_requests")
+            return 400, {"error": '"checkpoint" is required '
+                                  "(the candidate archive to promote)"}, {}
+        registry = self.server.registry
+        with self._reload_lock:
+            old_fingerprint = registry.get(name).fingerprint
+            self._admitting.clear()
+            try:
+                reply = self._drain_for_swap("promotion")
+                if reply is not None:
+                    return reply
+                try:
+                    entry = registry.promote(
+                        name, checkpoint,
+                        dataset=payload.get("dataset"),
+                        preset=payload.get("preset", "fast"),
+                        seed=int(payload.get("seed", 0)),
+                        width=payload.get("width"),
+                        backend=payload.get("backend"))
+                except (OSError, ValueError, KeyError) as error:
+                    self.stats.count("errors")
+                    return 500, {"error": f"promotion failed: {error}; "
+                                          "the previous checkpoint is "
+                                          "still being served"}, {}
+                self.stats.count("promotions")
+                return 200, {"model": name, "action": "promote",
+                             "checkpoint": checkpoint,
+                             "backend": entry.backend,
+                             "old_fingerprint": old_fingerprint[:16],
+                             "fingerprint": entry.fingerprint[:16]}, {}
+            finally:
+                self._admitting.set()
+
+    def rollback_model(self, body: bytes) -> Reply:
+        """Undo the last promotion (``POST /v1/rollback``).
+
+        The stashed entry swaps back in behind the same admission
+        barrier, so in-flight requests finish on the promoted weights
+        and later ones serve the restored ones — never a mix, never a
+        drop.  With nothing to roll back the reply is 409.
+        """
+        payload = self._parse_model_body(body)
+        if not isinstance(payload, dict):
+            return payload
+        name = payload["model"]
+        registry = self.server.registry
+        with self._reload_lock:
+            old_fingerprint = registry.get(name).fingerprint
+            self._admitting.clear()
+            try:
+                reply = self._drain_for_swap("rollback")
+                if reply is not None:
+                    return reply
+                try:
+                    entry = registry.rollback(name)
+                except KeyError as error:
+                    self.stats.count("bad_requests")
+                    return 409, {"error": str(error).strip('"')}, {}
+                self.stats.count("rollbacks")
+                return 200, {"model": name, "action": "rollback",
                              "old_fingerprint": old_fingerprint[:16],
                              "fingerprint": entry.fingerprint[:16]}, {}
             finally:
@@ -928,6 +1050,13 @@ class HttpClient:
         if checkpoint is not None:
             payload["checkpoint"] = checkpoint
         return self.request("POST", "/v1/reload", payload)
+
+    def promote(self, model: str, checkpoint: str, **extra) -> HttpResponse:
+        payload = {"model": model, "checkpoint": checkpoint, **extra}
+        return self.request("POST", "/v1/promote", payload)
+
+    def rollback(self, model: str) -> HttpResponse:
+        return self.request("POST", "/v1/rollback", {"model": model})
 
     def close(self) -> None:
         if self._conn is not None:

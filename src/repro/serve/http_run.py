@@ -32,6 +32,7 @@ from .http import ApiKeyAuth, HttpFrontend, HttpServer, RateLimiter, \
     parse_api_keys
 from .loadgen import HttpLoadReport, LoadRequest, build_mixed_load, \
     craft_adversarial_pool, run_http_load
+from .quarantine import QuarantineStore
 from .registry import ModelRegistry
 from .run import _resolve_model
 from .server import Server
@@ -156,6 +157,7 @@ def run_serve_http(
     queue_limit: int = 1024,
     cache_dir: Optional[str] = None,
     cache_entries: int = 4096,
+    quarantine_dir: Optional[str] = None,
     procs: int = 1,
     requests: int = 0,
     target_rps: Optional[float] = None,
@@ -173,7 +175,10 @@ def run_serve_http(
     bucket); ``queue_limit`` bounds admitted-but-unanswered examples
     (beyond it: 429 + Retry-After).  ``cache_dir`` switches the
     prediction cache to the shared on-disk store every worker process
-    can hit.
+    can hit; ``quarantine_dir`` attaches a shared
+    :class:`QuarantineStore` so gate-flagged examples are captured for
+    the ``repro harden`` loop (off by default — serving is then
+    bitwise-identical to a sink-less server).
     """
     if procs < 1:
         raise ValueError(f"procs must be >= 1, got {procs}")
@@ -184,7 +189,8 @@ def run_serve_http(
             backend=backend, max_batch=max_batch, deadline_ms=deadline_ms,
             gate=gate, gate_threshold=gate_threshold, host=host, port=port,
             keys=keys, rate=rate, burst=burst, queue_limit=queue_limit,
-            cache_dir=cache_dir, procs=procs, requests=requests,
+            cache_dir=cache_dir, quarantine_dir=quarantine_dir,
+            procs=procs, requests=requests,
             target_rps=target_rps, adv_fraction=adv_fraction,
             max_request_size=max_request_size, concurrency=concurrency,
             verbose=verbose)
@@ -203,7 +209,9 @@ def run_serve_http(
     server = Server(registry, max_batch=max_batch,
                     deadline_ms=deadline_ms, gate=gate,
                     gate_threshold=gate_threshold,
-                    cache=_build_cache(cache_dir, cache_entries))
+                    cache=_build_cache(cache_dir, cache_entries),
+                    flag_sink=QuarantineStore(quarantine_dir)
+                    if quarantine_dir else None)
     frontend = _build_frontend(server, keys, rate, burst, queue_limit,
                                max_request_examples=max(
                                    max_batch, max_request_size))
@@ -257,9 +265,12 @@ def _http_worker(spec: dict, ready, stop) -> None:
                               spec["backend"], verbose=False)
     cache = DiskPredictionCache(**spec["cache_spec"]) \
         if spec.get("cache_spec") else None
+    sink = QuarantineStore(spec["quarantine_dir"]) \
+        if spec.get("quarantine_dir") else None
     server = Server(registry, max_batch=spec["max_batch"],
                     deadline_ms=spec["deadline_ms"], gate=spec["gate"],
-                    gate_threshold=spec["gate_threshold"], cache=cache)
+                    gate_threshold=spec["gate_threshold"], cache=cache,
+                    flag_sink=sink)
     frontend = _build_frontend(server, spec["keys"], spec["rate"],
                                spec["burst"], spec["queue_limit"],
                                spec["max_request_examples"])
@@ -275,9 +286,10 @@ def _http_worker(spec: dict, ready, stop) -> None:
 
 def _run_multiprocess(*, model, dataset, preset, seed, backend, max_batch,
                       deadline_ms, gate, gate_threshold, host, port, keys,
-                      rate, burst, queue_limit, cache_dir, procs, requests,
-                      target_rps, adv_fraction, max_request_size,
-                      concurrency, verbose) -> Optional[HttpServeReport]:
+                      rate, burst, queue_limit, cache_dir, quarantine_dir,
+                      procs, requests, target_rps, adv_fraction,
+                      max_request_size, concurrency,
+                      verbose) -> Optional[HttpServeReport]:
     import multiprocessing as mp
 
     if port == 0:
@@ -300,6 +312,10 @@ def _run_multiprocess(*, model, dataset, preset, seed, backend, max_batch,
         "max_request_examples": max(max_batch, max_request_size),
         "cache_spec": ({"root": os.fspath(cache_dir)}
                        if cache_dir else None),
+        # Workers share one quarantine directory the same way they share
+        # the disk cache — the store's lock/journal make that safe.
+        "quarantine_dir": os.fspath(quarantine_dir)
+        if quarantine_dir else None,
     }
     ctx = mp.get_context("spawn")
     ready = [ctx.Event() for _ in range(procs)]

@@ -17,6 +17,7 @@ file to keep in sync.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
@@ -25,9 +26,29 @@ from .. import backend as _backend
 from .. import nn
 from ..defenses.discriminator import Discriminator
 from ..eval.cache import fingerprint_model
-from ..train.checkpoint import read_checkpoint_meta
+from ..train.checkpoint import amend_checkpoint_meta, read_checkpoint_meta
 
-__all__ = ["ModelEntry", "ModelRegistry"]
+__all__ = ["ModelEntry", "ModelRegistry", "entry_fingerprint"]
+
+
+def entry_fingerprint(model: nn.Module,
+                      discriminator: Optional[Discriminator] = None) -> str:
+    """Weight hash of everything an entry *serves with*.
+
+    A discriminator-gated entry's verdicts depend on the discriminator's
+    weights too, so they fold into the hash — a fine-tune round that
+    hardens only the discriminator must still roll the prediction-cache
+    key, or stale cached flags would replay against the new gate.
+    Classifier-only entries keep the plain :func:`fingerprint_model`
+    hash (the historical cache-key format).
+    """
+    fp = fingerprint_model(model)
+    if discriminator is None:
+        return fp
+    h = hashlib.sha256()
+    h.update(fp.encode("utf-8"))
+    h.update(fingerprint_model(discriminator).encode("utf-8"))
+    return h.hexdigest()
 
 
 @dataclass
@@ -53,6 +74,10 @@ class ModelRegistry:
 
     def __init__(self) -> None:
         self._entries: Dict[str, ModelEntry] = {}
+        #: Per-name previous entry, stashed by :meth:`promote` so
+        #: :meth:`rollback` can restore it (one step deep — a second
+        #: promotion replaces the stash).
+        self._previous: Dict[str, ModelEntry] = {}
 
     # ------------------------------------------------------------------ #
     # registration
@@ -110,12 +135,13 @@ class ModelRegistry:
         # where the forward passes will run.
         with _backend.use(backend_name):
             trainer.load_state_dict(meta["state"])
+            discriminator = getattr(trainer, "discriminator", None)
             entry = ModelEntry(
                 name=name,
                 model=trainer.model,
-                discriminator=getattr(trainer, "discriminator", None),
+                discriminator=discriminator,
                 backend=backend_name,
-                fingerprint=fingerprint_model(trainer.model),
+                fingerprint=entry_fingerprint(trainer.model, discriminator),
                 trainer=trainer_name,
                 dataset=dataset,
                 checkpoint_path=os.fspath(checkpoint_path),
@@ -137,7 +163,8 @@ class ModelRegistry:
         with _backend.use(backend_name):
             entry = ModelEntry(
                 name=name, model=model, discriminator=discriminator,
-                backend=backend_name, fingerprint=fingerprint_model(model),
+                backend=backend_name,
+                fingerprint=entry_fingerprint(model, discriminator),
                 dataset=dataset)
         return self._install(entry, replace=replace)
 
@@ -165,8 +192,65 @@ class ModelRegistry:
         """
         entry = self.get(name)
         with _backend.use(entry.backend):
-            entry.fingerprint = fingerprint_model(entry.model)
+            entry.fingerprint = entry_fingerprint(entry.model,
+                                                  entry.discriminator)
         return entry
+
+    # ------------------------------------------------------------------ #
+    # staged promotion
+    # ------------------------------------------------------------------ #
+    def promote(self, name: str,
+                checkpoint_path: Union[str, os.PathLike],
+                dataset: Optional[str] = None, preset: str = "fast",
+                seed: int = 0, width: Optional[int] = None,
+                backend: Optional[str] = None) -> ModelEntry:
+        """Swap ``name`` for the candidate checkpoint, keeping the old
+        entry for :meth:`rollback`.
+
+        ``promote`` is :meth:`load`-with-``replace`` plus two pieces of
+        bookkeeping: the displaced entry is stashed (its live weights —
+        a rollback needs no disk round-trip), and the promotion's
+        provenance is recorded **in the promoted checkpoint's own
+        metadata** (which model it replaced, both fingerprints), so a
+        candidate archive carries its full history wherever it is copied.
+        On a load failure the old entry keeps serving and nothing is
+        stashed — same guarantee as a failed hot reload.
+
+        Callers that front the registry with a live server must drain
+        queued work first (the HTTP tier's admission barrier does this);
+        the lane swap itself only happens on an empty queue.
+        """
+        previous = self.get(name)       # promote targets a serving name
+        entry = self.load(name, checkpoint_path,
+                          dataset=dataset or previous.dataset,
+                          preset=preset, seed=seed, width=width,
+                          backend=backend, replace=True)
+        self._previous[name] = previous
+        amend_checkpoint_meta(checkpoint_path, {"promotion": {
+            "model": name,
+            "fingerprint": entry.fingerprint,
+            "replaced_fingerprint": previous.fingerprint,
+            "replaced_checkpoint": previous.checkpoint_path,
+        }})
+        return entry
+
+    def rollback(self, name: str) -> ModelEntry:
+        """Restore the entry :meth:`promote` displaced (one step).
+
+        The stashed entry's weights are still in memory, so rollback is
+        instant and cannot fail on IO; its fingerprint is unchanged, so
+        the prediction cache resumes replaying the old answers.
+        """
+        previous = self._previous.pop(name, None)
+        if previous is None:
+            raise KeyError(
+                f"model {name!r} has no promotion to roll back")
+        self._entries[name] = previous
+        return previous
+
+    def promoted_over(self, name: str) -> Optional[ModelEntry]:
+        """The entry a rollback of ``name`` would restore, if any."""
+        return self._previous.get(name)
 
     # ------------------------------------------------------------------ #
     # lookup

@@ -20,6 +20,7 @@ from ..eval.metrics import FilterMetrics
 from .cache import PredictionCache
 from .loadgen import LoadReport, build_mixed_load, craft_adversarial_pool, \
     run_load
+from .quarantine import QuarantineStore
 from .registry import ModelEntry, ModelRegistry
 from .server import Server, ServerStats
 
@@ -98,6 +99,7 @@ def run_serve(
     adv_fraction: float = 0.5,
     max_request_size: int = 4,
     cache_entries: int = 4096,
+    quarantine_dir: Optional[str] = None,
     verbose: bool = False,
 ) -> ServeReport:
     """Serve ``model`` against a seeded clean+PGD traffic mix.
@@ -106,6 +108,8 @@ def run_serve(
     defense name (``vanilla`` … ``gandef``) trained on the fly.  The
     load is generated from the preset's test split; adversarial traffic
     is PGD at the paper's Sec. IV-C budget for ``dataset``.
+    ``quarantine_dir`` attaches a :class:`QuarantineStore` flag sink so
+    gate-flagged examples are captured for ``repro harden``.
     """
     from ..experiments.config import get_config
     from ..experiments.runners import load_config_split
@@ -132,7 +136,9 @@ def run_serve(
     server = Server(registry, max_batch=max_batch, deadline_ms=deadline_ms,
                     gate=gate, gate_threshold=gate_threshold,
                     cache=PredictionCache(max_entries=cache_entries)
-                    if cache_entries else None)
+                    if cache_entries else None,
+                    flag_sink=QuarantineStore(quarantine_dir)
+                    if quarantine_dir else None)
     traffic = build_mixed_load(eval_images, adv_pool, num_requests=requests,
                                max_request_size=max_request_size,
                                adv_fraction=adv_fraction, seed=seed)

@@ -40,6 +40,7 @@ from .. import obs
 from .batcher import MicroBatch, MicroBatcher, PendingPrediction, Prediction
 from .cache import PredictionCache
 from .gate import DefenseGate, build_gate
+from .quarantine import FlagSink
 from .registry import ModelEntry, ModelRegistry
 
 __all__ = ["Server", "Client", "ServerStats", "percentile"]
@@ -158,6 +159,12 @@ class Server:
     cache:
         Optional shared :class:`PredictionCache`; repeated examples
         replay their first-served prediction bitwise.
+    flag_sink:
+        Optional :class:`~repro.serve.quarantine.FlagSink`; freshly
+        forwarded examples the gate flags are handed to it (cache hits
+        were sunk when first served).  ``None`` (the default) performs
+        zero extra work — the serve path stays bitwise-identical to a
+        sink-less server, same contract as the tracer binding.
     clock:
         Injectable monotonic time source for the batchers and latency
         accounting (tests pass a fake; production uses
@@ -168,11 +175,13 @@ class Server:
                  deadline_ms: float = 5.0, gate: str = "auto",
                  gate_threshold: Optional[float] = None,
                  cache: Optional[PredictionCache] = None,
+                 flag_sink: Optional[FlagSink] = None,
                  clock: Optional[Callable[[], float]] = None) -> None:
         self.registry = registry
         self.max_batch = max_batch
         self.deadline_s = deadline_ms / 1e3
         self.cache = cache
+        self.flag_sink = flag_sink
         self.clock = clock or time.monotonic
         self.stats = ServerStats()
         self._gate_kind = gate
@@ -421,6 +430,15 @@ class Server:
                     if self.cache is not None:
                         self.cache.store(lane.cache_fingerprint,
                                          batch.images[i], prediction)
+                if self.flag_sink is not None:
+                    mask = decision.flagged
+                    if mask.any():
+                        # Only fresh forwards reach the sink: a cache
+                        # hit's example was sunk when first served, and
+                        # the sink sees host-side rows the gate just
+                        # scored — no re-forward, no extra numerics.
+                        self.flag_sink.submit(entry.name, sub[mask],
+                                              decision.scores[mask])
         t_fill0 = clk() if tr is not None else 0.0
         # Reassemble per request, in admission order.  Completion is
         # stamped in the *caller's* timebase: a pump driven with an

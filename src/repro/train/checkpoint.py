@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import TYPE_CHECKING, Dict, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 import numpy as np
 
@@ -35,11 +35,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..defenses.base import Trainer
 
 __all__ = ["save_checkpoint", "load_checkpoint", "read_checkpoint_meta",
-           "Checkpointer", "CHECKPOINT_VERSION"]
+           "amend_checkpoint_meta", "Checkpointer", "CHECKPOINT_VERSION",
+           "RESERVED_META_KEYS"]
 
 CHECKPOINT_VERSION = 1
 _META_KEY = "__checkpoint__"
 _ARRAY_MARKER = "__array__"
+
+#: Metadata keys the checkpoint format itself owns; extra metadata
+#: (fine-tune provenance, promotion records) must not shadow them.
+RESERVED_META_KEYS = ("version", "trainer", "backend", "workers", "state")
 
 
 def _externalize(obj, arrays: Dict[str, np.ndarray]):
@@ -70,8 +75,20 @@ def _internalize(obj, archive):
     return obj
 
 
+def _check_extra_meta(extra: Dict) -> None:
+    reserved = set(extra) & set(RESERVED_META_KEYS)
+    if reserved:
+        raise ValueError(
+            f"extra metadata keys {sorted(reserved)} shadow reserved "
+            f"checkpoint keys {RESERVED_META_KEYS}")
+    # JSON-only: extra metadata rides next to (never inside) the state
+    # payload, and consumers read it back verbatim.
+    json.dumps(extra)
+
+
 def save_checkpoint(trainer: "Trainer",
-                    path: Union[str, os.PathLike]) -> str:
+                    path: Union[str, os.PathLike],
+                    extra_meta: Optional[Dict] = None) -> str:
     """Write ``trainer.state_dict()`` to ``path`` atomically.
 
     The archive records which array backend produced it and, when the
@@ -80,19 +97,57 @@ def save_checkpoint(trainer: "Trainer",
     load under any backend, and the worker count is never load-bearing —
     resuming with a different one reproduces the uninterrupted run
     bit-for-bit).
+
+    ``extra_meta`` merges additional JSON-serializable keys into the
+    archive metadata (e.g. the hardening loop's fine-tune provenance).
+    They ride through :func:`read_checkpoint_meta` verbatim and every
+    existing consumer ignores them, so old checkpoints and new readers
+    stay mutually compatible.
     """
     path = os.fspath(path)
     arrays: Dict[str, np.ndarray] = {}
     engine = getattr(trainer, "parallel_engine", None)
-    meta = _externalize({"version": CHECKPOINT_VERSION,
-                         "trainer": trainer.name,
-                         "backend": _backend.active().name,
-                         "workers": engine.workers
-                         if engine is not None else None,
-                         "state": trainer.state_dict()}, arrays)
+    base: Dict = {"version": CHECKPOINT_VERSION,
+                  "trainer": trainer.name,
+                  "backend": _backend.active().name,
+                  "workers": engine.workers
+                  if engine is not None else None,
+                  "state": trainer.state_dict()}
+    if extra_meta:
+        _check_extra_meta(extra_meta)
+        base.update(extra_meta)
+    meta = _externalize(base, arrays)
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8)
     return atomic_savez(path, arrays)
+
+
+def amend_checkpoint_meta(path: Union[str, os.PathLike],
+                          extra: Dict) -> Dict:
+    """Merge ``extra`` into an existing checkpoint's metadata, atomically.
+
+    The weight arrays are rewritten byte-for-byte unchanged; only the
+    JSON metadata entry grows.  This is how a promotion records its
+    provenance on the promoted archive after the fact (the candidate was
+    written before the canary verdict existed).  ``extra`` must be
+    JSON-serializable and must not touch the reserved keys.  Returns the
+    merged (externalized) metadata dict.
+    """
+    path = os.fspath(path)
+    _check_extra_meta(extra)
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(
+                f"{path!r} is not a training checkpoint "
+                "(weights-only archives load via nn.load_state)")
+        arrays = {key: np.array(archive[key]) for key in archive.files
+                  if key != _META_KEY}
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    meta.update(extra)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    atomic_savez(path, arrays)
+    return meta
 
 
 def read_checkpoint_meta(path: Union[str, os.PathLike]) -> Dict:

@@ -1,0 +1,75 @@
+"""Shared hardening fixtures: one tiny zk-gandef checkpoint per module.
+
+The fine-tune stage rebuilds its trainer from ``(preset, dataset,
+width)`` exactly like the serving registry, so the base checkpoint must
+be trained at the same coordinates — tiny width keeps every continuation
+epoch cheap while exercising the real GanDef minimax loop.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import get_config
+from repro.experiments.runners import build_trainer, load_config_split
+from repro.train import save_checkpoint
+
+WIDTH = 4
+SEED = 3
+BASE_EPOCHS = 3
+
+
+def tiny_cfg():
+    # Only the geometry shrinks: fine_tune rebuilds from the preset with
+    # a width override, so everything else must stay the preset's.
+    return dataclasses.replace(get_config("fast").dataset("digits"),
+                               model_width=WIDTH)
+
+
+@pytest.fixture(scope="session")
+def archives_identical():
+    """Bit-compare two checkpoint archives: every array plus the metadata.
+
+    Raw file bytes are the wrong comparison — npz is a zip and embeds
+    member mtimes.  And the history's ``epoch_seconds`` are wall-clock
+    provenance, not training state, so they are length-checked but not
+    value-compared; everything else (weights, optimizer moments, RNG
+    streams, losses, fine-tune provenance) must match exactly.  The
+    ``workers`` key is likewise provenance (the checkpoint docs pin that
+    worker count is never load-bearing), so it is dropped too.
+    """
+    def scrub_seconds(meta):
+        meta.pop("workers", None)
+        history = meta.get("state", {}).get("history", {})
+        return history.pop("epoch_seconds", [])
+
+    def check(a, b):
+        with np.load(a) as fa, np.load(b) as fb:
+            assert sorted(fa.files) == sorted(fb.files)
+            meta_a = json.loads(bytes(fa["__checkpoint__"]).decode("utf-8"))
+            meta_b = json.loads(bytes(fb["__checkpoint__"]).decode("utf-8"))
+            for name in fa.files:
+                if name != "__checkpoint__":
+                    np.testing.assert_array_equal(fa[name], fb[name])
+        assert len(scrub_seconds(meta_a)) == len(scrub_seconds(meta_b))
+        assert meta_a == meta_b
+
+    return check
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_config_split(tiny_cfg(), seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def gandef_checkpoint(split, tmp_path_factory):
+    """A trained tiny zk-gandef archive (classifier + discriminator)."""
+    path = tmp_path_factory.mktemp("harden-base") / "checkpoint.npz"
+    trainer = build_trainer("zk-gandef", tiny_cfg(), seed=SEED)
+    trainer.epochs = BASE_EPOCHS
+    trainer.fit(split.train)
+    save_checkpoint(trainer, path)
+    return path

@@ -1,0 +1,80 @@
+"""Canary policy logic: ``decide`` is pure, so bounds are unit-testable."""
+
+from repro.harden import CanaryPolicy, decide
+from repro.harden.canary import GateEval
+
+
+def measure(clean=0.95, robust=0.40, detection=0.50, fpr=0.10):
+    return GateEval(clean_accuracy=clean, robust_accuracy=robust,
+                    detection_rate=detection, false_positive_rate=fpr)
+
+
+def test_promotes_when_everything_within_bounds():
+    base = measure()
+    cand = measure(clean=0.94, robust=0.42, detection=0.60, fpr=0.12)
+    report = decide(base, cand)
+    assert report.verdict == "promote" and report.promote
+    assert report.reasons == []
+    assert report.baseline is base and report.candidate is cand
+
+
+def test_clean_regression_rejects():
+    report = decide(measure(clean=0.95), measure(clean=0.90))
+    assert report.verdict == "reject" and not report.promote
+    assert any("clean accuracy" in r for r in report.reasons)
+
+
+def test_robust_regression_rejects():
+    report = decide(measure(robust=0.40), measure(robust=0.30))
+    assert report.verdict == "reject"
+    assert any("robust accuracy" in r for r in report.reasons)
+
+
+def test_fpr_regression_rejects():
+    report = decide(measure(fpr=0.10), measure(fpr=0.20))
+    assert report.verdict == "reject"
+    assert any("false-positive" in r for r in report.reasons)
+
+
+def test_detection_loss_rejects():
+    report = decide(measure(detection=0.50), measure(detection=0.45))
+    assert report.verdict == "reject"
+    assert any("detection rate" in r for r in report.reasons)
+
+
+def test_equal_detection_promotes_under_default_policy():
+    # min_detection_gain defaults to 0.0: holding steady is enough.
+    report = decide(measure(detection=0.50), measure(detection=0.50))
+    assert report.verdict == "promote"
+
+
+def test_strict_gain_policy_rejects_saturated_equal():
+    # The bench's stricter policy: a candidate that merely matches a
+    # saturated baseline is not an improvement.
+    policy = CanaryPolicy(min_detection_gain=1e-9)
+    report = decide(measure(detection=1.0), measure(detection=1.0),
+                    policy)
+    assert report.verdict == "reject"
+
+
+def test_bounds_are_relative_not_absolute():
+    # A weak baseline does not doom the candidate: bounds compare the
+    # pair, so low absolute numbers still promote when nothing regresses.
+    base = measure(clean=0.50, robust=0.10, detection=0.05, fpr=0.40)
+    cand = measure(clean=0.49, robust=0.08, detection=0.06, fpr=0.44)
+    assert decide(base, cand).verdict == "promote"
+
+
+def test_multiple_violations_collect_multiple_reasons():
+    base = measure()
+    cand = measure(clean=0.80, robust=0.20, detection=0.30, fpr=0.30)
+    report = decide(base, cand)
+    assert report.verdict == "reject"
+    assert len(report.reasons) == 4
+
+
+def test_tightened_policy_bounds_apply():
+    policy = CanaryPolicy(max_clean_regression=0.0)
+    base, cand = measure(clean=0.95), measure(clean=0.949)
+    assert decide(base, cand).verdict == "promote"      # default tolerates
+    assert decide(base, cand, policy).verdict == "reject"

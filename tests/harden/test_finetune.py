@@ -1,0 +1,146 @@
+"""fine_tune: resume mechanics, provenance, determinism, fallback path."""
+
+import os
+
+import numpy as np
+import pytest
+
+import dataclasses
+
+from repro.harden import fine_tune
+from repro.serve import QuarantineStore
+from repro.train import save_checkpoint
+from repro.train.checkpoint import read_checkpoint_meta
+from repro.experiments.config import get_config
+from repro.experiments.runners import build_trainer
+
+WIDTH = 4               # keep in sync with tests/harden/conftest.py
+SEED = 3
+BASE_EPOCHS = 3
+
+
+def tiny_cfg():
+    return dataclasses.replace(get_config("fast").dataset("digits"),
+                               model_width=WIDTH)
+
+
+@pytest.fixture
+def quarantine(tmp_path, split):
+    """A small quarantine of noised test images (stand-in attack traffic)."""
+    store = QuarantineStore(tmp_path / "quarantine")
+    rng = np.random.default_rng(11)
+    images = split.test.images[:4] + \
+        rng.normal(scale=0.3, size=split.test.images[:4].shape)
+    store.submit("m", images.astype(np.float32),
+                 np.full(4, 0.9))
+    return store
+
+
+def flatten(obj, prefix=""):
+    """Yield ``(path, ndarray)`` leaves of a nested state dict."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from flatten(value, f"{prefix}{key}/")
+    elif isinstance(obj, np.ndarray):
+        yield prefix, obj
+
+
+def test_resume_and_provenance(tmp_path, gandef_checkpoint, quarantine):
+    result = fine_tune(gandef_checkpoint, quarantine, dataset="digits",
+                       staging_dir=tmp_path / "staging", seed=SEED,
+                       width=WIDTH, epochs=1, disc_passes=1)
+    assert result.trainer_name == "zk-gandef"
+    assert result.anchored                      # source-bit seam, no labels
+    assert result.quarantined == 4
+    assert result.anchor_steps > 0
+    assert os.path.exists(result.candidate_path)
+    prov = result.meta["fine_tune"]
+    assert prov["base_checkpoint"] == str(gandef_checkpoint)
+    assert prov["quarantine_fingerprint"] == quarantine.fingerprint()
+    assert prov["quarantined"] == 4 and prov["anchored"] is True
+    assert prov["seed"] == SEED
+    assert "state" not in result.meta           # result meta is lightweight
+    # Candidate resumed *past* the base, not from scratch.
+    state = read_checkpoint_meta(result.candidate_path)["state"]
+    assert state["completed_epochs"] == BASE_EPOCHS + 1
+
+
+def test_fine_tune_is_deterministic(tmp_path, gandef_checkpoint, quarantine,
+                                    archives_identical):
+    kwargs = dict(dataset="digits", seed=SEED, width=WIDTH,
+                  epochs=1, disc_passes=2)
+    first = fine_tune(gandef_checkpoint, quarantine,
+                      staging_dir=tmp_path / "a", **kwargs)
+    second = fine_tune(gandef_checkpoint, quarantine,
+                       staging_dir=tmp_path / "b", **kwargs)
+    archives_identical(first.candidate_path, second.candidate_path)
+
+
+def test_worker_count_does_not_change_the_candidate(tmp_path,
+                                                    gandef_checkpoint,
+                                                    quarantine,
+                                                    archives_identical):
+    # The data-parallel contract: with the engine attached, the sharded
+    # computation is bit-identical at any worker count (workers=None is
+    # the separate legacy eager path, pinned elsewhere).
+    kwargs = dict(dataset="digits", seed=SEED, width=WIDTH,
+                  epochs=1, disc_passes=1)
+    one = fine_tune(gandef_checkpoint, quarantine, workers=1,
+                    staging_dir=tmp_path / "one", **kwargs)
+    two = fine_tune(gandef_checkpoint, quarantine, workers=2,
+                    staging_dir=tmp_path / "two", **kwargs)
+    archives_identical(one.candidate_path, two.candidate_path)
+
+
+def test_disc_passes_only_touch_the_discriminator(tmp_path,
+                                                  gandef_checkpoint,
+                                                  quarantine):
+    # epochs=0: the anchor pass is the whole round.  4 quarantined + 4
+    # clean pairs = 8 examples = one batch at the preset's batch size.
+    result = fine_tune(gandef_checkpoint, quarantine, dataset="digits",
+                       staging_dir=tmp_path / "staging", seed=SEED,
+                       width=WIDTH, epochs=0, disc_passes=3)
+    assert result.epochs == 0 and result.anchor_steps == 3
+    base = read_checkpoint_meta(gandef_checkpoint)["state"]["modules"]
+    cand = read_checkpoint_meta(result.candidate_path)["state"]["modules"]
+    base_model = dict(flatten(base["model"]))
+    cand_model = dict(flatten(cand["model"]))
+    assert base_model
+    for key, array in base_model.items():       # classifier untouched
+        np.testing.assert_array_equal(array, cand_model[key])
+    base_disc = dict(flatten(base["discriminator"]))
+    cand_disc = dict(flatten(cand["discriminator"]))
+    assert base_disc
+    assert any(not np.array_equal(array, cand_disc[key])
+               for key, array in base_disc.items())
+
+
+def test_empty_quarantine_is_a_plain_continuation(tmp_path, split,
+                                                  gandef_checkpoint):
+    store = QuarantineStore(tmp_path / "empty-q")
+    result = fine_tune(gandef_checkpoint, store, dataset="digits",
+                       staging_dir=tmp_path / "staging", seed=SEED,
+                       width=WIDTH, epochs=0, disc_passes=2)
+    assert result.quarantined == 0 and result.anchor_steps == 0
+
+
+def test_discriminator_less_defense_falls_back(tmp_path, split, quarantine):
+    trainer = build_trainer("vanilla", tiny_cfg(), seed=SEED)
+    trainer.epochs = 1
+    trainer.fit(split.train)
+    base = tmp_path / "vanilla.npz"
+    save_checkpoint(trainer, base)
+    result = fine_tune(base, quarantine, dataset="digits",
+                       staging_dir=tmp_path / "staging", seed=SEED,
+                       width=WIDTH, epochs=0, disc_passes=1)
+    assert not result.anchored                  # pseudo-label continuation
+    assert result.anchor_steps > 0
+
+
+def test_negative_arguments_raise(tmp_path, gandef_checkpoint, quarantine):
+    with pytest.raises(ValueError, match="epochs"):
+        fine_tune(gandef_checkpoint, quarantine, dataset="digits",
+                  staging_dir=tmp_path, epochs=-1)
+    with pytest.raises(ValueError, match="disc_passes"):
+        fine_tune(gandef_checkpoint, quarantine, dataset="digits",
+                  staging_dir=tmp_path, disc_passes=-1)

@@ -1,0 +1,125 @@
+"""HardeningLoop: cycle mechanics, determinism, efficacy, rollback."""
+
+import os
+
+import pytest
+
+from repro.harden import CanaryPolicy, HardeningLoop
+from repro.harden.loop import SERVING_NAME
+from repro.train.checkpoint import read_checkpoint_meta
+
+WIDTH = 4               # keep in sync with tests/harden/conftest.py
+SEED = 3
+
+
+def make_loop(checkpoint, workdir, **overrides):
+    # At the tiny test width a clean-split continuation epoch moves the
+    # classifier more than the discriminator gains, so the cycle under
+    # test is anchoring-only — the label-free seam in isolation.
+    kwargs = dict(model=str(checkpoint), dataset="digits", preset="fast",
+                  seed=SEED, width=WIDTH, requests=48,
+                  finetune_epochs=0, disc_passes=2,
+                  workdir=workdir)
+    kwargs.update(overrides)
+    return HardeningLoop(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def cycle_run(gandef_checkpoint, tmp_path_factory):
+    """One full cycle, shared by the read-only assertions below."""
+    loop = make_loop(gandef_checkpoint,
+                     tmp_path_factory.mktemp("harden-run"))
+    base = loop.prepare()
+    report = loop.run(cycles=1)
+    return loop, report, base.fingerprint
+
+
+def test_cycle_mechanics(cycle_run):
+    loop, report, base_fingerprint = cycle_run
+    (result,) = report.cycles
+    assert result.index == 0
+    assert result.flagged > 0
+    assert 0 < result.quarantined <= result.flagged
+    assert os.path.exists(result.finetune.candidate_path)
+    assert result.finetune.anchored          # zk-gandef has the seam
+    assert result.verdict in ("promote", "reject")
+    assert result.fingerprint == \
+        loop.registry.get(SERVING_NAME).fingerprint
+    assert report.base_checkpoint == loop.base_checkpoint
+
+
+def test_cycle_promotes_and_improves_detection(cycle_run):
+    """The efficacy pin: one hardening round against the fixed PGD
+    attacker must strictly improve the gate's detection rate within the
+    default policy's regression bounds."""
+    loop, report, base_fingerprint = cycle_run
+    (result,) = report.cycles
+    assert result.canary.reasons == []
+    assert result.promoted and report.promotions == 1
+    assert result.canary.candidate.detection_rate > \
+        result.canary.baseline.detection_rate
+    assert result.fingerprint != base_fingerprint
+    assert loop.registry.promoted_over(SERVING_NAME) is not None
+    # Promotion provenance landed in the candidate archive itself.
+    meta = read_checkpoint_meta(result.finetune.candidate_path)
+    assert meta["promotion"]["model"] == SERVING_NAME
+    assert meta["promotion"]["fingerprint"] == result.fingerprint
+    assert meta["promotion"]["replaced_fingerprint"] == base_fingerprint
+    assert meta["fine_tune"]["base_checkpoint"] == loop.base_checkpoint
+
+
+def test_loop_is_deterministic(gandef_checkpoint, tmp_path,
+                               archives_identical):
+    """Same seed + same base checkpoint -> bit-identical candidates and
+    identical serving fingerprints, twice over."""
+    first = make_loop(gandef_checkpoint, tmp_path / "a").run(cycles=1)
+    second = make_loop(gandef_checkpoint, tmp_path / "b").run(cycles=1)
+    a, b = first.cycles[0], second.cycles[0]
+    assert a.flagged == b.flagged
+    assert a.quarantined == b.quarantined
+    assert a.verdict == b.verdict
+    assert a.fingerprint == b.fingerprint
+    archives_identical(a.finetune.candidate_path, b.finetune.candidate_path)
+
+
+def test_rejected_candidate_keeps_old_weights(gandef_checkpoint, tmp_path):
+    """A canary no candidate can pass -> reject, and the serving entry
+    (weights and fingerprint) stays exactly what it was."""
+    impossible = CanaryPolicy(min_detection_gain=2.0)   # rates are <= 1
+    loop = make_loop(gandef_checkpoint, tmp_path, requests=12,
+                     finetune_epochs=0, disc_passes=1, policy=impossible)
+    base = loop.prepare()
+    report = loop.run(cycles=1)
+    (result,) = report.cycles
+    assert result.verdict == "reject" and not result.promoted
+    assert result.canary.reasons
+    assert result.fingerprint == base.fingerprint
+    assert loop.registry.promoted_over(SERVING_NAME) is None
+    with pytest.raises(KeyError):
+        loop.rollback()
+
+
+def test_width_override_rejected_for_defense_names(tmp_path):
+    loop = HardeningLoop(model="zk-gandef", width=WIDTH,
+                         workdir=tmp_path)
+    with pytest.raises(ValueError, match="width overrides"):
+        loop.prepare()
+
+
+def test_argument_validation(tmp_path, gandef_checkpoint):
+    with pytest.raises(ValueError, match="requests"):
+        HardeningLoop(requests=0, workdir=tmp_path)
+    with pytest.raises(ValueError, match="cycles"):
+        make_loop(gandef_checkpoint, tmp_path).run(cycles=0)
+    with pytest.raises(ValueError, match="does not exist"):
+        HardeningLoop(model=str(tmp_path / "missing.npz"),
+                      workdir=tmp_path).prepare()
+
+
+def test_rollback_restores_the_displaced_entry(cycle_run):
+    # Defined last: it mutates the shared loop's registry.
+    loop, report, base_fingerprint = cycle_run
+    entry = loop.rollback()
+    assert entry.fingerprint == base_fingerprint
+    assert loop.registry.get(SERVING_NAME).fingerprint == base_fingerprint
+    assert loop.registry.promoted_over(SERVING_NAME) is None

@@ -1,0 +1,116 @@
+"""Hot-swapping a data-parallel-trained checkpoint into a live server.
+
+The bridge between the training tentpole and the serving tier: a
+``ParallelTrainEngine`` checkpoint (``--workers N``, real spawn pool)
+must serve **bitwise** like any other archive — loaded through the
+registry, promoted over a live model, and forwarded identically on
+every registered backend.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.backend as backend
+from repro import nn
+from repro.data import load_split
+from repro.experiments.config import get_config
+from repro.experiments.runners import build_trainer
+from repro.serve import ModelRegistry, Server
+from repro.train import save_checkpoint
+from repro.train.checkpoint import read_checkpoint_meta
+from repro.train.parallel import ParallelTrainEngine
+from repro.utils.pool import SpawnPool
+
+WIDTH = 4
+ALL_BACKENDS = backend.available_backends()
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_split("digits", 64, 32, seed=7)
+
+
+def tiny_cfg():
+    return dataclasses.replace(get_config("fast").dataset("digits"),
+                               model_width=WIDTH, batch_size=32)
+
+
+@pytest.fixture(scope="module")
+def parallel_checkpoint(split, tmp_path_factory):
+    """A zk-gandef archive trained with ``--workers 2`` (spawn pool)."""
+    path = tmp_path_factory.mktemp("hotswap") / "parallel.npz"
+    trainer = build_trainer("zk-gandef", tiny_cfg(), seed=3)
+    trainer.epochs = 1
+    with SpawnPool(2) as pool:
+        engine = ParallelTrainEngine(trainer, workers=2,
+                                     pool=pool).attach()
+        try:
+            trainer.fit(split.train)
+            save_checkpoint(trainer, path)
+        finally:
+            engine.close()
+    return path, trainer
+
+
+def direct_rows(model, images, backend_name):
+    with backend.use(backend_name) as b:
+        with nn.inference_mode(model), nn.no_grad():
+            return b.to_numpy(model(nn.Tensor(images)).data)
+
+
+def test_archive_records_the_worker_count(parallel_checkpoint):
+    path, _ = parallel_checkpoint
+    meta = read_checkpoint_meta(path)
+    assert meta["trainer"] == "zk-gandef" and meta["workers"] == 2
+
+
+@pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+def test_parallel_checkpoint_serves_bitwise(backend_name, split,
+                                            parallel_checkpoint):
+    """Served rows == direct forwards of the trainer that produced the
+    archive, per composed batch, on every backend."""
+    path, trainer = parallel_checkpoint
+    registry = ModelRegistry()
+    entry = registry.load("m", path, dataset="digits", width=WIDTH,
+                          backend=backend_name)
+    assert entry.backend == backend_name
+    assert entry.has_discriminator            # gandef serves its gate
+    server = Server(registry, max_batch=8, deadline_ms=0.0, gate="none")
+    x = split.test.images[:8]                 # one exactly-full batch
+    handle = server.submit("m", x)
+    assert server.pump(force=True) >= 1
+    np.testing.assert_array_equal(
+        handle.logits, direct_rows(trainer.model, x, backend_name))
+
+
+@pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+def test_parallel_checkpoint_promotes_into_live_server(
+        backend_name, split, parallel_checkpoint, tmp_path):
+    """Promote the --workers 2 archive over a serving model: rows flip
+    bitwise from the old weights to the parallel-trained ones."""
+    path, trainer = parallel_checkpoint
+    base = tmp_path / "base.npz"
+    base_trainer = build_trainer("vanilla", tiny_cfg(), seed=7)
+    base_trainer.epochs = 1
+    base_trainer.fit(split.train)
+    save_checkpoint(base_trainer, base)
+
+    registry = ModelRegistry()
+    registry.load("m", base, dataset="digits", width=WIDTH,
+                  backend=backend_name)
+    server = Server(registry, max_batch=8, deadline_ms=0.0, gate="none")
+    x = split.test.images[:8]
+    before = server.submit("m", x)
+    assert server.pump(force=True) >= 1
+    np.testing.assert_array_equal(
+        before.logits, direct_rows(base_trainer.model, x, backend_name))
+
+    registry.promote("m", path, dataset="digits", width=WIDTH,
+                     backend=backend_name)
+    after = server.submit("m", x)
+    assert server.pump(force=True) >= 1
+    want = direct_rows(trainer.model, x, backend_name)
+    np.testing.assert_array_equal(after.logits, want)
+    assert not np.array_equal(before.logits, after.logits)

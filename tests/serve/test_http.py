@@ -392,3 +392,33 @@ def test_http_server_shutdown_is_graceful(split):
     with pytest.raises(OSError):
         with HttpClient(host, port, api_key="s3cret") as client:
             client.health()
+
+
+def test_predict_flagged_field_pins_gate_verdicts(split):
+    """Satellite pin: every ``/v1/predict`` row carries a ``flagged``
+    boolean that is exactly the gate's verdict for that example —
+    all-True under an always-suspicious gate, all-False with no gate."""
+    def rows_for(gate, threshold=None):
+        registry = ModelRegistry()
+        registry.add("m", build_classifier("digits", width=4, seed=0),
+                     backend="numpy")
+        server = Server(registry, max_batch=8, deadline_ms=0.0,
+                        gate=gate, gate_threshold=threshold)
+        frontend = HttpFrontend(server,
+                                auth=ApiKeyAuth({"alice": "s3cret"}))
+        status, payload, _ = pump_while_waiting(
+            server, frontend,
+            lambda: frontend.handle(
+                "POST", "/v1/predict",
+                _predict_body(split.test.images[:4]), AUTH))
+        assert status == 200
+        return payload["predictions"], server
+
+    rows, _ = rows_for("none")
+    assert [row["flagged"] for row in rows] == [False] * 4
+
+    # Confidence threshold 0.0: any non-degenerate softmax is suspicious.
+    rows, server = rows_for("confidence", threshold=0.0)
+    assert all(isinstance(row["flagged"], bool) for row in rows)
+    assert [row["flagged"] for row in rows] == [True] * 4
+    assert server.stats.flagged_examples == 4

@@ -1,0 +1,332 @@
+"""Staged promotion and rollback: registry mechanics + HTTP endpoints.
+
+The registry half pins the stash-one-deep contract and the provenance
+written into the promoted archive; the HTTP half pins satellite
+behavior: mid-promotion clients get bitwise old-model rows, bitwise
+new-model rows, or a retryable 503 with ``Retry-After`` — never a mix
+and never a dropped request.
+"""
+
+import dataclasses
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import load_split
+from repro.eval.cache import fingerprint_model
+from repro.experiments.config import get_config
+from repro.experiments.runners import build_trainer
+from repro.serve import (
+    ApiKeyAuth,
+    HttpFrontend,
+    ModelRegistry,
+    Server,
+    entry_fingerprint,
+)
+from repro.train import save_checkpoint
+from repro.train.checkpoint import read_checkpoint_meta
+
+WIDTH = 4
+AUTH = {"Authorization": "Bearer s3cret"}
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_split("digits", 64, 32, seed=7)
+
+
+def tiny_cfg():
+    return dataclasses.replace(get_config("fast").dataset("digits"),
+                               model_width=WIDTH, batch_size=32)
+
+
+def train_checkpoint(defense, split, path, epochs=1, seed=3):
+    trainer = build_trainer(defense, tiny_cfg(), seed=seed)
+    trainer.epochs = epochs
+    trainer.fit(split.train)
+    save_checkpoint(trainer, path)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def base_checkpoint(split, tmp_path_factory):
+    path = tmp_path_factory.mktemp("promo") / "base.npz"
+    train_checkpoint("vanilla", split, path, epochs=1)
+    return path
+
+
+@pytest.fixture(scope="module")
+def candidate_checkpoint(split, tmp_path_factory):
+    path = tmp_path_factory.mktemp("promo") / "candidate.npz"
+    train_checkpoint("vanilla", split, path, epochs=2)
+    return path
+
+
+def load_registry(base_checkpoint):
+    registry = ModelRegistry()
+    registry.load("m", base_checkpoint, dataset="digits", width=WIDTH)
+    return registry
+
+
+def forward(model, x):
+    with nn.inference_mode(model), nn.no_grad():
+        return np.array(model(nn.Tensor(x)).data)
+
+
+# --------------------------------------------------------------------- #
+# registry mechanics
+# --------------------------------------------------------------------- #
+def test_promote_swaps_stashes_and_records_provenance(
+        split, base_checkpoint, candidate_checkpoint):
+    registry = load_registry(base_checkpoint)
+    old = registry.get("m")
+    entry = registry.promote("m", candidate_checkpoint, dataset="digits",
+                             width=WIDTH)
+    assert registry.get("m") is entry
+    assert entry.fingerprint != old.fingerprint
+    assert registry.promoted_over("m") is old
+    prov = read_checkpoint_meta(candidate_checkpoint)["promotion"]
+    assert prov["model"] == "m"
+    assert prov["fingerprint"] == entry.fingerprint
+    assert prov["replaced_fingerprint"] == old.fingerprint
+    assert prov["replaced_checkpoint"] == old.checkpoint_path
+
+
+def test_rollback_restores_one_step(split, base_checkpoint,
+                                    candidate_checkpoint):
+    registry = load_registry(base_checkpoint)
+    old = registry.get("m")
+    registry.promote("m", candidate_checkpoint, dataset="digits",
+                     width=WIDTH)
+    restored = registry.rollback("m")
+    assert restored is old and registry.get("m") is old
+    assert registry.promoted_over("m") is None
+    with pytest.raises(KeyError, match="no promotion to roll back"):
+        registry.rollback("m")
+
+
+def test_second_promotion_replaces_the_stash(split, tmp_path,
+                                             base_checkpoint,
+                                             candidate_checkpoint):
+    third = tmp_path / "third.npz"
+    train_checkpoint("vanilla", split, third, epochs=1, seed=9)
+    registry = load_registry(base_checkpoint)
+    first = registry.promote("m", candidate_checkpoint, dataset="digits",
+                             width=WIDTH)
+    registry.promote("m", third, dataset="digits", width=WIDTH)
+    # One step deep: rolling back restores the *first promotion*, not
+    # the original base entry.
+    assert registry.promoted_over("m") is first
+    assert registry.rollback("m") is first
+
+
+def test_failed_promotion_keeps_old_entry_and_stashes_nothing(
+        split, tmp_path, base_checkpoint):
+    registry = load_registry(base_checkpoint)
+    old = registry.get("m")
+    with pytest.raises((OSError, ValueError)):
+        registry.promote("m", tmp_path / "missing.npz", dataset="digits",
+                         width=WIDTH)
+    assert registry.get("m") is old
+    assert registry.promoted_over("m") is None
+
+
+def test_entry_fingerprint_folds_the_discriminator(split, tmp_path):
+    base = tmp_path / "gandef.npz"
+    trainer = train_checkpoint("zk-gandef", split, base, epochs=1)
+    # Classifier-only entries keep the historical cache-key format.
+    assert entry_fingerprint(trainer.model) == \
+        fingerprint_model(trainer.model)
+    before = entry_fingerprint(trainer.model, trainer.discriminator)
+    assert before != fingerprint_model(trainer.model)
+    # A disc-only update (the hardening fine-tune) must roll the
+    # fingerprint even though the classifier is untouched.
+    trainer.discriminator_anchor_step(
+        split.train.images[:8],
+        np.ones(8, dtype=np.float32))
+    assert fingerprint_model(trainer.model) == \
+        entry_fingerprint(trainer.model)
+    assert entry_fingerprint(trainer.model, trainer.discriminator) != before
+
+
+# --------------------------------------------------------------------- #
+# HTTP endpoints
+# --------------------------------------------------------------------- #
+def make_frontend(base_checkpoint, **kwargs):
+    registry = ModelRegistry()
+    registry.load("m", base_checkpoint, dataset="digits", width=WIDTH)
+    server = Server(registry, max_batch=8, deadline_ms=0.0, gate="none")
+    kwargs.setdefault("auth", ApiKeyAuth({"alice": "s3cret"}))
+    frontend = HttpFrontend(server, **kwargs)
+    return frontend, server
+
+
+def swap_body(checkpoint=None, model="m"):
+    payload = {"model": model, "dataset": "digits", "width": WIDTH}
+    if checkpoint is not None:
+        payload["checkpoint"] = str(checkpoint)
+    return json.dumps(payload).encode()
+
+
+def _predict_body(images, model="m"):
+    return json.dumps({"model": model,
+                       "inputs": np.asarray(images).tolist()}).encode()
+
+
+def pump_while_waiting(server, call):
+    out = {}
+
+    def run():
+        out["reply"] = call()
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    while thread.is_alive():
+        server.pump(force=True)
+        thread.join(0.001)
+    return out["reply"]
+
+
+def test_http_promote_rollback_roundtrip(split, base_checkpoint,
+                                         candidate_checkpoint):
+    frontend, server = make_frontend(base_checkpoint)
+    old_fp = server.registry.get("m").fingerprint
+    x = split.test.images[:2]
+    old_rows = forward(server.registry.get("m").model, x)
+
+    status, payload, _ = frontend.handle(
+        "POST", "/v1/promote", swap_body(candidate_checkpoint), AUTH)
+    assert status == 200 and payload["action"] == "promote"
+    assert payload["old_fingerprint"] == old_fp[:16]
+    new_fp = server.registry.get("m").fingerprint
+    assert payload["fingerprint"] == new_fp[:16] and new_fp != old_fp
+
+    # Served rows now come bitwise from the promoted weights.
+    new_rows = forward(server.registry.get("m").model, x)
+    status, payload, _ = pump_while_waiting(
+        server, lambda: frontend.handle("POST", "/v1/predict",
+                                        _predict_body(x), AUTH))
+    assert status == 200
+    got = np.array([row["logits"] for row in payload["predictions"]])
+    np.testing.assert_array_equal(got, new_rows.astype(got.dtype))
+    assert not np.array_equal(new_rows, old_rows)
+
+    status, payload, _ = frontend.handle(
+        "POST", "/v1/rollback", swap_body(), AUTH)
+    assert status == 200 and payload["action"] == "rollback"
+    assert server.registry.get("m").fingerprint == old_fp
+    summary = frontend.stats.summary()
+    assert summary["promotions"] == 1 and summary["rollbacks"] == 1
+
+    # Nothing left to roll back.
+    status, payload, _ = frontend.handle(
+        "POST", "/v1/rollback", swap_body(), AUTH)
+    assert status == 409 and "no promotion" in payload["error"]
+
+
+def test_http_promote_validation(base_checkpoint, candidate_checkpoint):
+    frontend, _ = make_frontend(base_checkpoint)
+    status, payload, _ = frontend.handle(
+        "POST", "/v1/promote", swap_body(), AUTH)       # no checkpoint
+    assert status == 400 and "checkpoint" in payload["error"]
+    status, _, _ = frontend.handle(
+        "POST", "/v1/promote",
+        swap_body(candidate_checkpoint, model="ghost"), AUTH)
+    assert status == 404
+    status, _, _ = frontend.handle("POST", "/v1/promote", b"not json",
+                                   AUTH)
+    assert status == 400
+    status, payload, _ = frontend.handle(
+        "POST", "/v1/promote",
+        swap_body(candidate_checkpoint.parent / "nope.npz"), AUTH)
+    assert status == 500 and "still being served" in payload["error"]
+    assert frontend.stats.summary()["promotions"] == 0
+
+
+def test_midpromotion_rows_are_old_or_new_or_retryable(
+        split, base_checkpoint, candidate_checkpoint):
+    """Satellite regression: while a promotion drains, an already-queued
+    request completes bitwise on the old weights; if the drain cannot
+    finish inside the grace window the *promotion* (not the client) gets
+    a retryable 503 with ``Retry-After``."""
+    frontend, server = make_frontend(base_checkpoint,
+                                     reload_grace_s=0.05)
+    x = split.test.images[:2]
+    old_rows = forward(server.registry.get("m").model, x)
+
+    # Queue a predict but do not pump: the drain finds pending work and
+    # must give up with the retryable reply, leaving old weights serving.
+    waiter = threading.Thread(
+        target=lambda: frontend.handle("POST", "/v1/predict",
+                                       _predict_body(x), AUTH))
+    waiter.start()
+    while server.pending_examples == 0:
+        time.sleep(0.001)
+    status, payload, headers = frontend.handle(
+        "POST", "/v1/promote", swap_body(candidate_checkpoint), AUTH)
+    assert status == 503
+    assert headers["Retry-After"] == "1"
+    assert "promotion aborted" in payload["error"]
+    old_fp = server.registry.get("m").fingerprint
+
+    # The queued client was never dropped: pumping completes it bitwise
+    # on the old weights (the promotion never swapped).
+    while waiter.is_alive():
+        server.pump(force=True)
+        waiter.join(0.001)
+    assert server.registry.get("m").fingerprint == old_fp
+
+    # Retrying with a drained queue succeeds; rows flip to the new
+    # weights exactly at the swap.
+    status, _, _ = frontend.handle(
+        "POST", "/v1/promote", swap_body(candidate_checkpoint), AUTH)
+    assert status == 200
+    new_rows = forward(server.registry.get("m").model, x)
+    status, payload, _ = pump_while_waiting(
+        server, lambda: frontend.handle("POST", "/v1/predict",
+                                        _predict_body(x), AUTH))
+    assert status == 200
+    got = np.array([row["logits"] for row in payload["predictions"]])
+    np.testing.assert_array_equal(got, new_rows.astype(got.dtype))
+    assert not np.array_equal(new_rows, old_rows)
+
+
+def test_inflight_requests_survive_promotion_and_rollback(
+        split, base_checkpoint, candidate_checkpoint):
+    """A promotion (then a rollback) racing live clients drops nothing:
+    every queued request drains bitwise on the pre-swap weights."""
+    frontend, server = make_frontend(base_checkpoint, reload_grace_s=5.0)
+    x = split.test.images[:2]
+    old_rows = forward(server.registry.get("m").model, x)
+
+    for action, body in (("promote", swap_body(candidate_checkpoint)),
+                         ("rollback", swap_body())):
+        pre_rows = forward(server.registry.get("m").model, x)
+        client = {}
+        waiter = threading.Thread(
+            target=lambda: client.update(reply=frontend.handle(
+                "POST", "/v1/predict", _predict_body(x), AUTH)))
+        waiter.start()
+        while server.pending_examples == 0:
+            time.sleep(0.001)
+        swapper = {}
+        swap = threading.Thread(
+            target=lambda: swapper.update(reply=frontend.handle(
+                "POST", f"/v1/{action}", body, AUTH)))
+        swap.start()
+        while waiter.is_alive() or swap.is_alive():
+            server.pump(force=True)
+            time.sleep(0.001)
+        status, payload, _ = client["reply"]
+        assert status == 200                    # never dropped
+        got = np.array([row["logits"] for row in payload["predictions"]])
+        np.testing.assert_array_equal(got, pre_rows.astype(got.dtype))
+        assert swapper["reply"][0] == 200
+
+    # After promote+rollback the original weights are serving again.
+    np.testing.assert_array_equal(
+        forward(server.registry.get("m").model, x), old_rows)

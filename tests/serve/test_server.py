@@ -432,3 +432,36 @@ def test_stats_summary_reports_completion_and_queue_depth(split):
     assert summary["requests_completed"] == 1
     assert summary["pending_examples"] == 0
     assert summary["requests"] == 1
+
+
+def test_flag_sink_disabled_leaves_serving_bitwise_unchanged(split,
+                                                             tmp_path):
+    """The hardening seam's enablement contract: ``flag_sink=None``
+    (the default) serves exactly what a sink-equipped server serves —
+    same logits, labels, scores and flags, row for row — and the sink
+    receives precisely the flagged examples."""
+    from repro.serve import QuarantineStore
+
+    def serve_stream(flag_sink):
+        server, _ = make_server("numpy", split, max_batch=4,
+                                gate="confidence", gate_threshold=0.2,
+                                flag_sink=flag_sink)
+        handles = [server.submit("m", split.test.images[i:i + 3])
+                   for i in range(0, 12, 3)]
+        server.drain()
+        return handles, server
+
+    plain, plain_server = serve_stream(None)
+    store = QuarantineStore(tmp_path / "q")
+    sunk, sunk_server = serve_stream(store)
+
+    flagged = 0
+    for a, b in zip(plain, sunk):
+        np.testing.assert_array_equal(a.logits, b.logits)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.scores, b.scores)
+        np.testing.assert_array_equal(a.flagged, b.flagged)
+        flagged += int(a.flagged.sum())
+    assert plain_server.flag_sink is None
+    assert flagged > 0                      # the gate actually fired
+    assert store.stored + store.duplicates == flagged
